@@ -1,0 +1,58 @@
+//! Criterion bench: cache-hierarchy access throughput for sequential,
+//! strided and random line streams, plus the scan fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use popt_cpu::{CacheHierarchy, CpuConfig, SimCpu};
+
+const LINES: u64 = 50_000;
+
+fn hierarchy_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_hierarchy");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(LINES));
+    let cfg = CpuConfig::xeon_e5_2630_v2();
+    let patterns: [(&str, Box<dyn Fn(u64) -> u64>); 3] = [
+        ("sequential", Box::new(|i| i)),
+        ("strided8", Box::new(|i| i * 8)),
+        ("random", Box::new(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20)),
+    ];
+    for (name, addr) in &patterns {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut h = CacheHierarchy::new(&cfg);
+                for i in 0..LINES {
+                    h.demand_access(addr(i));
+                }
+                black_box(h.l3_accesses())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn element_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_element_fast_path");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    let elements = LINES * 16;
+    group.throughput(Throughput::Elements(elements));
+    group.bench_function("i32_scan", |b| {
+        b.iter(|| {
+            let mut cpu = SimCpu::new(CpuConfig::xeon_e5_2630_v2());
+            for i in 0..elements {
+                cpu.load(0, i * 4, 4);
+            }
+            black_box(cpu.cycles())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, hierarchy_patterns, element_fast_path);
+criterion_main!(benches);

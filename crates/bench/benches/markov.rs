@@ -1,0 +1,50 @@
+//! Criterion bench: Markov model evaluation cost — closed form vs. the
+//! linear-system route, and the full counter-prediction objective the
+//! estimator evaluates thousands of times per optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use popt_cost::estimate::{estimate_counters, PlanGeometry};
+use popt_cost::markov::ChainSpec;
+
+fn stationary_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_stationary");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for states in [4u8, 6, 8] {
+        let spec = ChainSpec::even(states);
+        group.bench_with_input(
+            BenchmarkId::new("closed_form", states),
+            &spec,
+            |b, spec| b.iter(|| black_box(spec.stationary(0.37))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linear_solve", states),
+            &spec,
+            |b, spec| b.iter(|| black_box(spec.stationary_linear(0.37))),
+        );
+    }
+    group.finish();
+}
+
+fn counter_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_prediction");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for preds in [2usize, 5] {
+        let geom = PlanGeometry::uniform_i32(1 << 20, preds);
+        let survivors: Vec<f64> =
+            (0..preds).map(|i| (1 << 20) as f64 * 0.5f64.powi(i as i32 + 1)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(preds), &preds, |b, _| {
+            b.iter(|| black_box(estimate_counters(&geom, &survivors)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, stationary_routes, counter_objective);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: branch predictor event throughput — automaton vs.
+//! gshare-style history, biased vs. adversarial outcome streams.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use popt_cpu::{BranchPredictor, BranchSite, PredictorConfig};
+
+const EVENTS: u64 = 100_000;
+
+fn outcomes(p_taken: f64) -> Vec<bool> {
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    (0..EVENTS)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .map(|u| u < p_taken)
+        .collect()
+}
+
+fn predictor_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(EVENTS));
+    let configs = [
+        ("automaton6", PredictorConfig::automaton(6, 3)),
+        (
+            "gshare6_h8",
+            PredictorConfig { states: 6, not_taken_states: 3, history_bits: 8, table_bits: 12 },
+        ),
+    ];
+    for (name, cfg) in configs {
+        for (bias_name, p) in [("biased10", 0.1), ("coin50", 0.5)] {
+            let stream = outcomes(p);
+            group.bench_function(format!("{name}/{bias_name}"), |b| {
+                b.iter(|| {
+                    let mut pred = BranchPredictor::new(cfg);
+                    let site = BranchSite(3);
+                    let mut wrong = 0u64;
+                    for &taken in &stream {
+                        if !pred.execute(site, taken).correct {
+                            wrong += 1;
+                        }
+                    }
+                    black_box(wrong)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, predictor_throughput);
+criterion_main!(benches);

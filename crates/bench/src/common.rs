@@ -1,0 +1,141 @@
+//! Shared harness utilities: scaling, output formatting, and a small
+//! work-stealing parallel map (figures sweep hundreds of independent
+//! simulator runs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global knobs for a figure run.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureCtx {
+    /// Reduced scale for smoke runs (`--quick`).
+    pub quick: bool,
+}
+
+impl FigureCtx {
+    /// Pick `full` or `quick` depending on the context.
+    pub fn scale(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Print a figure banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n### Figure {id}: {title}");
+}
+
+/// Print one tab-separated row.
+pub fn row<S: AsRef<str>>(cells: &[S]) {
+    let joined: Vec<&str> = cells.iter().map(AsRef::as_ref).collect();
+    println!("{}", joined.join("\t"));
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Evenly subsample `k` items of a slice (always keeps first and last).
+pub fn subsample<T: Clone>(items: &[T], k: usize) -> Vec<T> {
+    if items.len() <= k || k < 2 {
+        return items.to_vec();
+    }
+    (0..k)
+        .map(|i| items[i * (items.len() - 1) / (k - 1)].clone())
+        .collect()
+}
+
+/// Map `f` over `items` on all available cores, preserving order.
+///
+/// Each worker owns a `SimCpu`-style context created inside `f`; items are
+/// claimed from an atomic cursor so long-running simulator sweeps balance
+/// across threads.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> =
+        Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock().expect("no poisoned workers")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn subsample_keeps_endpoints() {
+        let items: Vec<u32> = (0..100).collect();
+        let s = subsample(&items, 5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], 0);
+        assert_eq!(*s.last().unwrap(), 99);
+    }
+
+    #[test]
+    fn fmt_precision_tiers() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.5), "1234");
+        assert_eq!(fmt(12.345), "12.35");
+        assert_eq!(fmt(0.123456), "0.1235");
+    }
+
+    #[test]
+    fn scale_picks_by_mode() {
+        assert_eq!(FigureCtx { quick: true }.scale(100, 10), 10);
+        assert_eq!(FigureCtx { quick: false }.scale(100, 10), 100);
+    }
+}

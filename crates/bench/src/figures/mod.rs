@@ -1,0 +1,47 @@
+//! One module per figure of the paper. See each module's docs for what
+//! the corresponding figure shows and which paper section it comes from.
+
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod workload;
+
+use crate::common::FigureCtx;
+
+/// All figure ids in paper order.
+pub const ALL: &[&str] = &[
+    "1", "2", "3", "4", "6", "7", "8", "9", "11", "12", "13", "14", "15", "16",
+];
+
+/// Dispatch a figure by id; returns false for unknown ids.
+pub fn run(id: &str, ctx: &FigureCtx) -> bool {
+    match id {
+        "1" => fig01::run(ctx),
+        "2" => fig02::run(ctx),
+        "3" => fig03::run(ctx),
+        "4" => fig04::run(ctx),
+        "6" => fig06::run(ctx),
+        "7" => fig07::run(ctx),
+        "8" => fig08::run(ctx),
+        "9" => fig09::run(ctx),
+        "11" => fig11::run(ctx),
+        "12" => fig12::run(ctx),
+        "13" => fig13::run(ctx),
+        "14" => fig14::run(ctx),
+        "15" => fig15::run(ctx),
+        "16" => fig16::run(ctx),
+        _ => return false,
+    }
+    true
+}

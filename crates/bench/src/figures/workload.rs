@@ -1,0 +1,85 @@
+//! Synthetic workloads shared by the counter/model figures: uniform
+//! random columns with selectivity-addressable predicates.
+
+use popt_core::predicate::{CompareOp, Predicate};
+use popt_core::plan::SelectionPlan;
+use popt_storage::{AddressSpace, ColumnData, Table};
+
+/// Value domain of the uniform columns (selectivity granularity 1/10000).
+pub const DOMAIN: i64 = 10_000;
+
+/// A table with `columns` independent uniform columns `c0..` over
+/// `0..DOMAIN` plus an aggregate column `agg`.
+pub fn uniform_table(rows: usize, columns: usize, seed: u64) -> Table {
+    let mut space = AddressSpace::new();
+    let mut t = Table::new("uniform");
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64* — fast, deterministic, good enough for workloads.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as i64
+    };
+    for c in 0..columns {
+        let data: Vec<i32> = (0..rows).map(|_| (next() % DOMAIN) as i32).collect();
+        t.add_column(format!("c{c}"), ColumnData::I32(data), &mut space);
+    }
+    let agg: Vec<i32> = (0..rows).map(|_| (next() % 100) as i32).collect();
+    t.add_column("agg", ColumnData::I32(agg), &mut space);
+    t
+}
+
+/// Literal giving a `< literal` predicate the requested selectivity on a
+/// uniform `0..DOMAIN` column.
+pub fn literal_for(selectivity: f64) -> i64 {
+    (selectivity.clamp(0.0, 1.0) * DOMAIN as f64).round() as i64
+}
+
+/// Plan with one `< literal` predicate per selectivity, on `c0, c1, …`,
+/// aggregating over `agg`.
+pub fn uniform_plan(selectivities: &[f64]) -> SelectionPlan {
+    let preds = selectivities
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| Predicate::new(format!("c{i}"), CompareOp::Lt, literal_for(s)))
+        .collect();
+    SelectionPlan::new(preds, vec!["agg".into()]).expect("non-empty plan")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_storage::stats;
+
+    #[test]
+    fn uniform_columns_hit_requested_selectivity() {
+        let t = uniform_table(50_000, 2, 42);
+        for c in ["c0", "c1"] {
+            let col = t.column(c).unwrap();
+            let sel = stats::selectivity(col.data(), |v| v < literal_for(0.3));
+            assert!((sel - 0.3).abs() < 0.02, "{c}: {sel}");
+        }
+    }
+
+    #[test]
+    fn plan_matches_requested_arity() {
+        let p = uniform_plan(&[0.5, 0.1, 0.9]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.predicates[1].literal, literal_for(0.1));
+    }
+
+    #[test]
+    fn columns_are_independent() {
+        let t = uniform_table(50_000, 2, 7);
+        let a = t.column("c0").unwrap().data().as_i32().unwrap();
+        let b = t.column("c1").unwrap().data().as_i32().unwrap();
+        let both = a
+            .iter()
+            .zip(b)
+            .filter(|(&x, &y)| x < 5000 && y < 5000)
+            .count() as f64
+            / 50_000.0;
+        assert!((both - 0.25).abs() < 0.02, "joint = {both}");
+    }
+}

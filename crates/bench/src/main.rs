@@ -1,0 +1,44 @@
+//! CLI entry point: regenerate the paper's figures.
+//!
+//! ```text
+//! figures all            # every figure, full scale
+//! figures 12 13          # selected figures
+//! figures all --quick    # smoke-test scale
+//! ```
+
+use popt_bench::common::FigureCtx;
+use popt_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+    let ctx = FigureCtx { quick };
+
+    if ids.is_empty() || ids.contains(&"help") {
+        eprintln!("usage: figures <id...|all> [--quick]");
+        eprintln!("figure ids: {}", figures::ALL.join(", "));
+        std::process::exit(if ids.is_empty() { 2 } else { 0 });
+    }
+
+    let selected: Vec<&str> = if ids.contains(&"all") {
+        figures::ALL.to_vec()
+    } else {
+        ids
+    };
+
+    let started = std::time::Instant::now();
+    for id in &selected {
+        let t0 = std::time::Instant::now();
+        if !figures::run(id, &ctx) {
+            eprintln!("unknown figure id {id:?}; known: {}", figures::ALL.join(", "));
+            std::process::exit(2);
+        }
+        eprintln!("# figure {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    eprintln!("# all requested figures done in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,15 @@
+//! Query executors driving the simulated CPU.
+//!
+//! * [`scan`] — the vectorized multi-selection scan (the paper's compiled
+//!   short-circuit loop, Section 2.1);
+//! * [`pipeline`] — a generalized filter pipeline mixing selections and
+//!   foreign-key join filters (Sections 5.5–5.6);
+//! * [`enumerator`] — the invasive, explicit-counter instrumentation
+//!   baseline of the overhead experiment (Section 5.7).
+
+pub mod enumerator;
+pub mod pipeline;
+pub mod scan;
+
+pub use pipeline::{FilterOp, Pipeline};
+pub use scan::{CompiledSelection, InstrCosts, VectorStats};

@@ -1,0 +1,191 @@
+//! Selection plans and predicate evaluation orders (PEOs).
+//!
+//! A multi-selection plan is an unordered *set* of conjunctive predicates
+//! plus an aggregate; the **PEO** — the order in which the predicates are
+//! wired into the short-circuit loop — is the runtime degree of freedom
+//! the progressive optimizer adjusts (Section 2.1).
+
+use crate::error::EngineError;
+use crate::predicate::Predicate;
+
+/// A predicate evaluation order: a permutation of plan predicate indices.
+pub type Peo = Vec<usize>;
+
+/// A multi-selection query plan with a sum aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionPlan {
+    /// The conjunctive predicates, in plan (not evaluation) order.
+    pub predicates: Vec<Predicate>,
+    /// Columns summed for qualifying tuples (empty = count only).
+    pub aggregate_columns: Vec<String>,
+}
+
+impl SelectionPlan {
+    /// Build a plan; at least one predicate is required.
+    pub fn new(
+        predicates: Vec<Predicate>,
+        aggregate_columns: Vec<String>,
+    ) -> Result<Self, EngineError> {
+        if predicates.is_empty() {
+            return Err(EngineError::EmptyPlan);
+        }
+        Ok(Self { predicates, aggregate_columns })
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Whether the plan has no predicates (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// The identity PEO `0, 1, …, p-1`.
+    pub fn identity_peo(&self) -> Peo {
+        (0..self.len()).collect()
+    }
+
+    /// Validate that `peo` is a permutation of this plan's predicates.
+    pub fn validate_peo(&self, peo: &[usize]) -> Result<(), EngineError> {
+        let p = self.len();
+        let mut seen = vec![false; p];
+        let valid = peo.len() == p
+            && peo.iter().all(|&i| {
+                if i >= p || seen[i] {
+                    false
+                } else {
+                    seen[i] = true;
+                    true
+                }
+            });
+        if valid {
+            Ok(())
+        } else {
+            Err(EngineError::InvalidPeo { expected: p, got: peo.to_vec() })
+        }
+    }
+
+    /// All `p!` PEOs in lexicographic order (the 120 permutations of
+    /// Figures 11/13 for Q6's five predicates). Guarded against blowups.
+    pub fn all_peos(&self) -> Vec<Peo> {
+        assert!(self.len() <= 8, "refusing to enumerate more than 8! orders");
+        let mut result = Vec::new();
+        let mut current = self.identity_peo();
+        permutations(&mut current, 0, &mut result);
+        result.sort();
+        result
+    }
+
+    /// Render a PEO as predicate text, e.g. for figure output.
+    pub fn describe_peo(&self, peo: &[usize]) -> String {
+        peo.iter()
+            .map(|&i| self.predicates[i].display())
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+}
+
+fn permutations(current: &mut Vec<usize>, k: usize, out: &mut Vec<Peo>) {
+    if k == current.len() {
+        out.push(current.clone());
+        return;
+    }
+    for i in k..current.len() {
+        current.swap(k, i);
+        permutations(current, k + 1, out);
+        current.swap(k, i);
+    }
+}
+
+/// Order predicate indices ascending by estimated selectivity — the
+/// reorder rule of Section 4.4 ("we reorder the predicates according to
+/// the best estimation so far"): most selective first minimizes work.
+///
+/// `selectivities` are given in the order of `current_peo`; the result is
+/// a new PEO over plan indices.
+pub fn order_by_selectivity(current_peo: &[usize], selectivities: &[f64]) -> Peo {
+    assert_eq!(current_peo.len(), selectivities.len());
+    let mut pairs: Vec<(f64, usize)> = selectivities
+        .iter()
+        .copied()
+        .zip(current_peo.iter().copied())
+        .collect();
+    // Stable order with plan index as tie-breaker for determinism.
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    pairs.into_iter().map(|(_, idx)| idx).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CompareOp;
+
+    fn plan(p: usize) -> SelectionPlan {
+        let preds = (0..p)
+            .map(|i| Predicate::new(format!("c{i}"), CompareOp::Lt, 10))
+            .collect();
+        SelectionPlan::new(preds, vec!["agg".into()]).unwrap()
+    }
+
+    #[test]
+    fn empty_plan_rejected() {
+        assert_eq!(
+            SelectionPlan::new(vec![], vec![]).unwrap_err(),
+            EngineError::EmptyPlan
+        );
+    }
+
+    #[test]
+    fn peo_validation() {
+        let p = plan(3);
+        assert!(p.validate_peo(&[0, 1, 2]).is_ok());
+        assert!(p.validate_peo(&[2, 0, 1]).is_ok());
+        assert!(p.validate_peo(&[0, 1]).is_err());
+        assert!(p.validate_peo(&[0, 1, 1]).is_err());
+        assert!(p.validate_peo(&[0, 1, 3]).is_err());
+    }
+
+    #[test]
+    fn all_peos_counts_factorial() {
+        assert_eq!(plan(1).all_peos().len(), 1);
+        assert_eq!(plan(3).all_peos().len(), 6);
+        assert_eq!(plan(5).all_peos().len(), 120);
+    }
+
+    #[test]
+    fn all_peos_are_distinct_permutations() {
+        let p = plan(4);
+        let orders = p.all_peos();
+        assert_eq!(orders.len(), 24);
+        for o in &orders {
+            assert!(p.validate_peo(o).is_ok());
+        }
+        let mut dedup = orders.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 24);
+    }
+
+    #[test]
+    fn order_by_selectivity_ascending() {
+        let peo = vec![2, 0, 1];
+        let sels = vec![0.9, 0.1, 0.5];
+        // predicate 2 has sel 0.9, predicate 0 has 0.1, predicate 1 has 0.5
+        assert_eq!(order_by_selectivity(&peo, &sels), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn order_by_selectivity_tie_breaks_by_plan_index() {
+        let peo = vec![3, 1, 2, 0];
+        let sels = vec![0.5, 0.5, 0.5, 0.5];
+        assert_eq!(order_by_selectivity(&peo, &sels), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn describe_peo_renders_in_order() {
+        let p = plan(2);
+        let s = p.describe_peo(&[1, 0]);
+        assert_eq!(s, "c1 < 10 AND c0 < 10");
+    }
+}

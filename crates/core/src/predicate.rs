@@ -1,0 +1,114 @@
+//! Predicates over columns: the atoms of a multi-selection query.
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `column < literal`
+    Lt,
+    /// `column <= literal`
+    Le,
+    /// `column > literal`
+    Gt,
+    /// `column >= literal`
+    Ge,
+    /// `column == literal`
+    Eq,
+    /// `column != literal`
+    Ne,
+}
+
+impl CompareOp {
+    /// Evaluate the comparison.
+    #[inline]
+    pub fn eval(&self, value: i64, literal: i64) -> bool {
+        match self {
+            CompareOp::Lt => value < literal,
+            CompareOp::Le => value <= literal,
+            CompareOp::Gt => value > literal,
+            CompareOp::Ge => value >= literal,
+            CompareOp::Eq => value == literal,
+            CompareOp::Ne => value != literal,
+        }
+    }
+
+    /// SQL-ish rendering for plan display.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+        }
+    }
+}
+
+/// One conjunct of a multi-selection query: `column OP literal`, with an
+/// optional extra per-evaluation instruction cost for modelling expensive
+/// predicates (UDFs, `LIKE`, …; Section 5.5 uses one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    /// Name of the column the predicate reads.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Literal to compare against.
+    pub literal: i64,
+    /// Extra instructions charged per evaluation (0 for plain compares).
+    pub extra_instructions: u64,
+}
+
+impl Predicate {
+    /// A plain comparison predicate.
+    pub fn new(column: impl Into<String>, op: CompareOp, literal: i64) -> Self {
+        Self { column: column.into(), op, literal, extra_instructions: 0 }
+    }
+
+    /// Mark the predicate as expensive (builder style).
+    pub fn expensive(mut self, extra_instructions: u64) -> Self {
+        self.extra_instructions = extra_instructions;
+        self
+    }
+
+    /// Evaluate against a value.
+    #[inline]
+    pub fn eval(&self, value: i64) -> bool {
+        self.op.eval(value, self.literal)
+    }
+
+    /// Human-readable rendering, e.g. `l_quantity < 24`.
+    pub fn display(&self) -> String {
+        format!("{} {} {}", self.column, self.op.symbol(), self.literal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_operators_evaluate() {
+        assert!(CompareOp::Lt.eval(1, 2));
+        assert!(!CompareOp::Lt.eval(2, 2));
+        assert!(CompareOp::Le.eval(2, 2));
+        assert!(CompareOp::Gt.eval(3, 2));
+        assert!(CompareOp::Ge.eval(2, 2));
+        assert!(CompareOp::Eq.eval(5, 5));
+        assert!(CompareOp::Ne.eval(5, 6));
+    }
+
+    #[test]
+    fn predicate_eval_and_display() {
+        let p = Predicate::new("l_quantity", CompareOp::Lt, 24);
+        assert!(p.eval(23));
+        assert!(!p.eval(24));
+        assert_eq!(p.display(), "l_quantity < 24");
+    }
+
+    #[test]
+    fn expensive_builder() {
+        let p = Predicate::new("x", CompareOp::Eq, 0).expensive(50);
+        assert_eq!(p.extra_instructions, 50);
+    }
+}

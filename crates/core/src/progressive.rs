@@ -1,0 +1,559 @@
+//! The progressive optimization loop (Section 4.4, Figure 10).
+//!
+//! Execution proceeds vector-at-a-time. After every *ReopInt* vectors the
+//! optimizer:
+//!
+//! 1. takes the performance-counter sample of the most recent vector
+//!    (non-invasive — the counters were running anyway);
+//! 2. infers per-predicate selectivities with the multi-start Nelder–Mead
+//!    estimator of Section 4.2/4.3;
+//! 3. reorders the PEO ascending by estimated selectivity and, if that
+//!    differs from the running order, switches ("a JIT-compiled system
+//!    would compile a new binary; a vectorized system chains pre-compiled
+//!    primitives in the new order");
+//! 4. executes one **trial vector** under the new order and compares the
+//!    counters against the pre-switch vector: improvements keep the new
+//!    order, deteriorations reinstate the old one.
+//!
+//! Skew is caught by the periodic re-sampling itself; correlation can
+//! additionally be probed by occasional exploratory orders (Section 4.5),
+//! enabled via [`ProgressiveConfig::explore_correlation`].
+
+use popt_cost::markov::ChainSpec;
+use popt_cpu::pmu::CounterDelta;
+use popt_cpu::SimCpu;
+use popt_solver::{estimate_selectivities, EstimatorConfig};
+use popt_storage::Table;
+
+use crate::error::EngineError;
+use crate::exec::scan::{CompiledSelection, VectorStats};
+use crate::plan::{order_by_selectivity, Peo, SelectionPlan};
+
+/// Configuration of the progressive optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressiveConfig {
+    /// Vectors between optimization attempts (the paper evaluates 10, 75
+    /// and 200; short intervals react fastest, Section 5.3–5.4).
+    pub reop_interval: usize,
+    /// Selectivity estimator settings.
+    pub estimator: EstimatorConfig,
+    /// Reinstate the previous PEO if the trial vector deteriorates.
+    pub revert_on_regression: bool,
+    /// Relative cycles-per-tuple slack before a trial counts as a
+    /// regression.
+    pub regression_tolerance: f64,
+    /// Periodically execute one vector under an exploratory PEO to detect
+    /// correlation effects that the current order cannot reveal
+    /// (Section 4.5).
+    pub explore_correlation: bool,
+    /// Cycles charged per estimator objective evaluation, accounting for
+    /// the optimization time the paper discusses in Section 5.7.
+    pub cycles_per_estimator_eval: u64,
+    /// Optimization rounds for which a *reverted* order is remembered and
+    /// not re-proposed. Correlated predicates (e.g. two bounds on one
+    /// column, Section 4.5) make the independence-based reorder disagree
+    /// with measured reality; without this memory the optimizer would pay
+    /// a failed trial vector at every interval.
+    pub rejection_ttl: usize,
+}
+
+impl Default for ProgressiveConfig {
+    fn default() -> Self {
+        Self {
+            reop_interval: 10,
+            estimator: EstimatorConfig::default(),
+            revert_on_regression: true,
+            regression_tolerance: 0.02,
+            explore_correlation: true,
+            cycles_per_estimator_eval: 60,
+            rejection_ttl: 2,
+        }
+    }
+}
+
+/// One PEO switch performed during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchEvent {
+    /// Vector index at which the switch took effect.
+    pub vector: usize,
+    /// Order before the switch.
+    pub from: Peo,
+    /// Order after the switch.
+    pub to: Peo,
+    /// Whether the trial vector regressed and the switch was undone.
+    pub reverted: bool,
+    /// Whether this was an exploratory (correlation-probing) switch
+    /// rather than an estimator-driven one.
+    pub exploratory: bool,
+}
+
+/// Outcome of a full (baseline or progressive) query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressiveReport {
+    /// Qualifying tuples.
+    pub qualified: u64,
+    /// Aggregate sum.
+    pub sum: i64,
+    /// Total simulated cycles, including optimizer time.
+    pub cycles: u64,
+    /// Total simulated milliseconds.
+    pub millis: f64,
+    /// Vectors executed.
+    pub vectors: usize,
+    /// PEO switches, in order.
+    pub switches: Vec<SwitchEvent>,
+    /// Estimator invocations.
+    pub estimates: usize,
+    /// Cycles attributed to the optimizer itself.
+    pub optimizer_cycles: u64,
+    /// The order in effect when execution finished.
+    pub final_peo: Peo,
+    /// Total counters across the run.
+    pub counters: CounterDelta,
+    /// Per-vector cycle counts (for convergence plots).
+    pub per_vector_cycles: Vec<u64>,
+}
+
+impl ProgressiveReport {
+    fn from_run(
+        accumulated: VectorStats,
+        vectors: usize,
+        switches: Vec<SwitchEvent>,
+        estimates: usize,
+        optimizer_cycles: u64,
+        final_peo: Peo,
+        per_vector_cycles: Vec<u64>,
+        frequency_ghz: f64,
+    ) -> Self {
+        let cycles = accumulated.counters.cycles + optimizer_cycles;
+        Self {
+            qualified: accumulated.qualified,
+            sum: accumulated.sum,
+            cycles,
+            millis: cycles as f64 / (frequency_ghz * 1e6),
+            vectors,
+            switches,
+            estimates,
+            optimizer_cycles,
+            final_peo,
+            counters: accumulated.counters,
+            per_vector_cycles,
+        }
+    }
+}
+
+/// Vectorization parameters of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorConfig {
+    /// Tuples per vector.
+    pub vector_tuples: usize,
+    /// Cap on the number of vectors (`None` = scan the whole table).
+    pub max_vectors: Option<usize>,
+}
+
+impl VectorConfig {
+    /// Validate and compute the vector ranges for a table of `rows`.
+    pub fn ranges(&self, rows: usize) -> Result<Vec<(usize, usize)>, EngineError> {
+        if self.vector_tuples == 0 {
+            return Err(EngineError::InvalidVectorConfig("vector_tuples = 0".into()));
+        }
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + self.vector_tuples).min(rows);
+            out.push((start, end));
+            start = end;
+            if let Some(max) = self.max_vectors {
+                if out.len() >= max {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Execute `plan` with a fixed PEO — the paper's "common execution
+/// pattern" baseline.
+pub fn run_baseline(
+    table: &Table,
+    plan: &SelectionPlan,
+    peo: &[usize],
+    vectors: VectorConfig,
+    cpu: &mut SimCpu,
+) -> Result<ProgressiveReport, EngineError> {
+    let compiled = CompiledSelection::compile(table, plan, peo)?;
+    let ranges = vectors.ranges(table.rows())?;
+    let mut total = VectorStats::zero();
+    let mut per_vector = Vec::with_capacity(ranges.len());
+    for &(start, end) in &ranges {
+        let stats = compiled.run_range(cpu, start, end);
+        per_vector.push(stats.counters.cycles);
+        total.accumulate(&stats);
+    }
+    let freq = cpu.config().timing.frequency_ghz;
+    Ok(ProgressiveReport::from_run(
+        total,
+        ranges.len(),
+        Vec::new(),
+        0,
+        0,
+        peo.to_vec(),
+        per_vector,
+        freq,
+    ))
+}
+
+/// Execute `plan` starting from `initial_peo` with progressive
+/// optimization enabled.
+pub fn run_progressive(
+    table: &Table,
+    plan: &SelectionPlan,
+    initial_peo: &[usize],
+    vectors: VectorConfig,
+    cpu: &mut SimCpu,
+    config: &ProgressiveConfig,
+) -> Result<ProgressiveReport, EngineError> {
+    if config.reop_interval == 0 {
+        return Err(EngineError::InvalidVectorConfig("reop_interval = 0".into()));
+    }
+    let mut compiled = CompiledSelection::compile(table, plan, initial_peo)?;
+    let ranges = vectors.ranges(table.rows())?;
+    let chain = ChainSpec {
+        states: cpu.config().predictor.states,
+        not_taken_states: cpu.config().predictor.not_taken_states,
+    };
+    let line_bytes = cpu.config().line_bytes() as u32;
+
+    let mut total = VectorStats::zero();
+    let mut per_vector = Vec::with_capacity(ranges.len());
+    let mut switches: Vec<SwitchEvent> = Vec::new();
+    let mut estimates = 0usize;
+    let mut optimizer_cycles = 0u64;
+    // Pending trial: (pre-switch cycles-per-tuple, index into `switches`).
+    let mut pending_trial: Option<(f64, usize)> = None;
+    let mut reopt_count = 0usize;
+    // Reopt round of the most recent *accepted* switch (for stall
+    // detection).
+    let mut last_accept_reopt = 0usize;
+    // Recently reverted orders: (order, reopt round it was rejected at).
+    let mut rejected: Vec<(Peo, usize)> = Vec::new();
+
+    for (v_idx, &(start, end)) in ranges.iter().enumerate() {
+        let stats = compiled.run_range(cpu, start, end);
+        per_vector.push(stats.counters.cycles);
+
+        // Resolve an outstanding trial against this vector's counters.
+        if let Some((prev_cpt, switch_idx)) = pending_trial.take() {
+            let cpt = stats.cycles_per_tuple();
+            if config.revert_on_regression && cpt > prev_cpt * (1.0 + config.regression_tolerance)
+            {
+                let old = switches[switch_idx].from.clone();
+                rejected.push((compiled.peo().to_vec(), reopt_count));
+                compiled = CompiledSelection::compile(table, plan, &old)?;
+                switches[switch_idx].reverted = true;
+            } else {
+                last_accept_reopt = reopt_count;
+            }
+        }
+
+        total.accumulate(&stats);
+
+        // Optimization point?
+        let at_interval = (v_idx + 1) % config.reop_interval == 0;
+        let more_vectors_remain = v_idx + 1 < ranges.len();
+        if !(at_interval && more_vectors_remain) {
+            continue;
+        }
+        reopt_count += 1;
+
+        // Explore a rotated order when optimization has stalled
+        // (Section 4.5: "periodically execute different PEOs"). The tail
+        // predicate is the one the sample says least about — it sees the
+        // fewest tuples — so rotating it to the front gives it full
+        // exposure and escapes local optima of the under-determined
+        // estimation. Runs that keep converging never pay for this.
+        // "Stalled" requires both no recent accepted switch AND an active
+        // disagreement (a recently rejected proposal): a converged run
+        // where the estimator proposes nothing never pays for exploration.
+        let stalled = reopt_count >= last_accept_reopt + 3 && !rejected.is_empty();
+        if config.explore_correlation && stalled && reopt_count % 2 == 0 {
+            let mut explored = compiled.peo().to_vec();
+            explored.rotate_right(1);
+            if explored != compiled.peo() {
+                switches.push(SwitchEvent {
+                    vector: v_idx + 1,
+                    from: compiled.peo().to_vec(),
+                    to: explored.clone(),
+                    reverted: false,
+                    exploratory: true,
+                });
+                pending_trial = Some((stats.cycles_per_tuple(), switches.len() - 1));
+                compiled = CompiledSelection::compile(table, plan, &explored)?;
+            }
+            continue;
+        }
+
+        // Estimate selectivities from the most recent vector's sample.
+        let sampled = stats.sampled_counters();
+        let geom = compiled.plan_geometry(sampled.n_input, chain, line_bytes);
+        let estimate = estimate_selectivities(&geom, &sampled, &config.estimator);
+        estimates += 1;
+        optimizer_cycles += estimate.evaluations as u64 * config.cycles_per_estimator_eval;
+
+        let new_peo = order_by_selectivity(compiled.peo(), &estimate.selectivities);
+        // Skip orders a recent trial already rejected (correlation guard).
+        rejected.retain(|(_, at)| reopt_count - at <= config.rejection_ttl);
+        if rejected.iter().any(|(peo, _)| peo == &new_peo) {
+            continue;
+        }
+        if new_peo != compiled.peo() {
+            switches.push(SwitchEvent {
+                vector: v_idx + 1,
+                from: compiled.peo().to_vec(),
+                to: new_peo.clone(),
+                reverted: false,
+                exploratory: false,
+            });
+            pending_trial = Some((stats.cycles_per_tuple(), switches.len() - 1));
+            compiled = CompiledSelection::compile(table, plan, &new_peo)?;
+        }
+    }
+
+    let freq = cpu.config().timing.frequency_ghz;
+    Ok(ProgressiveReport::from_run(
+        total,
+        ranges.len(),
+        switches,
+        estimates,
+        optimizer_cycles,
+        compiled.peo().to_vec(),
+        per_vector,
+        freq,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CompareOp, Predicate};
+    use popt_cpu::CpuConfig;
+    use popt_storage::{AddressSpace, ColumnData, Table};
+
+    /// Table where predicate selectivities are very different: `lo` passes
+    /// 5%, `mid` 50%, `hi` 95% — the optimal PEO is [lo, mid, hi].
+    fn skewed_table(n: usize) -> Table {
+        let mut space = AddressSpace::new();
+        let mut t = Table::new("t");
+        let pseudo = |i: usize, salt: u64| -> i32 {
+            let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17) ^ salt;
+            ((x >> 33) % 100) as i32
+        };
+        t.add_column(
+            "lo",
+            ColumnData::I32((0..n).map(|i| pseudo(i, 1)).collect()),
+            &mut space,
+        );
+        t.add_column(
+            "mid",
+            ColumnData::I32((0..n).map(|i| pseudo(i, 2)).collect()),
+            &mut space,
+        );
+        t.add_column(
+            "hi",
+            ColumnData::I32((0..n).map(|i| pseudo(i, 3)).collect()),
+            &mut space,
+        );
+        t
+    }
+
+    fn skewed_plan() -> SelectionPlan {
+        SelectionPlan::new(
+            vec![
+                Predicate::new("lo", CompareOp::Lt, 5),
+                Predicate::new("mid", CompareOp::Lt, 50),
+                Predicate::new("hi", CompareOp::Lt, 95),
+            ],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn vectors() -> VectorConfig {
+        VectorConfig { vector_tuples: 2048, max_vectors: None }
+    }
+
+    #[test]
+    fn baseline_and_progressive_agree_on_results() {
+        let t = skewed_table(16_384);
+        let plan = skewed_plan();
+        let worst = vec![2usize, 1, 0];
+        let mut cpu1 = SimCpu::new(CpuConfig::ivy_bridge());
+        let base = run_baseline(&t, &plan, &worst, vectors(), &mut cpu1).unwrap();
+        let mut cpu2 = SimCpu::new(CpuConfig::ivy_bridge());
+        let prog = run_progressive(
+            &t,
+            &plan,
+            &worst,
+            vectors(),
+            &mut cpu2,
+            &ProgressiveConfig { reop_interval: 2, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(base.qualified, prog.qualified);
+        assert_eq!(base.sum, prog.sum);
+    }
+
+    #[test]
+    fn progressive_converges_to_ascending_selectivity_order() {
+        let t = skewed_table(16_384);
+        let plan = skewed_plan();
+        let worst = vec![2usize, 1, 0]; // hi, mid, lo: descending selectivity
+        let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
+        let prog = run_progressive(
+            &t,
+            &plan,
+            &worst,
+            vectors(),
+            &mut cpu,
+            &ProgressiveConfig { reop_interval: 2, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(prog.final_peo, vec![0, 1, 2], "switches: {:?}", prog.switches);
+        assert!(!prog.switches.is_empty());
+        assert!(prog.estimates > 0);
+    }
+
+    #[test]
+    fn progressive_beats_bad_baseline() {
+        let t = skewed_table(16_384);
+        let plan = skewed_plan();
+        let worst = vec![2usize, 1, 0];
+        let mut cpu1 = SimCpu::new(CpuConfig::ivy_bridge());
+        let base = run_baseline(&t, &plan, &worst, vectors(), &mut cpu1).unwrap();
+        let mut cpu2 = SimCpu::new(CpuConfig::ivy_bridge());
+        let prog = run_progressive(
+            &t,
+            &plan,
+            &worst,
+            vectors(),
+            &mut cpu2,
+            &ProgressiveConfig { reop_interval: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            prog.cycles < base.cycles,
+            "progressive {} !< baseline {}",
+            prog.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn good_initial_order_is_left_alone() {
+        let t = skewed_table(16_384);
+        let plan = skewed_plan();
+        let best = vec![0usize, 1, 2];
+        let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
+        let prog = run_progressive(
+            &t,
+            &plan,
+            &best,
+            vectors(),
+            &mut cpu,
+            &ProgressiveConfig { reop_interval: 2, ..Default::default() },
+        )
+        .unwrap();
+        // No net change of order; sporadic trial switches must revert.
+        assert_eq!(prog.final_peo, best);
+    }
+
+    #[test]
+    fn zero_reop_interval_is_rejected() {
+        let t = skewed_table(1024);
+        let plan = skewed_plan();
+        let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+        let err = run_progressive(
+            &t,
+            &plan,
+            &[0, 1, 2],
+            vectors(),
+            &mut cpu,
+            &ProgressiveConfig { reop_interval: 0, ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidVectorConfig(_)));
+    }
+
+    #[test]
+    fn vector_ranges_cover_table_exactly() {
+        let v = VectorConfig { vector_tuples: 1000, max_vectors: None };
+        let ranges = v.ranges(2500).unwrap();
+        assert_eq!(ranges, vec![(0, 1000), (1000, 2000), (2000, 2500)]);
+        let capped = VectorConfig { vector_tuples: 1000, max_vectors: Some(2) };
+        assert_eq!(capped.ranges(2500).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn optimizer_cycles_are_accounted() {
+        let t = skewed_table(8192);
+        let plan = skewed_plan();
+        let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
+        let prog = run_progressive(
+            &t,
+            &plan,
+            &[2, 1, 0],
+            vectors(),
+            &mut cpu,
+            &ProgressiveConfig { reop_interval: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert!(prog.optimizer_cycles > 0);
+        assert_eq!(
+            prog.cycles,
+            prog.counters.cycles + prog.optimizer_cycles
+        );
+    }
+
+    #[test]
+    fn exploration_fires_only_when_stalled() {
+        let t = skewed_table(16_384);
+        let plan = skewed_plan();
+        // A converging run never explores.
+        let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
+        let converging = run_progressive(
+            &t,
+            &plan,
+            &[2, 1, 0],
+            VectorConfig { vector_tuples: 512, max_vectors: None },
+            &mut cpu,
+            &ProgressiveConfig { reop_interval: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert!(converging.switches.iter().all(|s| !s.exploratory));
+
+        // Force every trial to "regress" (negative tolerance): all
+        // proposals are rejected, the run stalls, and exploration must
+        // kick in.
+        let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
+        let stalled = run_progressive(
+            &t,
+            &plan,
+            &[2, 1, 0],
+            VectorConfig { vector_tuples: 512, max_vectors: None },
+            &mut cpu,
+            &ProgressiveConfig {
+                reop_interval: 1,
+                regression_tolerance: -1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(stalled.switches.iter().any(|s| s.reverted));
+        assert!(
+            stalled.switches.iter().any(|s| s.exploratory),
+            "{:?}",
+            stalled.switches
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Unified runtime (cycle) estimates for multi-selection scans.
+//!
+//! Combines the branch model (misprediction penalties) and the cache model
+//! (memory stalls, with the sequential/random latency blend) into a single
+//! cost figure. Used for plan analysis and the Figure-1-style best/worst
+//! comparisons; the *measured* counterpart is the `popt-cpu` simulator, so
+//! tests only require this model to rank plans consistently with it.
+
+use crate::branch_costs::estimate_peo_branches;
+use crate::cache_model::{random_line_fraction, touched_lines, CacheGeometry};
+use crate::estimate::{survivors_to_selectivities, PlanGeometry};
+
+/// Cycle-accounting constants for the analytic model. Defaults mirror the
+/// `popt-cpu` timing configuration and the engine's instruction charges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleParams {
+    /// Cycles per retired instruction.
+    pub cpi: f64,
+    /// Instructions per loop iteration (counter increment, bounds test).
+    pub instr_loop: f64,
+    /// Instructions per predicate evaluation (load, compare, jump).
+    pub instr_per_eval: f64,
+    /// Instructions per qualifying tuple (aggregate load + add).
+    pub instr_agg: f64,
+    /// Misprediction penalty in cycles.
+    pub mp_penalty: f64,
+    /// Memory stall for a line fetched on a random (non-adjacent) access.
+    pub mem_random: f64,
+    /// Memory stall for a line fetched sequentially (streamed).
+    pub mem_sequential: f64,
+    /// Core frequency in GHz (for millisecond conversion).
+    pub frequency_ghz: f64,
+}
+
+impl Default for CycleParams {
+    fn default() -> Self {
+        Self {
+            cpi: 0.5,
+            instr_loop: 2.0,
+            instr_per_eval: 4.0,
+            instr_agg: 3.0,
+            mp_penalty: 15.0,
+            mem_random: 180.0,
+            mem_sequential: 24.0,
+            frequency_ghz: 2.6,
+        }
+    }
+}
+
+/// Estimated cycles for scanning `geom.n_input` tuples under the survivor
+/// hypothesis `survivors` (memory-resident table, i.e. every touched line
+/// is fetched from memory).
+pub fn scan_cycles(geom: &PlanGeometry, survivors: &[f64], params: &CycleParams) -> f64 {
+    assert_eq!(survivors.len(), geom.predicates());
+    let n = geom.n_input as f64;
+    let sels = survivors_to_selectivities(geom.n_input, survivors);
+    let branches = estimate_peo_branches(geom.n_input, &sels, &geom.chain, true);
+
+    // Instruction stream: loop + one eval per tuple reaching each
+    // predicate + aggregate work for qualifying tuples.
+    let mut instr = n * params.instr_loop;
+    let mut reaching = n;
+    for &p in &sels {
+        instr += reaching * params.instr_per_eval;
+        reaching *= p;
+    }
+    instr += reaching * params.instr_agg;
+
+    // Memory stalls: per column, touched lines blended between the random
+    // and sequential latency by the predecessor-untouched probability.
+    let mut mem = 0.0;
+    let mut density = 1.0;
+    for (j, &width) in geom.value_bytes.iter().enumerate() {
+        let cg = CacheGeometry { line_bytes: geom.line_bytes, value_bytes: width };
+        mem += column_stall(&cg, geom.n_input, density, params);
+        density = (survivors[j] / n).clamp(0.0, 1.0);
+    }
+    if let Some(width) = geom.agg_bytes {
+        let cg = CacheGeometry { line_bytes: geom.line_bytes, value_bytes: width };
+        mem += column_stall(&cg, geom.n_input, density, params);
+    }
+
+    instr * params.cpi + branches.mp_total() * params.mp_penalty + mem
+}
+
+fn column_stall(cg: &CacheGeometry, n: u64, density: f64, params: &CycleParams) -> f64 {
+    let lines = touched_lines(cg, n, density);
+    let rf = random_line_fraction(cg, density);
+    lines * (rf * params.mem_random + (1.0 - rf) * params.mem_sequential)
+}
+
+/// [`scan_cycles`] converted to simulated milliseconds.
+pub fn scan_millis(geom: &PlanGeometry, survivors: &[f64], params: &CycleParams) -> f64 {
+    scan_cycles(geom, survivors, params) / (params.frequency_ghz * 1e6)
+}
+
+/// Convenience: cycles for a PEO given per-predicate *selectivities* in
+/// evaluation order.
+pub fn scan_cycles_for_selectivities(
+    geom: &PlanGeometry,
+    selectivities: &[f64],
+    params: &CycleParams,
+) -> f64 {
+    let mut survivors = Vec::with_capacity(selectivities.len());
+    let mut cur = geom.n_input as f64;
+    for &p in selectivities {
+        cur *= p;
+        survivors.push(cur);
+    }
+    scan_cycles(geom, &survivors, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(preds: usize) -> PlanGeometry {
+        PlanGeometry::uniform_i32(1_000_000, preds)
+    }
+
+    #[test]
+    fn ascending_selectivity_order_is_cheapest() {
+        // The classic rule: evaluate the most selective predicate first.
+        let g = geom(3);
+        let p = CycleParams::default();
+        let asc = scan_cycles_for_selectivities(&g, &[0.1, 0.5, 0.9], &p);
+        let desc = scan_cycles_for_selectivities(&g, &[0.9, 0.5, 0.1], &p);
+        let mid = scan_cycles_for_selectivities(&g, &[0.5, 0.1, 0.9], &p);
+        assert!(asc < mid && mid < desc, "{asc} {mid} {desc}");
+    }
+
+    #[test]
+    fn selective_plans_cost_less() {
+        let g = geom(2);
+        let p = CycleParams::default();
+        let tight = scan_cycles_for_selectivities(&g, &[0.01, 0.01], &p);
+        let loose = scan_cycles_for_selectivities(&g, &[0.99, 0.99], &p);
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn misprediction_heavy_selectivity_costs_extra() {
+        // Same column work (one full scan), different branch behaviour.
+        let g = PlanGeometry::uniform_i32(1_000_000, 1);
+        let p = CycleParams::default();
+        let easy = scan_cycles_for_selectivities(&g, &[0.999], &p);
+        let hard = scan_cycles_for_selectivities(&g, &[0.5], &p);
+        assert!(hard > easy, "hard {hard} easy {easy}");
+    }
+
+    #[test]
+    fn millis_conversion() {
+        let g = geom(1);
+        let p = CycleParams::default();
+        let cycles = scan_cycles_for_selectivities(&g, &[0.5], &p);
+        let ms = scan_millis(&g, &[500_000.0], &p);
+        assert!((ms - cycles / 2.6e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_best_ratio_in_figure_one_range() {
+        // Q6-like: shipdate sweep predicate + three fixed ones. At very low
+        // shipdate selectivity the worst/best ratio should sit in the 2–5x
+        // band of Figure 1.
+        let g = geom(4);
+        let p = CycleParams::default();
+        let best = scan_cycles_for_selectivities(&g, &[0.001, 0.27, 0.46, 0.73], &p);
+        let worst = scan_cycles_for_selectivities(&g, &[0.73, 0.46, 0.27, 0.001], &p);
+        let ratio = worst / best;
+        assert!(ratio > 1.5 && ratio < 6.0, "ratio = {ratio}");
+    }
+}

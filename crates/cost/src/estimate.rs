@@ -1,0 +1,183 @@
+//! The combined counter predictor — the model side of Equation 10.
+//!
+//! Given a hypothesis about how many tuples survive each predicate of a
+//! PEO, predict the four counters the optimizer samples: branches not
+//! taken, mispredicted taken branches, mispredicted not-taken branches,
+//! and L3 accesses. The selectivity estimator searches the survivor space
+//! for the hypothesis whose predicted counters match the sampled ones.
+//!
+//! The survivor ("access") parameterization follows Section 4.1: `a_j` is
+//! the number of tuples qualifying at predicate `j`, i.e. the number of
+//! accesses the paper attributes to column `j`; selectivities fall out as
+//! `p_j = a_j / a_{j-1}` with `a_0 = tupsin`.
+
+use crate::branch_costs::estimate_peo_branches;
+use crate::cache_model::{l3_accesses, CacheGeometry};
+use crate::markov::ChainSpec;
+
+/// Static shape of the plan whose counters are being predicted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanGeometry {
+    /// Input tuples of the sampled interval.
+    pub n_input: u64,
+    /// Value width in bytes of each predicate's column, in evaluation
+    /// order.
+    pub value_bytes: Vec<u32>,
+    /// Width of the aggregate column read for qualifying tuples, if any.
+    pub agg_bytes: Option<u32>,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Branch predictor model.
+    pub chain: ChainSpec,
+}
+
+impl PlanGeometry {
+    /// A uniform geometry: `preds` predicates over 4-byte columns with a
+    /// 4-byte aggregate, 64-byte lines, six-state chain.
+    pub fn uniform_i32(n_input: u64, preds: usize) -> Self {
+        Self {
+            n_input,
+            value_bytes: vec![4; preds],
+            agg_bytes: Some(4),
+            line_bytes: 64,
+            chain: ChainSpec::SIX,
+        }
+    }
+
+    /// Number of predicates.
+    pub fn predicates(&self) -> usize {
+        self.value_bytes.len()
+    }
+}
+
+/// Predicted counter values for one survivor hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterEstimate {
+    /// Branches not taken (= Σ survivors, Section 4.1).
+    pub bnt: f64,
+    /// Branches taken, including the loop back-edge.
+    pub bt: f64,
+    /// Mispredicted taken branches.
+    pub mp_taken: f64,
+    /// Mispredicted not-taken branches.
+    pub mp_not_taken: f64,
+    /// L3 accesses (demand + prefetch) across all touched columns.
+    pub l3_accesses: f64,
+}
+
+/// Selectivities implied by a survivor vector (`p_j = a_j / a_{j-1}`,
+/// clamped into `[0, 1]` so the model stays defined off the feasible
+/// manifold during optimization).
+///
+/// A predicate whose input stream is empty is unidentifiable; it reports
+/// selectivity `1.0` ("no evidence it filters anything") so that the
+/// ascending-selectivity reorder pushes it to the back instead of
+/// rewarding it for work it never did.
+pub fn survivors_to_selectivities(n_input: u64, survivors: &[f64]) -> Vec<f64> {
+    let mut prev = n_input as f64;
+    survivors
+        .iter()
+        .map(|&a| {
+            let p = if prev <= 0.0 { 1.0 } else { (a / prev).clamp(0.0, 1.0) };
+            prev = a.max(0.0);
+            p
+        })
+        .collect()
+}
+
+/// Predict all counters for the survivor hypothesis `survivors`
+/// (`survivors.len()` must equal the number of predicates).
+pub fn estimate_counters(geom: &PlanGeometry, survivors: &[f64]) -> CounterEstimate {
+    assert_eq!(
+        survivors.len(),
+        geom.predicates(),
+        "one survivor count per predicate required"
+    );
+    let sels = survivors_to_selectivities(geom.n_input, survivors);
+    let branches = estimate_peo_branches(geom.n_input, &sels, &geom.chain, true);
+
+    // Column read densities: predicate j reads its column for every tuple
+    // that survived predicates 0..j.
+    let n = geom.n_input as f64;
+    let mut l3 = 0.0;
+    let mut density = 1.0;
+    for (j, &width) in geom.value_bytes.iter().enumerate() {
+        let cg = CacheGeometry { line_bytes: geom.line_bytes, value_bytes: width };
+        l3 += l3_accesses(&cg, geom.n_input, density);
+        density = if n > 0.0 { (survivors[j] / n).clamp(0.0, 1.0) } else { 0.0 };
+    }
+    if let Some(width) = geom.agg_bytes {
+        let cg = CacheGeometry { line_bytes: geom.line_bytes, value_bytes: width };
+        l3 += l3_accesses(&cg, geom.n_input, density);
+    }
+
+    CounterEstimate {
+        bnt: branches.bnt,
+        bt: branches.bt,
+        mp_taken: branches.mp_taken,
+        mp_not_taken: branches.mp_not_taken,
+        l3_accesses: l3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivities_from_survivors() {
+        let sels = survivors_to_selectivities(100, &[80.0, 70.0, 50.0, 10.0]);
+        let want = [0.8, 0.875, 5.0 / 7.0, 0.2];
+        for (got, want) in sels.iter().zip(want) {
+            assert!((got - want).abs() < 1e-9, "{sels:?}");
+        }
+    }
+
+    #[test]
+    fn non_monotone_survivors_clamp() {
+        let sels = survivors_to_selectivities(100, &[50.0, 60.0]);
+        assert_eq!(sels[1], 1.0);
+    }
+
+    #[test]
+    fn bnt_equals_survivor_sum() {
+        let geom = PlanGeometry::uniform_i32(100, 4);
+        let est = estimate_counters(&geom, &[80.0, 70.0, 50.0, 10.0]);
+        assert!((est.bnt - 210.0).abs() < 1e-6, "bnt = {}", est.bnt);
+    }
+
+    #[test]
+    fn qualifying_identity_holds_in_model() {
+        let geom = PlanGeometry::uniform_i32(1000, 2);
+        let est = estimate_counters(&geom, &[500.0, 100.0]);
+        // bt = failing (1000-500 + 500-100) + loop (1000) = 1900.
+        assert!((est.bt - 1900.0).abs() < 1e-6);
+        // 2n - bt = 100 = output.
+        assert!((2000.0 - est.bt - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distinct_orders_differ_in_some_counter() {
+        // The distinguishability premise of Section 4.2: [40%, 20%] vs
+        // [20%, 40%] differ in mispredicted not-taken branches.
+        let geom = PlanGeometry::uniform_i32(1_000_000, 2);
+        let a = estimate_counters(&geom, &[400_000.0, 80_000.0]);
+        let b = estimate_counters(&geom, &[200_000.0, 80_000.0]);
+        assert!((a.mp_not_taken - b.mp_not_taken).abs() > 1000.0);
+    }
+
+    #[test]
+    fn l3_grows_with_survivors() {
+        let geom = PlanGeometry::uniform_i32(1_000_000, 2);
+        let low = estimate_counters(&geom, &[10_000.0, 1_000.0]);
+        let high = estimate_counters(&geom, &[900_000.0, 800_000.0]);
+        assert!(high.l3_accesses > low.l3_accesses);
+    }
+
+    #[test]
+    #[should_panic(expected = "one survivor count per predicate")]
+    fn arity_mismatch_panics() {
+        let geom = PlanGeometry::uniform_i32(10, 2);
+        let _ = estimate_counters(&geom, &[5.0]);
+    }
+}

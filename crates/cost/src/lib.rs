@@ -1,0 +1,44 @@
+//! # popt-cost — the paper's hardware-conscious cost models (Section 3)
+//!
+//! Analytic models that predict, for a hypothesised set of per-predicate
+//! selectivities, the performance-counter values a multi-selection query
+//! will produce:
+//!
+//! * [`markov`] — the n-state saturating-counter **Markov chain** branch
+//!   model (Figure 5, Equations 4a–4g) with the misprediction split of
+//!   Equations 5a–5f, for any state count 2–16 including the uneven
+//!   `+1T`/`+1NT` variants of Figure 3;
+//! * [`piecewise`] — the earlier Zeuch et al. piecewise estimate
+//!   (Equation 3), kept as the comparison baseline of Figure 6;
+//! * [`branch_costs`] — composition of the per-branch model over a whole
+//!   predicate evaluation order (Section 3.2, "we replace the number of
+//!   input tuples by the number of output tuples of the previous
+//!   predicate");
+//! * [`cache_model`] — the extended Pirk et al. cache access model with
+//!   the paper's *double-counted random misses* modification (Section 3.1);
+//! * [`join_model`] — the equi-join cache-miss model of Equations 1–2,
+//!   grounded in the external-memory model;
+//! * [`estimate`] — the combined counter predictor the selectivity
+//!   estimator inverts (the model side of Equation 10);
+//! * [`cycles`] — a unified runtime estimate (instructions, misprediction
+//!   penalties, memory stalls) used for plan analysis and the Figure 1
+//!   style best/worst comparisons;
+//! * [`linalg`] — a small dense linear solver used to cross-check the
+//!   closed-form stationary distribution.
+//!
+//! All functions are pure and allocation-light; the estimator calls them
+//! thousands of times per optimization run.
+
+pub mod branch_costs;
+pub mod cache_model;
+pub mod cycles;
+pub mod estimate;
+pub mod join_model;
+pub mod linalg;
+pub mod markov;
+pub mod piecewise;
+
+pub use branch_costs::{estimate_peo_branches, PeoBranchEstimate, PredicateBranchEstimate};
+pub use cache_model::CacheGeometry;
+pub use estimate::{estimate_counters, CounterEstimate, PlanGeometry};
+pub use markov::{BranchProbabilities, ChainSpec};

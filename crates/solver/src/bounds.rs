@@ -1,0 +1,235 @@
+//! Search-space restriction (Section 4.1, Figure 7).
+//!
+//! The search space for a query with `p` predicates is the vector of
+//! per-predicate survivor counts `a_1 … a_p` ("accesses to col_1 … col_p"
+//! in the paper's indexing), which must satisfy:
+//!
+//! * **tuple bounds** (Eq. 6–7): `tupsout ≤ a_j ≤ tupsin`, with
+//!   `a_p = tupsout` exactly (the last survivor count *is* the output);
+//! * **monotonicity**: `a_j ≤ a_{j-1}` (a predicate can only shrink the
+//!   stream);
+//! * **BNT bounds** (Eq. 8–9): the sampled branches-not-taken total equals
+//!   `Σ a_j` exactly, so each coordinate is bracketed by distributing that
+//!   budget extremally.
+//!
+//! The printed formulas in the paper contain index typos; the derivations
+//! here follow the stated intuition ("assign accesses such that p_i can
+//! access the maximum number of tuples…") and reproduce the paper's worked
+//! example — input 100, output 10, BNT 210 → bounds `[67,50,10,10]` to
+//! `[100,95,66,10]` — exactly (see tests).
+
+/// Per-coordinate interval bounds over the survivor vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchBounds {
+    /// Inclusive lower bound per predicate position.
+    pub lower: Vec<f64>,
+    /// Inclusive upper bound per predicate position.
+    pub upper: Vec<f64>,
+}
+
+impl SearchBounds {
+    /// Number of coordinates.
+    pub fn dims(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Intersect with another set of bounds of the same dimensionality.
+    pub fn intersect(&self, other: &SearchBounds) -> SearchBounds {
+        assert_eq!(self.dims(), other.dims());
+        SearchBounds {
+            lower: self
+                .lower
+                .iter()
+                .zip(&other.lower)
+                .map(|(&a, &b)| a.max(b))
+                .collect(),
+            upper: self
+                .upper
+                .iter()
+                .zip(&other.upper)
+                .map(|(&a, &b)| a.min(b))
+                .collect(),
+        }
+    }
+
+    /// Whether `point` lies within the bounds (inclusive).
+    pub fn contains(&self, point: &[f64]) -> bool {
+        point.len() == self.dims()
+            && point
+                .iter()
+                .zip(self.lower.iter().zip(&self.upper))
+                .all(|(&x, (&lo, &hi))| x >= lo - 1e-9 && x <= hi + 1e-9)
+    }
+
+    /// Clamp `point` into the bounds, coordinate-wise.
+    pub fn clamp(&self, point: &mut [f64]) {
+        for (x, (lo, hi)) in point.iter_mut().zip(self.lower.iter().zip(&self.upper)) {
+            *x = x.clamp(*lo, *hi);
+        }
+    }
+
+    /// Integer-rounded bounds (conservative inward rounding: lower ceils,
+    /// upper floors) — the form the paper's Figure 7 example prints.
+    pub fn rounded(&self) -> (Vec<u64>, Vec<u64>) {
+        let lo = self.lower.iter().map(|x| x.ceil().max(0.0) as u64).collect();
+        let hi = self.upper.iter().map(|x| x.floor().max(0.0) as u64).collect();
+        (lo, hi)
+    }
+
+    /// Drop the last coordinate (used when the final survivor count is
+    /// pinned to the output cardinality and excluded from the search).
+    pub fn without_last(&self) -> SearchBounds {
+        assert!(self.dims() >= 1);
+        SearchBounds {
+            lower: self.lower[..self.dims() - 1].to_vec(),
+            upper: self.upper[..self.dims() - 1].to_vec(),
+        }
+    }
+}
+
+/// Equations 6–7: bounds from input/output cardinality alone.
+pub fn tuple_bounds(predicates: usize, tups_in: u64, tups_out: u64) -> SearchBounds {
+    assert!(predicates >= 1, "need at least one predicate");
+    assert!(tups_out <= tups_in, "output exceeds input");
+    let mut lower = vec![tups_out as f64; predicates];
+    let mut upper = vec![tups_in as f64; predicates];
+    // The last predicate's survivors are exactly the output tuples.
+    lower[predicates - 1] = tups_out as f64;
+    upper[predicates - 1] = tups_out as f64;
+    SearchBounds { lower, upper }
+}
+
+/// Equations 8–9: bounds additionally constrained by the sampled
+/// branches-not-taken total (`Σ a_j = bnt_sampled`), intersected with the
+/// tuple bounds.
+pub fn bnt_bounds(
+    predicates: usize,
+    tups_in: u64,
+    tups_out: u64,
+    bnt_sampled: u64,
+) -> SearchBounds {
+    assert!(predicates >= 1, "need at least one predicate");
+    assert!(tups_out <= tups_in, "output exceeds input");
+    let n = predicates;
+    let n_f = |x: u64| x as f64;
+    let (inp, out, bnt) = (n_f(tups_in), n_f(tups_out), n_f(bnt_sampled));
+
+    let mut upper = Vec::with_capacity(n);
+    let mut lower = Vec::with_capacity(n);
+    for j in 0..n {
+        if j == n - 1 {
+            upper.push(out);
+            lower.push(out);
+            continue;
+        }
+        // Upper: maximize a_j by making a_0..a_j all equal to it
+        // (monotonicity forbids anything larger before it) and the
+        // remaining positions minimal (= out).
+        let max_aj = (bnt - out * (n - 1 - j) as f64) / (j + 1) as f64;
+        upper.push(max_aj.min(inp).max(out));
+        // Lower: minimize a_j by making everything before it maximal
+        // (= in) and everything after (except the pinned last) equal to
+        // a_j itself.
+        let remaining = n - 1 - j; // positions j..n-2 inclusive plus pinned last
+        let min_aj = (bnt - out - j as f64 * inp) / remaining as f64;
+        lower.push(min_aj.max(out).min(inp));
+    }
+    let b = SearchBounds { lower, upper };
+    b.intersect(&tuple_bounds(predicates, tups_in, tups_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of Figure 7: 4 predicates, 100 in, 10 out,
+    /// accesses [80, 70, 50, 10], sampled BNT = 210.
+    #[test]
+    fn figure7_example_bounds() {
+        let b = bnt_bounds(4, 100, 10, 210);
+        let (lo, hi) = b.rounded();
+        assert_eq!(lo, vec![67, 50, 10, 10]);
+        assert_eq!(hi, vec![100, 95, 66, 10]);
+    }
+
+    #[test]
+    fn figure7_true_query_is_inside() {
+        let b = bnt_bounds(4, 100, 10, 210);
+        assert!(b.contains(&[80.0, 70.0, 50.0, 10.0]));
+    }
+
+    #[test]
+    fn tuple_bounds_pin_last_position() {
+        let b = tuple_bounds(3, 1000, 50);
+        assert_eq!(b.lower, vec![50.0, 50.0, 50.0]);
+        assert_eq!(b.upper, vec![1000.0, 1000.0, 50.0]);
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        for bnt in [120u64, 210, 300, 390] {
+            let b = bnt_bounds(4, 100, 10, bnt);
+            for j in 0..4 {
+                assert!(
+                    b.lower[j] <= b.upper[j] + 1e-9,
+                    "bnt={bnt} j={j}: {:?}",
+                    b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_predicate_is_fully_determined() {
+        let b = bnt_bounds(1, 100, 30, 30);
+        assert_eq!(b.lower, vec![30.0]);
+        assert_eq!(b.upper, vec![30.0]);
+    }
+
+    #[test]
+    fn bnt_budget_tightens_tuple_bounds() {
+        let t = tuple_bounds(4, 100, 10);
+        let b = bnt_bounds(4, 100, 10, 210);
+        for j in 0..3 {
+            assert!(b.lower[j] >= t.lower[j]);
+            assert!(b.upper[j] <= t.upper[j]);
+        }
+        // And strictly so for at least one coordinate.
+        assert!(b.lower[0] > t.lower[0]);
+    }
+
+    #[test]
+    fn clamp_and_contains_agree() {
+        let b = bnt_bounds(4, 100, 10, 210);
+        let mut p = vec![0.0, 200.0, 55.0, 10.0];
+        assert!(!b.contains(&p));
+        b.clamp(&mut p);
+        assert!(b.contains(&p));
+    }
+
+    #[test]
+    fn intersect_takes_tighter_side() {
+        let a = SearchBounds { lower: vec![0.0, 5.0], upper: vec![10.0, 10.0] };
+        let c = SearchBounds { lower: vec![2.0, 0.0], upper: vec![8.0, 20.0] };
+        let i = a.intersect(&c);
+        assert_eq!(i.lower, vec![2.0, 5.0]);
+        assert_eq!(i.upper, vec![8.0, 10.0]);
+    }
+
+    #[test]
+    fn without_last_drops_pinned_coordinate() {
+        let b = bnt_bounds(4, 100, 10, 210);
+        let f = b.without_last();
+        assert_eq!(f.dims(), 3);
+        assert_eq!(f.upper[2], b.upper[2]);
+    }
+
+    #[test]
+    fn maximal_bnt_forces_everything_to_input() {
+        // If BNT = p*in ... all predicates pass everything (out == in).
+        let b = bnt_bounds(3, 100, 100, 300);
+        let (lo, hi) = b.rounded();
+        assert_eq!(lo, vec![100, 100, 100]);
+        assert_eq!(hi, vec![100, 100, 100]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Exact data statistics, used as ground truth by tests and experiments.
+//!
+//! The paper's whole point is that these numbers are *not* available to the
+//! optimizer at compile time; the estimator must recover them from
+//! performance counters. The figure harness and the test suite use this
+//! module to (a) plant predicates with known selectivities and (b) measure
+//! how close the counter-based estimates come.
+
+use crate::column::ColumnData;
+
+/// Fraction of values satisfying `pred` (exact scan).
+pub fn selectivity(data: &ColumnData, pred: impl Fn(i64) -> bool) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let hits = count(data, pred);
+    hits as f64 / data.len() as f64
+}
+
+/// Number of values satisfying `pred` (exact scan).
+pub fn count(data: &ColumnData, pred: impl Fn(i64) -> bool) -> usize {
+    match data {
+        ColumnData::I32(v) => v.iter().filter(|&&x| pred(i64::from(x))).count(),
+        ColumnData::I64(v) => v.iter().filter(|&&x| pred(x)).count(),
+    }
+}
+
+/// The `q`-quantile value of the column (0 ≤ q ≤ 1): the smallest value `v`
+/// such that at least `q·n` values are ≤ `v`.
+pub fn quantile(data: &ColumnData, q: f64) -> i64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    assert!(!data.is_empty(), "quantile of empty column");
+    let mut values: Vec<i64> = match data {
+        ColumnData::I32(v) => v.iter().map(|&x| i64::from(x)).collect(),
+        ColumnData::I64(v) => v.clone(),
+    };
+    values.sort_unstable();
+    let idx = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
+    values[idx]
+}
+
+/// Minimum and maximum value of the column.
+pub fn min_max(data: &ColumnData) -> (i64, i64) {
+    assert!(!data.is_empty(), "min_max of empty column");
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for i in 0..data.len() {
+        let v = data.get(i);
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col() -> ColumnData {
+        ColumnData::I32((0..100).collect())
+    }
+
+    #[test]
+    fn selectivity_counts_fraction() {
+        let c = col();
+        assert!((selectivity(&c, |v| v < 25) - 0.25).abs() < 1e-12);
+        assert_eq!(count(&c, |v| v >= 90), 10);
+    }
+
+    #[test]
+    fn quantile_inverts_selectivity() {
+        let c = col();
+        let v = quantile(&c, 0.3);
+        assert!((selectivity(&c, |x| x <= v) - 0.3).abs() < 0.011);
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let c = col();
+        assert_eq!(quantile(&c, 1.0), 99);
+        assert_eq!(quantile(&c, 0.0), 0);
+    }
+
+    #[test]
+    fn min_max_of_known_column() {
+        let c = ColumnData::I64(vec![5, -3, 12]);
+        assert_eq!(min_max(&c), (-3, 12));
+    }
+
+    #[test]
+    fn empty_selectivity_is_zero() {
+        let c = ColumnData::I32(vec![]);
+        assert_eq!(selectivity(&c, |_| true), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Tables: named collections of equal-length columns.
+
+use crate::addr::AddressSpace;
+use crate::column::{Column, ColumnData};
+
+/// A relation stored column-wise.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Create an empty table (columns added via [`Table::add_column`]).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), columns: Vec::new(), rows: 0 }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append a column; all columns must have the same length.
+    ///
+    /// # Panics
+    /// If the column length disagrees with the existing rows, or the name
+    /// is already taken.
+    pub fn add_column(
+        &mut self,
+        name: impl Into<String>,
+        data: ColumnData,
+        space: &mut AddressSpace,
+    ) -> usize {
+        let name = name.into();
+        assert!(
+            self.column(&name).is_none(),
+            "duplicate column name {name:?} in table {:?}",
+            self.name
+        );
+        if self.columns.is_empty() {
+            self.rows = data.len();
+        } else {
+            assert_eq!(
+                data.len(),
+                self.rows,
+                "column {name:?} length mismatch in table {:?}",
+                self.name
+            );
+        }
+        self.columns.push(Column::new(name, data, space));
+        self.columns.len() - 1
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// All columns, in insertion order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name() == name)
+    }
+
+    /// Look up a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// Column by positional index.
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Total payload bytes across all columns.
+    pub fn bytes(&self) -> u64 {
+        self.columns
+            .iter()
+            .map(|c| c.len() as u64 * u64::from(c.width()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col_table() -> Table {
+        let mut space = AddressSpace::new();
+        let mut t = Table::new("t");
+        t.add_column("a", ColumnData::I32(vec![1, 2, 3]), &mut space);
+        t.add_column("b", ColumnData::I32(vec![4, 5, 6]), &mut space);
+        t
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let t = two_col_table();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.column("a").unwrap().get(2), 3);
+        assert_eq!(t.column_index("b"), Some(1));
+        assert!(t.column("z").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_length_rejected() {
+        let mut space = AddressSpace::new();
+        let mut t = Table::new("t");
+        t.add_column("a", ColumnData::I32(vec![1]), &mut space);
+        t.add_column("b", ColumnData::I32(vec![1, 2]), &mut space);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_name_rejected() {
+        let mut space = AddressSpace::new();
+        let mut t = Table::new("t");
+        t.add_column("a", ColumnData::I32(vec![1]), &mut space);
+        t.add_column("a", ColumnData::I32(vec![2]), &mut space);
+    }
+
+    #[test]
+    fn bytes_sums_columns() {
+        let t = two_col_table();
+        assert_eq!(t.bytes(), 24);
+    }
+}

@@ -1,0 +1,40 @@
+//! # popt — Non-Invasive Progressive Optimization for In-Memory Databases
+//!
+//! A from-scratch Rust reproduction of Zeuch, Pirk and Freytag,
+//! *"Non-Invasive Progressive Optimization for In-Memory Databases"*,
+//! PVLDB 9(14), VLDB 2016.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`cpu`] — deterministic simulated CPU with PMU counters (the substrate
+//!   standing in for the paper's Intel performance monitoring units);
+//! * [`storage`] — column store and TPC-H-style data generation;
+//! * [`cost`] — the paper's cost models (Markov branch model, cache access
+//!   model, join cache-miss model, unified cycle estimates);
+//! * [`solver`] — search-space restriction, start-point selection and the
+//!   bounded Nelder–Mead selectivity estimator;
+//! * [`core`] — the vectorized execution engine and the progressive
+//!   optimizer itself.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-vs-measured record of every figure.
+//!
+//! ```
+//! // The five-minute tour: run TPC-H Q6 with and without progressive
+//! // optimization on a deliberately bad initial predicate order.
+//! use popt::core::query::{QueryBuilder, RunMode};
+//! use popt::storage::tpch::{TpchConfig, generate_lineitem};
+//!
+//! let table = generate_lineitem(&TpchConfig::small());
+//! let report = QueryBuilder::q6(&table)
+//!     .vectors(32)
+//!     .run(RunMode::Progressive { reop_interval: 4 })
+//!     .unwrap();
+//! assert!(report.result.rows_qualified > 0);
+//! ```
+
+pub use popt_core as core;
+pub use popt_cost as cost;
+pub use popt_cpu as cpu;
+pub use popt_solver as solver;
+pub use popt_storage as storage;

@@ -1,0 +1,157 @@
+//! Cross-crate integration: join-filter pipelines, sortedness detection
+//! and counter-driven join reordering (Sections 5.5–5.6).
+
+use popt::core::exec::pipeline::{FilterOp, Pipeline};
+use popt::core::predicate::CompareOp;
+use popt::core::sortedness::{classify, recommend_join_order, AccessPattern, JoinObservation};
+use popt::cost::join_model::JoinGeometry;
+use popt::cpu::{CacheLevelConfig, CpuConfig, SimCpu};
+use popt::storage::tpch::{generate_lineitem, generate_orders, generate_part, TpchConfig};
+
+fn small_cache_cpu() -> CpuConfig {
+    let mut cfg = CpuConfig::xeon_e5_2630_v2();
+    cfg.levels = vec![
+        CacheLevelConfig { capacity_bytes: 4 * 1024, line_bytes: 64, ways: 8, hit_latency_cycles: 0 },
+        CacheLevelConfig { capacity_bytes: 16 * 1024, line_bytes: 64, ways: 8, hit_latency_cycles: 10 },
+        CacheLevelConfig { capacity_bytes: 64 * 1024, line_bytes: 64, ways: 16, hit_latency_cycles: 30 },
+    ];
+    cfg
+}
+
+fn setup() -> (popt::storage::Table, popt::storage::Table, popt::storage::Table) {
+    let cfg = TpchConfig::with_rows(1 << 16);
+    (generate_lineitem(&cfg), generate_orders(&cfg), generate_part(&cfg))
+}
+
+#[test]
+fn orders_join_is_coclustered_part_join_is_not() {
+    let (lineitem, orders, part) = setup();
+    let cpu_cfg = small_cache_cpu();
+    let probe = |fk: &str, dim: &popt::storage::Table, col: &str| {
+        let join = FilterOp::join_filter(
+            &lineitem, fk, dim, col, CompareOp::Lt, i64::MAX / 2, 0, 100,
+        )
+        .expect("join compiles");
+        let pipeline = Pipeline::new(vec![join], lineitem.rows()).expect("pipeline");
+        let mut cpu = SimCpu::new(cpu_cfg.clone());
+        let stats = pipeline.run_range(&mut cpu, 0, lineitem.rows());
+        let geometry = JoinGeometry {
+            relation_tuples: dim.rows() as u64,
+            tuple_bytes: 4,
+            line_bytes: 64,
+            cache_lines: cpu_cfg.llc().lines(),
+        };
+        classify(&geometry, stats.tuples, stats.counters.l3_misses)
+    };
+    assert_eq!(
+        probe("l_orderkey", &orders, "o_totalprice"),
+        AccessPattern::CoClustered
+    );
+    assert_ne!(
+        probe("l_partkey", &part, "p_retailprice"),
+        AccessPattern::CoClustered
+    );
+}
+
+#[test]
+fn coclustered_join_first_is_faster() {
+    let (lineitem, orders, part) = setup();
+    let run = |orders_first: bool| {
+        let jo = FilterOp::join_filter(
+            &lineitem, "l_orderkey", &orders, "o_totalprice", CompareOp::Lt, 250_000, 0, 100,
+        )
+        .expect("orders join");
+        let jp = FilterOp::join_filter(
+            &lineitem, "l_partkey", &part, "p_retailprice", CompareOp::Lt, 1_500, 1, 101,
+        )
+        .expect("part join");
+        let ops = if orders_first { vec![jo, jp] } else { vec![jp, jo] };
+        let pipeline = Pipeline::new(ops, lineitem.rows()).expect("pipeline");
+        let mut cpu = SimCpu::new(small_cache_cpu());
+        let stats = pipeline.run_range(&mut cpu, 0, lineitem.rows());
+        (cpu.cycles(), stats.qualified)
+    };
+    let (orders_first, q1) = run(true);
+    let (part_first, q2) = run(false);
+    assert_eq!(q1, q2, "join order must not change the result");
+    assert!(
+        orders_first < part_first,
+        "orders-first {orders_first} !< part-first {part_first}"
+    );
+}
+
+#[test]
+fn detector_recommends_the_fast_order() {
+    let (lineitem, orders, part) = setup();
+    let cpu_cfg = small_cache_cpu();
+    let observe = |fk: &str, dim: &popt::storage::Table, col: &str, name: &str| {
+        let join = FilterOp::join_filter(
+            &lineitem, fk, dim, col, CompareOp::Lt, i64::MAX / 2, 0, 100,
+        )
+        .expect("join compiles");
+        let pipeline = Pipeline::new(vec![join], lineitem.rows()).expect("pipeline");
+        let mut cpu = SimCpu::new(cpu_cfg.clone());
+        let stats = pipeline.run_range(&mut cpu, 0, 1 << 14);
+        JoinObservation {
+            name: name.into(),
+            geometry: JoinGeometry {
+                relation_tuples: dim.rows() as u64,
+                tuple_bytes: 4,
+                line_bytes: 64,
+                cache_lines: cpu_cfg.llc().lines(),
+            },
+            accesses: stats.tuples,
+            measured_misses: stats.counters.l3_misses,
+        }
+    };
+    let obs = vec![
+        observe("l_partkey", &part, "p_retailprice", "part"),
+        observe("l_orderkey", &orders, "o_totalprice", "orders"),
+    ];
+    let order = recommend_join_order(&obs);
+    assert_eq!(obs[order[0]].name, "orders");
+}
+
+#[test]
+fn mixed_selection_join_pipeline_is_order_invariant() {
+    let (lineitem, orders, _) = setup();
+    let run = |order: [usize; 2]| {
+        let sel = FilterOp::select(&lineitem, "l_quantity", CompareOp::Lt, 24, 0, 0)
+            .expect("selection");
+        let join = FilterOp::join_filter(
+            &lineitem, "l_orderkey", &orders, "o_totalprice", CompareOp::Lt, 250_000, 1, 100,
+        )
+        .expect("join");
+        let mut pipeline = Pipeline::new(vec![sel, join], lineitem.rows()).expect("pipeline");
+        pipeline.reorder(&order).expect("reorder");
+        let mut cpu = SimCpu::new(small_cache_cpu());
+        pipeline.run_range(&mut cpu, 0, lineitem.rows()).qualified
+    };
+    assert_eq!(run([0, 1]), run([1, 0]));
+}
+
+#[test]
+fn expensive_selection_changes_the_best_order() {
+    // With a cheap selection, selection-first wins against a random-probe
+    // join; make the selection expensive enough and join-first can win
+    // when the join is co-clustered (the Figure 14 trade-off).
+    let (lineitem, orders, _) = setup();
+    let run = |expensive: u64, join_first: bool| {
+        let sel = FilterOp::select(&lineitem, "l_quantity", CompareOp::Lt, 45, 0, expensive)
+            .expect("selection");
+        let join = FilterOp::join_filter(
+            &lineitem, "l_orderkey", &orders, "o_totalprice", CompareOp::Lt, 100_000, 1, 100,
+        )
+        .expect("join");
+        let ops = if join_first { vec![join, sel] } else { vec![sel, join] };
+        let pipeline = Pipeline::new(ops, lineitem.rows()).expect("pipeline");
+        let mut cpu = SimCpu::new(small_cache_cpu());
+        pipeline.run_range(&mut cpu, 0, lineitem.rows());
+        cpu.cycles()
+    };
+    // Expensive selection + co-clustered (cheap) join: join-first wins.
+    assert!(
+        run(200, true) < run(200, false),
+        "join-first should win with an expensive selection"
+    );
+}
