@@ -7,6 +7,9 @@ use std::time::Duration;
 
 use popt_cpu::{CacheHierarchy, CpuConfig, SimCpu};
 
+/// A named address-stream generator: line index -> line address.
+type AddrPattern = (&'static str, Box<dyn Fn(u64) -> u64>);
+
 const LINES: u64 = 50_000;
 
 fn hierarchy_patterns(c: &mut Criterion) {
@@ -16,10 +19,13 @@ fn hierarchy_patterns(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.throughput(Throughput::Elements(LINES));
     let cfg = CpuConfig::xeon_e5_2630_v2();
-    let patterns: [(&str, Box<dyn Fn(u64) -> u64>); 3] = [
+    let patterns: [AddrPattern; 3] = [
         ("sequential", Box::new(|i| i)),
         ("strided8", Box::new(|i| i * 8)),
-        ("random", Box::new(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20)),
+        (
+            "random",
+            Box::new(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20),
+        ),
     ];
     for (name, addr) in &patterns {
         group.bench_function(*name, |b| {

@@ -82,7 +82,10 @@ fn estimator_counter_subsets(c: &mut Criterion) {
         ("all_counters", CounterWeights::default()),
         ("bnt_only", CounterWeights::bnt_only()),
     ] {
-        let config = EstimatorConfig { weights, ..Default::default() };
+        let config = EstimatorConfig {
+            weights,
+            ..Default::default()
+        };
         group.bench_function(name, |b| {
             b.iter(|| black_box(estimate_selectivities(&geom, &sampled, &config)))
         });

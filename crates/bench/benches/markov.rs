@@ -16,11 +16,9 @@ fn stationary_routes(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for states in [4u8, 6, 8] {
         let spec = ChainSpec::even(states);
-        group.bench_with_input(
-            BenchmarkId::new("closed_form", states),
-            &spec,
-            |b, spec| b.iter(|| black_box(spec.stationary(0.37))),
-        );
+        group.bench_with_input(BenchmarkId::new("closed_form", states), &spec, |b, spec| {
+            b.iter(|| black_box(spec.stationary(0.37)))
+        });
         group.bench_with_input(
             BenchmarkId::new("linear_solve", states),
             &spec,
@@ -37,8 +35,9 @@ fn counter_objective(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for preds in [2usize, 5] {
         let geom = PlanGeometry::uniform_i32(1 << 20, preds);
-        let survivors: Vec<f64> =
-            (0..preds).map(|i| (1 << 20) as f64 * 0.5f64.powi(i as i32 + 1)).collect();
+        let survivors: Vec<f64> = (0..preds)
+            .map(|i| (1 << 20) as f64 * 0.5f64.powi(i as i32 + 1))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(preds), &preds, |b, _| {
             b.iter(|| black_box(estimate_counters(&geom, &survivors)))
         });

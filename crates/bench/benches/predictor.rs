@@ -32,7 +32,12 @@ fn predictor_throughput(c: &mut Criterion) {
         ("automaton6", PredictorConfig::automaton(6, 3)),
         (
             "gshare6_h8",
-            PredictorConfig { states: 6, not_taken_states: 3, history_bits: 8, table_bits: 12 },
+            PredictorConfig {
+                states: 6,
+                not_taken_states: 3,
+                history_bits: 8,
+                table_bits: 12,
+            },
         ),
     ];
     for (name, cfg) in configs {

@@ -41,8 +41,10 @@ fn scan_best_vs_worst_order(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(400));
     group.measurement_time(Duration::from_secs(2));
-    for (name, peo) in [("ascending", vec![0usize, 1, 2]), ("descending", vec![2usize, 1, 0])]
-    {
+    for (name, peo) in [
+        ("ascending", vec![0usize, 1, 2]),
+        ("descending", vec![2usize, 1, 0]),
+    ] {
         let compiled = CompiledSelection::compile(&table, &plan, &peo).unwrap();
         group.bench_function(name, |b| {
             b.iter(|| {

@@ -76,8 +76,7 @@ where
         return items.iter().map(&f).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..items.len()).map(|_| None).collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {

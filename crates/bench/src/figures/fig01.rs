@@ -36,8 +36,8 @@ pub fn run(ctx: &FigureCtx) {
         let peos = plan.all_peos();
         let cycles = parallel_map(&peos, |peo| {
             let mut cpu = SimCpu::new(CpuConfig::xeon_e5_2630_v2());
-            let compiled = CompiledSelection::compile(&table, &plan, peo)
-                .expect("figure plan compiles");
+            let compiled =
+                CompiledSelection::compile(&table, &plan, peo).expect("figure plan compiles");
             compiled.run_range(&mut cpu, 0, rows);
             cpu.cycles()
         });

@@ -14,16 +14,18 @@ use crate::figures::workload::{uniform_plan, uniform_table};
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
-    banner("2", "Counter overview (single selection, selectivity sweep)");
+    banner(
+        "2",
+        "Counter overview (single selection, selectivity sweep)",
+    );
     let rows = ctx.scale(1 << 20, 1 << 16);
-    let table = uniform_table(rows, 1, 0xF16_02);
+    let table = uniform_table(rows, 1, 0xF1602);
 
     let sels: Vec<f64> = (0..=20).map(|i| i as f64 * 5.0).collect();
     let measured = parallel_map(&sels, |&pct| {
         let plan = uniform_plan(&[pct / 100.0]);
         let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
-        let compiled =
-            CompiledSelection::compile(&table, &plan, &[0]).expect("plan compiles");
+        let compiled = CompiledSelection::compile(&table, &plan, &[0]).expect("plan compiles");
         let stats = compiled.run_range(&mut cpu, 0, rows);
         let c = stats.counters;
         [

@@ -31,15 +31,14 @@ pub fn chains() -> Vec<ChainSpec> {
 pub fn run(ctx: &FigureCtx) {
     banner("3", "Markov model state counts vs. measured sample");
     let rows = ctx.scale(1 << 19, 1 << 15);
-    let table = uniform_table(rows, 1, 0xF16_03);
+    let table = uniform_table(rows, 1, 0xF1603);
     let specs = chains();
 
     let sels: Vec<f64> = (0..=20).map(|i| i as f64 * 5.0).collect();
     let samples = parallel_map(&sels, |&pct| {
         let plan = uniform_plan(&[pct / 100.0]);
         let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
-        let compiled =
-            CompiledSelection::compile(&table, &plan, &[0]).expect("plan compiles");
+        let compiled = CompiledSelection::compile(&table, &plan, &[0]).expect("plan compiles");
         let stats = compiled.run_range(&mut cpu, 0, rows);
         let n = rows as f64;
         (

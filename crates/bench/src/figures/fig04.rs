@@ -17,7 +17,7 @@ use crate::figures::workload::{uniform_plan, uniform_table};
 pub fn run(ctx: &FigureCtx) {
     banner("4", "Two-predicate mispredictions: measured / predicted");
     let rows = ctx.scale(1 << 18, 1 << 14);
-    let table = uniform_table(rows, 2, 0xF16_04);
+    let table = uniform_table(rows, 2, 0xF1604);
 
     let grid: Vec<(f64, f64)> = (0..=10)
         .flat_map(|i| (0..=10).map(move |j| (i as f64 / 10.0, j as f64 / 10.0)))
@@ -26,8 +26,7 @@ pub fn run(ctx: &FigureCtx) {
     let results = parallel_map(&grid, |&(p1, p2)| {
         let plan = uniform_plan(&[p1, p2]);
         let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
-        let compiled =
-            CompiledSelection::compile(&table, &plan, &[0, 1]).expect("plan compiles");
+        let compiled = CompiledSelection::compile(&table, &plan, &[0, 1]).expect("plan compiles");
         let stats = compiled.run_range(&mut cpu, 0, rows);
         let predicted = estimate_peo_branches(rows as u64, &[p1, p2], &ChainSpec::SIX, true);
         let ratio = |measured: u64, predicted: f64| -> f64 {
@@ -44,14 +43,17 @@ pub fn run(ctx: &FigureCtx) {
         (
             ratio(stats.counters.mp_not_taken, predicted.mp_not_taken),
             ratio(stats.counters.mp_taken, predicted.mp_taken),
-            ratio(
-                stats.counters.mispredictions(),
-                predicted.mp_total(),
-            ),
+            ratio(stats.counters.mispredictions(), predicted.mp_total()),
         )
     });
 
-    row(&["sel1", "sel2", "ratio_not_taken_mp", "ratio_taken_mp", "ratio_all_mp"]);
+    row(&[
+        "sel1",
+        "sel2",
+        "ratio_not_taken_mp",
+        "ratio_taken_mp",
+        "ratio_all_mp",
+    ]);
     let mut worst: f64 = 1.0;
     for ((p1, p2), (rnt, rt, rall)) in grid.iter().zip(&results) {
         row(&[fmt(*p1), fmt(*p2), fmt(*rnt), fmt(*rt), fmt(*rall)]);

@@ -17,9 +17,12 @@ use crate::figures::workload::{uniform_plan, uniform_table};
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
-    banner("6", "Branch counters across microarchitectures vs. estimates");
+    banner(
+        "6",
+        "Branch counters across microarchitectures vs. estimates",
+    );
     let rows = ctx.scale(1 << 20, 1 << 15);
-    let table = uniform_table(rows, 1, 0xF16_06);
+    let table = uniform_table(rows, 1, 0xF1606);
     let archs: Vec<(&str, CpuConfig)> = vec![
         ("nehalem", CpuConfig::nehalem()),
         ("sandy", CpuConfig::sandy_bridge()),
@@ -49,8 +52,8 @@ pub fn run(ctx: &FigureCtx) {
             .map(|(_, cfg)| {
                 let plan = uniform_plan(&[pct / 100.0]);
                 let mut cpu = SimCpu::new(cfg.clone());
-                let compiled = CompiledSelection::compile(&table, &plan, &[0])
-                    .expect("plan compiles");
+                let compiled =
+                    CompiledSelection::compile(&table, &plan, &[0]).expect("plan compiles");
                 let stats = compiled.run_range(&mut cpu, 0, rows);
                 (
                     stats.counters.mispredictions(),

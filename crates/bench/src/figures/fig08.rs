@@ -17,7 +17,14 @@ pub const TUPLES: u64 = 10_000_000;
 pub fn run(_ctx: &FigureCtx) {
     banner("8", "Two-predicate counter predictions (model only)");
     let geom = PlanGeometry::uniform_i32(TUPLES, 2);
-    row(&["sel1", "sel2", "bnt", "mp_not_taken", "mp_taken", "l3_accesses"]);
+    row(&[
+        "sel1",
+        "sel2",
+        "bnt",
+        "mp_not_taken",
+        "mp_taken",
+        "l3_accesses",
+    ]);
     for i in 0..=10 {
         for j in 0..=10 {
             let p1 = f64::from(i) / 10.0;

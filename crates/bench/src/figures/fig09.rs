@@ -12,8 +12,14 @@ use crate::common::{banner, fmt, row, FigureCtx};
 
 /// Run the figure.
 pub fn run(_ctx: &FigureCtx) {
-    banner("9", "Start point selection (2-D example, 25% overall selectivity)");
-    let bounds = SearchBounds { lower: vec![0.0, 0.0], upper: vec![100.0, 100.0] };
+    banner(
+        "9",
+        "Start point selection (2-D example, 25% overall selectivity)",
+    );
+    let bounds = SearchBounds {
+        lower: vec![0.0, 0.0],
+        upper: vec![100.0, 100.0],
+    };
     let null = StartPointGenerator::null_hypothesis(2, 2, 100, 25);
     let generator = StartPointGenerator::new(bounds, null);
     row(&["point", "a1", "a2"]);

@@ -7,9 +7,7 @@
 //! baselines span the best/worst range.
 
 use popt_core::plan::Peo;
-use popt_core::progressive::{
-    run_baseline, run_progressive, ProgressiveConfig, VectorConfig,
-};
+use popt_core::progressive::{run_baseline, run_progressive, ProgressiveConfig, VectorConfig};
 use popt_core::query::QueryBuilder;
 use popt_cpu::{CpuConfig, SimCpu};
 use popt_storage::tpch::{generate_lineitem, TpchConfig};
@@ -18,7 +16,10 @@ use crate::common::{banner, fmt, parallel_map, row, subsample, FigureCtx};
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
-    banner("11", "TPC-H common case: 120 Q6 PEOs, baseline vs. progressive");
+    banner(
+        "11",
+        "TPC-H common case: 120 Q6 PEOs, baseline vs. progressive",
+    );
     let rows = ctx.scale(1 << 20, 1 << 17);
     let vector_tuples = ctx.scale(8_192, 4_096);
     let table = generate_lineitem(&TpchConfig::with_rows(rows));
@@ -27,17 +28,25 @@ pub fn run(ctx: &FigureCtx) {
     if ctx.quick {
         peos = subsample(&peos, 24);
     }
-    let vectors = VectorConfig { vector_tuples, max_vectors: None };
-    let config = ProgressiveConfig { reop_interval: 10, ..Default::default() };
+    let vectors = VectorConfig {
+        vector_tuples,
+        max_vectors: None,
+    };
+    let config = ProgressiveConfig {
+        reop_interval: 10,
+        ..Default::default()
+    };
 
     let results: Vec<(Peo, f64, f64)> = parallel_map(&peos, |peo| {
         let mut cpu = SimCpu::new(CpuConfig::xeon_e5_2630_v2());
-        let base = run_baseline(&table, &plan, peo, vectors, &mut cpu)
-            .expect("baseline runs");
+        let base = run_baseline(&table, &plan, peo, vectors, &mut cpu).expect("baseline runs");
         let mut cpu = SimCpu::new(CpuConfig::xeon_e5_2630_v2());
         let prog = run_progressive(&table, &plan, peo, vectors, &mut cpu, &config)
             .expect("progressive runs");
-        assert_eq!(base.qualified, prog.qualified, "result must be PEO-invariant");
+        assert_eq!(
+            base.qualified, prog.qualified,
+            "result must be PEO-invariant"
+        );
         (peo.clone(), base.millis, prog.millis)
     });
 
@@ -45,12 +54,7 @@ pub fn run(ctx: &FigureCtx) {
     sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     row(&["permutation_rank", "baseline_ms", "optimized_ms", "peo"]);
     for (rank, (peo, base, prog)) in sorted.iter().enumerate() {
-        row(&[
-            rank.to_string(),
-            fmt(*base),
-            fmt(*prog),
-            format!("{peo:?}"),
-        ]);
+        row(&[rank.to_string(), fmt(*base), fmt(*prog), format!("{peo:?}")]);
     }
     let worst_base = sorted.iter().map(|r| r.1).fold(0.0f64, f64::max);
     let best_base = sorted.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);

@@ -7,9 +7,7 @@
 
 use popt_core::plan::SelectionPlan;
 use popt_core::predicate::{CompareOp, Predicate};
-use popt_core::progressive::{
-    run_baseline, run_progressive, ProgressiveConfig, VectorConfig,
-};
+use popt_core::progressive::{run_baseline, run_progressive, ProgressiveConfig, VectorConfig};
 use popt_core::query::{Q6_DISCOUNT_HI, Q6_DISCOUNT_LO, Q6_QUANTITY};
 use popt_cpu::{CpuConfig, SimCpu};
 use popt_storage::stats;
@@ -25,10 +23,7 @@ pub const REOP_INTERVALS: &[usize] = &[10, 75, 200];
 
 /// Q6 with the shipdate window centred in the domain and sized for the
 /// requested combined selectivity.
-pub fn q6_with_shipdate_selectivity(
-    table: &popt_storage::Table,
-    pct: f64,
-) -> SelectionPlan {
+pub fn q6_with_shipdate_selectivity(table: &popt_storage::Table, pct: f64) -> SelectionPlan {
     let shipdate = table.column("l_shipdate").expect("lineitem table");
     let half = (pct / 100.0 / 2.0).min(0.5);
     let lo = stats::quantile(shipdate.data(), (0.5 - half).max(0.0));
@@ -57,7 +52,10 @@ pub fn run(ctx: &FigureCtx) {
     let base_sample = ctx.scale(120, 12);
     let prog_sample = ctx.scale(24, 6);
     let table = generate_lineitem(&TpchConfig::with_rows(rows));
-    let vectors = VectorConfig { vector_tuples, max_vectors: None };
+    let vectors = VectorConfig {
+        vector_tuples,
+        max_vectors: None,
+    };
 
     row(&[
         "shipdate_sel_pct",
@@ -86,7 +84,10 @@ pub fn run(ctx: &FigureCtx) {
 
         let mut avgs = Vec::new();
         for &reop in REOP_INTERVALS {
-            let config = ProgressiveConfig { reop_interval: reop, ..Default::default() };
+            let config = ProgressiveConfig {
+                reop_interval: reop,
+                ..Default::default()
+            };
             let runs: Vec<f64> = parallel_map(&prog_peos, |peo| {
                 let mut cpu = SimCpu::new(CpuConfig::xeon_e5_2630_v2());
                 run_progressive(&table, &plan, peo, vectors, &mut cpu, &config)

@@ -7,9 +7,7 @@
 //! the premise "the sampled vector predicts the future" fails and
 //! improvements shrink.
 
-use popt_core::progressive::{
-    run_baseline, run_progressive, ProgressiveConfig, VectorConfig,
-};
+use popt_core::progressive::{run_baseline, run_progressive, ProgressiveConfig, VectorConfig};
 use popt_core::query::QueryBuilder;
 use popt_cpu::{CpuConfig, SimCpu};
 use popt_storage::distribution::Layout;
@@ -19,6 +17,10 @@ use crate::common::{banner, fmt, parallel_map, row, subsample, FigureCtx};
 
 /// The reoptimization intervals of the figure.
 pub const REOP_INTERVALS: &[usize] = &[10, 75, 200];
+
+/// One sampled PEO's results: baseline millis plus one progressive
+/// millis per reoptimization interval.
+type PeoRun = (f64, Vec<f64>);
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
@@ -34,13 +36,14 @@ pub fn run(ctx: &FigureCtx) {
     ];
     let plan = QueryBuilder::q6_plan();
     let peos = subsample(&plan.all_peos(), peo_sample);
-    let vectors = VectorConfig { vector_tuples, max_vectors: None };
+    let vectors = VectorConfig {
+        vector_tuples,
+        max_vectors: None,
+    };
 
     for (label, layout) in layouts {
         println!("# panel {label}");
-        let table = generate_lineitem(
-            &TpchConfig::with_rows(rows).shipdate_layout(layout),
-        );
+        let table = generate_lineitem(&TpchConfig::with_rows(rows).shipdate_layout(layout));
         let runs: Vec<(f64, Vec<f64>)> = parallel_map(&peos, |peo| {
             let mut cpu = SimCpu::new(CpuConfig::xeon_e5_2630_v2());
             let base = run_baseline(&table, &plan, peo, vectors, &mut cpu)
@@ -48,8 +51,10 @@ pub fn run(ctx: &FigureCtx) {
                 .millis;
             let mut reops = Vec::new();
             for &reop in REOP_INTERVALS {
-                let config =
-                    ProgressiveConfig { reop_interval: reop, ..Default::default() };
+                let config = ProgressiveConfig {
+                    reop_interval: reop,
+                    ..Default::default()
+                };
                 let mut cpu = SimCpu::new(CpuConfig::xeon_e5_2630_v2());
                 reops.push(
                     run_progressive(&table, &plan, peo, vectors, &mut cpu, &config)
@@ -61,7 +66,13 @@ pub fn run(ctx: &FigureCtx) {
         });
         let mut sorted = runs;
         sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        row(&["permutation_rank", "baseline_ms", "reop10_ms", "reop75_ms", "reop200_ms"]);
+        row(&[
+            "permutation_rank",
+            "baseline_ms",
+            "reop10_ms",
+            "reop75_ms",
+            "reop200_ms",
+        ]);
         for (rank, (base, reops)) in sorted.iter().enumerate() {
             row(&[
                 rank.to_string(),
@@ -71,7 +82,7 @@ pub fn run(ctx: &FigureCtx) {
                 fmt(reops[2]),
             ]);
         }
-        let avg = |f: &dyn Fn(&(f64, Vec<f64>)) -> f64| -> f64 {
+        let avg = |f: &dyn Fn(&PeoRun) -> f64| -> f64 {
             sorted.iter().map(f).sum::<f64>() / sorted.len() as f64
         };
         println!(

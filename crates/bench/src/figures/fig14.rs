@@ -28,8 +28,18 @@ pub fn scaled_cpu() -> CpuConfig {
     let mut cfg = CpuConfig::xeon_e5_2630_v2();
     cfg.name = "scaled-down Xeon (1 MiB LLC)";
     cfg.levels = vec![
-        CacheLevelConfig { capacity_bytes: 8 * 1024, line_bytes: 64, ways: 8, hit_latency_cycles: 0 },
-        CacheLevelConfig { capacity_bytes: 64 * 1024, line_bytes: 64, ways: 8, hit_latency_cycles: 10 },
+        CacheLevelConfig {
+            capacity_bytes: 8 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 0,
+        },
+        CacheLevelConfig {
+            capacity_bytes: 64 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 10,
+        },
         CacheLevelConfig {
             capacity_bytes: 1024 * 1024,
             line_bytes: 64,
@@ -44,13 +54,13 @@ pub fn scaled_cpu() -> CpuConfig {
 pub fn windows(rows: usize) -> Vec<(&'static str, usize)> {
     vec![
         ("1T", 1),
-        ("CL", 16),        // 64 B / 4 B values
+        ("CL", 16), // 64 B / 4 B values
         ("100T", 100),
         ("1KT", 1_000),
-        ("L1", 2_048),     // 8 KiB / 4 B
-        ("L2", 16_384),    // 64 KiB / 4 B
-        ("L3", 262_144),   // 1 MiB / 4 B
-        ("Mem", rows),     // unbounded
+        ("L1", 2_048),   // 8 KiB / 4 B
+        ("L2", 16_384),  // 64 KiB / 4 B
+        ("L3", 262_144), // 1 MiB / 4 B
+        ("Mem", rows),   // unbounded
     ]
 }
 
@@ -98,7 +108,7 @@ pub fn run(ctx: &FigureCtx) {
         "winner",
     ]);
     let results = parallel_map(&windows, |&(label, window)| {
-        let (fact, dim) = fact_and_dim(rows, window, 0xF16_14);
+        let (fact, dim) = fact_and_dim(rows, window, 0xF1614);
         let run_order = |order: [usize; 2]| {
             // Expensive selection (~50 instructions of UDF work) with 50%
             // selectivity; join filter with 50% selectivity on the
@@ -116,8 +126,8 @@ pub fn run(ctx: &FigureCtx) {
                 100,
             )
             .expect("join compiles");
-            let mut pipeline = Pipeline::new(vec![sel, join], fact.rows())
-                .expect("two-stage pipeline");
+            let mut pipeline =
+                Pipeline::new(vec![sel, join], fact.rows()).expect("two-stage pipeline");
             pipeline.reorder(&order).expect("valid order");
             let mut cpu = SimCpu::new(scaled_cpu());
             let stats = pipeline.run_range(&mut cpu, 0, fact.rows());
@@ -129,7 +139,11 @@ pub fn run(ctx: &FigureCtx) {
         (label, sel_ms, join_ms, sel_miss, join_miss)
     });
     for (label, sel_ms, join_ms, sel_miss, join_miss) in results {
-        let winner = if join_ms < sel_ms { "join-first" } else { "selection-first" };
+        let winner = if join_ms < sel_ms {
+            "join-first"
+        } else {
+            "selection-first"
+        };
         row(&[
             label.to_string(),
             fmt(sel_ms),
@@ -139,6 +153,8 @@ pub fn run(ctx: &FigureCtx) {
             winner.to_string(),
         ]);
     }
-    println!("# expectation: join-first wins while the shuffle window fits the caches, \
-              selection-first wins at Mem; the L3-miss columns expose the crossover");
+    println!(
+        "# expectation: join-first wins while the shuffle window fits the caches, \
+              selection-first wins at Mem; the L3-miss columns expose the crossover"
+    );
 }

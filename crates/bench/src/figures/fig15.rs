@@ -26,8 +26,18 @@ pub fn scaled_cpu() -> CpuConfig {
     let mut cfg = CpuConfig::xeon_e5_2630_v2();
     cfg.name = "scaled-down Xeon (128 KiB LLC)";
     cfg.levels = vec![
-        CacheLevelConfig { capacity_bytes: 8 * 1024, line_bytes: 64, ways: 8, hit_latency_cycles: 0 },
-        CacheLevelConfig { capacity_bytes: 32 * 1024, line_bytes: 64, ways: 8, hit_latency_cycles: 10 },
+        CacheLevelConfig {
+            capacity_bytes: 8 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 0,
+        },
+        CacheLevelConfig {
+            capacity_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 10,
+        },
         CacheLevelConfig {
             capacity_bytes: 128 * 1024,
             line_bytes: 64,
@@ -81,19 +91,31 @@ fn tables(rows: usize, seed: u64) -> (Table, Table, Table) {
 pub fn run(ctx: &FigureCtx) {
     banner("15", "Foreign-key join order: orders-first vs. part-first");
     let rows = ctx.scale(1 << 21, 1 << 17);
-    let (fact, orders, part) = tables(rows, 0xF16_15);
+    let (fact, orders, part) = tables(rows, 0xF1615);
 
     let sels: Vec<f64> = (2..=10).map(|i| i as f64 / 10.0).collect();
     let results = parallel_map(&sels, |&sel| {
         let literal = (sel * DOMAIN as f64) as i64;
         let run_order = |orders_first: bool| {
             let join_orders = FilterOp::join_filter(
-                &fact, "l_orderkey", &orders, "o_totalprice", CompareOp::Lt, literal, 0,
+                &fact,
+                "l_orderkey",
+                &orders,
+                "o_totalprice",
+                CompareOp::Lt,
+                literal,
+                0,
                 100,
             )
             .expect("orders join compiles");
             let join_part = FilterOp::join_filter(
-                &fact, "l_partkey", &part, "p_retailprice", CompareOp::Lt, literal, 1,
+                &fact,
+                "l_partkey",
+                &part,
+                "p_retailprice",
+                CompareOp::Lt,
+                literal,
+                1,
                 101,
             )
             .expect("part join compiles");
@@ -140,7 +162,14 @@ pub fn run(ctx: &FigureCtx) {
     let cpu_cfg = scaled_cpu();
     let probe = |dim: &Table, fk_col: &str, dim_col: &str, name: &str| {
         let join = FilterOp::join_filter(
-            &fact, fk_col, dim, dim_col, CompareOp::Lt, DOMAIN / 2, 0, 100,
+            &fact,
+            fk_col,
+            dim,
+            dim_col,
+            CompareOp::Lt,
+            DOMAIN / 2,
+            0,
+            100,
         )
         .expect("probe join compiles");
         let pipeline = Pipeline::new(vec![join], fact.rows()).expect("probe");

@@ -21,7 +21,7 @@ pub fn run(ctx: &FigureCtx) {
     banner("16", "Overhead: enumerator vs. performance counters");
     let rows = ctx.scale(1 << 19, 1 << 15);
     let max_preds = 10usize;
-    let table = uniform_table(rows, max_preds, 0xF16_16);
+    let table = uniform_table(rows, max_preds, 0xF1616);
 
     let counts: Vec<usize> = (1..=max_preds).collect();
     let results = parallel_map(&counts, |&p| {

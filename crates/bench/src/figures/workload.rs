@@ -1,8 +1,8 @@
 //! Synthetic workloads shared by the counter/model figures: uniform
 //! random columns with selectivity-addressable predicates.
 
-use popt_core::predicate::{CompareOp, Predicate};
 use popt_core::plan::SelectionPlan;
+use popt_core::predicate::{CompareOp, Predicate};
 use popt_storage::{AddressSpace, ColumnData, Table};
 
 /// Value domain of the uniform columns (selectivity granularity 1/10000).

@@ -9,6 +9,11 @@
 use popt_bench::common::FigureCtx;
 use popt_bench::figures;
 
+fn print_usage() {
+    eprintln!("usage: figures <id...|all|help> [--quick]");
+    eprintln!("figure ids: {}", figures::ALL.join(", "));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
@@ -19,10 +24,17 @@ fn main() {
         .collect();
     let ctx = FigureCtx { quick };
 
-    if ids.is_empty() || ids.contains(&"help") {
-        eprintln!("usage: figures <id...|all> [--quick]");
-        eprintln!("figure ids: {}", figures::ALL.join(", "));
-        std::process::exit(if ids.is_empty() { 2 } else { 0 });
+    // `figures help` is a successful, explicit request for usage (exit 0);
+    // a bare `figures` is a misuse that still deserves the usage text but
+    // must fail (exit 2) so scripts notice the missing figure ids.
+    if ids.contains(&"help") {
+        print_usage();
+        std::process::exit(0);
+    }
+    if ids.is_empty() {
+        eprintln!("error: no figure ids given");
+        print_usage();
+        std::process::exit(2);
     }
 
     let selected: Vec<&str> = if ids.contains(&"all") {
@@ -35,10 +47,16 @@ fn main() {
     for id in &selected {
         let t0 = std::time::Instant::now();
         if !figures::run(id, &ctx) {
-            eprintln!("unknown figure id {id:?}; known: {}", figures::ALL.join(", "));
+            eprintln!(
+                "unknown figure id {id:?}; known: {}",
+                figures::ALL.join(", ")
+            );
             std::process::exit(2);
         }
         eprintln!("# figure {id} done in {:.1}s", t0.elapsed().as_secs_f64());
     }
-    eprintln!("# all requested figures done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "# all requested figures done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }

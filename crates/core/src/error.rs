@@ -29,7 +29,10 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
             EngineError::UnsupportedColumnType(name) => {
-                write!(f, "column {name:?} has an unsupported type for vectorized scans")
+                write!(
+                    f,
+                    "column {name:?} has an unsupported type for vectorized scans"
+                )
             }
             EngineError::EmptyPlan => write!(f, "plan has no predicates"),
             EngineError::InvalidPeo { expected, got } => {
@@ -50,7 +53,10 @@ mod tests {
     fn display_is_informative() {
         let e = EngineError::UnknownColumn("l_foo".into());
         assert!(e.to_string().contains("l_foo"));
-        let e = EngineError::InvalidPeo { expected: 3, got: vec![0, 0, 2] };
+        let e = EngineError::InvalidPeo {
+            expected: 3,
+            got: vec![0, 0, 2],
+        };
         assert!(e.to_string().contains("0..3"));
     }
 }

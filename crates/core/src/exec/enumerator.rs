@@ -54,7 +54,9 @@ impl<'t> EnumeratedSelection<'t> {
         plan: &SelectionPlan,
         peo: &[usize],
     ) -> Result<Self, EngineError> {
-        Ok(Self { inner: CompiledSelection::compile(table, plan, peo)? })
+        Ok(Self {
+            inner: CompiledSelection::compile(table, plan, peo)?,
+        })
     }
 
     /// Execute rows `start..end` with counter instrumentation: every

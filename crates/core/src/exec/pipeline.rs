@@ -145,7 +145,15 @@ impl<'t> FilterOp<'t> {
     #[inline]
     fn eval(&self, cpu: &mut SimCpu, i: usize, costs: &InstrCosts) -> bool {
         match self {
-            FilterOp::Select { values, base, stream, site, op, literal, extra_instructions } => {
+            FilterOp::Select {
+                values,
+                base,
+                stream,
+                site,
+                op,
+                literal,
+                extra_instructions,
+            } => {
                 cpu.load(*stream, base + (i as u64) * 4, 4);
                 cpu.instr(costs.per_eval + extra_instructions);
                 let ok = op.eval(i64::from(values[i]), *literal);
@@ -196,7 +204,10 @@ pub struct Pipeline<'t> {
 impl std::fmt::Debug for Pipeline<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pipeline")
-            .field("ops", &self.ops.iter().map(FilterOp::label).collect::<Vec<_>>())
+            .field(
+                "ops",
+                &self.ops.iter().map(FilterOp::label).collect::<Vec<_>>(),
+            )
             .field("rows", &self.rows)
             .finish()
     }
@@ -208,7 +219,11 @@ impl<'t> Pipeline<'t> {
         if ops.is_empty() {
             return Err(EngineError::EmptyPlan);
         }
-        Ok(Self { ops, rows, costs: InstrCosts::default() })
+        Ok(Self {
+            ops,
+            rows,
+            costs: InstrCosts::default(),
+        })
     }
 
     /// Number of stages.
@@ -226,12 +241,16 @@ impl<'t> Pipeline<'t> {
         let p = self.ops.len();
         let mut seen = vec![false; p];
         let valid = order.len() == p
-            && order.iter().all(|&i| i < p && !std::mem::replace(&mut seen[i], true));
+            && order
+                .iter()
+                .all(|&i| i < p && !std::mem::replace(&mut seen[i], true));
         if !valid {
-            return Err(EngineError::InvalidPeo { expected: p, got: order.to_vec() });
+            return Err(EngineError::InvalidPeo {
+                expected: p,
+                got: order.to_vec(),
+            });
         }
-        let mut slots: Vec<Option<FilterOp<'t>>> =
-            self.ops.drain(..).map(Some).collect();
+        let mut slots: Vec<Option<FilterOp<'t>>> = self.ops.drain(..).map(Some).collect();
         self.ops = order
             .iter()
             .map(|&i| slots[i].take().expect("validated permutation"))
@@ -311,27 +330,28 @@ mod tests {
     #[test]
     fn join_filter_filters() {
         let (fact, dim) = tables(1000, 100);
-        let join = FilterOp::join_filter(
-            &fact, "fk_seq", &dim, "payload", CompareOp::Eq, 0, 10, 100,
-        )
-        .unwrap();
+        let join =
+            FilterOp::join_filter(&fact, "fk_seq", &dim, "payload", CompareOp::Eq, 0, 10, 100)
+                .unwrap();
         let p = Pipeline::new(vec![join], fact.rows()).unwrap();
         let mut cpu = cpu();
         let stats = p.run_range(&mut cpu, 0, 1000);
         // payload = key % 2; keys distributed evenly => ~half qualify.
-        assert!((400..=600).contains(&stats.qualified), "{}", stats.qualified);
+        assert!(
+            (400..=600).contains(&stats.qualified),
+            "{}",
+            stats.qualified
+        );
     }
 
     #[test]
     fn result_is_order_invariant() {
         let (fact, dim) = tables(2000, 100);
         let build = |order: [usize; 2]| {
-            let sel =
-                FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 0).unwrap();
-            let join = FilterOp::join_filter(
-                &fact, "fk_rand", &dim, "payload", CompareOp::Eq, 0, 1, 100,
-            )
-            .unwrap();
+            let sel = FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 0).unwrap();
+            let join =
+                FilterOp::join_filter(&fact, "fk_rand", &dim, "payload", CompareOp::Eq, 0, 1, 100)
+                    .unwrap();
             let mut p = Pipeline::new(vec![sel, join], fact.rows()).unwrap();
             p.reorder(&order).unwrap();
             let mut cpu = cpu();
@@ -346,9 +366,8 @@ mod tests {
         // Dimension much larger than the tiny L3 (16 KiB = 4096 values).
         let (fact, dim) = tables(n, 16_384);
         let run = |fk: &str| {
-            let join =
-                FilterOp::join_filter(&fact, fk, &dim, "payload", CompareOp::Eq, 0, 7, 100)
-                    .unwrap();
+            let join = FilterOp::join_filter(&fact, fk, &dim, "payload", CompareOp::Eq, 0, 7, 100)
+                .unwrap();
             let p = Pipeline::new(vec![join], fact.rows()).unwrap();
             let mut cpu = cpu();
             let s = p.run_range(&mut cpu, 0, n);
@@ -386,10 +405,9 @@ mod tests {
         let run = |order: [usize; 2]| {
             // Selective, cheap predicate + random join probe.
             let sel = FilterOp::select(&fact, "val", CompareOp::Lt, 10, 0, 0).unwrap();
-            let join = FilterOp::join_filter(
-                &fact, "fk_rand", &dim, "payload", CompareOp::Eq, 0, 1, 100,
-            )
-            .unwrap();
+            let join =
+                FilterOp::join_filter(&fact, "fk_rand", &dim, "payload", CompareOp::Eq, 0, 1, 100)
+                    .unwrap();
             let mut p = Pipeline::new(vec![sel, join], fact.rows()).unwrap();
             p.reorder(&order).unwrap();
             let mut cpu = cpu();

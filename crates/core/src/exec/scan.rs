@@ -41,7 +41,11 @@ pub struct InstrCosts {
 
 impl Default for InstrCosts {
     fn default() -> Self {
-        Self { loop_overhead: 2, per_eval: 4, per_agg_column: 3 }
+        Self {
+            loop_overhead: 2,
+            per_eval: 4,
+            per_agg_column: 3,
+        }
     }
 }
 
@@ -128,7 +132,12 @@ impl VectorStats {
 
     /// All-zero stats.
     pub fn zero() -> Self {
-        Self { tuples: 0, qualified: 0, sum: 0, counters: CounterDelta::default() }
+        Self {
+            tuples: 0,
+            qualified: 0,
+            sum: 0,
+            counters: CounterDelta::default(),
+        }
     }
 }
 
@@ -192,9 +201,19 @@ impl<'t> CompiledSelection<'t> {
                 .data()
                 .as_i32()
                 .ok_or_else(|| EngineError::UnsupportedColumnType(name.clone()))?;
-            agg.push(AggColumn { values, base: col.base_addr(), stream: col_idx });
+            agg.push(AggColumn {
+                values,
+                base: col.base_addr(),
+                stream: col_idx,
+            });
         }
-        Ok(Self { preds, agg, peo: peo.to_vec(), rows: table.rows(), costs })
+        Ok(Self {
+            preds,
+            agg,
+            peo: peo.to_vec(),
+            rows: table.rows(),
+            costs,
+        })
     }
 
     /// The evaluation order this compilation uses (plan indices).
@@ -208,12 +227,27 @@ impl<'t> CompiledSelection<'t> {
     }
 
     /// Counter-model geometry for this compilation (used by the
-    /// estimator): per-predicate column widths in evaluation order.
+    /// estimator): per-predicate column widths and identities in
+    /// evaluation order. Aggregate columns already read by a predicate are
+    /// cache-resident and excluded from the geometry's fresh-column list.
     pub fn plan_geometry(&self, n_input: u64, chain: ChainSpec, line_bytes: u32) -> PlanGeometry {
+        let column_ids: Vec<usize> = self.preds.iter().map(|p| p.stream).collect();
+        let mut seen_agg: Vec<usize> = Vec::with_capacity(self.agg.len());
+        let agg_bytes: Vec<u32> = self
+            .agg
+            .iter()
+            .filter(|a| {
+                let fresh = !column_ids.contains(&a.stream) && !seen_agg.contains(&a.stream);
+                seen_agg.push(a.stream);
+                fresh
+            })
+            .map(|_| 4)
+            .collect();
         PlanGeometry {
             n_input,
             value_bytes: vec![4; self.preds.len()],
-            agg_bytes: if self.agg.is_empty() { None } else { Some(4) },
+            column_ids,
+            agg_bytes,
             line_bytes,
             chain,
         }
@@ -374,7 +408,10 @@ mod tests {
         // element access counts match; but survivors differ per column.
         // Check overall L1 accesses are plausible and BNT identical
         // (same survivor sums by symmetry of this data: 500 + 250).
-        assert_eq!(s01.counters.branches_not_taken, s10.counters.branches_not_taken);
+        assert_eq!(
+            s01.counters.branches_not_taken,
+            s10.counters.branches_not_taken
+        );
         // Loads: order a-first reads a 1000x, b 500x, agg 250x.
         let loads01 = s01.counters.l1_accesses + s01.counters.l1_element_hits;
         assert_eq!(loads01, 1000 + 500 + 250);
@@ -395,11 +432,8 @@ mod tests {
     #[test]
     fn compile_rejects_unknown_column() {
         let t = test_table(10);
-        let bad = SelectionPlan::new(
-            vec![Predicate::new("nope", CompareOp::Lt, 1)],
-            vec![],
-        )
-        .unwrap();
+        let bad =
+            SelectionPlan::new(vec![Predicate::new("nope", CompareOp::Lt, 1)], vec![]).unwrap();
         assert_eq!(
             CompiledSelection::compile(&t, &bad, &[0]).unwrap_err(),
             EngineError::UnknownColumn("nope".into())

@@ -29,7 +29,10 @@ impl SelectionPlan {
         if predicates.is_empty() {
             return Err(EngineError::EmptyPlan);
         }
-        Ok(Self { predicates, aggregate_columns })
+        Ok(Self {
+            predicates,
+            aggregate_columns,
+        })
     }
 
     /// Number of predicates.
@@ -63,7 +66,10 @@ impl SelectionPlan {
         if valid {
             Ok(())
         } else {
-            Err(EngineError::InvalidPeo { expected: p, got: peo.to_vec() })
+            Err(EngineError::InvalidPeo {
+                expected: p,
+                got: peo.to_vec(),
+            })
         }
     }
 

@@ -62,7 +62,12 @@ pub struct Predicate {
 impl Predicate {
     /// A plain comparison predicate.
     pub fn new(column: impl Into<String>, op: CompareOp, literal: i64) -> Self {
-        Self { column: column.into(), op, literal, extra_instructions: 0 }
+        Self {
+            column: column.into(),
+            op,
+            literal,
+            extra_instructions: 0,
+        }
     }
 
     /// Mark the predicate as expensive (builder style).

@@ -115,6 +115,10 @@ pub struct ProgressiveReport {
 }
 
 impl ProgressiveReport {
+    // Private assembly helper for the two runners; the argument list is
+    // the report's field list, so grouping them into a carrier struct
+    // would just duplicate the type.
+    #[allow(clippy::too_many_arguments)]
     fn from_run(
         accumulated: VectorStats,
         vectors: usize,
@@ -246,8 +250,7 @@ pub fn run_progressive(
         // Resolve an outstanding trial against this vector's counters.
         if let Some((prev_cpt, switch_idx)) = pending_trial.take() {
             let cpt = stats.cycles_per_tuple();
-            if config.revert_on_regression && cpt > prev_cpt * (1.0 + config.regression_tolerance)
-            {
+            if config.revert_on_regression && cpt > prev_cpt * (1.0 + config.regression_tolerance) {
                 let old = switches[switch_idx].from.clone();
                 rejected.push((compiled.peo().to_vec(), reopt_count));
                 compiled = CompiledSelection::compile(table, plan, &old)?;
@@ -380,7 +383,10 @@ mod tests {
     }
 
     fn vectors() -> VectorConfig {
-        VectorConfig { vector_tuples: 2048, max_vectors: None }
+        VectorConfig {
+            vector_tuples: 2048,
+            max_vectors: None,
+        }
     }
 
     #[test]
@@ -397,7 +403,10 @@ mod tests {
             &worst,
             vectors(),
             &mut cpu2,
-            &ProgressiveConfig { reop_interval: 2, ..Default::default() },
+            &ProgressiveConfig {
+                reop_interval: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(base.qualified, prog.qualified);
@@ -416,10 +425,18 @@ mod tests {
             &worst,
             vectors(),
             &mut cpu,
-            &ProgressiveConfig { reop_interval: 2, ..Default::default() },
+            &ProgressiveConfig {
+                reop_interval: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert_eq!(prog.final_peo, vec![0, 1, 2], "switches: {:?}", prog.switches);
+        assert_eq!(
+            prog.final_peo,
+            vec![0, 1, 2],
+            "switches: {:?}",
+            prog.switches
+        );
         assert!(!prog.switches.is_empty());
         assert!(prog.estimates > 0);
     }
@@ -438,7 +455,10 @@ mod tests {
             &worst,
             vectors(),
             &mut cpu2,
-            &ProgressiveConfig { reop_interval: 1, ..Default::default() },
+            &ProgressiveConfig {
+                reop_interval: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(
@@ -461,7 +481,10 @@ mod tests {
             &best,
             vectors(),
             &mut cpu,
-            &ProgressiveConfig { reop_interval: 2, ..Default::default() },
+            &ProgressiveConfig {
+                reop_interval: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         // No net change of order; sporadic trial switches must revert.
@@ -479,7 +502,10 @@ mod tests {
             &[0, 1, 2],
             vectors(),
             &mut cpu,
-            &ProgressiveConfig { reop_interval: 0, ..Default::default() },
+            &ProgressiveConfig {
+                reop_interval: 0,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert!(matches!(err, EngineError::InvalidVectorConfig(_)));
@@ -487,10 +513,16 @@ mod tests {
 
     #[test]
     fn vector_ranges_cover_table_exactly() {
-        let v = VectorConfig { vector_tuples: 1000, max_vectors: None };
+        let v = VectorConfig {
+            vector_tuples: 1000,
+            max_vectors: None,
+        };
         let ranges = v.ranges(2500).unwrap();
         assert_eq!(ranges, vec![(0, 1000), (1000, 2000), (2000, 2500)]);
-        let capped = VectorConfig { vector_tuples: 1000, max_vectors: Some(2) };
+        let capped = VectorConfig {
+            vector_tuples: 1000,
+            max_vectors: Some(2),
+        };
         assert_eq!(capped.ranges(2500).unwrap().len(), 2);
     }
 
@@ -505,14 +537,14 @@ mod tests {
             &[2, 1, 0],
             vectors(),
             &mut cpu,
-            &ProgressiveConfig { reop_interval: 1, ..Default::default() },
+            &ProgressiveConfig {
+                reop_interval: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(prog.optimizer_cycles > 0);
-        assert_eq!(
-            prog.cycles,
-            prog.counters.cycles + prog.optimizer_cycles
-        );
+        assert_eq!(prog.cycles, prog.counters.cycles + prog.optimizer_cycles);
     }
 
     #[test]
@@ -525,9 +557,15 @@ mod tests {
             &t,
             &plan,
             &[2, 1, 0],
-            VectorConfig { vector_tuples: 512, max_vectors: None },
+            VectorConfig {
+                vector_tuples: 512,
+                max_vectors: None,
+            },
             &mut cpu,
-            &ProgressiveConfig { reop_interval: 1, ..Default::default() },
+            &ProgressiveConfig {
+                reop_interval: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(converging.switches.iter().all(|s| !s.exploratory));
@@ -540,7 +578,10 @@ mod tests {
             &t,
             &plan,
             &[2, 1, 0],
-            VectorConfig { vector_tuples: 512, max_vectors: None },
+            VectorConfig {
+                vector_tuples: 512,
+                max_vectors: None,
+            },
             &mut cpu,
             &ProgressiveConfig {
                 reop_interval: 1,

@@ -12,8 +12,7 @@ use crate::error::EngineError;
 use crate::plan::{Peo, SelectionPlan};
 use crate::predicate::{CompareOp, Predicate};
 use crate::progressive::{
-    run_baseline, run_progressive, ProgressiveConfig, ProgressiveReport, SwitchEvent,
-    VectorConfig,
+    run_baseline, run_progressive, ProgressiveConfig, ProgressiveReport, SwitchEvent, VectorConfig,
 };
 
 /// Day numbers (since 1992-01-01) of the Q6 shipdate window
@@ -75,7 +74,10 @@ pub struct QueryReport {
 impl From<ProgressiveReport> for QueryReport {
     fn from(r: ProgressiveReport) -> Self {
         QueryReport {
-            result: QueryResult { rows_qualified: r.qualified, sum: r.sum },
+            result: QueryResult {
+                rows_qualified: r.qualified,
+                sum: r.sum,
+            },
             millis: r.millis,
             cycles: r.cycles,
             vectors: r.vectors,
@@ -209,11 +211,12 @@ impl<'t> QueryBuilder<'t> {
         };
         let mut cpu = SimCpu::new(self.cpu_config);
         let report = match mode {
-            RunMode::Baseline => {
-                run_baseline(self.table, &self.plan, &peo, vectors, &mut cpu)?
-            }
+            RunMode::Baseline => run_baseline(self.table, &self.plan, &peo, vectors, &mut cpu)?,
             RunMode::Progressive { reop_interval } => {
-                let config = ProgressiveConfig { reop_interval, ..self.progressive };
+                let config = ProgressiveConfig {
+                    reop_interval,
+                    ..self.progressive
+                };
                 run_progressive(self.table, &self.plan, &peo, vectors, &mut cpu, &config)?
             }
         };
@@ -251,15 +254,19 @@ mod tests {
         let ship = t.column("l_shipdate").unwrap().data().as_i32().unwrap();
         let disc = t.column("l_discount").unwrap().data().as_i32().unwrap();
         let qty = t.column("l_quantity").unwrap().data().as_i32().unwrap();
-        let price = t.column("l_extendedprice").unwrap().data().as_i32().unwrap();
+        let price = t
+            .column("l_extendedprice")
+            .unwrap()
+            .data()
+            .as_i32()
+            .unwrap();
         let mut count = 0u64;
         let mut sum = 0i64;
         for i in 0..t.rows() {
             let s = i64::from(ship[i]);
             let d = i64::from(disc[i]);
             let q = i64::from(qty[i]);
-            if s >= Q6_SHIPDATE_LO
-                && s < Q6_SHIPDATE_HI
+            if (Q6_SHIPDATE_LO..Q6_SHIPDATE_HI).contains(&s)
                 && (Q6_DISCOUNT_LO..=Q6_DISCOUNT_HI).contains(&d)
                 && q < Q6_QUANTITY
             {

@@ -89,7 +89,13 @@ pub fn estimate_peo_branches(
         // One taken branch per tuple at the end of the loop body.
         bt += n as f64;
     }
-    PeoBranchEstimate { predicates, bnt, bt, mp_taken, mp_not_taken }
+    PeoBranchEstimate {
+        predicates,
+        bnt,
+        bt,
+        mp_taken,
+        mp_not_taken,
+    }
 }
 
 /// The paper's qualifying-tuple identity: `qualifying = 2·n − bT`

@@ -43,7 +43,10 @@ impl CacheGeometry {
 /// `n` values is read at (approximately) uniform positions — the
 /// sequential-scan-with-conditional-read pattern of Pirk et al.
 pub fn touched_lines(geom: &CacheGeometry, n: u64, density: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&density), "density out of range: {density}");
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "density out of range: {density}"
+    );
     let lines = geom.lines(n);
     let v = geom.values_per_line();
     lines * (1.0 - (1.0 - density).powf(v))
@@ -52,7 +55,10 @@ pub fn touched_lines(geom: &CacheGeometry, n: u64, density: f64) -> f64 {
 /// The paper's modified model: expected **L3 accesses** (demand + buddy
 /// prefetch) for the same pattern, double-counting random misses.
 pub fn l3_accesses(geom: &CacheGeometry, n: u64, density: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&density), "density out of range: {density}");
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "density out of range: {density}"
+    );
     let lines = geom.lines(n);
     let v = geom.values_per_line();
     lines * (1.0 - (1.0 - density).powf(2.0 * v))
@@ -68,11 +74,7 @@ pub fn l3_accesses_unmodified(geom: &CacheGeometry, n: u64, density: f64) -> f64
 /// column in evaluation order with the density at which it is read
 /// (`density[0] = 1` for the first predicate's column; the aggregate
 /// column reads at the overall selectivity).
-pub fn plan_l3_accesses(
-    geom: &CacheGeometry,
-    n: u64,
-    densities: &[f64],
-) -> f64 {
+pub fn plan_l3_accesses(geom: &CacheGeometry, n: u64, densities: &[f64]) -> f64 {
     densities.iter().map(|&d| l3_accesses(geom, n, d)).sum()
 }
 
@@ -80,7 +82,10 @@ pub fn plan_l3_accesses(
 /// the "random" (non-sequential) share of the access stream, used by the
 /// cycle model to blend sequential and random memory latency.
 pub fn random_line_fraction(geom: &CacheGeometry, density: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&density), "density out of range: {density}");
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "density out of range: {density}"
+    );
     let v = geom.values_per_line();
     // P(previous line untouched) under independent per-line touch prob.
     (1.0 - density).powf(v)
@@ -90,7 +95,10 @@ pub fn random_line_fraction(geom: &CacheGeometry, density: f64) -> f64 {
 mod tests {
     use super::*;
 
-    const GEOM: CacheGeometry = CacheGeometry { line_bytes: 64, value_bytes: 4 };
+    const GEOM: CacheGeometry = CacheGeometry {
+        line_bytes: 64,
+        value_bytes: 4,
+    };
 
     #[test]
     fn geometry_basics() {
@@ -145,9 +153,7 @@ mod tests {
     #[test]
     fn modified_model_dominates_unmodified() {
         for d in [0.01, 0.05, 0.2, 0.7] {
-            assert!(
-                l3_accesses(&GEOM, 100_000, d) >= l3_accesses_unmodified(&GEOM, 100_000, d)
-            );
+            assert!(l3_accesses(&GEOM, 100_000, d) >= l3_accesses_unmodified(&GEOM, 100_000, d));
         }
     }
 

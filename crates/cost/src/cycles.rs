@@ -68,15 +68,25 @@ pub fn scan_cycles(geom: &PlanGeometry, survivors: &[f64], params: &CycleParams)
 
     // Memory stalls: per column, touched lines blended between the random
     // and sequential latency by the predecessor-untouched probability.
+    // Repeated reads of one column are cache-resident within a vector and
+    // stall-free (mirroring the counter model's first-read accounting).
     let mut mem = 0.0;
     let mut density = 1.0;
     for (j, &width) in geom.value_bytes.iter().enumerate() {
-        let cg = CacheGeometry { line_bytes: geom.line_bytes, value_bytes: width };
-        mem += column_stall(&cg, geom.n_input, density, params);
+        if geom.first_read(j) {
+            let cg = CacheGeometry {
+                line_bytes: geom.line_bytes,
+                value_bytes: width,
+            };
+            mem += column_stall(&cg, geom.n_input, density, params);
+        }
         density = (survivors[j] / n).clamp(0.0, 1.0);
     }
-    if let Some(width) = geom.agg_bytes {
-        let cg = CacheGeometry { line_bytes: geom.line_bytes, value_bytes: width };
+    for &width in &geom.agg_bytes {
+        let cg = CacheGeometry {
+            line_bytes: geom.line_bytes,
+            value_bytes: width,
+        };
         mem += column_stall(&cg, geom.n_input, density, params);
     }
 

@@ -23,8 +23,16 @@ pub struct PlanGeometry {
     /// Value width in bytes of each predicate's column, in evaluation
     /// order.
     pub value_bytes: Vec<u32>,
-    /// Width of the aggregate column read for qualifying tuples, if any.
-    pub agg_bytes: Option<u32>,
+    /// Identity of each predicate's underlying column, in evaluation
+    /// order: positions sharing an id read the *same* column (e.g. the two
+    /// bounds of a between predicate). A repeated read is cache-resident
+    /// within a vector, so only the first read of a column costs memory
+    /// accesses — the plan shape is static knowledge, so using it keeps
+    /// the optimizer non-invasive.
+    pub column_ids: Vec<usize>,
+    /// Widths of the aggregate columns read for qualifying tuples that are
+    /// *not* already read by a predicate (one entry per fresh column).
+    pub agg_bytes: Vec<u32>,
     /// Cache line size in bytes.
     pub line_bytes: u32,
     /// Branch predictor model.
@@ -32,13 +40,14 @@ pub struct PlanGeometry {
 }
 
 impl PlanGeometry {
-    /// A uniform geometry: `preds` predicates over 4-byte columns with a
-    /// 4-byte aggregate, 64-byte lines, six-state chain.
+    /// A uniform geometry: `preds` predicates over distinct 4-byte columns
+    /// with a 4-byte aggregate, 64-byte lines, six-state chain.
     pub fn uniform_i32(n_input: u64, preds: usize) -> Self {
         Self {
             n_input,
             value_bytes: vec![4; preds],
-            agg_bytes: Some(4),
+            column_ids: (0..preds).collect(),
+            agg_bytes: vec![4],
             line_bytes: 64,
             chain: ChainSpec::SIX,
         }
@@ -47,6 +56,13 @@ impl PlanGeometry {
     /// Number of predicates.
     pub fn predicates(&self) -> usize {
         self.value_bytes.len()
+    }
+
+    /// Whether evaluation position `j` is the first to read its column.
+    pub fn first_read(&self, j: usize) -> bool {
+        self.column_ids[..j]
+            .iter()
+            .all(|&c| c != self.column_ids[j])
     }
 }
 
@@ -78,7 +94,11 @@ pub fn survivors_to_selectivities(n_input: u64, survivors: &[f64]) -> Vec<f64> {
     survivors
         .iter()
         .map(|&a| {
-            let p = if prev <= 0.0 { 1.0 } else { (a / prev).clamp(0.0, 1.0) };
+            let p = if prev <= 0.0 {
+                1.0
+            } else {
+                (a / prev).clamp(0.0, 1.0)
+            };
             prev = a.max(0.0);
             p
         })
@@ -93,21 +113,40 @@ pub fn estimate_counters(geom: &PlanGeometry, survivors: &[f64]) -> CounterEstim
         geom.predicates(),
         "one survivor count per predicate required"
     );
+    assert_eq!(
+        geom.column_ids.len(),
+        geom.predicates(),
+        "one column id per predicate required"
+    );
     let sels = survivors_to_selectivities(geom.n_input, survivors);
     let branches = estimate_peo_branches(geom.n_input, &sels, &geom.chain, true);
 
     // Column read densities: predicate j reads its column for every tuple
-    // that survived predicates 0..j.
+    // that survived predicates 0..j. Densities only shrink along the
+    // chain, so a column's first read dominates and repeated reads of the
+    // same column are cache-resident — they cost no further L3 accesses.
     let n = geom.n_input as f64;
     let mut l3 = 0.0;
     let mut density = 1.0;
     for (j, &width) in geom.value_bytes.iter().enumerate() {
-        let cg = CacheGeometry { line_bytes: geom.line_bytes, value_bytes: width };
-        l3 += l3_accesses(&cg, geom.n_input, density);
-        density = if n > 0.0 { (survivors[j] / n).clamp(0.0, 1.0) } else { 0.0 };
+        if geom.first_read(j) {
+            let cg = CacheGeometry {
+                line_bytes: geom.line_bytes,
+                value_bytes: width,
+            };
+            l3 += l3_accesses(&cg, geom.n_input, density);
+        }
+        density = if n > 0.0 {
+            (survivors[j] / n).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
     }
-    if let Some(width) = geom.agg_bytes {
-        let cg = CacheGeometry { line_bytes: geom.line_bytes, value_bytes: width };
+    for &width in &geom.agg_bytes {
+        let cg = CacheGeometry {
+            line_bytes: geom.line_bytes,
+            value_bytes: width,
+        };
         l3 += l3_accesses(&cg, geom.n_input, density);
     }
 

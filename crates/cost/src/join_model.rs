@@ -36,10 +36,9 @@ pub struct JoinGeometry {
 impl JoinGeometry {
     /// Lines occupied by the relation.
     pub fn relation_lines(&self) -> f64 {
-        (self.relation_tuples as f64 * f64::from(self.tuple_bytes)
-            / f64::from(self.line_bytes))
-        .ceil()
-        .max(1.0)
+        (self.relation_tuples as f64 * f64::from(self.tuple_bytes) / f64::from(self.line_bytes))
+            .ceil()
+            .max(1.0)
     }
 
     /// Relation size in bytes.

@@ -23,15 +23,18 @@ pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         b.swap(col, pivot_row);
 
         let pivot = a[col][col];
-        for row in col + 1..n {
-            let factor = a[row][col] / pivot;
+        let b_col = b[col];
+        let (pivot_part, rest) = a.split_at_mut(col + 1);
+        let pivot_row_vals = &pivot_part[col];
+        for (a_row, b_row) in rest.iter_mut().zip(b.iter_mut().skip(col + 1)) {
+            let factor = a_row[col] / pivot;
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            for (av, &pv) in a_row[col..].iter_mut().zip(&pivot_row_vals[col..]) {
+                *av -= factor * pv;
             }
-            b[row] -= factor * b[col];
+            *b_row -= factor * b_col;
         }
     }
     // Back substitution.

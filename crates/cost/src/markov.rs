@@ -64,27 +64,51 @@ impl BranchProbabilities {
 impl ChainSpec {
     /// The six-state chain the paper selects ("we use a six state markov
     /// chain in the remainder of this paper").
-    pub const SIX: ChainSpec = ChainSpec { states: 6, not_taken_states: 3 };
+    pub const SIX: ChainSpec = ChainSpec {
+        states: 6,
+        not_taken_states: 3,
+    };
 
     /// The four-state chain that fits AMD CPUs best (Section 3.2).
-    pub const FOUR: ChainSpec = ChainSpec { states: 4, not_taken_states: 2 };
+    pub const FOUR: ChainSpec = ChainSpec {
+        states: 4,
+        not_taken_states: 2,
+    };
 
     /// An even-split chain with `states` states.
     pub fn even(states: u8) -> Self {
-        assert!(states >= 2 && states % 2 == 0, "even() needs an even state count");
-        Self { states, not_taken_states: states / 2 }
+        assert!(
+            states >= 2 && states % 2 == 0,
+            "even() needs an even state count"
+        );
+        Self {
+            states,
+            not_taken_states: states / 2,
+        }
     }
 
     /// An odd chain with the extra state on the *taken* side (`+1T`).
     pub fn plus_one_taken(states: u8) -> Self {
-        assert!(states >= 3 && states % 2 == 1, "+1T needs an odd state count");
-        Self { states, not_taken_states: states / 2 }
+        assert!(
+            states >= 3 && states % 2 == 1,
+            "+1T needs an odd state count"
+        );
+        Self {
+            states,
+            not_taken_states: states / 2,
+        }
     }
 
     /// An odd chain with the extra state on the *not-taken* side (`+1NT`).
     pub fn plus_one_not_taken(states: u8) -> Self {
-        assert!(states >= 3 && states % 2 == 1, "+1NT needs an odd state count");
-        Self { states, not_taken_states: states / 2 + 1 }
+        assert!(
+            states >= 3 && states % 2 == 1,
+            "+1NT needs an odd state count"
+        );
+        Self {
+            states,
+            not_taken_states: states / 2 + 1,
+        }
     }
 
     /// Label as used in Figure 3's legend.
@@ -155,7 +179,10 @@ impl ChainSpec {
             return self.stationary(p);
         }
         // Build (P^T - I) with the last row replaced by the normalization.
+        // Each column i scatters into rows left/right/i, so the index loop
+        // is the natural shape here.
         let mut a = vec![vec![0.0; n]; n];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             // From state i: not taken (prob p) -> max(i-1, 0);
             //               taken (prob 1-p)  -> min(i+1, n-1).
@@ -227,8 +254,8 @@ mod tests {
     #[test]
     fn symmetric_chain_is_symmetric_at_half() {
         let pi = ChainSpec::SIX.stationary(0.5);
-        for i in 0..6 {
-            assert!((pi[i] - 1.0 / 6.0).abs() < 1e-12);
+        for &p in pi.iter().take(6) {
+            assert!((p - 1.0 / 6.0).abs() < 1e-12);
         }
         let pr = ChainSpec::SIX.probabilities(0.5);
         assert!((pr.predict_taken - 0.5).abs() < 1e-12);

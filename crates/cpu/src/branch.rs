@@ -40,7 +40,11 @@ impl SaturatingAutomaton {
             not_taken_states >= 1 && not_taken_states < states,
             "not_taken_states must leave at least one taken state"
         );
-        Self { state: not_taken_states - 1, states, not_taken_states }
+        Self {
+            state: not_taken_states - 1,
+            states,
+            not_taken_states,
+        }
     }
 
     /// Current predicted outcome: `true` means "taken".
@@ -94,7 +98,10 @@ pub struct BranchPredictor {
 impl BranchPredictor {
     /// Build a predictor from its configuration.
     pub fn new(config: PredictorConfig) -> Self {
-        assert!(config.table_bits <= 22, "prediction table would be excessive");
+        assert!(
+            config.table_bits <= 22,
+            "prediction table would be excessive"
+        );
         let size = 1usize << config.table_bits;
         let history_mask = if config.history_bits == 0 {
             0
@@ -102,10 +109,7 @@ impl BranchPredictor {
             (1u32 << config.history_bits.min(31)) - 1
         };
         Self {
-            table: vec![
-                SaturatingAutomaton::new(config.states, config.not_taken_states);
-                size
-            ],
+            table: vec![SaturatingAutomaton::new(config.states, config.not_taken_states); size],
             mask: (size - 1) as u32,
             history: 0,
             history_mask,
@@ -130,7 +134,10 @@ impl BranchPredictor {
         if self.history_mask != 0 {
             self.history = ((self.history << 1) | u32::from(taken)) & self.history_mask;
         }
-        Prediction { taken, correct: predicted == taken }
+        Prediction {
+            taken,
+            correct: predicted == taken,
+        }
     }
 
     /// Reset all automata and the history register to their initial state.
@@ -216,7 +223,12 @@ mod tests {
 
     #[test]
     fn history_learns_alternating_pattern() {
-        let cfg = PredictorConfig { states: 6, not_taken_states: 3, history_bits: 8, table_bits: 12 };
+        let cfg = PredictorConfig {
+            states: 6,
+            not_taken_states: 3,
+            history_bits: 8,
+            table_bits: 12,
+        };
         let mut p = BranchPredictor::new(cfg);
         let site = BranchSite(1);
         let mut wrong_tail = 0u32;
@@ -266,6 +278,9 @@ mod tests {
         // After reset the first prediction matches a fresh predictor's.
         let mut a = p;
         let mut b = fresh;
-        assert_eq!(a.execute(site, false).correct, b.execute(site, false).correct);
+        assert_eq!(
+            a.execute(site, false).correct,
+            b.execute(site, false).correct
+        );
     }
 }

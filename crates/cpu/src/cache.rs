@@ -80,7 +80,11 @@ impl CacheLevel {
     pub fn access(&mut self, line: u64, is_prefetch: bool) -> bool {
         let set_idx = self.set_of(line);
         let set = &mut self.sets[set_idx];
-        let stats = if is_prefetch { &mut self.prefetch } else { &mut self.demand };
+        let stats = if is_prefetch {
+            &mut self.prefetch
+        } else {
+            &mut self.demand
+        };
         stats.accesses += 1;
         if let Some(pos) = set.iter().position(|&l| l == line) {
             stats.hits += 1;
@@ -237,7 +241,11 @@ impl CacheHierarchy {
                 }
             }
         }
-        AccessResult { served_by, prefetch_issued, prefetch_memory }
+        AccessResult {
+            served_by,
+            prefetch_issued,
+            prefetch_memory,
+        }
     }
 
     /// L3 accesses in the paper's sense: demand requests from above plus

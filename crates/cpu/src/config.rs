@@ -60,7 +60,12 @@ impl PredictorConfig {
     /// history — the configuration the Markov model of Section 3.2
     /// describes exactly.
     pub fn automaton(states: u8, not_taken_states: u8) -> Self {
-        Self { states, not_taken_states, history_bits: 0, table_bits: 12 }
+        Self {
+            states,
+            not_taken_states,
+            history_bits: 0,
+            table_bits: 12,
+        }
     }
 }
 
@@ -146,7 +151,12 @@ impl CpuConfig {
         Self::base(
             "Xeon E5-2630 v2 (Ivy Bridge EP)",
             15 * 1024 * 1024,
-            PredictorConfig { states: 6, not_taken_states: 3, history_bits: 8, table_bits: 12 },
+            PredictorConfig {
+                states: 6,
+                not_taken_states: 3,
+                history_bits: 8,
+                table_bits: 12,
+            },
             2.6,
         )
     }
@@ -157,7 +167,12 @@ impl CpuConfig {
         Self::base(
             "Ivy Bridge",
             8 * 1024 * 1024,
-            PredictorConfig { states: 6, not_taken_states: 3, history_bits: 8, table_bits: 12 },
+            PredictorConfig {
+                states: 6,
+                not_taken_states: 3,
+                history_bits: 8,
+                table_bits: 12,
+            },
             2.6,
         )
     }
@@ -168,7 +183,12 @@ impl CpuConfig {
         let mut c = Self::base(
             "Sandy Bridge",
             8 * 1024 * 1024,
-            PredictorConfig { states: 6, not_taken_states: 3, history_bits: 8, table_bits: 12 },
+            PredictorConfig {
+                states: 6,
+                not_taken_states: 3,
+                history_bits: 8,
+                table_bits: 12,
+            },
             2.6,
         );
         c.timing.mispredict_penalty_cycles = 17;
@@ -181,7 +201,12 @@ impl CpuConfig {
         Self::base(
             "Broadwell",
             8 * 1024 * 1024,
-            PredictorConfig { states: 6, not_taken_states: 3, history_bits: 10, table_bits: 13 },
+            PredictorConfig {
+                states: 6,
+                not_taken_states: 3,
+                history_bits: 10,
+                table_bits: 13,
+            },
             2.6,
         )
     }
@@ -193,7 +218,12 @@ impl CpuConfig {
         Self::base(
             "Nehalem",
             8 * 1024 * 1024,
-            PredictorConfig { states: 4, not_taken_states: 2, history_bits: 4, table_bits: 12 },
+            PredictorConfig {
+                states: 4,
+                not_taken_states: 2,
+                history_bits: 4,
+                table_bits: 12,
+            },
             2.6,
         )
     }
@@ -204,7 +234,12 @@ impl CpuConfig {
         Self::base(
             "AMD (4-state)",
             8 * 1024 * 1024,
-            PredictorConfig { states: 4, not_taken_states: 2, history_bits: 0, table_bits: 12 },
+            PredictorConfig {
+                states: 4,
+                not_taken_states: 2,
+                history_bits: 0,
+                table_bits: 12,
+            },
             2.6,
         )
     }
@@ -294,7 +329,10 @@ mod tests {
 
     #[test]
     fn microarch_presets_differ_in_predictor() {
-        assert_ne!(CpuConfig::nehalem().predictor, CpuConfig::ivy_bridge().predictor);
+        assert_ne!(
+            CpuConfig::nehalem().predictor,
+            CpuConfig::ivy_bridge().predictor
+        );
         assert_eq!(CpuConfig::amd().predictor.states, 4);
         assert_eq!(CpuConfig::ivy_bridge().predictor.states, 6);
     }

@@ -172,8 +172,8 @@ impl SimCpu {
     /// Total simulated cycles so far (work + stalls + penalties).
     pub fn cycles(&self) -> u64 {
         let raw = self.pmu.peek();
-        let base = (raw.instructions as f64 * self.config.timing.cycles_per_instruction).round()
-            as u64;
+        let base =
+            (raw.instructions as f64 * self.config.timing.cycles_per_instruction).round() as u64;
         raw.cycles + base
     }
 

@@ -198,9 +198,11 @@ mod tests {
     #[test]
     fn accumulate_sums_intervals() {
         let mut d1 = CounterDelta::default();
-        let mut c = Counters::default();
-        c.branches_not_taken = 7;
-        c.l3_accesses = 3;
+        let c = Counters {
+            branches_not_taken: 7,
+            l3_accesses: 3,
+            ..Default::default()
+        };
         let d2 = CounterDelta(c);
         d1.accumulate(&d2);
         d1.accumulate(&d2);
@@ -210,9 +212,11 @@ mod tests {
 
     #[test]
     fn mispredictions_is_sum_of_directions() {
-        let mut c = Counters::default();
-        c.mp_taken = 4;
-        c.mp_not_taken = 6;
+        let c = Counters {
+            mp_taken: 4,
+            mp_not_taken: 6,
+            ..Default::default()
+        };
         assert_eq!(c.mispredictions(), 10);
     }
 }

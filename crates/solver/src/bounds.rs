@@ -71,8 +71,16 @@ impl SearchBounds {
     /// Integer-rounded bounds (conservative inward rounding: lower ceils,
     /// upper floors) — the form the paper's Figure 7 example prints.
     pub fn rounded(&self) -> (Vec<u64>, Vec<u64>) {
-        let lo = self.lower.iter().map(|x| x.ceil().max(0.0) as u64).collect();
-        let hi = self.upper.iter().map(|x| x.floor().max(0.0) as u64).collect();
+        let lo = self
+            .lower
+            .iter()
+            .map(|x| x.ceil().max(0.0) as u64)
+            .collect();
+        let hi = self
+            .upper
+            .iter()
+            .map(|x| x.floor().max(0.0) as u64)
+            .collect();
         (lo, hi)
     }
 
@@ -170,11 +178,7 @@ mod tests {
         for bnt in [120u64, 210, 300, 390] {
             let b = bnt_bounds(4, 100, 10, bnt);
             for j in 0..4 {
-                assert!(
-                    b.lower[j] <= b.upper[j] + 1e-9,
-                    "bnt={bnt} j={j}: {:?}",
-                    b
-                );
+                assert!(b.lower[j] <= b.upper[j] + 1e-9, "bnt={bnt} j={j}: {:?}", b);
             }
         }
     }
@@ -209,8 +213,14 @@ mod tests {
 
     #[test]
     fn intersect_takes_tighter_side() {
-        let a = SearchBounds { lower: vec![0.0, 5.0], upper: vec![10.0, 10.0] };
-        let c = SearchBounds { lower: vec![2.0, 0.0], upper: vec![8.0, 20.0] };
+        let a = SearchBounds {
+            lower: vec![0.0, 5.0],
+            upper: vec![10.0, 10.0],
+        };
+        let c = SearchBounds {
+            lower: vec![2.0, 0.0],
+            upper: vec![8.0, 20.0],
+        };
         let i = a.intersect(&c);
         assert_eq!(i.lower, vec![2.0, 5.0]);
         assert_eq!(i.upper, vec![8.0, 10.0]);

@@ -62,7 +62,12 @@ pub struct CounterWeights {
 
 impl Default for CounterWeights {
     fn default() -> Self {
-        Self { bnt: 1.0, mp_taken: 1.0, mp_not_taken: 1.0, l3: 1.0 }
+        Self {
+            bnt: 1.0,
+            mp_taken: 1.0,
+            mp_not_taken: 1.0,
+            l3: 1.0,
+        }
     }
 }
 
@@ -70,7 +75,12 @@ impl CounterWeights {
     /// Only the BNT counter (the weakest configuration — BNT alone cannot
     /// distinguish permutations with equal survivor sums).
     pub fn bnt_only() -> Self {
-        Self { bnt: 1.0, mp_taken: 0.0, mp_not_taken: 0.0, l3: 0.0 }
+        Self {
+            bnt: 1.0,
+            mp_taken: 0.0,
+            mp_not_taken: 0.0,
+            l3: 0.0,
+        }
     }
 }
 
@@ -290,7 +300,11 @@ mod tests {
             "sels = {:?}",
             r.selectivities
         );
-        assert!((r.selectivities[1] - 0.2).abs() < 0.05, "{:?}", r.selectivities);
+        assert!(
+            (r.selectivities[1] - 0.2).abs() < 0.05,
+            "{:?}",
+            r.selectivities
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct NelderMeadOptions {
 impl Default for NelderMeadOptions {
     fn default() -> Self {
         // The values Section 4.2 reports as the best trade-off.
-        Self { ftol_abs: 1.0, max_evaluations: 10_000, initial_step_fraction: 0.25 }
+        Self {
+            ftol_abs: 1.0,
+            max_evaluations: 10_000,
+            initial_step_fraction: 0.25,
+        }
     }
 }
 
@@ -80,7 +84,12 @@ pub fn minimize(
     clamp(&mut x0);
     if dim == 0 {
         let value = eval(&x0, &mut evaluations);
-        return OptimizationResult { x: x0, value, evaluations, converged: true };
+        return OptimizationResult {
+            x: x0,
+            value,
+            evaluations,
+            converged: true,
+        };
     }
 
     // Initial simplex: x0 plus one perturbed point per dimension. If the
@@ -157,7 +166,11 @@ pub fn minimize(
         }
         // Contraction (outside if the reflection improved on the worst,
         // inside otherwise).
-        let xc = if vr < simplex[dim].1 { blend(RHO) } else { blend(-RHO) };
+        let xc = if vr < simplex[dim].1 {
+            blend(RHO)
+        } else {
+            blend(-RHO)
+        };
         let vc = eval(&xc, &mut evaluations);
         if vc < simplex[dim].1.min(vr) {
             simplex[dim] = (xc, vc);
@@ -166,8 +179,8 @@ pub fn minimize(
         // Shrink towards the best vertex.
         let best_x = simplex[0].0.clone();
         for vertex in simplex.iter_mut().skip(1) {
-            for d in 0..dim {
-                vertex.0[d] = best_x[d] + SIGMA * (vertex.0[d] - best_x[d]);
+            for (v, &best) in vertex.0.iter_mut().zip(&best_x) {
+                *v = best + SIGMA * (*v - best);
             }
             clamp(&mut vertex.0);
             vertex.1 = eval(&vertex.0, &mut evaluations);
@@ -179,7 +192,12 @@ pub fn minimize(
 
     simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective returned NaN"));
     let (x, value) = simplex.swap_remove(0);
-    OptimizationResult { x, value, evaluations, converged }
+    OptimizationResult {
+        x,
+        value,
+        evaluations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -187,7 +205,11 @@ mod tests {
     use super::*;
 
     fn opts() -> NelderMeadOptions {
-        NelderMeadOptions { ftol_abs: 1e-9, max_evaluations: 20_000, initial_step_fraction: 0.25 }
+        NelderMeadOptions {
+            ftol_abs: 1e-9,
+            max_evaluations: 20_000,
+            initial_step_fraction: 0.25,
+        }
     }
 
     #[test]
@@ -247,7 +269,11 @@ mod tests {
             &[4.0, 4.0, 4.0, 4.0],
             &[-10.0; 4],
             &[10.0; 4],
-            &NelderMeadOptions { ftol_abs: 0.0, max_evaluations: budget, initial_step_fraction: 0.25 },
+            &NelderMeadOptions {
+                ftol_abs: 0.0,
+                max_evaluations: budget,
+                initial_step_fraction: 0.25,
+            },
         );
         calls += r.evaluations;
         assert!(calls <= budget + 5, "calls = {calls}"); // shrink may overshoot slightly
@@ -281,7 +307,11 @@ mod tests {
             &[100.0],
             &[-1000.0],
             &[1000.0],
-            &NelderMeadOptions { ftol_abs: 1.0, max_evaluations: 10_000, initial_step_fraction: 0.25 },
+            &NelderMeadOptions {
+                ftol_abs: 1.0,
+                max_evaluations: 10_000,
+                initial_step_fraction: 0.25,
+            },
         );
         assert!(tight.converged);
         // With ftol 1.0 we stop well before machine precision.

@@ -47,9 +47,11 @@ impl BoxRegion {
     /// slabs.
     fn split_at(&self, point: &[f64]) -> Vec<BoxRegion> {
         let d = self.lower.len();
-        let mut out = vec![BoxRegion { lower: Vec::with_capacity(d), upper: Vec::with_capacity(d) }];
-        for i in 0..d {
-            let (lo, hi, p) = (self.lower[i], self.upper[i], point[i]);
+        let mut out = vec![BoxRegion {
+            lower: Vec::with_capacity(d),
+            upper: Vec::with_capacity(d),
+        }];
+        for ((&lo, &hi), &p) in self.lower.iter().zip(&self.upper).zip(point) {
             let intervals: &[(f64, f64)] = if p > lo && p < hi {
                 &[(lo, p), (p, hi)]
             } else {
@@ -104,7 +106,10 @@ impl StartPointGenerator {
     pub fn new(bounds: SearchBounds, mut null_point: Vec<f64>) -> Self {
         assert_eq!(bounds.dims(), null_point.len(), "dimensionality mismatch");
         bounds.clamp(&mut null_point);
-        let root = BoxRegion { lower: bounds.lower.clone(), upper: bounds.upper.clone() };
+        let root = BoxRegion {
+            lower: bounds.lower.clone(),
+            upper: bounds.upper.clone(),
+        };
         Self {
             bounds,
             null_point,
@@ -217,7 +222,10 @@ mod tests {
     use super::*;
 
     fn unit_square() -> SearchBounds {
-        SearchBounds { lower: vec![0.0, 0.0], upper: vec![100.0, 100.0] }
+        SearchBounds {
+            lower: vec![0.0, 0.0],
+            upper: vec![100.0, 100.0],
+        }
     }
 
     #[test]
@@ -263,7 +271,10 @@ mod tests {
 
     #[test]
     fn all_points_lie_within_bounds() {
-        let b = SearchBounds { lower: vec![10.0, 20.0, 5.0], upper: vec![90.0, 40.0, 5.0] };
+        let b = SearchBounds {
+            lower: vec![10.0, 20.0, 5.0],
+            upper: vec![90.0, 40.0, 5.0],
+        };
         let g = StartPointGenerator::new(b.clone(), vec![50.0, 30.0, 5.0]);
         for p in g.take(40) {
             assert!(b.contains(&p), "{p:?} outside bounds");
@@ -279,7 +290,10 @@ mod tests {
     #[test]
     fn degenerate_dimension_is_handled() {
         // One pinned coordinate: boxes are 1-D slabs.
-        let b = SearchBounds { lower: vec![0.0, 7.0], upper: vec![100.0, 7.0] };
+        let b = SearchBounds {
+            lower: vec![0.0, 7.0],
+            upper: vec![100.0, 7.0],
+        };
         let g = StartPointGenerator::new(b.clone(), vec![30.0, 7.0]);
         let pts: Vec<_> = g.take(10).collect();
         assert_eq!(pts.len(), 10);

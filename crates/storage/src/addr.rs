@@ -27,7 +27,11 @@ impl AddressSpace {
     /// A space with 128-byte alignment (one adjacent-line prefetch pair)
     /// and a 4 KiB guard gap between allocations.
     pub fn new() -> Self {
-        Self { next: Self::BASE, alignment: 128, guard_bytes: 4096 }
+        Self {
+            next: Self::BASE,
+            alignment: 128,
+            guard_bytes: 4096,
+        }
     }
 
     /// Allocate `bytes` and return the base address of the range.

@@ -77,7 +77,11 @@ impl Column {
     pub fn new(name: impl Into<String>, data: ColumnData, space: &mut AddressSpace) -> Self {
         let bytes = data.len() as u64 * u64::from(data.width());
         let base_addr = space.alloc(bytes);
-        Self { name: name.into(), data, base_addr }
+        Self {
+            name: name.into(),
+            data,
+            base_addr,
+        }
     }
 
     /// Column name.

@@ -108,12 +108,7 @@ pub fn zipf(n: usize, universe: u32, theta: f64, seed: u64) -> Vec<i32> {
 /// perfectly correlated; large spans decorrelate them. Exercises the
 /// correlation hazard of Section 4.5 (predicates on `a` and `b` are *not*
 /// independent).
-pub fn correlated_pair(
-    n: usize,
-    domain: u32,
-    noise_span: u32,
-    seed: u64,
-) -> (Vec<i32>, Vec<i32>) {
+pub fn correlated_pair(n: usize, domain: u32, noise_span: u32, seed: u64) -> (Vec<i32>, Vec<i32>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut a = Vec::with_capacity(n);
     let mut b = Vec::with_capacity(n);
@@ -201,7 +196,10 @@ mod tests {
         let samples = zipf(100_000, 100, 1.0, 5);
         let ones = samples.iter().filter(|&&v| v == 1).count();
         let hundreds = samples.iter().filter(|&&v| v == 100).count();
-        assert!(ones > 50 * hundreds.max(1), "ones={ones} hundreds={hundreds}");
+        assert!(
+            ones > 50 * hundreds.max(1),
+            "ones={ones} hundreds={hundreds}"
+        );
         assert!(samples.iter().all(|&v| (1..=100).contains(&v)));
     }
 

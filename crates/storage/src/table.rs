@@ -14,7 +14,11 @@ pub struct Table {
 impl Table {
     /// Create an empty table (columns added via [`Table::add_column`]).
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), columns: Vec::new(), rows: 0 }
+        Self {
+            name: name.into(),
+            columns: Vec::new(),
+            rows: 0,
+        }
     }
 
     /// Table name.

@@ -134,7 +134,11 @@ pub fn generate_lineitem(config: &TpchConfig) -> Table {
     t.add_column("l_orderkey", ColumnData::I32(orderkey), &mut space);
     t.add_column("l_partkey", ColumnData::I32(partkey), &mut space);
     t.add_column("l_quantity", ColumnData::I32(quantity), &mut space);
-    t.add_column("l_extendedprice", ColumnData::I32(extendedprice), &mut space);
+    t.add_column(
+        "l_extendedprice",
+        ColumnData::I32(extendedprice),
+        &mut space,
+    );
     t.add_column("l_discount", ColumnData::I32(discount), &mut space);
     t.add_column("l_tax", ColumnData::I32(tax), &mut space);
     t.add_column("l_shipdate", ColumnData::I32(shipdate), &mut space);
@@ -210,7 +214,10 @@ mod tests {
         let cfg = TpchConfig::tiny();
         let t = generate_lineitem(&cfg);
         let ok = t.column("l_orderkey").unwrap().data().as_i32().unwrap();
-        assert!(ok.windows(2).all(|w| w[1] >= w[0]), "orderkeys not ascending");
+        assert!(
+            ok.windows(2).all(|w| w[1] >= w[0]),
+            "orderkeys not ascending"
+        );
         assert_eq!(*ok.last().unwrap() as usize, cfg.orders() - 1);
     }
 

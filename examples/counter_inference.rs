@@ -46,7 +46,9 @@ fn main() {
         .iter()
         .map(|p| {
             let col = table.column(&p.column).expect("column exists");
-            let hits = (start..start + vector).filter(|&i| p.eval(col.get(i))).count();
+            let hits = (start..start + vector)
+                .filter(|&i| p.eval(col.get(i)))
+                .count();
             hits as f64 / vector as f64
         })
         .collect();

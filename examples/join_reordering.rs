@@ -23,9 +23,24 @@ fn scaled_cpu() -> CpuConfig {
     // LLC at example scale (see DESIGN.md on scale substitution).
     let mut cfg = CpuConfig::xeon_e5_2630_v2();
     cfg.levels = vec![
-        CacheLevelConfig { capacity_bytes: 8 * 1024, line_bytes: 64, ways: 8, hit_latency_cycles: 0 },
-        CacheLevelConfig { capacity_bytes: 32 * 1024, line_bytes: 64, ways: 8, hit_latency_cycles: 10 },
-        CacheLevelConfig { capacity_bytes: 128 * 1024, line_bytes: 64, ways: 16, hit_latency_cycles: 30 },
+        CacheLevelConfig {
+            capacity_bytes: 8 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 0,
+        },
+        CacheLevelConfig {
+            capacity_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 10,
+        },
+        CacheLevelConfig {
+            capacity_bytes: 128 * 1024,
+            line_bytes: 64,
+            ways: 16,
+            hit_latency_cycles: 30,
+        },
     ];
     cfg
 }
@@ -45,18 +60,39 @@ fn main() {
 
     let build = |orders_first: bool| {
         let jo = FilterOp::join_filter(
-            &lineitem, "l_orderkey", &orders, "o_totalprice", CompareOp::Lt, 250_000, 0, 100,
+            &lineitem,
+            "l_orderkey",
+            &orders,
+            "o_totalprice",
+            CompareOp::Lt,
+            250_000,
+            0,
+            100,
         )
         .expect("orders join");
         let jp = FilterOp::join_filter(
-            &lineitem, "l_partkey", &part, "p_retailprice", CompareOp::Lt, 1_500, 1, 101,
+            &lineitem,
+            "l_partkey",
+            &part,
+            "p_retailprice",
+            CompareOp::Lt,
+            1_500,
+            1,
+            101,
         )
         .expect("part join");
-        let ops = if orders_first { vec![jo, jp] } else { vec![jp, jo] };
+        let ops = if orders_first {
+            vec![jo, jp]
+        } else {
+            vec![jp, jo]
+        };
         Pipeline::new(ops, lineitem.rows()).expect("pipeline")
     };
 
-    for (label, orders_first) in [("part-first  (textbook)", false), ("orders-first (counters)", true)] {
+    for (label, orders_first) in [
+        ("part-first  (textbook)", false),
+        ("orders-first (counters)", true),
+    ] {
         let pipeline = build(orders_first);
         let mut cpu = SimCpu::new(scaled_cpu());
         let stats = pipeline.run_range(&mut cpu, 0, lineitem.rows());

@@ -43,7 +43,10 @@ fn main() {
         progressive.millis, progressive.result.rows_qualified, progressive.result.sum
     );
 
-    assert_eq!(baseline.result, progressive.result, "same answer either way");
+    assert_eq!(
+        baseline.result, progressive.result,
+        "same answer either way"
+    );
     println!(
         "\nspeedup: {:.2}x; estimator ran {} times; final PEO {:?}",
         baseline.millis / progressive.millis,

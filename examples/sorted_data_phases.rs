@@ -16,9 +16,7 @@ use popt::storage::distribution::Layout;
 use popt::storage::tpch::{generate_lineitem, TpchConfig};
 
 fn main() {
-    let table = generate_lineitem(
-        &TpchConfig::with_rows(1 << 19).shipdate_layout(Layout::Sorted),
-    );
+    let table = generate_lineitem(&TpchConfig::with_rows(1 << 19).shipdate_layout(Layout::Sorted));
 
     // Start from a bad static order: date bounds last.
     let bad = vec![4, 3, 2, 0, 1];

@@ -1,0 +1,42 @@
+//! Facade smoke test: the `popt` re-exports must compose into a working
+//! end-to-end run, enforcing the doctest contract of `crates/core/src/lib.rs`
+//! as a regular test (doctests are easy to skip; this is not).
+
+use popt::core::query::{QueryBuilder, RunMode};
+use popt::core::QueryBuilder as ReexportedBuilder;
+use popt::storage::tpch::{generate_lineitem, TpchConfig};
+
+#[test]
+fn facade_reexports_compile_and_agree() {
+    let table = generate_lineitem(&TpchConfig::tiny());
+    let baseline = QueryBuilder::q6(&table)
+        .run(RunMode::Baseline)
+        .expect("baseline runs");
+    let optimized = QueryBuilder::q6(&table)
+        .run(RunMode::Progressive { reop_interval: 2 })
+        .expect("progressive runs");
+    // Same answer, independent of how the plan was reordered mid-query.
+    assert_eq!(baseline.result.sum, optimized.result.sum);
+    assert_eq!(
+        baseline.result.rows_qualified,
+        optimized.result.rows_qualified
+    );
+    assert!(
+        baseline.result.rows_qualified > 0,
+        "tiny config must qualify rows"
+    );
+}
+
+#[test]
+fn crate_root_reexport_paths_agree() {
+    // `popt::core::QueryBuilder` (crate-root re-export) and
+    // `popt::core::query::QueryBuilder` (module path) must be one type.
+    let table = generate_lineitem(&TpchConfig::tiny());
+    let via_module = QueryBuilder::q6(&table)
+        .run(RunMode::Baseline)
+        .expect("runs");
+    let via_reexport = ReexportedBuilder::q6(&table)
+        .run(popt::core::RunMode::Baseline)
+        .expect("runs");
+    assert_eq!(via_module.result, via_reexport.result);
+}

@@ -61,15 +61,25 @@ fn selectivity_drift_triggers_mid_query_reordering() {
         vec![],
     )
     .unwrap();
-    let vectors = VectorConfig { vector_tuples: 8_192, max_vectors: None };
-    let config = ProgressiveConfig { reop_interval: 2, ..Default::default() };
+    let vectors = VectorConfig {
+        vector_tuples: 8_192,
+        max_vectors: None,
+    };
+    let config = ProgressiveConfig {
+        reop_interval: 2,
+        ..Default::default()
+    };
 
     let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
     let prog = run_progressive(&t, &plan, &[0, 1], vectors, &mut cpu, &config).unwrap();
     // First half: `a` is dilute (0..100) so `a<50` passes ~50% while
     // `b<50` passes ~5% — optimal order [1,0]. Second half: roles swap —
     // optimal order [0,1]. The run must switch and end on [0,1].
-    assert!(prog.switches.iter().any(|s| !s.reverted), "{:?}", prog.switches);
+    assert!(
+        prog.switches.iter().any(|s| !s.reverted),
+        "{:?}",
+        prog.switches
+    );
     assert_eq!(prog.final_peo, vec![0, 1], "{:?}", prog.switches);
 
     // And it must beat both static orders.
@@ -107,8 +117,14 @@ fn correlated_predicates_do_not_thrash_the_optimizer() {
         vec![],
     )
     .unwrap();
-    let vectors = VectorConfig { vector_tuples: 8_192, max_vectors: None };
-    let config = ProgressiveConfig { reop_interval: 2, ..Default::default() };
+    let vectors = VectorConfig {
+        vector_tuples: 8_192,
+        max_vectors: None,
+    };
+    let config = ProgressiveConfig {
+        reop_interval: 2,
+        ..Default::default()
+    };
     let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
     let prog = run_progressive(&t, &plan, &[0, 1], vectors, &mut cpu, &config).unwrap();
 
@@ -138,8 +154,14 @@ fn exploration_is_stall_gated() {
     // estimator/measurement disagreement may probe alternate orders, but
     // must stay within a modest premium of the static plan.
     let rows = 1 << 17;
-    let vectors = VectorConfig { vector_tuples: 8_192, max_vectors: None };
-    let config = ProgressiveConfig { reop_interval: 2, ..Default::default() };
+    let vectors = VectorConfig {
+        vector_tuples: 8_192,
+        max_vectors: None,
+    };
+    let config = ProgressiveConfig {
+        reop_interval: 2,
+        ..Default::default()
+    };
     assert!(config.explore_correlation, "exploration is on by default");
 
     // Converging workload: no exploratory switches at all.

@@ -45,9 +45,7 @@ fn plan_for(selectivities: &[f64]) -> SelectionPlan {
         selectivities
             .iter()
             .enumerate()
-            .map(|(i, &s)| {
-                Predicate::new(format!("c{i}"), CompareOp::Lt, (s * 1000.0) as i64)
-            })
+            .map(|(i, &s)| Predicate::new(format!("c{i}"), CompareOp::Lt, (s * 1000.0) as i64))
             .collect(),
         vec![],
     )

@@ -11,16 +11,39 @@ use popt::storage::tpch::{generate_lineitem, generate_orders, generate_part, Tpc
 fn small_cache_cpu() -> CpuConfig {
     let mut cfg = CpuConfig::xeon_e5_2630_v2();
     cfg.levels = vec![
-        CacheLevelConfig { capacity_bytes: 4 * 1024, line_bytes: 64, ways: 8, hit_latency_cycles: 0 },
-        CacheLevelConfig { capacity_bytes: 16 * 1024, line_bytes: 64, ways: 8, hit_latency_cycles: 10 },
-        CacheLevelConfig { capacity_bytes: 64 * 1024, line_bytes: 64, ways: 16, hit_latency_cycles: 30 },
+        CacheLevelConfig {
+            capacity_bytes: 4 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 0,
+        },
+        CacheLevelConfig {
+            capacity_bytes: 16 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 10,
+        },
+        CacheLevelConfig {
+            capacity_bytes: 64 * 1024,
+            line_bytes: 64,
+            ways: 16,
+            hit_latency_cycles: 30,
+        },
     ];
     cfg
 }
 
-fn setup() -> (popt::storage::Table, popt::storage::Table, popt::storage::Table) {
+fn setup() -> (
+    popt::storage::Table,
+    popt::storage::Table,
+    popt::storage::Table,
+) {
     let cfg = TpchConfig::with_rows(1 << 16);
-    (generate_lineitem(&cfg), generate_orders(&cfg), generate_part(&cfg))
+    (
+        generate_lineitem(&cfg),
+        generate_orders(&cfg),
+        generate_part(&cfg),
+    )
 }
 
 #[test]
@@ -28,10 +51,9 @@ fn orders_join_is_coclustered_part_join_is_not() {
     let (lineitem, orders, part) = setup();
     let cpu_cfg = small_cache_cpu();
     let probe = |fk: &str, dim: &popt::storage::Table, col: &str| {
-        let join = FilterOp::join_filter(
-            &lineitem, fk, dim, col, CompareOp::Lt, i64::MAX / 2, 0, 100,
-        )
-        .expect("join compiles");
+        let join =
+            FilterOp::join_filter(&lineitem, fk, dim, col, CompareOp::Lt, i64::MAX / 2, 0, 100)
+                .expect("join compiles");
         let pipeline = Pipeline::new(vec![join], lineitem.rows()).expect("pipeline");
         let mut cpu = SimCpu::new(cpu_cfg.clone());
         let stats = pipeline.run_range(&mut cpu, 0, lineitem.rows());
@@ -58,14 +80,32 @@ fn coclustered_join_first_is_faster() {
     let (lineitem, orders, part) = setup();
     let run = |orders_first: bool| {
         let jo = FilterOp::join_filter(
-            &lineitem, "l_orderkey", &orders, "o_totalprice", CompareOp::Lt, 250_000, 0, 100,
+            &lineitem,
+            "l_orderkey",
+            &orders,
+            "o_totalprice",
+            CompareOp::Lt,
+            250_000,
+            0,
+            100,
         )
         .expect("orders join");
         let jp = FilterOp::join_filter(
-            &lineitem, "l_partkey", &part, "p_retailprice", CompareOp::Lt, 1_500, 1, 101,
+            &lineitem,
+            "l_partkey",
+            &part,
+            "p_retailprice",
+            CompareOp::Lt,
+            1_500,
+            1,
+            101,
         )
         .expect("part join");
-        let ops = if orders_first { vec![jo, jp] } else { vec![jp, jo] };
+        let ops = if orders_first {
+            vec![jo, jp]
+        } else {
+            vec![jp, jo]
+        };
         let pipeline = Pipeline::new(ops, lineitem.rows()).expect("pipeline");
         let mut cpu = SimCpu::new(small_cache_cpu());
         let stats = pipeline.run_range(&mut cpu, 0, lineitem.rows());
@@ -85,10 +125,9 @@ fn detector_recommends_the_fast_order() {
     let (lineitem, orders, part) = setup();
     let cpu_cfg = small_cache_cpu();
     let observe = |fk: &str, dim: &popt::storage::Table, col: &str, name: &str| {
-        let join = FilterOp::join_filter(
-            &lineitem, fk, dim, col, CompareOp::Lt, i64::MAX / 2, 0, 100,
-        )
-        .expect("join compiles");
+        let join =
+            FilterOp::join_filter(&lineitem, fk, dim, col, CompareOp::Lt, i64::MAX / 2, 0, 100)
+                .expect("join compiles");
         let pipeline = Pipeline::new(vec![join], lineitem.rows()).expect("pipeline");
         let mut cpu = SimCpu::new(cpu_cfg.clone());
         let stats = pipeline.run_range(&mut cpu, 0, 1 << 14);
@@ -116,10 +155,17 @@ fn detector_recommends_the_fast_order() {
 fn mixed_selection_join_pipeline_is_order_invariant() {
     let (lineitem, orders, _) = setup();
     let run = |order: [usize; 2]| {
-        let sel = FilterOp::select(&lineitem, "l_quantity", CompareOp::Lt, 24, 0, 0)
-            .expect("selection");
+        let sel =
+            FilterOp::select(&lineitem, "l_quantity", CompareOp::Lt, 24, 0, 0).expect("selection");
         let join = FilterOp::join_filter(
-            &lineitem, "l_orderkey", &orders, "o_totalprice", CompareOp::Lt, 250_000, 1, 100,
+            &lineitem,
+            "l_orderkey",
+            &orders,
+            "o_totalprice",
+            CompareOp::Lt,
+            250_000,
+            1,
+            100,
         )
         .expect("join");
         let mut pipeline = Pipeline::new(vec![sel, join], lineitem.rows()).expect("pipeline");
@@ -140,10 +186,21 @@ fn expensive_selection_changes_the_best_order() {
         let sel = FilterOp::select(&lineitem, "l_quantity", CompareOp::Lt, 45, 0, expensive)
             .expect("selection");
         let join = FilterOp::join_filter(
-            &lineitem, "l_orderkey", &orders, "o_totalprice", CompareOp::Lt, 100_000, 1, 100,
+            &lineitem,
+            "l_orderkey",
+            &orders,
+            "o_totalprice",
+            CompareOp::Lt,
+            100_000,
+            1,
+            100,
         )
         .expect("join");
-        let ops = if join_first { vec![join, sel] } else { vec![sel, join] };
+        let ops = if join_first {
+            vec![join, sel]
+        } else {
+            vec![sel, join]
+        };
         let pipeline = Pipeline::new(ops, lineitem.rows()).expect("pipeline");
         let mut cpu = SimCpu::new(small_cache_cpu());
         pipeline.run_range(&mut cpu, 0, lineitem.rows());

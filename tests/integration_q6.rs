@@ -1,8 +1,8 @@
 //! Cross-crate integration: TPC-H Q6 end to end — storage generation,
 //! engine execution on the simulated CPU, progressive optimization.
 
-use popt::core::query::{QueryBuilder, RunMode};
 use popt::core::plan::SelectionPlan;
+use popt::core::query::{QueryBuilder, RunMode};
 use popt::storage::distribution::Layout;
 use popt::storage::tpch::{generate_lineitem, TpchConfig};
 
@@ -128,9 +128,7 @@ fn counters_satisfy_paper_identities_end_to_end() {
 
 #[test]
 fn sorted_layout_enables_phase_switches() {
-    let t = generate_lineitem(
-        &TpchConfig::with_rows(1 << 16).shipdate_layout(Layout::Sorted),
-    );
+    let t = generate_lineitem(&TpchConfig::with_rows(1 << 16).shipdate_layout(Layout::Sorted));
     let r = QueryBuilder::q6(&t)
         .vector_tuples(2048)
         .run(RunMode::Progressive { reop_interval: 2 })
@@ -176,6 +174,9 @@ fn different_cpu_presets_agree_on_results() {
             .run(RunMode::Baseline)
             .expect("runs");
         let reference = QueryBuilder::q6(&t).run(RunMode::Baseline).expect("runs");
-        assert_eq!(r.result, reference.result, "results must not depend on the CPU");
+        assert_eq!(
+            r.result, reference.result,
+            "results must not depend on the CPU"
+        );
     }
 }

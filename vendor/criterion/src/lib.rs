@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-io access, so this vendored crate
+//! implements the criterion API subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], group tuning knobs, `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short fixed
+//! number of timed iterations and prints mean wall-clock time per
+//! iteration (plus element throughput when declared). There is no
+//! statistical analysis, no HTML report, and no `target/criterion`
+//! output — the goal is that `cargo bench` builds, runs, and produces a
+//! stable, greppable text summary.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark (upstream criterion's
+/// `sample_size` is accepted but capped to this, keeping CI smoke cheap).
+const MAX_ITERS: u64 = 5;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a name and a parameter, rendered `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it a small fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// The top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: MAX_ITERS,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing tuning and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration count (capped for CI friendliness).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).clamp(1, MAX_ITERS);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; iteration count governs runtime.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare the work performed by one iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Close the group (upstream renders summaries here; we report as we go).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let per_iter = bencher.total.as_secs_f64() / bencher.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<40} {:>12.3} ms/iter{}",
+            format!("{}/{}", self.name, id),
+            per_iter * 1e3,
+            rate
+        );
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

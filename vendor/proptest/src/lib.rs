@@ -1,0 +1,112 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates-io access, so this vendored crate
+//! implements the subset of proptest's surface the workspace's property
+//! tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), range and [`any`] strategies, and
+//! the `prop_assert*` macros.
+//!
+//! Semantics vs. upstream: cases are sampled deterministically (seeded
+//! from the test function's name), and there is no shrinking — a failing
+//! case panics with the regular `assert!` message. That keeps failures
+//! reproducible without a persistence file.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable API surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a [`proptest!`] test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a [`proptest!`] test case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] test case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// item becomes a `#[test]` that samples its arguments from the given
+/// strategies for `config.cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal tt-muncher behind [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _ in 0..config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10i64..20, y in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn any_values_are_sampled(s in any::<u64>(), b in any::<bool>()) {
+            // Both branches of `b` and the full width of `s` are exercised
+            // across cases; here we only check the values are usable.
+            prop_assert_eq!(s.wrapping_add(0), s);
+            prop_assert!(usize::from(b) < 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..4) {
+            prop_assert!(x < 4);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Test-case configuration and the deterministic RNG driving sampling.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` configuration, mirroring `proptest::test_runner::Config`.
+///
+/// Only the fields the workspace touches are modeled; construct with
+/// struct-update syntax: `Config { cases: 24, ..Config::default() }`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of randomized cases to run per test.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; shrinking is not implemented,
+    /// so this is never read.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic per-test RNG: every test function gets its own stream,
+/// seeded from its name, so failures reproduce run over run.
+#[derive(Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed the stream from an arbitrary label (the test function name).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label: stable across runs and platforms.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in label.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Sample uniformly from any range the `rand` stand-in supports —
+    /// range strategies delegate here so the sampling logic lives in one
+    /// crate.
+    pub fn sample_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+        use rand::Rng as _;
+        self.inner.gen_range(range)
+    }
+}
