@@ -16,6 +16,7 @@
 
 use popt_core::exec::pipeline::{FilterOp, Pipeline};
 use popt_core::predicate::CompareOp;
+use popt_core::progressive::{run_progressive_pipeline, ProgressiveConfig, VectorConfig};
 use popt_cpu::{CacheLevelConfig, CpuConfig, SimCpu};
 use popt_storage::distribution::knuth_shuffle_window;
 use popt_storage::{AddressSpace, ColumnData, Table};
@@ -103,13 +104,15 @@ pub fn run(ctx: &FigureCtx) {
         "sortedness",
         "sel_first_ms",
         "join_first_ms",
+        "progressive_ms",
         "sel_first_l3_misses",
         "join_first_l3_misses",
         "winner",
+        "prog_final",
     ]);
     let results = parallel_map(&windows, |&(label, window)| {
         let (fact, dim) = fact_and_dim(rows, window, 0xF1614);
-        let run_order = |order: [usize; 2]| {
+        let build = || {
             // Expensive selection (~50 instructions of UDF work) with 50%
             // selectivity; join filter with 50% selectivity on the
             // dimension payload.
@@ -126,8 +129,10 @@ pub fn run(ctx: &FigureCtx) {
                 100,
             )
             .expect("join compiles");
-            let mut pipeline =
-                Pipeline::new(vec![sel, join], fact.rows()).expect("two-stage pipeline");
+            Pipeline::new(vec![sel, join], fact.rows()).expect("two-stage pipeline")
+        };
+        let run_order = |order: [usize; 2]| {
+            let mut pipeline = build();
             pipeline.reorder(&order).expect("valid order");
             let mut cpu = SimCpu::new(scaled_cpu());
             let stats = pipeline.run_range(&mut cpu, 0, fact.rows());
@@ -136,9 +141,44 @@ pub fn run(ctx: &FigureCtx) {
         let (sel_ms, sel_miss, q1) = run_order([0, 1]);
         let (join_ms, join_miss, q2) = run_order([1, 0]);
         assert_eq!(q1, q2, "order must not change the result");
-        (label, sel_ms, join_ms, sel_miss, join_miss)
+
+        // Progressive execution starting from the *wrong* static order:
+        // it must discover the crossover side on its own from the
+        // counters (Section 5.5).
+        let worse: [usize; 2] = if sel_ms <= join_ms { [1, 0] } else { [0, 1] };
+        let mut pipeline = build();
+        let mut cpu = SimCpu::new(scaled_cpu());
+        let prog = run_progressive_pipeline(
+            &mut pipeline,
+            &worse,
+            VectorConfig {
+                vector_tuples: 4096,
+                max_vectors: None,
+            },
+            &mut cpu,
+            &ProgressiveConfig {
+                reop_interval: 2,
+                ..Default::default()
+            },
+        )
+        .expect("progressive pipeline runs");
+        assert_eq!(prog.qualified, q1, "progressive must not change the result");
+        let prog_final = if prog.final_peo == vec![0, 1] {
+            "sel-first"
+        } else {
+            "join-first"
+        };
+        (
+            label,
+            sel_ms,
+            join_ms,
+            prog.millis,
+            sel_miss,
+            join_miss,
+            prog_final,
+        )
     });
-    for (label, sel_ms, join_ms, sel_miss, join_miss) in results {
+    for (label, sel_ms, join_ms, prog_ms, sel_miss, join_miss, prog_final) in results {
         let winner = if join_ms < sel_ms {
             "join-first"
         } else {
@@ -148,13 +188,17 @@ pub fn run(ctx: &FigureCtx) {
             label.to_string(),
             fmt(sel_ms),
             fmt(join_ms),
+            fmt(prog_ms),
             sel_miss.to_string(),
             join_miss.to_string(),
             winner.to_string(),
+            prog_final.to_string(),
         ]);
     }
     println!(
         "# expectation: join-first wins while the shuffle window fits the caches, \
-              selection-first wins at Mem; the L3-miss columns expose the crossover"
+              selection-first wins at Mem; the L3-miss columns expose the crossover. \
+              progressive starts from the worse static order on every row and should \
+              track the winner's time closely on both sides of the crossover"
     );
 }

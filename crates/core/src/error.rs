@@ -22,6 +22,16 @@ pub enum EngineError {
     },
     /// A vectorization parameter is zero or otherwise unusable.
     InvalidVectorConfig(String),
+    /// A foreign-key column holds a key outside the dimension table's row
+    /// range (negative or dangling), detected at join-filter construction.
+    ForeignKeyOutOfRange {
+        /// The offending foreign-key column.
+        column: String,
+        /// The first out-of-range key value.
+        key: i64,
+        /// Rows in the probed dimension table.
+        dim_rows: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +49,17 @@ impl fmt::Display for EngineError {
                 write!(f, "PEO {got:?} is not a permutation of 0..{expected}")
             }
             EngineError::InvalidVectorConfig(msg) => write!(f, "invalid vector config: {msg}"),
+            EngineError::ForeignKeyOutOfRange {
+                column,
+                key,
+                dim_rows,
+            } => {
+                write!(
+                    f,
+                    "foreign key column {column:?} holds key {key} outside the \
+                     dimension's 0..{dim_rows} row range"
+                )
+            }
         }
     }
 }

@@ -15,11 +15,14 @@
 //! access stream, a probe into a randomly keyed dimension (lineitem→part)
 //! produces the random pattern Equation 1 prices.
 
-use popt_cpu::{BranchSite, SimCpu};
+use popt_cost::estimate::{PlanGeometry, ProbeGeometry};
+use popt_cost::join_model::JoinGeometry;
+use popt_cost::markov::ChainSpec;
+use popt_cpu::{BranchSite, CpuConfig, SimCpu};
 use popt_storage::Table;
 
 use crate::error::EngineError;
-use crate::exec::scan::{InstrCosts, VectorStats, LOOP_BRANCH_SITE};
+use crate::exec::scan::{AggColumn, InstrCosts, VectorStats, LOOP_BRANCH_SITE};
 use crate::predicate::CompareOp;
 
 /// One pipeline stage: pass/fail per tuple.
@@ -64,6 +67,24 @@ pub enum FilterOp<'t> {
         /// Instructions per probe (index arithmetic / hashing).
         probe_instructions: u64,
     },
+}
+
+impl std::fmt::Debug for FilterOp<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterOp::Select { op, literal, .. } => {
+                write!(f, "Select({op:?} {literal})")
+            }
+            FilterOp::JoinFilter {
+                dim_values,
+                op,
+                literal,
+                ..
+            } => {
+                write!(f, "JoinFilter({} rows, {op:?} {literal})", dim_values.len())
+            }
+        }
+    }
 }
 
 impl<'t> FilterOp<'t> {
@@ -126,6 +147,19 @@ impl<'t> FilterOp<'t> {
             .data()
             .as_i32()
             .ok_or_else(|| EngineError::UnsupportedColumnType(dim_column.to_string()))?;
+        // Validate the whole key range up front: a dangling or negative
+        // key would otherwise surface as an unhelpful slice-index panic
+        // deep inside the hot loop (negative keys wrap via `as usize`).
+        if let Some(&bad) = fk
+            .iter()
+            .find(|&&k| k < 0 || k as usize >= dim_values.len())
+        {
+            return Err(EngineError::ForeignKeyOutOfRange {
+                column: fk_column.to_string(),
+                key: i64::from(bad),
+                dim_rows: dim_values.len(),
+            });
+        }
         Ok(FilterOp::JoinFilter {
             fk,
             fk_base: fk_col.base_addr(),
@@ -174,6 +208,7 @@ impl<'t> FilterOp<'t> {
             } => {
                 cpu.load(*fk_stream, fk_base + (i as u64) * 4, 4);
                 let key = fk[i] as usize;
+                // The full key range was validated at construction.
                 debug_assert!(key < dim_values.len(), "dangling foreign key");
                 cpu.load(*dim_stream, dim_base + (key as u64) * 4, 4);
                 cpu.instr(costs.per_eval + probe_instructions);
@@ -191,12 +226,59 @@ impl<'t> FilterOp<'t> {
             FilterOp::JoinFilter { .. } => "join",
         }
     }
+
+    /// Whether this stage is a foreign-key join filter.
+    pub fn is_join(&self) -> bool {
+        matches!(self, FilterOp::JoinFilter { .. })
+    }
+
+    /// Instructions charged per evaluation (on top of the base per-eval
+    /// charge) — UDF work for selects, probe arithmetic for joins.
+    fn extra_instructions(&self) -> u64 {
+        match self {
+            FilterOp::Select {
+                extra_instructions, ..
+            } => *extra_instructions,
+            FilterOp::JoinFilter {
+                probe_instructions, ..
+            } => *probe_instructions,
+        }
+    }
+
+    /// Stream id of the fact-table column this stage reads per tuple (the
+    /// predicate column for selects, the FK column for joins).
+    fn column_stream(&self) -> usize {
+        match self {
+            FilterOp::Select { stream, .. } => *stream,
+            FilterOp::JoinFilter { fk_stream, .. } => *fk_stream,
+        }
+    }
+
+    /// Rows of the probed dimension, for join filters.
+    fn dim_rows(&self) -> Option<usize> {
+        match self {
+            FilterOp::Select { .. } => None,
+            FilterOp::JoinFilter { dim_values, .. } => Some(dim_values.len()),
+        }
+    }
 }
 
 /// A pipeline of filter stages with count/sum semantics identical to the
 /// scan executor.
+///
+/// Stages live in *plan order* (construction order, the analogue of a
+/// [`crate::plan::SelectionPlan`]'s predicate list); the evaluation order
+/// is a separate permutation of plan indices, adjusted by [`reorder`] and
+/// — through the progressive optimizer — at runtime.
+///
+/// [`reorder`]: Pipeline::reorder
 pub struct Pipeline<'t> {
+    /// Stages in plan (construction) order.
     ops: Vec<FilterOp<'t>>,
+    /// Evaluation order: plan indices.
+    order: Vec<usize>,
+    /// Aggregate columns read for qualifying tuples.
+    agg: Vec<AggColumn<'t>>,
     rows: usize,
     costs: InstrCosts,
 }
@@ -206,24 +288,53 @@ impl std::fmt::Debug for Pipeline<'_> {
         f.debug_struct("Pipeline")
             .field(
                 "ops",
-                &self.ops.iter().map(FilterOp::label).collect::<Vec<_>>(),
+                &self
+                    .order
+                    .iter()
+                    .map(|&j| self.ops[j].label())
+                    .collect::<Vec<_>>(),
             )
+            .field("order", &self.order)
+            .field("agg_columns", &self.agg.len())
             .field("rows", &self.rows)
             .finish()
     }
 }
 
 impl<'t> Pipeline<'t> {
-    /// Build a pipeline over `rows` fact tuples.
+    /// Build a pipeline over `rows` fact tuples; the initial evaluation
+    /// order is the plan order.
     pub fn new(ops: Vec<FilterOp<'t>>, rows: usize) -> Result<Self, EngineError> {
         if ops.is_empty() {
             return Err(EngineError::EmptyPlan);
         }
+        let order = (0..ops.len()).collect();
         Ok(Self {
             ops,
+            order,
+            agg: Vec::new(),
             rows,
             costs: InstrCosts::default(),
         })
+    }
+
+    /// Add an aggregate column (on the fact table) summed for qualifying
+    /// tuples — the same product-then-sum semantics as the scan executor.
+    pub fn with_aggregate(mut self, table: &'t Table, column: &str) -> Result<Self, EngineError> {
+        let idx = table
+            .column_index(column)
+            .ok_or_else(|| EngineError::UnknownColumn(column.to_string()))?;
+        let col = table.column_at(idx);
+        let values = col
+            .data()
+            .as_i32()
+            .ok_or_else(|| EngineError::UnsupportedColumnType(column.to_string()))?;
+        self.agg.push(AggColumn {
+            values,
+            base: col.base_addr(),
+            stream: idx,
+        });
+        Ok(self)
     }
 
     /// Number of stages.
@@ -236,7 +347,24 @@ impl<'t> Pipeline<'t> {
         self.ops.is_empty()
     }
 
-    /// Reorder stages (e.g. join-first vs. selection-first).
+    /// Rows in the underlying fact table.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The current evaluation order (plan indices).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The stage at plan index `j`.
+    pub fn op(&self, j: usize) -> &FilterOp<'t> {
+        &self.ops[j]
+    }
+
+    /// Set the evaluation order (e.g. join-first vs. selection-first).
+    /// `order` is a permutation of *plan* indices, so repeated reorders
+    /// are absolute, not relative to the current arrangement.
     pub fn reorder(&mut self, order: &[usize]) -> Result<(), EngineError> {
         let p = self.ops.len();
         let mut seen = vec![false; p];
@@ -250,11 +378,7 @@ impl<'t> Pipeline<'t> {
                 got: order.to_vec(),
             });
         }
-        let mut slots: Vec<Option<FilterOp<'t>>> = self.ops.drain(..).map(Some).collect();
-        self.ops = order
-            .iter()
-            .map(|&i| slots[i].take().expect("validated permutation"))
-            .collect();
+        self.order.copy_from_slice(order);
         Ok(())
     }
 
@@ -263,17 +387,27 @@ impl<'t> Pipeline<'t> {
         assert!(start <= end && end <= self.rows, "row range out of bounds");
         let before = cpu.counters();
         let mut qualified = 0u64;
+        let mut sum = 0i64;
         for i in start..end {
             cpu.instr(self.costs.loop_overhead);
             let mut pass = true;
-            for op in &self.ops {
-                if !op.eval(cpu, i, &self.costs) {
+            for &j in &self.order {
+                if !self.ops[j].eval(cpu, i, &self.costs) {
                     pass = false;
                     break;
                 }
             }
             if pass {
                 qualified += 1;
+                let mut product = 1i64;
+                for a in &self.agg {
+                    cpu.load(a.stream, a.base + (i as u64) * 4, 4);
+                    cpu.instr(self.costs.per_agg_column);
+                    product *= i64::from(a.values[i]);
+                }
+                if !self.agg.is_empty() {
+                    sum += product;
+                }
             }
             cpu.branch(LOOP_BRANCH_SITE, true);
         }
@@ -281,9 +415,78 @@ impl<'t> Pipeline<'t> {
         VectorStats {
             tuples: (end - start) as u64,
             qualified,
-            sum: 0,
+            sum,
             counters: after.since(&before),
         }
+    }
+
+    /// Counter-model geometry for the current evaluation order, the
+    /// pipeline analogue of `CompiledSelection::plan_geometry`.
+    ///
+    /// `clustering` holds one entry per *plan* stage: the measured
+    /// clustering ratio of that stage's dimension probe (ignored for
+    /// selects; `1.0` = assume uniform random). Cache shape (line size,
+    /// LLC capacity, the L2 capacity that gates whether probes reach L3 at
+    /// all) comes from the CPU the pipeline runs on.
+    pub fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, clustering: &[f64]) -> PlanGeometry {
+        assert_eq!(clustering.len(), self.ops.len(), "one entry per stage");
+        let line_bytes = cpu.line_bytes() as u32;
+        let llc_lines = cpu.llc().lines();
+        let upper_cache_bytes = cpu.levels.get(1).map_or(0.0, |l| l.capacity_bytes as f64);
+        let chain = ChainSpec {
+            states: cpu.predictor.states,
+            not_taken_states: cpu.predictor.not_taken_states,
+        };
+        let column_ids: Vec<usize> = self
+            .order
+            .iter()
+            .map(|&j| self.ops[j].column_stream())
+            .collect();
+        let probes: Vec<Option<ProbeGeometry>> = self
+            .order
+            .iter()
+            .map(|&j| {
+                self.ops[j].dim_rows().map(|rows| ProbeGeometry {
+                    relation: JoinGeometry {
+                        relation_tuples: rows as u64,
+                        tuple_bytes: 4,
+                        line_bytes,
+                        cache_lines: llc_lines,
+                    },
+                    upper_cache_bytes,
+                    clustering: clustering[j].clamp(0.0, 1.0),
+                })
+            })
+            .collect();
+        let mut seen_agg: Vec<usize> = Vec::with_capacity(self.agg.len());
+        let agg_bytes: Vec<u32> = self
+            .agg
+            .iter()
+            .filter(|a| {
+                let fresh = !column_ids.contains(&a.stream) && !seen_agg.contains(&a.stream);
+                seen_agg.push(a.stream);
+                fresh
+            })
+            .map(|_| 4)
+            .collect();
+        PlanGeometry {
+            n_input,
+            value_bytes: vec![4; self.ops.len()],
+            column_ids,
+            agg_bytes,
+            line_bytes,
+            chain,
+            probes,
+        }
+    }
+
+    /// Instructions charged per evaluation of each stage, in the current
+    /// evaluation order — an input to the cost-per-input-tuple ranking.
+    pub fn stage_instructions(&self) -> Vec<f64> {
+        self.order
+            .iter()
+            .map(|&j| (self.costs.per_eval + self.ops[j].extra_instructions()) as f64)
+            .collect()
     }
 }
 
@@ -395,6 +598,154 @@ mod tests {
         assert_eq!(
             Pipeline::new(vec![], 10).unwrap_err(),
             EngineError::EmptyPlan
+        );
+    }
+
+    #[test]
+    fn negative_foreign_key_is_rejected_at_construction() {
+        let mut space = AddressSpace::new();
+        let mut fact = Table::new("fact");
+        fact.add_column("fk", ColumnData::I32(vec![0, 3, -1, 2]), &mut space);
+        let mut dim_space = AddressSpace::new();
+        let mut dim = Table::new("dim");
+        dim.add_column("payload", ColumnData::I32(vec![1; 10]), &mut dim_space);
+        let err = FilterOp::join_filter(&fact, "fk", &dim, "payload", CompareOp::Eq, 1, 0, 100)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ForeignKeyOutOfRange {
+                column: "fk".into(),
+                key: -1,
+                dim_rows: 10,
+            }
+        );
+    }
+
+    #[test]
+    fn dangling_foreign_key_is_rejected_at_construction() {
+        let mut space = AddressSpace::new();
+        let mut fact = Table::new("fact");
+        fact.add_column("fk", ColumnData::I32(vec![0, 10, 2]), &mut space);
+        let mut dim_space = AddressSpace::new();
+        let mut dim = Table::new("dim");
+        dim.add_column("payload", ColumnData::I32(vec![1; 10]), &mut dim_space);
+        let err = FilterOp::join_filter(&fact, "fk", &dim, "payload", CompareOp::Eq, 1, 0, 100)
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::ForeignKeyOutOfRange { key: 10, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn aggregates_match_the_scan_executor() {
+        use crate::exec::scan::CompiledSelection;
+        use crate::plan::SelectionPlan;
+        use crate::predicate::Predicate;
+
+        let (fact, _dim) = tables(3000, 100);
+        // Same conjunction on both executors: val < 50 AND fk_rand < 60,
+        // summing the val column for qualifying tuples.
+        let plan = SelectionPlan::new(
+            vec![
+                Predicate::new("val", CompareOp::Lt, 50),
+                Predicate::new("fk_rand", CompareOp::Lt, 60),
+            ],
+            vec!["val".into()],
+        )
+        .unwrap();
+        let compiled = CompiledSelection::compile(&fact, &plan, &[0, 1]).unwrap();
+        let mut cpu1 = cpu();
+        let scan_stats = compiled.run_range(&mut cpu1, 0, 3000);
+
+        let sel_val = FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 0).unwrap();
+        let sel_fk = FilterOp::select(&fact, "fk_rand", CompareOp::Lt, 60, 1, 0).unwrap();
+        let p = Pipeline::new(vec![sel_val, sel_fk], fact.rows())
+            .unwrap()
+            .with_aggregate(&fact, "val")
+            .unwrap();
+        let mut cpu2 = cpu();
+        let pipe_stats = p.run_range(&mut cpu2, 0, 3000);
+
+        assert_eq!(pipe_stats.qualified, scan_stats.qualified);
+        assert_eq!(pipe_stats.sum, scan_stats.sum);
+        assert!(pipe_stats.sum > 0, "aggregate path must actually sum");
+    }
+
+    #[test]
+    fn join_pipeline_aggregate_matches_host_evaluation() {
+        let (fact, dim) = tables(2000, 100);
+        let join =
+            FilterOp::join_filter(&fact, "fk_rand", &dim, "payload", CompareOp::Eq, 0, 1, 100)
+                .unwrap();
+        let p = Pipeline::new(vec![join], fact.rows())
+            .unwrap()
+            .with_aggregate(&fact, "val")
+            .unwrap();
+        let mut c = cpu();
+        let stats = p.run_range(&mut c, 0, 2000);
+
+        // Host-side ground truth.
+        let fk = fact.column("fk_rand").unwrap().data().as_i32().unwrap();
+        let val = fact.column("val").unwrap().data().as_i32().unwrap();
+        let payload = dim.column("payload").unwrap().data().as_i32().unwrap();
+        let expect: i64 = (0..2000)
+            .filter(|&i| payload[fk[i] as usize] == 0)
+            .map(|i| i64::from(val[i]))
+            .sum();
+        assert_eq!(stats.sum, expect);
+    }
+
+    #[test]
+    fn aggregate_on_unknown_column_is_rejected() {
+        let (fact, _dim) = tables(100, 10);
+        let sel = FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 0).unwrap();
+        let err = Pipeline::new(vec![sel], fact.rows())
+            .unwrap()
+            .with_aggregate(&fact, "nope")
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownColumn("nope".into()));
+    }
+
+    #[test]
+    fn reorder_is_absolute_over_plan_indices() {
+        let (fact, dim) = tables(1000, 100);
+        let sel = FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 0).unwrap();
+        let join =
+            FilterOp::join_filter(&fact, "fk_seq", &dim, "payload", CompareOp::Eq, 0, 1, 100)
+                .unwrap();
+        let mut p = Pipeline::new(vec![sel, join], fact.rows()).unwrap();
+        assert_eq!(p.order(), &[0, 1]);
+        p.reorder(&[1, 0]).unwrap();
+        assert_eq!(p.order(), &[1, 0]);
+        // Re-applying the same permutation is idempotent (plan-index
+        // semantics), not a swap back.
+        p.reorder(&[1, 0]).unwrap();
+        assert_eq!(p.order(), &[1, 0]);
+        assert!(p.op(1).is_join());
+    }
+
+    #[test]
+    fn plan_geometry_carries_probes_in_evaluation_order() {
+        let (fact, dim) = tables(1000, 100);
+        let sel = FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 0).unwrap();
+        let join =
+            FilterOp::join_filter(&fact, "fk_rand", &dim, "payload", CompareOp::Eq, 0, 1, 100)
+                .unwrap();
+        let mut p = Pipeline::new(vec![sel, join], fact.rows()).unwrap();
+        p.reorder(&[1, 0]).unwrap();
+        let cfg = CpuConfig::tiny_test();
+        let geom = p.plan_geometry(1000, &cfg, &[1.0, 0.25]);
+        assert_eq!(geom.predicates(), 2);
+        // Join first: probe at position 0 with the join's clustering.
+        let probe = geom.probe(0).expect("join stage has a probe");
+        assert_eq!(probe.relation.relation_tuples, 100);
+        assert!((probe.clustering - 0.25).abs() < 1e-12);
+        assert!(geom.probe(1).is_none());
+        let instr = p.stage_instructions();
+        assert!(
+            instr[0] > instr[1],
+            "probe arithmetic costs extra: {instr:?}"
         );
     }
 

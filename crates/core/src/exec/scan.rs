@@ -250,6 +250,8 @@ impl<'t> CompiledSelection<'t> {
             agg_bytes,
             line_bytes,
             chain,
+            // A multi-selection scan has no dimension probes.
+            probes: Vec::new(),
         }
     }
 

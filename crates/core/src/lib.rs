@@ -14,7 +14,13 @@
 //!   Section 5.7;
 //! * [`progressive`] — the progressive optimization loop of Figure 10:
 //!   sample counters per vector, estimate selectivities, reorder, trial,
-//!   revert on regression;
+//!   revert on regression. The loop is executor-agnostic
+//!   ([`progressive::ProgressiveTarget`]): it drives both the
+//!   multi-selection scan and — via
+//!   [`progressive::run_progressive_pipeline`] — mixed
+//!   selection/join-filter pipelines, where stages are ranked by estimated
+//!   cost per input tuple and probe locality is calibrated from the
+//!   counters (Sections 5.5–5.6);
 //! * [`sortedness`] — counter-based access-pattern classification and join
 //!   reordering advice;
 //! * [`query`] — a high-level builder API (TPC-H Q6 ships as a preset).
@@ -43,7 +49,11 @@ pub mod query;
 pub mod sortedness;
 
 pub use error::EngineError;
+pub use exec::pipeline::{FilterOp, Pipeline};
 pub use plan::{Peo, SelectionPlan};
 pub use predicate::{CompareOp, Predicate};
-pub use progressive::{ProgressiveConfig, ProgressiveReport};
+pub use progressive::{
+    run_baseline, run_progressive, run_progressive_pipeline, ProgressiveConfig, ProgressiveReport,
+    ProgressiveTarget, VectorConfig,
+};
 pub use query::{QueryBuilder, QueryReport, RunMode};

@@ -123,6 +123,46 @@ pub fn order_by_selectivity(current_peo: &[usize], selectivities: &[f64]) -> Peo
     pairs.into_iter().map(|(_, idx)| idx).collect()
 }
 
+/// Order stage indices by the classic rank `cost / (1 − selectivity)`,
+/// ascending — the optimal order for independent filters with differing
+/// per-tuple costs. With equal costs this degenerates to
+/// [`order_by_selectivity`]; with an LLC-thrashing join probe in the mix
+/// it is what keeps a cheap selection in front of an expensive probe even
+/// when the probe is the more selective stage (Sections 5.5–5.6).
+///
+/// `costs` and `selectivities` are given in the order of `current_order`;
+/// a stage with selectivity ≥ 1 filters nothing and sorts last (by cost,
+/// then plan index).
+pub fn order_by_cost_per_tuple(
+    current_order: &[usize],
+    costs: &[f64],
+    selectivities: &[f64],
+) -> Peo {
+    assert_eq!(current_order.len(), costs.len());
+    assert_eq!(current_order.len(), selectivities.len());
+    let mut entries: Vec<(f64, f64, usize)> = current_order
+        .iter()
+        .enumerate()
+        .map(|(j, &idx)| {
+            let s = selectivities[j].clamp(0.0, 1.0);
+            let c = costs[j].max(0.0);
+            let rank = if s >= 1.0 {
+                f64::INFINITY
+            } else {
+                c / (1.0 - s)
+            };
+            (rank, c, idx)
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("ranks are not NaN")
+            .then(a.1.partial_cmp(&b.1).expect("costs are not NaN"))
+            .then(a.2.cmp(&b.2))
+    });
+    entries.into_iter().map(|(_, _, idx)| idx).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +226,38 @@ mod tests {
         let peo = vec![3, 1, 2, 0];
         let sels = vec![0.5, 0.5, 0.5, 0.5];
         assert_eq!(order_by_selectivity(&peo, &sels), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cost_rank_reduces_to_selectivity_with_equal_costs() {
+        let peo = vec![2usize, 0, 1];
+        let sels = vec![0.9, 0.1, 0.5];
+        let costs = vec![3.0, 3.0, 3.0];
+        assert_eq!(
+            order_by_cost_per_tuple(&peo, &costs, &sels),
+            order_by_selectivity(&peo, &sels)
+        );
+    }
+
+    #[test]
+    fn expensive_selective_stage_ranks_behind_cheap_one() {
+        // Stage 0: cost 100, sel 0.5 -> rank 200. Stage 1: cost 2,
+        // sel 0.9 -> rank 20. The cheap-but-unselective stage goes first.
+        let peo = vec![0usize, 1];
+        assert_eq!(
+            order_by_cost_per_tuple(&peo, &[100.0, 2.0], &[0.5, 0.9]),
+            vec![1, 0]
+        );
+    }
+
+    #[test]
+    fn non_filtering_stage_goes_last() {
+        let peo = vec![0usize, 1, 2];
+        let order = order_by_cost_per_tuple(&peo, &[1.0, 5.0, 1.0], &[1.0, 0.5, 0.5]);
+        assert_eq!(*order.last().unwrap(), 0);
+        // Two non-filtering stages tie-break by cost, then plan index.
+        let order = order_by_cost_per_tuple(&peo, &[1.0, 5.0, 1.0], &[1.0, 1.0, 0.5]);
+        assert_eq!(order, vec![2, 0, 1]);
     }
 
     #[test]

@@ -18,16 +18,35 @@
 //! Skew is caught by the periodic re-sampling itself; correlation can
 //! additionally be probed by occasional exploratory orders (Section 4.5),
 //! enabled via [`ProgressiveConfig::explore_correlation`].
+//!
+//! ## One loop, two executors
+//!
+//! Sections 5.5–5.6 generalize the approach from predicate orders to
+//! *operator* orders — expensive selections versus foreign-key join
+//! filters. The loop itself is executor-agnostic: anything that can
+//! compile an order, execute a row range, and describe its counter-model
+//! geometry participates, via [`ProgressiveTarget`]. [`run_progressive`]
+//! drives the multi-selection scan ([`CompiledSelection`]);
+//! [`run_progressive_pipeline`] drives a [`Pipeline`] of mixed
+//! selections and join filters, where the reorder decision ranks stages
+//! by estimated **cost per input tuple** (an LLC-thrashing probe is not
+//! comparable to a register compare) and the target *calibrates* each
+//! probe's clustering from the sampled counters — the Equation-1
+//! comparison of Section 5.5, with trial vectors doubling as measurement
+//! probes for joins whose locality has never been observed.
 
+use popt_cost::cycles::{stage_costs_per_input_tuple, CycleParams};
+use popt_cost::estimate::{estimate_counters, PlanGeometry};
 use popt_cost::markov::ChainSpec;
 use popt_cpu::pmu::CounterDelta;
-use popt_cpu::SimCpu;
-use popt_solver::{estimate_selectivities, EstimatorConfig};
+use popt_cpu::{CpuConfig, SimCpu};
+use popt_solver::{estimate_selectivities, EstimatorConfig, SampledCounters};
 use popt_storage::Table;
 
 use crate::error::EngineError;
+use crate::exec::pipeline::Pipeline;
 use crate::exec::scan::{CompiledSelection, VectorStats};
-use crate::plan::{order_by_selectivity, Peo, SelectionPlan};
+use crate::plan::{order_by_cost_per_tuple, order_by_selectivity, Peo, SelectionPlan};
 
 /// Configuration of the progressive optimizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -208,6 +227,218 @@ pub fn run_baseline(
     ))
 }
 
+/// An executor the progressive loop can drive: it owns an order over its
+/// stages, runs row ranges against the simulated CPU, and describes its
+/// counter-model geometry to the selectivity estimator.
+pub trait ProgressiveTarget {
+    /// Rows available to scan.
+    fn rows(&self) -> usize;
+
+    /// The current evaluation order (plan/stage indices).
+    fn order(&self) -> Peo;
+
+    /// Switch to `order` — a JIT system would compile a new binary, a
+    /// vectorized system re-chains its pre-compiled primitives.
+    fn set_order(&mut self, order: &[usize]) -> Result<(), EngineError>;
+
+    /// Execute rows `start..end` and return the range's measurements.
+    fn run_range(&mut self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats;
+
+    /// Counter-model geometry of the current order for `n_input` tuples.
+    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig) -> PlanGeometry;
+
+    /// Propose an evaluation order given per-stage selectivity estimates
+    /// (in current evaluation order).
+    fn propose_order(&self, geom: &PlanGeometry, selectivities: &[f64]) -> Peo;
+
+    /// Update internal calibration (e.g. probe clustering) from a sampled
+    /// vector and the survivor estimate fitted to it. `geom` is the
+    /// geometry the estimate was fitted against, i.e. it describes the
+    /// order that produced the sample.
+    fn calibrate(&mut self, geom: &PlanGeometry, sampled: &SampledCounters, survivors: &[f64]) {
+        let _ = (geom, sampled, survivors);
+    }
+
+    /// An exploratory order that would let the target measure something
+    /// it cannot observe under the current order (consumed at most once
+    /// per opportunity — implementations must not return the same probe
+    /// forever). The loop runs it as a trial vector: accept/revert
+    /// semantics still apply, and the trial's sample feeds
+    /// [`ProgressiveTarget::calibrate`].
+    fn take_probe_order(&mut self) -> Option<Peo> {
+        None
+    }
+
+    /// Whether trial vectors should be estimated and fed to
+    /// [`ProgressiveTarget::calibrate`] even outside reopt rounds. Costs
+    /// one estimator run per trial; targets without runtime calibration
+    /// leave this off.
+    fn wants_trial_calibration(&self) -> bool {
+        false
+    }
+}
+
+/// The multi-selection scan as a progressive target: switching orders
+/// recompiles the plan against the table.
+struct ScanTarget<'p, 't> {
+    table: &'t Table,
+    plan: &'p SelectionPlan,
+    compiled: CompiledSelection<'t>,
+}
+
+impl ProgressiveTarget for ScanTarget<'_, '_> {
+    fn rows(&self) -> usize {
+        self.compiled.rows()
+    }
+
+    fn order(&self) -> Peo {
+        self.compiled.peo().to_vec()
+    }
+
+    fn set_order(&mut self, order: &[usize]) -> Result<(), EngineError> {
+        self.compiled = CompiledSelection::compile(self.table, self.plan, order)?;
+        Ok(())
+    }
+
+    fn run_range(&mut self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats {
+        self.compiled.run_range(cpu, start, end)
+    }
+
+    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig) -> PlanGeometry {
+        let chain = ChainSpec {
+            states: cpu.predictor.states,
+            not_taken_states: cpu.predictor.not_taken_states,
+        };
+        self.compiled
+            .plan_geometry(n_input, chain, cpu.line_bytes() as u32)
+    }
+
+    fn propose_order(&self, _geom: &PlanGeometry, selectivities: &[f64]) -> Peo {
+        // Uniform per-predicate cost: the cost-per-tuple rank degenerates
+        // to the ascending-selectivity rule of Section 4.4.
+        order_by_selectivity(self.compiled.peo(), selectivities)
+    }
+}
+
+/// A filter pipeline (selections + foreign-key join filters) as a
+/// progressive target. Orders are ranked by estimated cost per input
+/// tuple, and each join stage's probe clustering is calibrated from the
+/// counters whenever the stage runs at the front of the pipeline (the
+/// position where its signal dominates the sample).
+struct PipelineTarget<'p, 't> {
+    pipeline: &'p mut Pipeline<'t>,
+    /// Per plan-stage clustering estimate (1.0 = assume uniform random,
+    /// the textbook-pessimistic prior; meaningless for selects).
+    clustering: Vec<f64>,
+    /// Whether the stage's clustering was ever calibrated from a sample.
+    measured: Vec<bool>,
+    /// Whether a measurement probe was already spent on the stage.
+    probed: Vec<bool>,
+}
+
+impl<'p, 't> PipelineTarget<'p, 't> {
+    fn new(pipeline: &'p mut Pipeline<'t>) -> Self {
+        let stages = pipeline.len();
+        Self {
+            pipeline,
+            clustering: vec![1.0; stages],
+            measured: vec![false; stages],
+            probed: vec![false; stages],
+        }
+    }
+}
+
+impl ProgressiveTarget for PipelineTarget<'_, '_> {
+    fn rows(&self) -> usize {
+        self.pipeline.rows()
+    }
+
+    fn order(&self) -> Peo {
+        self.pipeline.order().to_vec()
+    }
+
+    fn set_order(&mut self, order: &[usize]) -> Result<(), EngineError> {
+        self.pipeline.reorder(order)
+    }
+
+    fn run_range(&mut self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats {
+        self.pipeline.run_range(cpu, start, end)
+    }
+
+    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig) -> PlanGeometry {
+        self.pipeline.plan_geometry(n_input, cpu, &self.clustering)
+    }
+
+    fn propose_order(&self, geom: &PlanGeometry, selectivities: &[f64]) -> Peo {
+        let costs = stage_costs_per_input_tuple(
+            geom,
+            &self.pipeline.stage_instructions(),
+            selectivities,
+            &CycleParams::default(),
+        );
+        order_by_cost_per_tuple(self.pipeline.order(), &costs, selectivities)
+    }
+
+    fn calibrate(&mut self, geom: &PlanGeometry, sampled: &SampledCounters, survivors: &[f64]) {
+        // Only the front stage's probe is solved for: it sees every tuple
+        // of the vector, so its contribution dominates the L3 sample,
+        // while the later stages' (smaller) contributions are carried by
+        // their current estimates inside `geom`.
+        let front = self.pipeline.order()[0];
+        if !self.pipeline.op(front).is_join() {
+            return;
+        }
+        let predict_at = |clustering: f64| -> f64 {
+            let mut g = geom.clone();
+            if let Some(p) = g.probes[0].as_mut() {
+                p.clustering = clustering;
+            }
+            estimate_counters(&g, survivors).l3_accesses
+        };
+        let lo = predict_at(0.0);
+        let hi = predict_at(1.0);
+        if hi - lo < 1.0 {
+            // The probe produces no L3 signal (dimension resident above
+            // the LLC) — nothing to learn, but the stage is observed.
+            self.measured[front] = true;
+            return;
+        }
+        let solved = ((sampled.l3_accesses as f64 - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let c = &mut self.clustering[front];
+        // First observation replaces the prior; later ones smooth, so a
+        // single skewed vector cannot flip a settled belief.
+        *c = if self.measured[front] {
+            0.5 * *c + 0.5 * solved
+        } else {
+            solved
+        };
+        self.measured[front] = true;
+    }
+
+    fn take_probe_order(&mut self) -> Option<Peo> {
+        let order = self.pipeline.order().to_vec();
+        for (pos, &j) in order.iter().enumerate() {
+            if !self.pipeline.op(j).is_join() || self.measured[j] || self.probed[j] {
+                continue;
+            }
+            if pos == 0 {
+                // Already at the front: the next calibration covers it.
+                return None;
+            }
+            self.probed[j] = true;
+            let mut probe = Vec::with_capacity(order.len());
+            probe.push(j);
+            probe.extend(order.iter().copied().filter(|&x| x != j));
+            return Some(probe);
+        }
+        None
+    }
+
+    fn wants_trial_calibration(&self) -> bool {
+        true
+    }
+}
+
 /// Execute `plan` starting from `initial_peo` with progressive
 /// optimization enabled.
 pub fn run_progressive(
@@ -218,16 +449,48 @@ pub fn run_progressive(
     cpu: &mut SimCpu,
     config: &ProgressiveConfig,
 ) -> Result<ProgressiveReport, EngineError> {
+    let mut target = ScanTarget {
+        table,
+        plan,
+        compiled: CompiledSelection::compile(table, plan, initial_peo)?,
+    };
+    run_progressive_target(&mut target, vectors, cpu, config)
+}
+
+/// Execute a filter pipeline starting from `initial_order` with
+/// progressive operator reordering enabled (Sections 5.5–5.6): stages are
+/// reordered by estimated cost per input tuple, with probe clustering
+/// calibrated from the sampled counters and trial-vector accept/revert
+/// semantics shared with the scan path.
+///
+/// The pipeline is left in the final order the run converged to.
+pub fn run_progressive_pipeline(
+    pipeline: &mut Pipeline<'_>,
+    initial_order: &[usize],
+    vectors: VectorConfig,
+    cpu: &mut SimCpu,
+    config: &ProgressiveConfig,
+) -> Result<ProgressiveReport, EngineError> {
+    pipeline.reorder(initial_order)?;
+    let mut target = PipelineTarget::new(pipeline);
+    run_progressive_target(&mut target, vectors, cpu, config)
+}
+
+/// The §4.4 loop over any [`ProgressiveTarget`]: sample counters per
+/// vector, estimate per-stage pass rates, reorder, trial, revert on
+/// regression, with stall-triggered exploration (Section 4.5), rejection
+/// memory, and measurement probes for targets that calibrate at runtime.
+pub fn run_progressive_target<T: ProgressiveTarget>(
+    target: &mut T,
+    vectors: VectorConfig,
+    cpu: &mut SimCpu,
+    config: &ProgressiveConfig,
+) -> Result<ProgressiveReport, EngineError> {
     if config.reop_interval == 0 {
         return Err(EngineError::InvalidVectorConfig("reop_interval = 0".into()));
     }
-    let mut compiled = CompiledSelection::compile(table, plan, initial_peo)?;
-    let ranges = vectors.ranges(table.rows())?;
-    let chain = ChainSpec {
-        states: cpu.config().predictor.states,
-        not_taken_states: cpu.config().predictor.not_taken_states,
-    };
-    let line_bytes = cpu.config().line_bytes() as u32;
+    let ranges = vectors.ranges(target.rows())?;
+    let cpu_cfg = cpu.config().clone();
 
     let mut total = VectorStats::zero();
     let mut per_vector = Vec::with_capacity(ranges.len());
@@ -242,19 +505,46 @@ pub fn run_progressive(
     let mut last_accept_reopt = 0usize;
     // Recently reverted orders: (order, reopt round it was rejected at).
     let mut rejected: Vec<(Peo, usize)> = Vec::new();
+    // Cycles-per-tuple of the most recent vector, for end-of-scan trial
+    // resolution.
+    let mut last_cpt = 0.0f64;
 
     for (v_idx, &(start, end)) in ranges.iter().enumerate() {
-        let stats = compiled.run_range(cpu, start, end);
+        let stats = target.run_range(cpu, start, end);
         per_vector.push(stats.counters.cycles);
+        last_cpt = stats.cycles_per_tuple();
+
+        // Estimate fitted to this vector's sample, valid only while the
+        // order that produced the sample is still in effect (a revert
+        // invalidates it). Lets a trial resolution that coincides with a
+        // reopt round share one estimator run instead of paying twice.
+        let mut vector_estimate = None;
+        // Whether a revert made this vector's sample describe an order
+        // that is no longer the current one.
+        let mut sample_is_stale = false;
 
         // Resolve an outstanding trial against this vector's counters.
         if let Some((prev_cpt, switch_idx)) = pending_trial.take() {
+            // Trial vectors double as measurement opportunities: estimate
+            // the sample *under the order that produced it* and let the
+            // target calibrate, before any revert discards that order.
+            if target.wants_trial_calibration() {
+                let sampled = stats.sampled_counters();
+                let geom = target.plan_geometry(sampled.n_input, &cpu_cfg);
+                let estimate = estimate_selectivities(&geom, &sampled, &config.estimator);
+                estimates += 1;
+                optimizer_cycles += estimate.evaluations as u64 * config.cycles_per_estimator_eval;
+                target.calibrate(&geom, &sampled, &estimate.survivors);
+                vector_estimate = Some((geom, estimate));
+            }
             let cpt = stats.cycles_per_tuple();
             if config.revert_on_regression && cpt > prev_cpt * (1.0 + config.regression_tolerance) {
                 let old = switches[switch_idx].from.clone();
-                rejected.push((compiled.peo().to_vec(), reopt_count));
-                compiled = CompiledSelection::compile(table, plan, &old)?;
+                rejected.push((target.order(), reopt_count));
+                target.set_order(&old)?;
                 switches[switch_idx].reverted = true;
+                vector_estimate = None;
+                sample_is_stale = true;
             } else {
                 last_accept_reopt = reopt_count;
             }
@@ -269,6 +559,10 @@ pub fn run_progressive(
             continue;
         }
         reopt_count += 1;
+        // Age out rejections every reopt round — including rounds that
+        // end up exploratory — so a stale revert cannot suppress a
+        // proposal for longer than its TTL.
+        rejected.retain(|(_, at)| reopt_count - at <= config.rejection_ttl);
 
         // Explore a rotated order when optimization has stalled
         // (Section 4.5: "periodically execute different PEOs"). The tail
@@ -281,45 +575,92 @@ pub fn run_progressive(
         // where the estimator proposes nothing never pays for exploration.
         let stalled = reopt_count >= last_accept_reopt + 3 && !rejected.is_empty();
         if config.explore_correlation && stalled && reopt_count % 2 == 0 {
-            let mut explored = compiled.peo().to_vec();
+            let current = target.order();
+            let mut explored = current.clone();
             explored.rotate_right(1);
-            if explored != compiled.peo() {
+            if explored != current {
                 switches.push(SwitchEvent {
                     vector: v_idx + 1,
-                    from: compiled.peo().to_vec(),
+                    from: current,
                     to: explored.clone(),
                     reverted: false,
                     exploratory: true,
                 });
                 pending_trial = Some((stats.cycles_per_tuple(), switches.len() - 1));
-                compiled = CompiledSelection::compile(table, plan, &explored)?;
+                target.set_order(&explored)?;
             }
             continue;
         }
 
-        // Estimate selectivities from the most recent vector's sample.
-        let sampled = stats.sampled_counters();
-        let geom = compiled.plan_geometry(sampled.n_input, chain, line_bytes);
-        let estimate = estimate_selectivities(&geom, &sampled, &config.estimator);
-        estimates += 1;
-        optimizer_cycles += estimate.evaluations as u64 * config.cycles_per_estimator_eval;
+        // Measurement probe: an order the target wants to observe once
+        // (e.g. an unmeasured join moved to the front). Runs under the
+        // same trial semantics as any other switch.
+        if let Some(probe) = target.take_probe_order() {
+            let current = target.order();
+            if probe != current {
+                switches.push(SwitchEvent {
+                    vector: v_idx + 1,
+                    from: current,
+                    to: probe.clone(),
+                    reverted: false,
+                    exploratory: true,
+                });
+                pending_trial = Some((stats.cycles_per_tuple(), switches.len() - 1));
+                target.set_order(&probe)?;
+                continue;
+            }
+        }
 
-        let new_peo = order_by_selectivity(compiled.peo(), &estimate.selectivities);
+        // Estimate selectivities from the most recent vector's sample,
+        // reusing the trial-resolution fit when this vector was a trial
+        // whose order survived.
+        let (geom, estimate) = match vector_estimate {
+            Some(fitted) => fitted,
+            None => {
+                let sampled = stats.sampled_counters();
+                let geom = target.plan_geometry(sampled.n_input, &cpu_cfg);
+                let estimate = estimate_selectivities(&geom, &sampled, &config.estimator);
+                estimates += 1;
+                optimizer_cycles += estimate.evaluations as u64 * config.cycles_per_estimator_eval;
+                // A reverted trial leaves the sample describing the trial
+                // order while `geom` describes the reinstated one —
+                // calibrating against that mismatch would corrupt a
+                // settled clustering belief.
+                if !sample_is_stale {
+                    target.calibrate(&geom, &sampled, &estimate.survivors);
+                }
+                (geom, estimate)
+            }
+        };
+
+        let new_order = target.propose_order(&geom, &estimate.selectivities);
         // Skip orders a recent trial already rejected (correlation guard).
-        rejected.retain(|(_, at)| reopt_count - at <= config.rejection_ttl);
-        if rejected.iter().any(|(peo, _)| peo == &new_peo) {
+        if rejected.iter().any(|(order, _)| order == &new_order) {
             continue;
         }
-        if new_peo != compiled.peo() {
+        let current = target.order();
+        if new_order != current {
             switches.push(SwitchEvent {
                 vector: v_idx + 1,
-                from: compiled.peo().to_vec(),
-                to: new_peo.clone(),
+                from: current,
+                to: new_order.clone(),
                 reverted: false,
                 exploratory: false,
             });
             pending_trial = Some((stats.cycles_per_tuple(), switches.len() - 1));
-            compiled = CompiledSelection::compile(table, plan, &new_peo)?;
+            target.set_order(&new_order)?;
+        }
+    }
+
+    // Resolve a trial left outstanding at end of scan (defensive: the
+    // loop above only schedules trials when another vector remains, but a
+    // switch must never stay silently accepted without its comparison).
+    if let Some((prev_cpt, switch_idx)) = pending_trial.take() {
+        if config.revert_on_regression && last_cpt > prev_cpt * (1.0 + config.regression_tolerance)
+        {
+            let old = switches[switch_idx].from.clone();
+            target.set_order(&old)?;
+            switches[switch_idx].reverted = true;
         }
     }
 
@@ -330,7 +671,7 @@ pub fn run_progressive(
         switches,
         estimates,
         optimizer_cycles,
-        compiled.peo().to_vec(),
+        target.order(),
         per_vector,
         freq,
     ))
@@ -545,6 +886,325 @@ mod tests {
         .unwrap();
         assert!(prog.optimizer_cycles > 0);
         assert_eq!(prog.cycles, prog.counters.cycles + prog.optimizer_cycles);
+    }
+
+    #[test]
+    fn rejection_ttl_gates_reproposal_of_reverted_orders() {
+        // Force every trial to regress (negative tolerance) with
+        // exploration off: the estimator keeps proposing the same better
+        // order, each proposal is reverted, and the rejection memory must
+        // suppress the re-proposal for exactly `rejection_ttl` rounds —
+        // pruned every reopt round, so proposals resume on schedule.
+        let t = skewed_table(16_384);
+        let plan = skewed_plan();
+        let ttl = 3usize;
+        let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
+        let prog = run_progressive(
+            &t,
+            &plan,
+            &[2, 1, 0],
+            VectorConfig {
+                vector_tuples: 512,
+                max_vectors: None,
+            },
+            &mut cpu,
+            &ProgressiveConfig {
+                reop_interval: 1,
+                regression_tolerance: -1.0,
+                explore_correlation: false,
+                rejection_ttl: ttl,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(prog.switches.iter().all(|s| s.reverted));
+        assert!(
+            prog.switches.len() >= 2,
+            "rejections must age out and re-propose: {:?}",
+            prog.switches
+        );
+        // With reop_interval = 1, rounds advance one per vector: two
+        // proposals of the same order must be separated by more than the
+        // TTL, and pruning every round means they are not separated by
+        // much more (trial + revert + ttl rounds of suppression).
+        for pair in prog.switches.windows(2) {
+            if pair[0].to != pair[1].to {
+                continue;
+            }
+            let gap = pair[1].vector - pair[0].vector;
+            assert!(gap > ttl, "re-proposed within TTL: {:?}", prog.switches);
+            assert!(
+                gap <= ttl + 3,
+                "pruning skipped rounds: {:?}",
+                prog.switches
+            );
+        }
+    }
+
+    #[test]
+    fn trial_on_last_vector_is_still_resolved() {
+        // Schedule the only possible switch so that its trial vector is
+        // the final vector of the scan: the regression must be detected
+        // and the switch reverted rather than silently accepted.
+        let t = skewed_table(4096);
+        let plan = skewed_plan();
+        let mut cpu = SimCpu::new(CpuConfig::ivy_bridge());
+        let prog = run_progressive(
+            &t,
+            &plan,
+            &[2, 1, 0],
+            VectorConfig {
+                vector_tuples: 2048,
+                max_vectors: None, // 2 vectors: reopt after v0, trial = v1
+            },
+            &mut cpu,
+            &ProgressiveConfig {
+                reop_interval: 1,
+                regression_tolerance: -1.0, // every trial "regresses"
+                explore_correlation: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(prog.vectors, 2);
+        assert_eq!(prog.switches.len(), 1, "{:?}", prog.switches);
+        assert!(
+            prog.switches[0].reverted,
+            "last-vector trial left unresolved: {:?}",
+            prog.switches
+        );
+        assert_eq!(prog.final_peo, vec![2, 1, 0], "revert must restore order");
+    }
+
+    mod pipeline {
+        use super::*;
+        use crate::exec::pipeline::{FilterOp, Pipeline};
+        use popt_cpu::CacheLevelConfig;
+
+        /// Small hierarchy (4/16/64 KiB) so a modest dimension table
+        /// thrashes the LLC.
+        fn small_cache_cpu() -> CpuConfig {
+            let mut cfg = CpuConfig::xeon_e5_2630_v2();
+            cfg.levels = vec![
+                CacheLevelConfig {
+                    capacity_bytes: 4 * 1024,
+                    line_bytes: 64,
+                    ways: 8,
+                    hit_latency_cycles: 0,
+                },
+                CacheLevelConfig {
+                    capacity_bytes: 16 * 1024,
+                    line_bytes: 64,
+                    ways: 8,
+                    hit_latency_cycles: 10,
+                },
+                CacheLevelConfig {
+                    capacity_bytes: 64 * 1024,
+                    line_bytes: 64,
+                    ways: 16,
+                    hit_latency_cycles: 30,
+                },
+            ];
+            cfg
+        }
+
+        /// Fact with a co-clustered and a pseudo-random FK over a
+        /// dimension that exceeds the 64 KiB LLC, plus a value column.
+        fn tables(n: usize) -> (Table, Table) {
+            let dim_n = n / 4; // 4 B * n/4 = n bytes >> LLC for n = 128 Ki
+            let mut space = AddressSpace::new();
+            let mut fact = Table::new("fact");
+            fact.add_column(
+                "fk_seq",
+                ColumnData::I32((0..n).map(|i| (i / 4) as i32).collect()),
+                &mut space,
+            );
+            // A hashed (not merely strided) key stream: fixed strides
+            // leave quasi-periodic locality the caches exploit.
+            fact.add_column(
+                "fk_rand",
+                ColumnData::I32(
+                    (0..n)
+                        .map(|i| {
+                            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+                            (h % dim_n as u64) as i32
+                        })
+                        .collect(),
+                ),
+                &mut space,
+            );
+            fact.add_column(
+                "val",
+                ColumnData::I32((0..n).map(|i| (i % 100) as i32).collect()),
+                &mut space,
+            );
+            let mut dim_space = AddressSpace::new();
+            let mut dim = Table::new("dim");
+            dim.add_column(
+                "payload",
+                ColumnData::I32((0..dim_n).map(|k| (k % 100) as i32).collect()),
+                &mut dim_space,
+            );
+            (fact, dim)
+        }
+
+        fn pipeline_vectors() -> VectorConfig {
+            VectorConfig {
+                vector_tuples: 4096,
+                max_vectors: None,
+            }
+        }
+
+        fn config() -> ProgressiveConfig {
+            ProgressiveConfig {
+                reop_interval: 2,
+                ..Default::default()
+            }
+        }
+
+        /// Expensive selection + LLC-thrashing random join: the selection
+        /// belongs in front. Start join-first and let the loop fix it.
+        #[test]
+        fn converges_to_selection_first_for_random_join() {
+            let n = 1 << 17;
+            let (fact, dim) = tables(n);
+            let build = |order: &[usize]| {
+                let sel = FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 50).unwrap();
+                let join = FilterOp::join_filter(
+                    &fact,
+                    "fk_rand",
+                    &dim,
+                    "payload",
+                    CompareOp::Lt,
+                    50,
+                    1,
+                    100,
+                )
+                .unwrap();
+                let mut p = Pipeline::new(vec![sel, join], fact.rows()).unwrap();
+                p.reorder(order).unwrap();
+                p
+            };
+            let mut static_cpu = SimCpu::new(small_cache_cpu());
+            let bad = build(&[1, 0])
+                .run_range(&mut static_cpu, 0, n)
+                .counters
+                .cycles;
+            let mut pipeline = build(&[1, 0]);
+            let mut cpu = SimCpu::new(small_cache_cpu());
+            let prog = run_progressive_pipeline(
+                &mut pipeline,
+                &[1, 0],
+                pipeline_vectors(),
+                &mut cpu,
+                &config(),
+            )
+            .unwrap();
+            assert_eq!(prog.final_peo, vec![0, 1], "{:?}", prog.switches);
+            assert!(
+                prog.cycles < bad,
+                "progressive {} !< static bad order {bad}",
+                prog.cycles
+            );
+        }
+
+        /// Cheap selection + co-clustered join: the join belongs in front
+        /// (Figure 14's sorted side). Start selection-first.
+        #[test]
+        fn converges_to_join_first_for_coclustered_join() {
+            let n = 1 << 17;
+            let (fact, dim) = tables(n);
+            let build = || {
+                let sel = FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 50).unwrap();
+                let join = FilterOp::join_filter(
+                    &fact,
+                    "fk_seq",
+                    &dim,
+                    "payload",
+                    CompareOp::Lt,
+                    50,
+                    1,
+                    100,
+                )
+                .unwrap();
+                Pipeline::new(vec![sel, join], fact.rows()).unwrap()
+            };
+            let mut pipeline = build();
+            let mut cpu = SimCpu::new(small_cache_cpu());
+            let prog = run_progressive_pipeline(
+                &mut pipeline,
+                &[0, 1],
+                pipeline_vectors(),
+                &mut cpu,
+                &config(),
+            )
+            .unwrap();
+            assert_eq!(prog.final_peo, vec![1, 0], "{:?}", prog.switches);
+        }
+
+        /// Reordering mid-run must not change the query result, including
+        /// the aggregate.
+        #[test]
+        fn progressive_pipeline_preserves_results() {
+            let n = 1 << 16;
+            let (fact, dim) = tables(n);
+            let build = || {
+                let sel = FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 50).unwrap();
+                let join = FilterOp::join_filter(
+                    &fact,
+                    "fk_rand",
+                    &dim,
+                    "payload",
+                    CompareOp::Lt,
+                    50,
+                    1,
+                    100,
+                )
+                .unwrap();
+                Pipeline::new(vec![sel, join], fact.rows())
+                    .unwrap()
+                    .with_aggregate(&fact, "val")
+                    .unwrap()
+            };
+            let static_pipeline = build();
+            let mut cpu1 = SimCpu::new(small_cache_cpu());
+            let expect = static_pipeline.run_range(&mut cpu1, 0, n);
+            let mut pipeline = build();
+            let mut cpu2 = SimCpu::new(small_cache_cpu());
+            let prog = run_progressive_pipeline(
+                &mut pipeline,
+                &[1, 0],
+                pipeline_vectors(),
+                &mut cpu2,
+                &config(),
+            )
+            .unwrap();
+            assert_eq!(prog.qualified, expect.qualified);
+            assert_eq!(prog.sum, expect.sum);
+            assert!(prog.sum > 0);
+        }
+
+        /// A good initial operator order stays put.
+        #[test]
+        fn good_pipeline_order_is_left_alone() {
+            let n = 1 << 16;
+            let (fact, dim) = tables(n);
+            let sel = FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 50).unwrap();
+            let join =
+                FilterOp::join_filter(&fact, "fk_rand", &dim, "payload", CompareOp::Lt, 50, 1, 100)
+                    .unwrap();
+            let mut pipeline = Pipeline::new(vec![sel, join], fact.rows()).unwrap();
+            let mut cpu = SimCpu::new(small_cache_cpu());
+            let prog = run_progressive_pipeline(
+                &mut pipeline,
+                &[0, 1],
+                pipeline_vectors(),
+                &mut cpu,
+                &config(),
+            )
+            .unwrap();
+            assert_eq!(prog.final_peo, vec![0, 1], "{:?}", prog.switches);
+        }
     }
 
     #[test]

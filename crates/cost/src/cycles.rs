@@ -28,6 +28,9 @@ pub struct CycleParams {
     pub mem_random: f64,
     /// Memory stall for a line fetched sequentially (streamed).
     pub mem_sequential: f64,
+    /// Latency of a random access served by the LLC (a probe that misses
+    /// L1/L2 but finds the relation resident in L3).
+    pub llc_hit: f64,
     /// Core frequency in GHz (for millisecond conversion).
     pub frequency_ghz: f64,
 }
@@ -42,6 +45,7 @@ impl Default for CycleParams {
             mp_penalty: 15.0,
             mem_random: 180.0,
             mem_sequential: 24.0,
+            llc_hit: 30.0,
             frequency_ghz: 2.6,
         }
     }
@@ -97,6 +101,63 @@ fn column_stall(cg: &CacheGeometry, n: u64, density: f64, params: &CycleParams) 
     let lines = touched_lines(cg, n, density);
     let rf = random_line_fraction(cg, density);
     lines * (rf * params.mem_random + (1.0 - rf) * params.mem_sequential)
+}
+
+/// Estimated cycles per probe of a join-filter stage, blending the random
+/// (Equation 1) and co-clustered regimes by the probe's measured
+/// clustering. A relation resident above the LLC costs nothing here (its
+/// stalls are upper-cache latencies absorbed by the instruction stream).
+pub fn probe_stall_per_tuple(probe: &crate::estimate::ProbeGeometry, params: &CycleParams) -> f64 {
+    let rel = &probe.relation;
+    if rel.relation_bytes() <= probe.upper_cache_bytes {
+        return 0.0;
+    }
+    // Random probe: misses the LLC with the thrashing probability of
+    // Equation 1 (zero when the relation fits), paying full memory
+    // latency; otherwise it is an LLC hit.
+    let miss_p = if rel.relation_bytes() <= rel.cache_bytes() {
+        0.0
+    } else {
+        (1.0 - rel.cache_bytes() / rel.relation_bytes()).max(0.0)
+    };
+    let random = miss_p * params.mem_random + (1.0 - miss_p) * params.llc_hit;
+    // Co-clustered probe: one streamed line fetch per B/w probes.
+    let sequential = f64::from(rel.tuple_bytes) / f64::from(rel.line_bytes) * params.mem_sequential;
+    probe.clustering * random + (1.0 - probe.clustering) * sequential
+}
+
+/// Estimated cost per *input tuple* of each stage, in evaluation order —
+/// the ranking signal for operator reordering (Sections 5.5–5.6).
+///
+/// Each stage is priced as if it ran at the front of the pipeline
+/// (density 1), making the figure an intrinsic per-tuple rate that is
+/// comparable across stages: instruction work, expected misprediction
+/// penalty at the stage's selectivity, the streamed read of the stage's
+/// own column, and — for join filters — the dimension probe. The caller
+/// combines these rates with selectivities via the classic `c/(1−s)` rank
+/// (see `popt-core`'s `order_by_cost_per_tuple`); ordering by raw
+/// selectivity would make an LLC-thrashing probe look as cheap as a
+/// comparison.
+pub fn stage_costs_per_input_tuple(
+    geom: &PlanGeometry,
+    stage_instructions: &[f64],
+    selectivities: &[f64],
+    params: &CycleParams,
+) -> Vec<f64> {
+    assert_eq!(stage_instructions.len(), geom.predicates());
+    assert_eq!(selectivities.len(), geom.predicates());
+    (0..geom.predicates())
+        .map(|j| {
+            let s = selectivities[j].clamp(0.0, 1.0);
+            let mp = geom.chain.probabilities(s).mp_total();
+            let column =
+                f64::from(geom.value_bytes[j]) / f64::from(geom.line_bytes) * params.mem_sequential;
+            let probe = geom
+                .probe(j)
+                .map_or(0.0, |p| probe_stall_per_tuple(p, params));
+            stage_instructions[j] * params.cpi + mp * params.mp_penalty + column + probe
+        })
+        .collect()
 }
 
 /// [`scan_cycles`] converted to simulated milliseconds.
@@ -156,6 +217,41 @@ mod tests {
         let easy = scan_cycles_for_selectivities(&g, &[0.999], &p);
         let hard = scan_cycles_for_selectivities(&g, &[0.5], &p);
         assert!(hard > easy, "hard {hard} easy {easy}");
+    }
+
+    #[test]
+    fn stage_costs_separate_probe_from_select() {
+        use crate::estimate::ProbeGeometry;
+        use crate::join_model::JoinGeometry;
+        let mut g = PlanGeometry::uniform_i32(1 << 20, 2);
+        let thrashing = ProbeGeometry {
+            relation: JoinGeometry {
+                relation_tuples: 500_000,
+                tuple_bytes: 4,
+                line_bytes: 64,
+                cache_lines: 1024 * 1024 / 64,
+            },
+            upper_cache_bytes: 64.0 * 1024.0,
+            clustering: 1.0,
+        };
+        g.probes = vec![None, Some(thrashing.clone())];
+        let p = CycleParams::default();
+        let costs = stage_costs_per_input_tuple(&g, &[4.0, 10.0], &[0.5, 0.5], &p);
+        // An LLC-thrashing random probe dwarfs a comparison.
+        assert!(costs[1] > 5.0 * costs[0], "{costs:?}");
+        // The same probe co-clustered is within an order of magnitude of
+        // the select.
+        let coclustered = ProbeGeometry {
+            clustering: 0.0,
+            ..thrashing
+        };
+        g.probes = vec![None, Some(coclustered)];
+        let costs = stage_costs_per_input_tuple(&g, &[4.0, 10.0], &[0.5, 0.5], &p);
+        assert!(costs[1] < 3.0 * costs[0], "{costs:?}");
+        // An expensive selection (UDF-style instruction count) overtakes a
+        // co-clustered probe.
+        let costs = stage_costs_per_input_tuple(&g, &[100.0, 10.0], &[0.5, 0.5], &p);
+        assert!(costs[0] > costs[1], "{costs:?}");
     }
 
     #[test]

@@ -13,7 +13,72 @@
 
 use crate::branch_costs::estimate_peo_branches;
 use crate::cache_model::{l3_accesses, CacheGeometry};
+use crate::join_model::{random_misses_f, sequential_misses_f, JoinGeometry};
 use crate::markov::ChainSpec;
+
+/// A foreign-key join filter at one plan position: per surviving tuple the
+/// stage loads the FK (covered by the position's `value_bytes` entry like
+/// any other column read) and then probes the dimension tuple it
+/// addresses. The probe's cache behaviour is what distinguishes a cheap
+/// co-clustered join from an LLC-thrashing one (Sections 5.5–5.6), so the
+/// geometry carries the Equation-1 inputs plus the *measured* clustering
+/// of the probe stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeGeometry {
+    /// The probed (dimension) relation relative to the LLC — the inputs of
+    /// Equations 1 and 2.
+    pub relation: JoinGeometry,
+    /// Capacity in bytes of the cache level *above* the LLC (L2): probes
+    /// into a relation resident there never produce L3 traffic.
+    pub upper_cache_bytes: f64,
+    /// Clustering of the probe stream in `[0, 1]`: `1` = uniform random
+    /// (Equation 1 applies untouched), `0` = perfectly co-clustered
+    /// (near-sequential). Runs start at the pessimistic `1` and calibrate
+    /// the value from measured counters.
+    pub clustering: f64,
+}
+
+impl ProbeGeometry {
+    /// A probe with everything unknown assumed worst-case random.
+    pub fn random(relation: JoinGeometry, upper_cache_bytes: f64) -> Self {
+        Self {
+            relation,
+            upper_cache_bytes,
+            clustering: 1.0,
+        }
+    }
+
+    /// Expected L3 accesses (demand + buddy prefetch, the paper's
+    /// Section 2.2.2 definition) for `r` probes.
+    ///
+    /// A random probe into a relation that outgrows the upper cache always
+    /// performs one L3 lookup and — the buddy line being useless — one
+    /// prefetch lookup, independent of whether the *relation* fits the
+    /// LLC: `2·r`. A co-clustered stream walks the relation's lines in
+    /// order, costing one demand and one prefetch lookup per 2-line buddy
+    /// pair: one access per touched line. The measured clustering blends
+    /// the two regimes.
+    pub fn l3_accesses(&self, r: f64) -> f64 {
+        let r = r.max(0.0);
+        if self.relation.relation_bytes() <= self.upper_cache_bytes {
+            return 0.0;
+        }
+        let random = 2.0 * r;
+        let sequential = sequential_misses_f(&self.relation, r);
+        self.clustering * random + (1.0 - self.clustering) * sequential
+    }
+
+    /// Expected L3 *misses* for `r` probes: the Equation-1 random miss
+    /// count blended against the sequential (compulsory-only) count.
+    pub fn l3_misses(&self, r: f64) -> f64 {
+        let r = r.max(0.0);
+        if self.relation.relation_bytes() <= self.upper_cache_bytes {
+            return 0.0;
+        }
+        self.clustering * random_misses_f(&self.relation, r)
+            + (1.0 - self.clustering) * sequential_misses_f(&self.relation, r)
+    }
+}
 
 /// Static shape of the plan whose counters are being predicted.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +102,10 @@ pub struct PlanGeometry {
     pub line_bytes: u32,
     /// Branch predictor model.
     pub chain: ChainSpec,
+    /// Per-position dimension probe for foreign-key join-filter stages
+    /// (`None` for plain selections). Either empty (a pure multi-selection
+    /// plan) or one entry per evaluation position.
+    pub probes: Vec<Option<ProbeGeometry>>,
 }
 
 impl PlanGeometry {
@@ -50,12 +119,19 @@ impl PlanGeometry {
             agg_bytes: vec![4],
             line_bytes: 64,
             chain: ChainSpec::SIX,
+            probes: Vec::new(),
         }
     }
 
     /// Number of predicates.
     pub fn predicates(&self) -> usize {
         self.value_bytes.len()
+    }
+
+    /// The probe at evaluation position `j`, if that stage is a join
+    /// filter (an empty `probes` vector means an all-selection plan).
+    pub fn probe(&self, j: usize) -> Option<&ProbeGeometry> {
+        self.probes.get(j).and_then(Option::as_ref)
     }
 
     /// Whether evaluation position `j` is the first to read its column.
@@ -118,6 +194,10 @@ pub fn estimate_counters(geom: &PlanGeometry, survivors: &[f64]) -> CounterEstim
         geom.predicates(),
         "one column id per predicate required"
     );
+    assert!(
+        geom.probes.is_empty() || geom.probes.len() == geom.predicates(),
+        "probes must be empty or one per predicate"
+    );
     let sels = survivors_to_selectivities(geom.n_input, survivors);
     let branches = estimate_peo_branches(geom.n_input, &sels, &geom.chain, true);
 
@@ -125,9 +205,12 @@ pub fn estimate_counters(geom: &PlanGeometry, survivors: &[f64]) -> CounterEstim
     // that survived predicates 0..j. Densities only shrink along the
     // chain, so a column's first read dominates and repeated reads of the
     // same column are cache-resident — they cost no further L3 accesses.
+    // A join-filter stage additionally probes its dimension once per
+    // reaching tuple, priced by the stage's [`ProbeGeometry`].
     let n = geom.n_input as f64;
     let mut l3 = 0.0;
     let mut density = 1.0;
+    let mut reaching = n;
     for (j, &width) in geom.value_bytes.iter().enumerate() {
         if geom.first_read(j) {
             let cg = CacheGeometry {
@@ -136,11 +219,15 @@ pub fn estimate_counters(geom: &PlanGeometry, survivors: &[f64]) -> CounterEstim
             };
             l3 += l3_accesses(&cg, geom.n_input, density);
         }
+        if let Some(probe) = geom.probe(j) {
+            l3 += probe.l3_accesses(reaching);
+        }
         density = if n > 0.0 {
             (survivors[j] / n).clamp(0.0, 1.0)
         } else {
             0.0
         };
+        reaching = survivors[j].clamp(0.0, reaching);
     }
     for &width in &geom.agg_bytes {
         let cg = CacheGeometry {
@@ -218,5 +305,72 @@ mod tests {
     fn arity_mismatch_panics() {
         let geom = PlanGeometry::uniform_i32(10, 2);
         let _ = estimate_counters(&geom, &[5.0]);
+    }
+
+    fn thrashing_probe(clustering: f64) -> ProbeGeometry {
+        ProbeGeometry {
+            relation: JoinGeometry {
+                relation_tuples: 500_000,
+                tuple_bytes: 4,
+                line_bytes: 64,
+                cache_lines: 1024 * 1024 / 64, // 1 MiB LLC vs 2 MB relation
+            },
+            upper_cache_bytes: 64.0 * 1024.0,
+            clustering,
+        }
+    }
+
+    #[test]
+    fn random_probe_double_counts_accesses() {
+        let p = thrashing_probe(1.0);
+        let r = 10_000.0;
+        assert!((p.l3_accesses(r) - 2.0 * r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coclustered_probe_accesses_touched_lines_only() {
+        let p = thrashing_probe(0.0);
+        let r = 16_000.0;
+        // 16 probes per 64 B line: 1000 touched lines.
+        assert!((p.l3_accesses(r) - 1000.0).abs() < 1e-9);
+        assert!(p.l3_misses(r) < thrashing_probe(1.0).l3_misses(r));
+    }
+
+    #[test]
+    fn upper_cache_resident_probe_is_free() {
+        let mut p = thrashing_probe(1.0);
+        p.relation.relation_tuples = 1_000; // 4 KB < 64 KB L2
+        assert_eq!(p.l3_accesses(50_000.0), 0.0);
+        assert_eq!(p.l3_misses(50_000.0), 0.0);
+    }
+
+    #[test]
+    fn join_stage_raises_predicted_l3() {
+        let plain = PlanGeometry::uniform_i32(100_000, 2);
+        let mut with_probe = plain.clone();
+        with_probe.probes = vec![None, Some(thrashing_probe(1.0))];
+        let survivors = [50_000.0, 10_000.0];
+        let a = estimate_counters(&plain, &survivors);
+        let b = estimate_counters(&with_probe, &survivors);
+        // The second stage probes once per reaching tuple (the first
+        // stage's survivors), double-counted: + 2 * 50_000.
+        assert!((b.l3_accesses - a.l3_accesses - 100_000.0).abs() < 1.0);
+        // Branch counters are untouched by the probe.
+        assert_eq!(a.bnt, b.bnt);
+        assert_eq!(a.mp_taken, b.mp_taken);
+    }
+
+    #[test]
+    fn clustering_interpolates_probe_accesses() {
+        let mut geom = PlanGeometry::uniform_i32(100_000, 1);
+        let survivors = [40_000.0];
+        geom.probes = vec![Some(thrashing_probe(0.0))];
+        let lo = estimate_counters(&geom, &survivors).l3_accesses;
+        geom.probes = vec![Some(thrashing_probe(1.0))];
+        let hi = estimate_counters(&geom, &survivors).l3_accesses;
+        geom.probes = vec![Some(thrashing_probe(0.5))];
+        let mid = estimate_counters(&geom, &survivors).l3_accesses;
+        assert!(lo < mid && mid < hi, "{lo} {mid} {hi}");
+        assert!((mid - (lo + hi) / 2.0).abs() < 1e-6);
     }
 }

@@ -55,21 +55,33 @@ impl JoinGeometry {
 /// Equation 2: expected number of distinct cache lines touched by `r`
 /// uniform random accesses into the relation.
 pub fn accessed_lines(geom: &JoinGeometry, r: u64) -> f64 {
+    accessed_lines_f(geom, r as f64)
+}
+
+/// [`accessed_lines`] over a fractional access count — the estimator
+/// searches a continuous survivor space, so the model must stay smooth.
+pub fn accessed_lines_f(geom: &JoinGeometry, r: f64) -> f64 {
     let lines = geom.relation_lines();
-    lines * (1.0 - (1.0 - 1.0 / lines).powf(r as f64))
+    lines * (1.0 - (1.0 - 1.0 / lines).powf(r.max(0.0)))
 }
 
 /// Equation 1: expected *random* cache misses at this level for `r`
 /// uniform random accesses.
 pub fn random_misses(geom: &JoinGeometry, r: u64) -> f64 {
-    let ci = accessed_lines(geom, r);
+    random_misses_f(geom, r as f64)
+}
+
+/// [`random_misses`] over a fractional access count.
+pub fn random_misses_f(geom: &JoinGeometry, r: f64) -> f64 {
+    let r = r.max(0.0);
+    let ci = accessed_lines_f(geom, r);
     if ci < geom.cache_lines as f64 {
         // Relation working set fits: compulsory misses only.
         ci
     } else {
         // Thrashing: each access misses with probability
         // 1 − cache_bytes / relation_bytes.
-        r as f64 * (1.0 - geom.cache_bytes() / geom.relation_bytes()).max(0.0)
+        r * (1.0 - geom.cache_bytes() / geom.relation_bytes()).max(0.0)
     }
 }
 
@@ -78,7 +90,12 @@ pub fn random_misses(geom: &JoinGeometry, r: u64) -> f64 {
 /// sequentially touched lines `min(r·w/B, L)` — the "original model for
 /// sequential cache misses".
 pub fn sequential_misses(geom: &JoinGeometry, r: u64) -> f64 {
-    let touched = (r as f64 * f64::from(geom.tuple_bytes) / f64::from(geom.line_bytes)).ceil();
+    sequential_misses_f(geom, r as f64)
+}
+
+/// [`sequential_misses`] over a fractional access count.
+pub fn sequential_misses_f(geom: &JoinGeometry, r: f64) -> f64 {
+    let touched = (r.max(0.0) * f64::from(geom.tuple_bytes) / f64::from(geom.line_bytes)).ceil();
     touched.min(geom.relation_lines())
 }
 

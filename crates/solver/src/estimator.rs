@@ -360,6 +360,44 @@ mod tests {
     }
 
     #[test]
+    fn join_probe_geometry_still_inverts() {
+        // A pipeline-shaped plan: cheap select followed by a join filter
+        // whose probe dominates the L3 counter. The estimator must invert
+        // the probe-aware model just like the plain-scan one — the
+        // geometry is an *input*, the search does not care what produced
+        // the counters.
+        use popt_cost::estimate::ProbeGeometry;
+        use popt_cost::join_model::JoinGeometry;
+        let mut geom = PlanGeometry::uniform_i32(1_000_000, 2);
+        geom.probes = vec![
+            None,
+            Some(ProbeGeometry {
+                relation: JoinGeometry {
+                    relation_tuples: 250_000,
+                    tuple_bytes: 4,
+                    line_bytes: 64,
+                    cache_lines: 512 * 1024 / 64,
+                },
+                upper_cache_bytes: 64.0 * 1024.0,
+                clustering: 1.0,
+            }),
+        ];
+        // p1 = 0.3, p2 = 0.5.
+        let sampled = synthetic_sample(&geom, &[300_000.0, 150_000.0]);
+        let r = estimate_selectivities(&geom, &sampled, &tight_config());
+        assert!(
+            (r.selectivities[0] - 0.3).abs() < 0.05,
+            "sels = {:?}",
+            r.selectivities
+        );
+        assert!(
+            (r.selectivities[1] - 0.5).abs() < 0.05,
+            "sels = {:?}",
+            r.selectivities
+        );
+    }
+
+    #[test]
     fn bnt_only_weights_still_bound_feasible() {
         // With BNT alone the problem is under-determined, but the result
         // must still respect the exact constraints.

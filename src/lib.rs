@@ -14,7 +14,10 @@
 //! * [`solver`] — search-space restriction, start-point selection and the
 //!   bounded Nelder–Mead selectivity estimator;
 //! * [`core`] — the vectorized execution engine and the progressive
-//!   optimizer itself.
+//!   optimizer itself, unified across executors: the multi-selection
+//!   scan and mixed selection/join-filter pipelines share one §4.4 loop
+//!   (`core::progressive::ProgressiveTarget`), with pipeline stages
+//!   ranked by estimated cost per input tuple (Sections 5.5–5.6).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the paper-vs-measured record of every figure.

@@ -1,0 +1,31 @@
+//! Helpers shared by the integration-test binaries.
+
+use popt::cpu::{CacheLevelConfig, CpuConfig};
+
+/// A deliberately small hierarchy (4 KiB L1 / 16 KiB L2 / 64 KiB LLC) so
+/// that modest dimension tables thrash the LLC under random probes at
+/// test-friendly row counts.
+pub fn small_cache_cpu() -> CpuConfig {
+    let mut cfg = CpuConfig::xeon_e5_2630_v2();
+    cfg.levels = vec![
+        CacheLevelConfig {
+            capacity_bytes: 4 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 0,
+        },
+        CacheLevelConfig {
+            capacity_bytes: 16 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 10,
+        },
+        CacheLevelConfig {
+            capacity_bytes: 64 * 1024,
+            line_bytes: 64,
+            ways: 16,
+            hit_latency_cycles: 30,
+        },
+    ];
+    cfg
+}

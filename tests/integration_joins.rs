@@ -5,33 +5,11 @@ use popt::core::exec::pipeline::{FilterOp, Pipeline};
 use popt::core::predicate::CompareOp;
 use popt::core::sortedness::{classify, recommend_join_order, AccessPattern, JoinObservation};
 use popt::cost::join_model::JoinGeometry;
-use popt::cpu::{CacheLevelConfig, CpuConfig, SimCpu};
+use popt::cpu::SimCpu;
 use popt::storage::tpch::{generate_lineitem, generate_orders, generate_part, TpchConfig};
 
-fn small_cache_cpu() -> CpuConfig {
-    let mut cfg = CpuConfig::xeon_e5_2630_v2();
-    cfg.levels = vec![
-        CacheLevelConfig {
-            capacity_bytes: 4 * 1024,
-            line_bytes: 64,
-            ways: 8,
-            hit_latency_cycles: 0,
-        },
-        CacheLevelConfig {
-            capacity_bytes: 16 * 1024,
-            line_bytes: 64,
-            ways: 8,
-            hit_latency_cycles: 10,
-        },
-        CacheLevelConfig {
-            capacity_bytes: 64 * 1024,
-            line_bytes: 64,
-            ways: 16,
-            hit_latency_cycles: 30,
-        },
-    ];
-    cfg
-}
+mod common;
+use common::small_cache_cpu;
 
 fn setup() -> (
     popt::storage::Table,
