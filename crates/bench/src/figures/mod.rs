@@ -15,13 +15,15 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod scale;
 pub mod workload;
 
 use crate::common::FigureCtx;
 
-/// All figure ids in paper order.
+/// All figure ids in paper order, plus the beyond-the-paper parallel
+/// scaling study (`scale`).
 pub const ALL: &[&str] = &[
-    "1", "2", "3", "4", "6", "7", "8", "9", "11", "12", "13", "14", "15", "16",
+    "1", "2", "3", "4", "6", "7", "8", "9", "11", "12", "13", "14", "15", "16", "scale",
 ];
 
 /// Dispatch a figure by id; returns false for unknown ids.
@@ -41,6 +43,7 @@ pub fn run(id: &str, ctx: &FigureCtx) -> bool {
         "14" => fig14::run(ctx),
         "15" => fig15::run(ctx),
         "16" => fig16::run(ctx),
+        "scale" => scale::run(ctx),
         _ => return false,
     }
     true

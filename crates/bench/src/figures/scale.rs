@@ -1,0 +1,204 @@
+//! Scaling figure (beyond the paper): morsel-driven parallel execution
+//! with shared progressive reoptimization.
+//!
+//! Two workloads, each swept over worker counts:
+//!
+//! * the Figure-14-style "Mem" workload (expensive selection + fully
+//!   random FK probe into an LLC-thrashing dimension), started from the
+//!   *worse* static order so the pool has to converge while scaling;
+//! * the 3-join star schema (co-clustered customer join + two random
+//!   joins + a selection), started from the fully reversed order.
+//!
+//! Reported per worker count: wall-clock time (the busiest simulated
+//! core, optimizer rounds included), speedup over one worker, whether
+//! the result is bit-identical to the single-core executor, and whether
+//! the pool converged to the same operator order as the serial
+//! progressive loop. The speedup column is the headline: morsel
+//! dispatch has no barrier, so the only losses are coordination (one
+//! estimator round per interval, charged to the core that ran it) and
+//! trial morsels (leased to exactly one core).
+
+use popt_core::exec::pipeline::{FilterOp, Pipeline};
+use popt_core::parallel::{run_parallel_pipeline, MorselConfig};
+use popt_core::predicate::CompareOp;
+use popt_core::progressive::{run_progressive_pipeline, ProgressiveConfig, VectorConfig};
+use popt_cpu::{CpuPool, SimCpu};
+
+use crate::common::{banner, fmt, row, FigureCtx};
+use crate::figures::fig15::scaled_cpu;
+use crate::figures::workload::{fig14_mem_tables, star_pipeline, star_schema, DOMAIN};
+
+/// Worker counts of the sweep.
+pub const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+struct SweepPoint {
+    workers: usize,
+    wall_ms: f64,
+    speedup: f64,
+    exact: bool,
+    final_order: String,
+    matches_serial: bool,
+}
+
+/// Run one workload's sweep: serial ground truth + progressive
+/// reference, then the worker-count scan. `build` must hand back a fresh
+/// pipeline in plan order each call; `hot_bytes_per_tuple` sizes the
+/// morsels so a worker's hot column data fits its private L2.
+fn sweep<'t>(
+    build: &dyn Fn() -> Pipeline<'t>,
+    initial_order: &[usize],
+    hot_bytes_per_tuple: usize,
+) -> Vec<SweepPoint> {
+    let rows = build().rows();
+    let morsels = MorselConfig::cache_friendly(&scaled_cpu(), hot_bytes_per_tuple);
+    // Single-core executor ground truth (static order — results are
+    // order-invariant, so any order gives the reference bits).
+    let mut static_cpu = SimCpu::new(scaled_cpu());
+    let expect = build().run_range(&mut static_cpu, 0, rows);
+
+    // Serial progressive reference: the order the §4.4 loop converges to.
+    // A coarser interval than the convergence figures use: with N workers
+    // sampling concurrently, one interval already fuses several morsels
+    // of counters, and each estimator round bills simulated cycles to
+    // the core that ran it — reoptimizing every other morsel would put
+    // optimization time, not execution, on the critical path.
+    let config = ProgressiveConfig {
+        reop_interval: 4,
+        ..Default::default()
+    };
+    let mut serial_pipeline = build();
+    let mut serial_cpu = SimCpu::new(scaled_cpu());
+    let serial = run_progressive_pipeline(
+        &mut serial_pipeline,
+        initial_order,
+        VectorConfig {
+            vector_tuples: 4_096,
+            max_vectors: None,
+        },
+        &mut serial_cpu,
+        &config,
+    )
+    .expect("serial progressive runs");
+
+    let mut one_worker_wall = 0u64;
+    WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            let mut pipeline = build();
+            let mut pool = CpuPool::new(scaled_cpu(), workers);
+            let report = run_parallel_pipeline(
+                &mut pipeline,
+                initial_order,
+                morsels,
+                &mut pool,
+                Some(&config),
+            )
+            .expect("parallel progressive runs");
+            if workers == 1 {
+                one_worker_wall = report.wall_cycles;
+            }
+            SweepPoint {
+                workers,
+                wall_ms: report.millis,
+                speedup: report.speedup_over(one_worker_wall),
+                exact: report.qualified == expect.qualified && report.sum == expect.sum,
+                final_order: format!("{:?}", report.final_order),
+                matches_serial: report.final_order == serial.final_peo,
+            }
+        })
+        .collect()
+}
+
+fn print_sweep(label: &str, points: &[SweepPoint]) {
+    for p in points {
+        row(&[
+            label.to_string(),
+            p.workers.to_string(),
+            fmt(p.wall_ms),
+            fmt(p.speedup),
+            p.exact.to_string(),
+            p.final_order.replace(' ', ""),
+            p.matches_serial.to_string(),
+        ]);
+    }
+    let four = points
+        .iter()
+        .find(|p| p.workers == 4)
+        .expect("sweep includes 4 workers");
+    assert!(
+        points.iter().all(|p| p.exact),
+        "{label}: parallel result must be bit-identical to the single-core executor"
+    );
+    assert!(
+        four.speedup >= 2.5,
+        "{label}: 4-worker speedup {:.2} < 2.5",
+        four.speedup
+    );
+    println!(
+        "# {label}: 4-worker speedup {} (>= 2.5: {}), converged to serial order: {}",
+        fmt(four.speedup),
+        four.speedup >= 2.5,
+        four.matches_serial
+    );
+}
+
+/// Run the figure.
+pub fn run(ctx: &FigureCtx) {
+    banner(
+        "scale",
+        "Morsel-driven parallel scaling with shared progressive reoptimization",
+    );
+    // The quick scale stays large enough (64 morsels) that convergence
+    // and per-interval optimizer time amortize — with fewer morsels the
+    // speedup column measures coordination overhead, not scaling.
+    let rows = ctx.scale(1 << 21, 1 << 18);
+
+    row(&[
+        "workload",
+        "workers",
+        "wall_ms",
+        "speedup_vs_1w",
+        "bit_identical",
+        "final_order",
+        "matches_serial_order",
+    ]);
+
+    // Workload A: selection vs. random join, started join-first (the
+    // worse order at "Mem" sortedness).
+    let (fact, dim) = fig14_mem_tables(rows, 0x5CA1E);
+    let build_fig14 = || {
+        let sel = FilterOp::select(&fact, "val", CompareOp::Lt, DOMAIN / 2, 0, 50)
+            .expect("select compiles");
+        let join = FilterOp::join_filter(
+            &fact,
+            "fk",
+            &dim,
+            "payload",
+            CompareOp::Lt,
+            DOMAIN / 2,
+            1,
+            100,
+        )
+        .expect("join compiles");
+        Pipeline::new(vec![sel, join], fact.rows()).expect("two-stage pipeline")
+    };
+    // Hot bytes per tuple: fk + val + dimension probe, 4 B each.
+    print_sweep("fig14-mem", &sweep(&build_fig14, &[1, 0], 12));
+
+    // Workload B: the 3-join star schema, started fully reversed (random
+    // part and supplier joins first, then the co-clustered customer
+    // join, with the cheap selection dead last).
+    let star = star_schema(rows, 0x57A12);
+    let build_star = || star_pipeline(&star, Some(0.5), [0.5, 0.5, 0.5]);
+    // Hot bytes per tuple: val + 3 FKs + 3 probes + agg, 4 B each.
+    print_sweep("star-3join", &sweep(&build_star, &[3, 2, 1, 0], 32));
+
+    println!(
+        "# expectation: near-linear speedup (morsel dispatch is barrier-free; the \
+         optimizer runs once per interval on one core), identical results at every \
+         worker count, and the pool converging to the serial loop's final order — \
+         at high worker counts, ties between near-equal tail stages may \
+         occasionally resolve into a different near-optimal order (the locality \
+         ranking itself, co-clustered join ahead of random joins, always holds)"
+    );
+}

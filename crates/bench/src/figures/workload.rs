@@ -1,6 +1,9 @@
 //! Synthetic workloads shared by the counter/model figures: uniform
-//! random columns with selectivity-addressable predicates.
+//! random columns with selectivity-addressable predicates, plus the
+//! star-schema workload the multi-join and parallel-scaling figures
+//! exercise.
 
+use popt_core::exec::pipeline::{FilterOp, Pipeline};
 use popt_core::plan::SelectionPlan;
 use popt_core::predicate::{CompareOp, Predicate};
 use popt_storage::{AddressSpace, ColumnData, Table};
@@ -8,26 +11,76 @@ use popt_storage::{AddressSpace, ColumnData, Table};
 /// Value domain of the uniform columns (selectivity granularity 1/10000).
 pub const DOMAIN: i64 = 10_000;
 
+/// One step of xorshift64* — the deterministic PRNG every synthetic
+/// workload draws from. Seed states should be made odd (`seed | 1`) so
+/// the zero state can never occur.
+pub fn xorshift64(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33
+}
+
 /// A table with `columns` independent uniform columns `c0..` over
 /// `0..DOMAIN` plus an aggregate column `agg`.
 pub fn uniform_table(rows: usize, columns: usize, seed: u64) -> Table {
     let mut space = AddressSpace::new();
     let mut t = Table::new("uniform");
     let mut state = seed | 1;
-    let mut next = move || {
-        // xorshift64* — fast, deterministic, good enough for workloads.
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as i64
-    };
     for c in 0..columns {
-        let data: Vec<i32> = (0..rows).map(|_| (next() % DOMAIN) as i32).collect();
+        let data: Vec<i32> = (0..rows)
+            .map(|_| (xorshift64(&mut state) % DOMAIN as u64) as i32)
+            .collect();
         t.add_column(format!("c{c}"), ColumnData::I32(data), &mut space);
     }
-    let agg: Vec<i32> = (0..rows).map(|_| (next() % 100) as i32).collect();
+    let agg: Vec<i32> = (0..rows)
+        .map(|_| (xorshift64(&mut state) % 100) as i32)
+        .collect();
     t.add_column("agg", ColumnData::I32(agg), &mut space);
     t
+}
+
+/// The Figure-14 "Mem" workload shared by the parallel figures and
+/// tests: a fact table whose `fk` addresses a `rows/4`-tuple dimension
+/// uniformly at random (the fully shuffled end of the fig14 sortedness
+/// sweep) plus a `val` column, and the dimension's `payload` — both
+/// uniform over `0..DOMAIN`, so `< literal_for(s)` selects with
+/// selectivity `s` on either side.
+pub fn fig14_mem_tables(rows: usize, seed: u64) -> (Table, Table) {
+    let dim_n = rows / 4;
+    let mut state = seed | 1;
+    let mut space = AddressSpace::new();
+    let mut fact = Table::new("fact");
+    fact.add_column(
+        "fk",
+        ColumnData::I32(
+            (0..rows)
+                .map(|_| (xorshift64(&mut state) % dim_n as u64) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    fact.add_column(
+        "val",
+        ColumnData::I32(
+            (0..rows)
+                .map(|_| (xorshift64(&mut state) % DOMAIN as u64) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    let mut dim_space = AddressSpace::new();
+    let mut dim = Table::new("dim");
+    dim.add_column(
+        "payload",
+        ColumnData::I32(
+            (0..dim_n)
+                .map(|_| (xorshift64(&mut state) % DOMAIN as u64) as i32)
+                .collect(),
+        ),
+        &mut dim_space,
+    );
+    (fact, dim)
 }
 
 /// Literal giving a `< literal` predicate the requested selectivity on a
@@ -47,9 +100,142 @@ pub fn uniform_plan(selectivities: &[f64]) -> SelectionPlan {
     SelectionPlan::new(preds, vec!["agg".into()]).expect("non-empty plan")
 }
 
+/// A star-schema workload: one fact table with three foreign keys into
+/// dimension tables of descending size and different access locality.
+///
+/// * `customer` — the largest dimension, addressed by a **co-clustered**
+///   FK (fact tuples arrive in customer order, the lineitem→orders
+///   pattern): probes are near-sequential however big the table is.
+/// * `supplier` — mid-sized, addressed by a **random** FK: probes thrash
+///   any LLC the table outgrows.
+/// * `part` — the smallest dimension, also randomly addressed: cheap
+///   once it fits a private cache level.
+///
+/// Every dimension payload is uniform over `0..DOMAIN`, so FK-filter
+/// selectivities are addressable via [`literal_for`] exactly like the
+/// uniform scan columns.
+pub struct StarSchema {
+    /// The fact table (`fk_customer`, `fk_supplier`, `fk_part`, `val`,
+    /// `agg`).
+    pub fact: Table,
+    /// Largest dimension, co-clustered FK (`c_payload`).
+    pub customer: Table,
+    /// Mid dimension, random FK (`s_payload`).
+    pub supplier: Table,
+    /// Smallest dimension, random FK (`p_payload`).
+    pub part: Table,
+}
+
+impl StarSchema {
+    /// Dimension row counts for a fact table of `rows`.
+    pub fn dim_rows(rows: usize) -> [usize; 3] {
+        [(rows / 4).max(16), (rows / 8).max(16), (rows / 16).max(16)]
+    }
+}
+
+/// Generate the star schema for `rows` fact tuples.
+pub fn star_schema(rows: usize, seed: u64) -> StarSchema {
+    let [customer_n, supplier_n, part_n] = StarSchema::dim_rows(rows);
+    let mut state = seed | 1;
+    let mut next = move || xorshift64(&mut state);
+    let mut space = AddressSpace::new();
+    let mut fact = Table::new("fact");
+    fact.add_column(
+        "fk_customer",
+        ColumnData::I32((0..rows).map(|i| (i * customer_n / rows) as i32).collect()),
+        &mut space,
+    );
+    fact.add_column(
+        "fk_supplier",
+        ColumnData::I32(
+            (0..rows)
+                .map(|_| (next() % supplier_n as u64) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    fact.add_column(
+        "fk_part",
+        ColumnData::I32((0..rows).map(|_| (next() % part_n as u64) as i32).collect()),
+        &mut space,
+    );
+    fact.add_column(
+        "val",
+        ColumnData::I32((0..rows).map(|_| (next() % DOMAIN as u64) as i32).collect()),
+        &mut space,
+    );
+    fact.add_column(
+        "agg",
+        ColumnData::I32((0..rows).map(|_| (next() % 100) as i32).collect()),
+        &mut space,
+    );
+    let mut dim = |name: &str, col: &str, n: usize| {
+        let mut dim_space = AddressSpace::new();
+        let mut t = Table::new(name);
+        t.add_column(
+            col,
+            ColumnData::I32((0..n).map(|_| (next() % DOMAIN as u64) as i32).collect()),
+            &mut dim_space,
+        );
+        t
+    };
+    StarSchema {
+        customer: dim("customer", "c_payload", customer_n),
+        supplier: dim("supplier", "s_payload", supplier_n),
+        part: dim("part", "p_payload", part_n),
+        fact,
+    }
+}
+
+/// Build the star-join filter pipeline: an optional selection on `val`
+/// plus the three FK join filters, each `< literal_for(selectivity)` on
+/// its dimension payload, aggregating over `agg`.
+///
+/// Plan-order stage indices: selection (if any) first, then customer,
+/// supplier, part — so with a selection, plan index 1 is the
+/// co-clustered join and 2/3 are the random ones.
+pub fn star_pipeline<'t>(
+    star: &'t StarSchema,
+    select_sel: Option<f64>,
+    join_sels: [f64; 3],
+) -> Pipeline<'t> {
+    let mut ops = Vec::new();
+    if let Some(sel) = select_sel {
+        ops.push(
+            FilterOp::select(&star.fact, "val", CompareOp::Lt, literal_for(sel), 0, 50)
+                .expect("selection compiles"),
+        );
+    }
+    let joins: [(&Table, &str, &str); 3] = [
+        (&star.customer, "fk_customer", "c_payload"),
+        (&star.supplier, "fk_supplier", "s_payload"),
+        (&star.part, "fk_part", "p_payload"),
+    ];
+    for (k, ((dim, fk, payload), sel)) in joins.iter().zip(join_sels).enumerate() {
+        ops.push(
+            FilterOp::join_filter(
+                &star.fact,
+                fk,
+                dim,
+                payload,
+                CompareOp::Lt,
+                literal_for(sel),
+                (k + 1) as u32,
+                100 + k,
+            )
+            .expect("join filter compiles"),
+        );
+    }
+    Pipeline::new(ops, star.fact.rows())
+        .expect("non-empty pipeline")
+        .with_aggregate(&star.fact, "agg")
+        .expect("aggregate column exists")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use popt_cpu::{CpuConfig, SimCpu};
     use popt_storage::stats;
 
     #[test]
@@ -67,6 +253,69 @@ mod tests {
         let p = uniform_plan(&[0.5, 0.1, 0.9]);
         assert_eq!(p.len(), 3);
         assert_eq!(p.predicates[1].literal, literal_for(0.1));
+    }
+
+    #[test]
+    fn star_schema_joins_hit_requested_selectivities() {
+        let rows = 1 << 15;
+        let star = star_schema(rows, 0x57A2);
+        // Every FK is in range by construction; the pipeline compiles.
+        let pipeline = star_pipeline(&star, Some(0.5), [0.3, 0.5, 0.7]);
+        assert_eq!(pipeline.len(), 4);
+        // Ground truth: host-side evaluation of the conjunction.
+        let fk = |name: &str| star.fact.column(name).unwrap().data().as_i32().unwrap();
+        fn payload<'t>(t: &'t Table, c: &str) -> &'t [i32] {
+            t.column(c).unwrap().data().as_i32().unwrap()
+        }
+        let val = fk("val");
+        let (c, s, p) = (
+            payload(&star.customer, "c_payload"),
+            payload(&star.supplier, "s_payload"),
+            payload(&star.part, "p_payload"),
+        );
+        let (fkc, fks, fkp) = (fk("fk_customer"), fk("fk_supplier"), fk("fk_part"));
+        let expect = (0..rows)
+            .filter(|&i| {
+                i64::from(val[i]) < literal_for(0.5)
+                    && i64::from(c[fkc[i] as usize]) < literal_for(0.3)
+                    && i64::from(s[fks[i] as usize]) < literal_for(0.5)
+                    && i64::from(p[fkp[i] as usize]) < literal_for(0.7)
+            })
+            .count() as u64;
+        let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+        let stats = pipeline.run_range(&mut cpu, 0, rows);
+        assert_eq!(stats.qualified, expect);
+        // Roughly 0.5 * 0.3 * 0.5 * 0.7 = 5.25% qualify.
+        let frac = expect as f64 / rows as f64;
+        assert!((frac - 0.0525).abs() < 0.01, "joint = {frac}");
+    }
+
+    #[test]
+    fn star_customer_fk_is_coclustered_and_others_random() {
+        let rows = 1 << 14;
+        let star = star_schema(rows, 7);
+        let fkc = star
+            .fact
+            .column("fk_customer")
+            .unwrap()
+            .data()
+            .as_i32()
+            .unwrap();
+        // Co-clustered: monotone non-decreasing.
+        assert!(fkc.windows(2).all(|w| w[0] <= w[1]));
+        // Random: displacement between adjacent keys is large on average.
+        let fks = star
+            .fact
+            .column("fk_supplier")
+            .unwrap()
+            .data()
+            .as_i32()
+            .unwrap();
+        let jumps = fks
+            .windows(2)
+            .filter(|w| (w[0] - w[1]).unsigned_abs() > 16)
+            .count();
+        assert!(jumps > rows / 2, "supplier FK looks clustered: {jumps}");
     }
 
     #[test]

@@ -26,6 +26,11 @@ use crate::exec::scan::{AggColumn, InstrCosts, VectorStats, LOOP_BRANCH_SITE};
 use crate::predicate::CompareOp;
 
 /// One pipeline stage: pass/fail per tuple.
+///
+/// Stages borrow column data immutably, so cloning a stage (or a whole
+/// [`Pipeline`]) is cheap — the morsel-driven parallel executor clones
+/// one pipeline per worker and runs them over disjoint row ranges.
+#[derive(Clone)]
 pub enum FilterOp<'t> {
     /// A predicate on a fact-table column.
     Select {
@@ -272,6 +277,7 @@ impl<'t> FilterOp<'t> {
 /// — through the progressive optimizer — at runtime.
 ///
 /// [`reorder`]: Pipeline::reorder
+#[derive(Clone)]
 pub struct Pipeline<'t> {
     /// Stages in plan (construction) order.
     ops: Vec<FilterOp<'t>>,

@@ -63,6 +63,7 @@ pub(crate) struct CompiledPredicate<'t> {
     pub(crate) extra_instructions: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct AggColumn<'t> {
     pub(crate) values: &'t [i32],
     pub(crate) base: u64,

@@ -21,6 +21,12 @@
 //!   selection/join-filter pipelines, where stages are ranked by estimated
 //!   cost per input tuple and probe locality is calibrated from the
 //!   counters (Sections 5.5–5.6);
+//! * [`parallel`] — morsel-driven parallel execution with *shared*
+//!   progressive reoptimization: worker threads drive independent
+//!   simulated cores over cache-friendly morsels, per-worker counter
+//!   samples fuse into one pool-wide estimate, accepted orders are
+//!   epoch-published to every worker, and trial orders are leased to
+//!   exactly one core;
 //! * [`sortedness`] — counter-based access-pattern classification and join
 //!   reordering advice;
 //! * [`query`] — a high-level builder API (TPC-H Q6 ships as a preset).
@@ -42,6 +48,7 @@
 
 pub mod error;
 pub mod exec;
+pub mod parallel;
 pub mod plan;
 pub mod predicate;
 pub mod progressive;
@@ -50,6 +57,10 @@ pub mod sortedness;
 
 pub use error::EngineError;
 pub use exec::pipeline::{FilterOp, Pipeline};
+pub use parallel::{
+    run_parallel_pipeline, run_parallel_scan, run_parallel_target, MorselConfig, MorselDispatcher,
+    ParallelReport, ShardableTarget, TargetShard,
+};
 pub use plan::{Peo, SelectionPlan};
 pub use predicate::{CompareOp, Predicate};
 pub use progressive::{

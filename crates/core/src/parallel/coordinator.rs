@@ -1,0 +1,586 @@
+//! The progressive coordinator: the §4.4 loop generalized to N workers.
+//!
+//! Worker threads (one per [`CpuPool`] core) claim morsels from the
+//! shared dispatcher and execute them on their private simulated cores.
+//! The coordinator state behind one mutex holds the *master* target —
+//! the single shared estimator model (selectivity beliefs, probe
+//! clustering calibration, rejection memory) that all workers feed and
+//! follow:
+//!
+//! * **Sampling** — every morsel executed under the currently accepted
+//!   order accumulates into its worker's window; at each reoptimization
+//!   point the per-worker windows are fused
+//!   ([`SampledCounters::merged`]) into one pool-wide sample for a
+//!   single Nelder–Mead estimate, so optimization cost is paid once per
+//!   interval, not once per core.
+//! * **Epoch publication** — an accepted order bumps the epoch; workers
+//!   notice at their next morsel boundary and re-chain their
+//!   pre-compiled primitives (the vectorized switch of §4.4, now
+//!   concurrent). Morsels measured under a stale epoch still count
+//!   toward the query result but are excluded from the sample window.
+//! * **Trial leasing** — a proposed order (estimator-driven,
+//!   exploratory, or a §5.5 measurement probe) becomes a *trial* leased
+//!   to exactly one worker: that worker runs one morsel under the
+//!   candidate order and resolves it against the accepted order's
+//!   cycles-per-tuple. A bad trial order therefore never runs on more
+//!   than one core, while the other workers keep streaming at full
+//!   speed under the incumbent order.
+
+use std::sync::Mutex;
+
+use popt_cost::cycles::{fleet_speedup, fleet_wall_cycles};
+use popt_cost::estimate::PlanGeometry;
+use popt_cpu::pmu::CounterDelta;
+use popt_cpu::{CpuConfig, CpuPool, SimCpu};
+use popt_solver::{estimate_selectivities, SampledCounters};
+
+use crate::error::EngineError;
+use crate::exec::pipeline::Pipeline;
+use crate::exec::scan::VectorStats;
+use crate::plan::{Peo, SelectionPlan};
+use popt_storage::Table;
+
+use crate::progressive::{PipelineTarget, ProgressiveConfig, ScanTarget, SwitchEvent};
+
+use super::morsel::{MorselConfig, MorselDispatcher};
+use super::{ShardableTarget, TargetShard};
+
+/// Outcome of a morsel-driven parallel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelReport {
+    /// Qualifying tuples (bit-identical to the single-core executor).
+    pub qualified: u64,
+    /// Aggregate sum (bit-identical to the single-core executor).
+    pub sum: i64,
+    /// Wall-clock cycles: the busiest worker, including the optimizer
+    /// cycles charged to the cores that ran estimator rounds.
+    pub wall_cycles: u64,
+    /// Aggregate cycles across all workers (total work).
+    pub total_cycles: u64,
+    /// Wall-clock simulated milliseconds.
+    pub millis: f64,
+    /// Workers (= pool cores) that executed the run.
+    pub workers: usize,
+    /// Morsels executed.
+    pub morsels: usize,
+    /// Per-worker cycles (execution + that worker's optimizer rounds).
+    pub per_worker_cycles: Vec<u64>,
+    /// Order switches, in scheduling order (`vector` = morsel count at
+    /// the time the trial was scheduled).
+    pub switches: Vec<SwitchEvent>,
+    /// Estimator invocations.
+    pub estimates: usize,
+    /// Total cycles attributed to the optimizer.
+    pub optimizer_cycles: u64,
+    /// The accepted order when the scan finished.
+    pub final_order: Peo,
+    /// Counter totals across all cores.
+    pub counters: CounterDelta,
+}
+
+impl ParallelReport {
+    /// Wall-clock speedup over a reference single-worker run.
+    pub fn speedup_over(&self, reference_wall_cycles: u64) -> f64 {
+        fleet_speedup(reference_wall_cycles, &self.per_worker_cycles)
+    }
+}
+
+/// A candidate order being tried on exactly one worker.
+struct Trial {
+    order: Peo,
+    switch_idx: usize,
+    /// Accepted-order cycles-per-tuple the trial must not regress from.
+    prev_cpt: f64,
+    leased: bool,
+}
+
+/// Everything the workers share, behind one mutex.
+struct CoordState<'a, T> {
+    /// The master target: order tracking plus the shared estimator model
+    /// (probe clustering, proposal logic). Never executes a morsel.
+    target: &'a mut T,
+    /// Bumped on every accepted switch; workers resync when it moves.
+    epoch: u64,
+    /// The accepted evaluation order.
+    published: Peo,
+    trial: Option<Trial>,
+    /// Recently reverted orders: (order, reopt round rejected at).
+    rejected: Vec<(Peo, usize)>,
+    reopt_round: usize,
+    last_accept_round: usize,
+    morsels_since_reopt: usize,
+    /// Per-worker sample windows under the current epoch's order.
+    windows: Vec<VectorStats>,
+    /// Cycles and tuples accumulated under the current epoch's order —
+    /// their ratio is the accepted order's cycles-per-tuple, the
+    /// reference a trial must not regress from. An *average* over the
+    /// whole epoch (not the most recent morsel) so the reference does
+    /// not depend on which worker happened to report last, nor on one
+    /// core's momentary cache state.
+    epoch_cycles: u64,
+    epoch_tuples: u64,
+    /// Whether an estimator round snapshot is being fitted outside the
+    /// lock; excludes concurrent reopt rounds like a pending trial does.
+    estimate_in_flight: bool,
+    switches: Vec<SwitchEvent>,
+    estimates: usize,
+    /// Optimizer cycles charged per worker (to the core that ran the
+    /// estimator round).
+    optimizer_cycles: Vec<u64>,
+    morsels_done: usize,
+    error: Option<EngineError>,
+}
+
+enum MorselMode {
+    /// Executed under the accepted order of the recorded epoch.
+    Normal { epoch: u64 },
+    /// Executed under the leased trial order.
+    Trial,
+}
+
+/// Execute `plan` over `table` with morsel-driven parallelism across the
+/// pool's cores, optionally with shared progressive reoptimization.
+/// The parallel generalization of [`crate::progressive::run_baseline`] /
+/// [`crate::progressive::run_progressive`].
+pub fn run_parallel_scan(
+    table: &Table,
+    plan: &SelectionPlan,
+    initial_peo: &[usize],
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+) -> Result<ParallelReport, EngineError> {
+    let mut target = ScanTarget::new(table, plan, initial_peo)?;
+    run_parallel_target(&mut target, morsels, pool, reopt)
+}
+
+/// Execute a filter pipeline with morsel-driven parallelism, optionally
+/// with shared progressive operator reordering. The pipeline is left in
+/// the final accepted order. The parallel generalization of
+/// [`crate::progressive::run_progressive_pipeline`].
+pub fn run_parallel_pipeline(
+    pipeline: &mut Pipeline<'_>,
+    initial_order: &[usize],
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+) -> Result<ParallelReport, EngineError> {
+    pipeline.reorder(initial_order)?;
+    let mut target = PipelineTarget::new(pipeline);
+    run_parallel_target(&mut target, morsels, pool, reopt)
+}
+
+/// Drive any range-shardable progressive target across the pool.
+pub fn run_parallel_target<T>(
+    target: &mut T,
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+) -> Result<ParallelReport, EngineError>
+where
+    T: ShardableTarget + Send,
+{
+    if let Some(cfg) = reopt {
+        if cfg.reop_interval == 0 {
+            return Err(EngineError::InvalidVectorConfig("reop_interval = 0".into()));
+        }
+    }
+    let workers = pool.len();
+    let dispatcher = MorselDispatcher::new(target.rows(), morsels.morsel_tuples, workers)?;
+    let cpu_cfg = pool.config().clone();
+    let freq = cpu_cfg.timing.frequency_ghz;
+
+    let mut shards = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        shards.push(target.shard()?);
+    }
+
+    let initial_order = target.order();
+    let state = Mutex::new(CoordState {
+        target,
+        epoch: 0,
+        published: initial_order,
+        trial: None,
+        rejected: Vec::new(),
+        reopt_round: 0,
+        last_accept_round: 0,
+        morsels_since_reopt: 0,
+        windows: vec![VectorStats::zero(); workers],
+        epoch_cycles: 0,
+        epoch_tuples: 0,
+        estimate_in_flight: false,
+        switches: Vec::new(),
+        estimates: 0,
+        optimizer_cycles: vec![0; workers],
+        morsels_done: 0,
+        error: None,
+    });
+
+    // Per-worker totals merge after the join in worker order, so the
+    // result assembly is deterministic regardless of thread scheduling
+    // (integer sums make it order-independent anyway — this keeps even
+    // intermediate states reproducible).
+    let mut worker_totals: Vec<(VectorStats, u64)> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pool
+            .cores_mut()
+            .iter_mut()
+            .zip(shards)
+            .enumerate()
+            .map(|(w, (core, mut shard))| {
+                let dispatcher = &dispatcher;
+                let state = &state;
+                let cpu_cfg = &cpu_cfg;
+                scope.spawn(move || {
+                    worker_loop(w, core, &mut shard, dispatcher, state, reopt, cpu_cfg)
+                })
+            })
+            .collect();
+        for handle in handles {
+            worker_totals.push(handle.join().expect("worker thread panicked"));
+        }
+    });
+
+    let mut st = state.into_inner().expect("no worker held the lock");
+    if let Some(err) = st.error.take() {
+        return Err(err);
+    }
+    // A trial scheduled after the last morsel was claimed never ran; it
+    // was never accepted either, so record it as reverted.
+    if let Some(trial) = st.trial.take() {
+        if !trial.leased {
+            st.switches[trial.switch_idx].reverted = true;
+        }
+    }
+
+    let mut total = VectorStats::zero();
+    for (stats, _) in &worker_totals {
+        total.accumulate(stats);
+    }
+    let per_worker_cycles: Vec<u64> = worker_totals
+        .iter()
+        .zip(&st.optimizer_cycles)
+        .map(|((_, exec_cycles), opt_cycles)| exec_cycles + opt_cycles)
+        .collect();
+    let wall_cycles = fleet_wall_cycles(&per_worker_cycles);
+    Ok(ParallelReport {
+        qualified: total.qualified,
+        sum: total.sum,
+        wall_cycles,
+        total_cycles: per_worker_cycles.iter().sum(),
+        millis: wall_cycles as f64 / (freq * 1e6),
+        workers,
+        morsels: st.morsels_done,
+        per_worker_cycles,
+        switches: st.switches,
+        estimates: st.estimates,
+        optimizer_cycles: st.optimizer_cycles.iter().sum(),
+        final_order: st.published,
+        counters: total.counters,
+    })
+}
+
+/// One worker: claim morsels, sync order / lease trials at morsel
+/// boundaries, execute on the private core, report to the coordinator.
+/// Returns the worker's result total and its execution cycles.
+///
+/// Locking discipline: the coordinator mutex is held only for cheap
+/// bookkeeping (order sync, window accumulation, proposal application).
+/// The expensive multi-start Nelder–Mead estimate runs *outside* the
+/// lock — `estimate_in_flight` (and, for trial fits, the still-leased
+/// trial itself) keeps concurrent rounds exclusive — so one worker's
+/// optimizer round never stalls the rest of the pool in host time.
+fn worker_loop<T, S>(
+    w: usize,
+    core: &mut SimCpu,
+    shard: &mut S,
+    dispatcher: &MorselDispatcher,
+    state: &Mutex<CoordState<'_, T>>,
+    reopt: Option<&ProgressiveConfig>,
+    cpu_cfg: &CpuConfig,
+) -> (VectorStats, u64)
+where
+    T: ShardableTarget,
+    S: TargetShard,
+{
+    let cycles_before = core.counters().cycles;
+    let mut total = VectorStats::zero();
+    let mut local_epoch = 0u64;
+    while let Some((start, end)) = dispatcher.next(w) {
+        // Boundary sync: adopt the published order, or lease a pending
+        // trial so the candidate runs on exactly this core.
+        let mode = {
+            let mut st = state.lock().expect("coordinator lock");
+            if st.error.is_some() {
+                break;
+            }
+            let lease = match st.trial.as_mut() {
+                Some(trial) if !trial.leased => {
+                    trial.leased = true;
+                    Some(trial.order.clone())
+                }
+                _ => None,
+            };
+            if let Some(order) = lease {
+                // Ground the comparison in this core's own recent rate
+                // under the incumbent order when it has one —
+                // consecutive morsels on one core control for cache
+                // state, like the serial loop's vector-to-vector
+                // comparison. The pool-wide epoch average (snapshot at
+                // scheduling) remains the fallback for a cold core.
+                if st.windows[w].tuples > 0 {
+                    let own_cpt = st.windows[w].cycles_per_tuple();
+                    if let Some(trial) = st.trial.as_mut() {
+                        trial.prev_cpt = own_cpt;
+                    }
+                }
+                if let Err(err) = shard.set_order(&order) {
+                    st.error = Some(err);
+                    break;
+                }
+                MorselMode::Trial
+            } else {
+                if local_epoch != st.epoch {
+                    let published = st.published.clone();
+                    if let Err(err) = shard.set_order(&published) {
+                        st.error = Some(err);
+                        break;
+                    }
+                    local_epoch = st.epoch;
+                }
+                MorselMode::Normal { epoch: st.epoch }
+            }
+        };
+
+        let stats = shard.run_range(core, start, end);
+        total.accumulate(&stats);
+
+        let outcome = match mode {
+            MorselMode::Trial => {
+                let cfg = reopt.expect("trials are only scheduled when reopt is on");
+                resolve_trial(state, w, &stats, cfg, cpu_cfg).and_then(|(published, epoch)| {
+                    // Adopt whatever order the resolution left published
+                    // (the trial order if accepted, the incumbent if not).
+                    shard.set_order(&published)?;
+                    local_epoch = epoch;
+                    Ok(())
+                })
+            }
+            MorselMode::Normal { epoch } => {
+                report_normal(state, w, epoch, &stats, reopt, cpu_cfg, dispatcher)
+            }
+        };
+        if let Err(err) = outcome {
+            state.lock().expect("coordinator lock").error = Some(err);
+            break;
+        }
+    }
+    (total, core.counters().cycles - cycles_before)
+}
+
+/// Resolve a leased trial against the morsel that ran it: calibrate from
+/// the trial sample (trial vectors double as measurement probes, §5.5),
+/// then accept — publishing a new epoch — or revert into the rejection
+/// memory. Returns the published order and epoch after resolution so the
+/// resolving worker can resync its shard.
+fn resolve_trial<T: ShardableTarget>(
+    state: &Mutex<CoordState<'_, T>>,
+    w: usize,
+    stats: &VectorStats,
+    cfg: &ProgressiveConfig,
+    cpu_cfg: &CpuConfig,
+) -> Result<(Peo, u64), EngineError> {
+    // Locked: count the morsel and derive the trial-order geometry the
+    // sample must be fitted against — the master target moves to the
+    // trial order (it moves back below if the trial reverts).
+    let fit_inputs = {
+        let mut st = state.lock().expect("coordinator lock");
+        st.morsels_done += 1;
+        let trial_order = st
+            .trial
+            .as_ref()
+            .expect("a leased trial to resolve")
+            .order
+            .clone();
+        if st.target.wants_trial_calibration() {
+            let sampled = stats.sampled_counters();
+            st.target.set_order(&trial_order)?;
+            let geom = st.target.plan_geometry(sampled.n_input, cpu_cfg);
+            Some((geom, sampled))
+        } else {
+            None
+        }
+    };
+    // Unlocked: the expensive estimate. The still-leased trial excludes
+    // reopt rounds and double-leasing while the pool keeps streaming.
+    let fitted = fit_inputs.map(|(geom, sampled)| {
+        let estimate = estimate_selectivities(&geom, &sampled, &cfg.estimator);
+        (geom, sampled, estimate)
+    });
+    // Locked: calibrate, decide, publish or revert.
+    let mut st = state.lock().expect("coordinator lock");
+    if let Some((geom, sampled, estimate)) = fitted {
+        st.estimates += 1;
+        st.optimizer_cycles[w] += estimate.evaluations as u64 * cfg.cycles_per_estimator_eval;
+        st.target.calibrate(&geom, &sampled, &estimate.survivors);
+    }
+    let trial = st.trial.take().expect("a leased trial to resolve");
+    let cpt = stats.cycles_per_tuple();
+    let regressed =
+        cfg.revert_on_regression && cpt > trial.prev_cpt * (1.0 + cfg.regression_tolerance);
+    if regressed {
+        let round = st.reopt_round;
+        st.rejected.push((trial.order, round));
+        st.switches[trial.switch_idx].reverted = true;
+        let published = st.published.clone();
+        st.target.set_order(&published)?;
+    } else {
+        st.target.set_order(&trial.order)?;
+        st.published = trial.order;
+        st.epoch += 1;
+        st.last_accept_round = st.reopt_round;
+        // The windows and the epoch reference sampled the superseded
+        // order; the trial morsel is the new epoch's first observation.
+        for window in &mut st.windows {
+            *window = VectorStats::zero();
+        }
+        st.morsels_since_reopt = 0;
+        st.epoch_cycles = stats.counters.cycles;
+        st.epoch_tuples = stats.tuples;
+    }
+    Ok((st.published.clone(), st.epoch))
+}
+
+/// Report a morsel executed under the accepted order: accumulate it into
+/// the worker's sample window and, when the interval is due, run one
+/// reoptimization round — the estimate itself outside the lock.
+fn report_normal<T: ShardableTarget>(
+    state: &Mutex<CoordState<'_, T>>,
+    w: usize,
+    epoch: u64,
+    stats: &VectorStats,
+    reopt: Option<&ProgressiveConfig>,
+    cpu_cfg: &CpuConfig,
+    dispatcher: &MorselDispatcher,
+) -> Result<(), EngineError> {
+    // Locked: bookkeeping, possibly starting a reopt round.
+    let prepared = {
+        let mut st = state.lock().expect("coordinator lock");
+        st.morsels_done += 1;
+        if epoch != st.epoch {
+            // Measured under a stale epoch: counts toward the result,
+            // excluded from the sample window.
+            return Ok(());
+        }
+        st.windows[w].accumulate(stats);
+        st.epoch_cycles += stats.counters.cycles;
+        st.epoch_tuples += stats.tuples;
+        st.morsels_since_reopt += 1;
+        match reopt {
+            Some(cfg)
+                if st.morsels_since_reopt >= cfg.reop_interval
+                    && st.trial.is_none()
+                    && !st.estimate_in_flight
+                    && !dispatcher.exhausted() =>
+            {
+                begin_reoptimize(&mut st, cfg, cpu_cfg)
+            }
+            _ => None,
+        }
+    };
+    let Some((geom, merged)) = prepared else {
+        return Ok(());
+    };
+    let cfg = reopt.expect("a prepared reopt round implies a config");
+    // Unlocked: the expensive pool-wide estimate.
+    let estimate = estimate_selectivities(&geom, &merged, &cfg.estimator);
+    // Locked: calibrate and propose. No trial can have been scheduled
+    // nor the epoch moved meanwhile — both only happen inside reopt
+    // rounds, and `estimate_in_flight` excluded those.
+    let mut st = state.lock().expect("coordinator lock");
+    st.estimate_in_flight = false;
+    st.estimates += 1;
+    st.optimizer_cycles[w] += estimate.evaluations as u64 * cfg.cycles_per_estimator_eval;
+    st.target.calibrate(&geom, &merged, &estimate.survivors);
+    let proposed = st.target.propose_order(&geom, &estimate.selectivities);
+    if st.rejected.iter().any(|(order, _)| order == &proposed) {
+        return Ok(());
+    }
+    if proposed != st.published {
+        schedule_trial(&mut st, proposed, false);
+    }
+    Ok(())
+}
+
+/// Start a reoptimization round under the lock: age out rejections,
+/// handle the cheap stall-exploration and measurement-probe paths
+/// directly, or snapshot the fused per-worker windows for an estimator
+/// round the caller runs outside the lock.
+fn begin_reoptimize<T: ShardableTarget>(
+    st: &mut CoordState<'_, T>,
+    cfg: &ProgressiveConfig,
+    cpu_cfg: &CpuConfig,
+) -> Option<(PlanGeometry, SampledCounters)> {
+    st.reopt_round += 1;
+    st.morsels_since_reopt = 0;
+    let round = st.reopt_round;
+    st.rejected
+        .retain(|(_, at)| round - at <= cfg.rejection_ttl);
+
+    // Stall-triggered exploration (§4.5), same trigger as the serial
+    // loop: no recently accepted switch AND an active disagreement.
+    let stalled = st.reopt_round >= st.last_accept_round + 3 && !st.rejected.is_empty();
+    if cfg.explore_correlation && stalled && st.reopt_round % 2 == 0 {
+        let mut explored = st.published.clone();
+        explored.rotate_right(1);
+        if explored != st.published {
+            schedule_trial(st, explored, true);
+        }
+        return None;
+    }
+
+    // Measurement probe: an order the target wants to observe once.
+    if let Some(probe) = st.target.take_probe_order() {
+        if probe != st.published {
+            schedule_trial(st, probe, true);
+            return None;
+        }
+    }
+
+    // Fuse the per-worker windows into one pool-wide sample; one
+    // estimator round serves the whole pool.
+    let samples: Vec<SampledCounters> = st
+        .windows
+        .iter()
+        .filter(|window| window.tuples > 0)
+        .map(VectorStats::sampled_counters)
+        .collect();
+    let merged = SampledCounters::merged(&samples)?;
+    let geom = st.target.plan_geometry(merged.n_input, cpu_cfg);
+    // The window feeds this estimate; the next interval accumulates
+    // fresh while the fit runs.
+    for window in &mut st.windows {
+        *window = VectorStats::zero();
+    }
+    st.estimate_in_flight = true;
+    Some((geom, merged))
+}
+
+fn schedule_trial<T>(st: &mut CoordState<'_, T>, order: Peo, exploratory: bool) {
+    st.switches.push(SwitchEvent {
+        vector: st.morsels_done,
+        from: st.published.clone(),
+        to: order.clone(),
+        reverted: false,
+        exploratory,
+    });
+    // Trials are only scheduled after at least one full reopt interval
+    // of in-epoch morsels, so the epoch average is always populated.
+    debug_assert!(st.epoch_tuples > 0, "trial scheduled with no reference");
+    st.trial = Some(Trial {
+        order,
+        switch_idx: st.switches.len() - 1,
+        prev_cpt: st.epoch_cycles as f64 / st.epoch_tuples.max(1) as f64,
+        leased: false,
+    });
+}

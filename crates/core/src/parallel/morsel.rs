@@ -1,0 +1,240 @@
+//! Morsel-wise work division: carve a scan's row range into cache-sized
+//! chunks with a *deterministic interleaved placement* — morsel `k`
+//! belongs to worker `k mod workers`.
+//!
+//! A *morsel* (HyPer's term) is the parallel analogue of the vectorized
+//! loop's vector: small enough that a worker reacts to a newly published
+//! operator order within microseconds (workers re-check the coordinator
+//! at every morsel boundary), large enough that claiming one costs a
+//! single atomic add rather than per-tuple synchronization.
+//!
+//! Placement is deterministic rather than work-stealing on purpose: the
+//! execution being *simulated*, a greedy shared cursor would let the
+//! host OS scheduler decide how many morsels each simulated core
+//! executes — on a loaded or few-core host one thread can race ahead
+//! and claim far more than its share, inflating that core's simulated
+//! cycles and making the measured wall clock (the busiest core)
+//! scheduling-dependent. With the interleave, each worker's morsel
+//! *set* is a pure function of the workload, so a baseline
+//! (non-progressive) parallel run is fully reproducible on any host.
+//! With progressive reoptimization enabled, a residual scheduling
+//! sensitivity remains — which morsel boundary an accepted order lands
+//! on, and which worker's core is billed for an estimator round, follow
+//! the cross-worker completion interleaving — but it is bounded to
+//! single-morsel granularity (per-core cycles shift by a few percent;
+//! query results stay bit-identical regardless). Morsels are
+//! near-uniform (same tuple count), so the balance work-stealing would
+//! buy is at most one morsel; NUMA-style range affinity is a ROADMAP
+//! follow-up.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use popt_cpu::CpuConfig;
+
+use crate::error::EngineError;
+
+/// Morsel-division parameters of a parallel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorselConfig {
+    /// Tuples per morsel (the parallel counterpart of
+    /// [`crate::progressive::VectorConfig::vector_tuples`]).
+    pub morsel_tuples: usize,
+}
+
+impl MorselConfig {
+    /// A morsel of exactly `morsel_tuples` tuples.
+    pub fn new(morsel_tuples: usize) -> Self {
+        Self { morsel_tuples }
+    }
+
+    /// Cache-friendly sizing: the morsel's hot column data
+    /// (`hot_bytes_per_tuple` = summed widths of the columns the pipeline
+    /// reads per tuple) should fit the per-core L2, so a worker's reads
+    /// stay resident for the duration of the morsel while still being
+    /// large enough to amortize the claim and the coordinator check.
+    pub fn cache_friendly(cpu: &CpuConfig, hot_bytes_per_tuple: usize) -> Self {
+        let l2_bytes = cpu
+            .levels
+            .get(1)
+            .map_or(64 * 1024, |l| l.capacity_bytes as usize);
+        Self {
+            morsel_tuples: (l2_bytes / hot_bytes_per_tuple.max(1)).clamp(1_024, 65_536),
+        }
+    }
+}
+
+impl Default for MorselConfig {
+    fn default() -> Self {
+        Self {
+            morsel_tuples: 4_096,
+        }
+    }
+}
+
+/// The work division of a parallel scan over `0..rows`: morsel `k`
+/// (rows `k·m .. (k+1)·m`) belongs to worker `k mod workers`, claimed
+/// lazily via per-worker counters. Disjoint ranges, deterministic
+/// placement, completion in any order.
+#[derive(Debug)]
+pub struct MorselDispatcher {
+    rows: usize,
+    morsel_tuples: usize,
+    workers: usize,
+    /// Per-worker count of morsels that worker has claimed so far.
+    claimed: Vec<AtomicUsize>,
+}
+
+impl MorselDispatcher {
+    /// A dispatcher over `rows` tuples in morsels of `morsel_tuples`,
+    /// interleaved across `workers` workers.
+    pub fn new(rows: usize, morsel_tuples: usize, workers: usize) -> Result<Self, EngineError> {
+        if morsel_tuples == 0 {
+            return Err(EngineError::InvalidVectorConfig("morsel_tuples = 0".into()));
+        }
+        if workers == 0 {
+            return Err(EngineError::InvalidVectorConfig("workers = 0".into()));
+        }
+        Ok(Self {
+            rows,
+            morsel_tuples,
+            workers,
+            claimed: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+        })
+    }
+
+    /// Claim `worker`'s next morsel; `None` once that worker's share of
+    /// the range is exhausted.
+    pub fn next(&self, worker: usize) -> Option<(usize, usize)> {
+        let round = self.claimed[worker].fetch_add(1, Ordering::Relaxed);
+        let start = (round * self.workers + worker) * self.morsel_tuples;
+        (start < self.rows).then(|| (start, (start + self.morsel_tuples).min(self.rows)))
+    }
+
+    /// Whether every morsel has been claimed (claimed ≠ completed: a
+    /// worker may still be executing its last one). Used to avoid
+    /// scheduling trial orders that could never run.
+    pub fn exhausted(&self) -> bool {
+        (0..self.workers).all(|w| {
+            let round = self.claimed[w].load(Ordering::Relaxed);
+            (round * self.workers + w) * self.morsel_tuples >= self.rows
+        })
+    }
+
+    /// Total number of morsels the range divides into.
+    pub fn total_morsels(&self) -> usize {
+        self.rows.div_ceil(self.morsel_tuples)
+    }
+
+    /// Workers the range is interleaved across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_morsels_cover_range_in_order() {
+        let d = MorselDispatcher::new(10_000, 1_024, 1).unwrap();
+        let mut seen = Vec::new();
+        while let Some(m) = d.next(0) {
+            seen.push(m);
+        }
+        assert_eq!(seen.len(), d.total_morsels());
+        assert_eq!(seen.first(), Some(&(0, 1_024)));
+        assert_eq!(seen.last(), Some(&(9_216, 10_000)));
+        for pair in seen.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "gap or overlap: {pair:?}");
+        }
+        assert!(d.exhausted());
+        assert!(d.next(0).is_none());
+    }
+
+    #[test]
+    fn interleaved_placement_is_deterministic_and_balanced() {
+        let workers = 4;
+        let d = MorselDispatcher::new(100_000, 777, workers).unwrap();
+        // Worker w gets exactly morsels w, w+4, w+8, … regardless of the
+        // order (or concurrency) in which claims happen.
+        let mut all = Vec::new();
+        for w in (0..workers).rev() {
+            let mut count = 0;
+            while let Some((start, end)) = d.next(w) {
+                assert_eq!(start / 777 % workers, w, "morsel of the wrong worker");
+                all.push((start, end));
+                count += 1;
+            }
+            let total = d.total_morsels();
+            let share = total / workers + usize::from(w < total % workers);
+            assert_eq!(count, share, "worker {w} claimed an unbalanced share");
+        }
+        all.sort_unstable();
+        assert_eq!(all.len(), d.total_morsels());
+        let mut expect_start = 0;
+        for (start, end) in all {
+            assert_eq!(start, expect_start);
+            expect_start = end;
+        }
+        assert_eq!(expect_start, 100_000);
+        assert!(d.exhausted());
+    }
+
+    #[test]
+    fn concurrent_claims_are_disjoint_and_complete() {
+        let d = MorselDispatcher::new(100_000, 777, 4).unwrap();
+        let claimed = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let d = &d;
+                let claimed = &claimed;
+                scope.spawn(move || {
+                    while let Some(m) = d.next(w) {
+                        claimed.lock().unwrap().push(m);
+                    }
+                });
+            }
+        });
+        let mut claimed = claimed.into_inner().unwrap();
+        claimed.sort_unstable();
+        assert_eq!(claimed.len(), d.total_morsels());
+        let mut expect_start = 0;
+        for (start, end) in claimed {
+            assert_eq!(start, expect_start);
+            expect_start = end;
+        }
+        assert_eq!(expect_start, 100_000);
+    }
+
+    #[test]
+    fn zero_morsel_size_and_zero_workers_are_rejected() {
+        assert!(matches!(
+            MorselDispatcher::new(100, 0, 1).unwrap_err(),
+            EngineError::InvalidVectorConfig(_)
+        ));
+        assert!(matches!(
+            MorselDispatcher::new(100, 64, 0).unwrap_err(),
+            EngineError::InvalidVectorConfig(_)
+        ));
+    }
+
+    #[test]
+    fn empty_range_yields_no_morsels() {
+        let d = MorselDispatcher::new(0, 64, 2).unwrap();
+        assert!(d.next(0).is_none());
+        assert!(d.next(1).is_none());
+        assert_eq!(d.total_morsels(), 0);
+        assert!(d.exhausted());
+    }
+
+    #[test]
+    fn cache_friendly_sizing_tracks_l2() {
+        let cfg = CpuConfig::tiny_test();
+        let m = MorselConfig::cache_friendly(&cfg, 8);
+        assert!(m.morsel_tuples >= 1_024 && m.morsel_tuples <= 65_536);
+        // More hot bytes per tuple never increases the morsel.
+        let wide = MorselConfig::cache_friendly(&cfg, 64);
+        assert!(wide.morsel_tuples <= m.morsel_tuples);
+    }
+}

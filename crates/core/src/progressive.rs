@@ -280,10 +280,24 @@ pub trait ProgressiveTarget {
 
 /// The multi-selection scan as a progressive target: switching orders
 /// recompiles the plan against the table.
-struct ScanTarget<'p, 't> {
-    table: &'t Table,
-    plan: &'p SelectionPlan,
-    compiled: CompiledSelection<'t>,
+pub(crate) struct ScanTarget<'p, 't> {
+    pub(crate) table: &'t Table,
+    pub(crate) plan: &'p SelectionPlan,
+    pub(crate) compiled: CompiledSelection<'t>,
+}
+
+impl<'p, 't> ScanTarget<'p, 't> {
+    pub(crate) fn new(
+        table: &'t Table,
+        plan: &'p SelectionPlan,
+        initial_peo: &[usize],
+    ) -> Result<Self, EngineError> {
+        Ok(Self {
+            table,
+            plan,
+            compiled: CompiledSelection::compile(table, plan, initial_peo)?,
+        })
+    }
 }
 
 impl ProgressiveTarget for ScanTarget<'_, '_> {
@@ -325,8 +339,8 @@ impl ProgressiveTarget for ScanTarget<'_, '_> {
 /// tuple, and each join stage's probe clustering is calibrated from the
 /// counters whenever the stage runs at the front of the pipeline (the
 /// position where its signal dominates the sample).
-struct PipelineTarget<'p, 't> {
-    pipeline: &'p mut Pipeline<'t>,
+pub(crate) struct PipelineTarget<'p, 't> {
+    pub(crate) pipeline: &'p mut Pipeline<'t>,
     /// Per plan-stage clustering estimate (1.0 = assume uniform random,
     /// the textbook-pessimistic prior; meaningless for selects).
     clustering: Vec<f64>,
@@ -337,7 +351,7 @@ struct PipelineTarget<'p, 't> {
 }
 
 impl<'p, 't> PipelineTarget<'p, 't> {
-    fn new(pipeline: &'p mut Pipeline<'t>) -> Self {
+    pub(crate) fn new(pipeline: &'p mut Pipeline<'t>) -> Self {
         let stages = pipeline.len();
         Self {
             pipeline,
@@ -449,11 +463,7 @@ pub fn run_progressive(
     cpu: &mut SimCpu,
     config: &ProgressiveConfig,
 ) -> Result<ProgressiveReport, EngineError> {
-    let mut target = ScanTarget {
-        table,
-        plan,
-        compiled: CompiledSelection::compile(table, plan, initial_peo)?,
-    };
+    let mut target = ScanTarget::new(table, plan, initial_peo)?;
     run_progressive_target(&mut target, vectors, cpu, config)
 }
 

@@ -165,6 +165,24 @@ pub fn scan_millis(geom: &PlanGeometry, survivors: &[f64], params: &CycleParams)
     scan_cycles(geom, survivors, params) / (params.frequency_ghz * 1e6)
 }
 
+/// Wall-clock cycles of a parallel region: the busiest worker bounds the
+/// region's end (morsel-driven execution has no other barrier).
+pub fn fleet_wall_cycles(per_worker_cycles: &[u64]) -> u64 {
+    per_worker_cycles.iter().copied().max().unwrap_or(0)
+}
+
+/// Wall-clock speedup of a parallel run over a reference (typically the
+/// same workload on one worker): `reference / max(per-worker)`.
+/// Zero-cycle inputs yield a speedup of 0 rather than dividing by zero.
+pub fn fleet_speedup(reference_cycles: u64, per_worker_cycles: &[u64]) -> f64 {
+    let wall = fleet_wall_cycles(per_worker_cycles);
+    if wall == 0 {
+        0.0
+    } else {
+        reference_cycles as f64 / wall as f64
+    }
+}
+
 /// Convenience: cycles for a PEO given per-predicate *selectivities* in
 /// evaluation order.
 pub fn scan_cycles_for_selectivities(

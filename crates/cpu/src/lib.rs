@@ -20,7 +20,10 @@
 //!   misses of the paper's modified Pirk model (Section 3.1);
 //! * a **cycle accounting model** (misprediction penalty plus per-level
 //!   memory latencies, with cheaper sequential-stream fills) that converts
-//!   executed work into simulated milliseconds for the runtime figures.
+//!   executed work into simulated milliseconds for the runtime figures;
+//! * a **[`CpuPool`] of independent cores** (each with its own cache
+//!   hierarchy and free-running PMU bank) for morsel-driven parallel
+//!   execution — the parallel region's wall clock is its busiest core.
 //!
 //! Everything is deterministic: the same event stream produces the same
 //! counter values on every run, which makes the reproduction testable.
@@ -46,9 +49,11 @@ pub mod cache;
 pub mod config;
 pub mod cpu;
 pub mod pmu;
+pub mod pool;
 
 pub use branch::{BranchPredictor, BranchSite, SaturatingAutomaton};
 pub use cache::{CacheHierarchy, CacheLevel, LevelStats};
 pub use config::{CacheLevelConfig, CpuConfig, PredictorConfig, TimingConfig};
 pub use cpu::SimCpu;
 pub use pmu::{CounterDelta, Counters, Pmu};
+pub use pool::CpuPool;

@@ -1,0 +1,158 @@
+//! A pool of independent simulated cores for morsel-driven parallel
+//! execution.
+//!
+//! Each core is a full [`SimCpu`]: its own cache hierarchy, branch
+//! predictor, stream state and free-running PMU bank. Cores share
+//! *nothing* — the only shared resource in the parallel execution model
+//! is the storage layer's simulated address space, which is immutable
+//! during a query. That mirrors the hardware the paper measures on
+//! (per-core PMU banks sampled independently) and keeps the simulation
+//! deterministic per core: a worker's counter values depend only on the
+//! morsels it executed, not on thread scheduling.
+//!
+//! The pool's timing view is the one a wall clock would see: the
+//! parallel region is as slow as its busiest core ([`CpuPool::max_cycles`]),
+//! while [`CpuPool::total_cycles`] is the aggregate work — their ratio is
+//! the scaling figure's speedup denominator.
+
+use crate::config::CpuConfig;
+use crate::cpu::SimCpu;
+use crate::pmu::{CounterDelta, Counters};
+
+/// A fixed-size pool of independent simulated cores.
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    cores: Vec<SimCpu>,
+}
+
+impl CpuPool {
+    /// Build a pool of `cores` identical cores from one configuration.
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero — a pool with no cores cannot execute
+    /// anything.
+    pub fn new(config: CpuConfig, cores: usize) -> Self {
+        assert!(cores >= 1, "a CPU pool needs at least one core");
+        Self {
+            cores: (0..cores).map(|_| SimCpu::new(config.clone())).collect(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Whether the pool has no cores (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// The configuration the cores were built with.
+    pub fn config(&self) -> &CpuConfig {
+        self.cores[0].config()
+    }
+
+    /// Shared view of every core.
+    pub fn cores(&self) -> &[SimCpu] {
+        &self.cores
+    }
+
+    /// Exclusive view of every core — workers borrow one core each via
+    /// `iter_mut`.
+    pub fn cores_mut(&mut self) -> &mut [SimCpu] {
+        &mut self.cores
+    }
+
+    /// Cycles of the busiest core: the wall-clock length of a parallel
+    /// region that started with a fresh pool.
+    pub fn max_cycles(&self) -> u64 {
+        self.cores.iter().map(SimCpu::cycles).max().unwrap_or(0)
+    }
+
+    /// Aggregate cycles across all cores (total work, not wall clock).
+    pub fn total_cycles(&self) -> u64 {
+        self.cores.iter().map(SimCpu::cycles).sum()
+    }
+
+    /// Wall-clock milliseconds of the busiest core.
+    pub fn max_millis(&self) -> f64 {
+        self.max_cycles() as f64 / (self.config().timing.frequency_ghz * 1e6)
+    }
+
+    /// Counter bank summed across all cores.
+    pub fn counters(&self) -> CounterDelta {
+        let mut total = CounterDelta::default();
+        for core in &self.cores {
+            total.accumulate(&CounterDelta(core.counters()));
+        }
+        total
+    }
+
+    /// Per-core counter snapshots, in core order.
+    pub fn per_core_counters(&self) -> Vec<Counters> {
+        self.cores.iter().map(SimCpu::counters).collect()
+    }
+
+    /// Reset every core: caches, predictors, streams and counters.
+    pub fn reset(&mut self) {
+        for core in &mut self.cores {
+            core.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::BranchSite;
+
+    #[test]
+    fn pool_cores_are_independent() {
+        let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+        let cores = pool.cores_mut();
+        // Same address on both cores: each hierarchy misses independently.
+        cores[0].load(0, 0, 4);
+        cores[1].load(0, 0, 4);
+        assert_eq!(cores[0].counters().l1_accesses, 1);
+        assert_eq!(cores[1].counters().l1_accesses, 1);
+        assert_eq!(cores[0].counters().l1_hits, 0);
+        assert_eq!(cores[1].counters().l1_hits, 0, "no shared cache state");
+    }
+
+    #[test]
+    fn max_and_total_cycles() {
+        let mut pool = CpuPool::new(CpuConfig::tiny_test(), 3);
+        pool.cores_mut()[0].instr(1000);
+        pool.cores_mut()[2].instr(4000);
+        let per_core: Vec<u64> = pool.cores().iter().map(SimCpu::cycles).collect();
+        assert_eq!(pool.max_cycles(), per_core[2]);
+        assert_eq!(pool.total_cycles(), per_core.iter().sum::<u64>());
+        assert!(pool.max_millis() > 0.0);
+    }
+
+    #[test]
+    fn counters_aggregate_across_cores() {
+        let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+        pool.cores_mut()[0].branch(BranchSite(0), true);
+        pool.cores_mut()[1].branch(BranchSite(0), false);
+        let total = pool.counters();
+        assert_eq!(total.branches, 2);
+        assert_eq!(total.branches_taken, 1);
+        assert_eq!(total.branches_not_taken, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_every_core() {
+        let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+        pool.cores_mut()[1].instr(10);
+        pool.reset();
+        assert_eq!(pool.total_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_pool_is_rejected() {
+        let _ = CpuPool::new(CpuConfig::tiny_test(), 0);
+    }
+}

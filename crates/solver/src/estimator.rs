@@ -46,6 +46,35 @@ pub struct SampledCounters {
     pub l3_accesses: u64,
 }
 
+impl SampledCounters {
+    /// Fold another interval's sample into this one.
+    ///
+    /// Parallel workers sample their own per-core PMU banks over disjoint
+    /// morsels of the same scan; because every counter is an additive
+    /// event count, the fused sample is exactly what a single core would
+    /// have measured executing all those morsels under the same order —
+    /// so one estimator run can serve the whole pool.
+    pub fn merge(&mut self, other: &SampledCounters) {
+        self.n_input += other.n_input;
+        self.n_output += other.n_output;
+        self.bnt += other.bnt;
+        self.mp_taken += other.mp_taken;
+        self.mp_not_taken += other.mp_not_taken;
+        self.l3_accesses += other.l3_accesses;
+    }
+
+    /// Fuse per-worker samples into the pool-wide sample. Returns `None`
+    /// for an empty slice (no worker contributed to the window).
+    pub fn merged(samples: &[SampledCounters]) -> Option<SampledCounters> {
+        let mut iter = samples.iter();
+        let mut total = *iter.next()?;
+        for s in iter {
+            total.merge(s);
+        }
+        Some(total)
+    }
+}
+
 /// Per-counter weights in the objective (1.0 = paper default, 0.0 =
 /// excluded; used by the counter-subset ablation).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -395,6 +424,27 @@ mod tests {
             "sels = {:?}",
             r.selectivities
         );
+    }
+
+    #[test]
+    fn merged_worker_samples_estimate_like_one_big_sample() {
+        // Two workers each sample half the interval; the fused sample
+        // must equal the single-core sample of the whole interval, and
+        // the estimate over it must recover the same selectivities.
+        let whole = PlanGeometry::uniform_i32(1_000_000, 2);
+        let half = PlanGeometry::uniform_i32(500_000, 2);
+        let per_worker = synthetic_sample(&half, &[200_000.0, 40_000.0]);
+        let merged = SampledCounters::merged(&[per_worker, per_worker]).unwrap();
+        assert_eq!(merged.n_input, 1_000_000);
+        assert_eq!(merged.bnt, 2 * per_worker.bnt);
+        assert_eq!(merged.l3_accesses, 2 * per_worker.l3_accesses);
+        let r = estimate_selectivities(&whole, &merged, &tight_config());
+        assert!(
+            (r.selectivities[0] - 0.4).abs() < 0.05,
+            "{:?}",
+            r.selectivities
+        );
+        assert!(SampledCounters::merged(&[]).is_none());
     }
 
     #[test]

@@ -17,9 +17,23 @@ pub struct Config {
 }
 
 impl Default for Config {
+    /// 256 cases, overridable via the upstream-compatible
+    /// `PROPTEST_CASES` environment variable (used by CI to bound the
+    /// suite's runtime). Like upstream, an unparsable or zero value
+    /// panics rather than silently falling back — a CI typo must not
+    /// quietly void the time bound. An explicit `cases` in
+    /// `proptest_config` bypasses the default and therefore also the
+    /// variable.
     fn default() -> Self {
+        let cases = match std::env::var("PROPTEST_CASES") {
+            Ok(value) => match value.parse() {
+                Ok(cases) if cases > 0 => cases,
+                _ => panic!("invalid PROPTEST_CASES value {value:?}: expected a positive integer"),
+            },
+            Err(_) => 256,
+        };
         Self {
-            cases: 256,
+            cases,
             max_shrink_iters: 0,
         }
     }
