@@ -16,17 +16,19 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod scale;
+pub mod serve;
 pub mod workload;
 
 use crate::common::FigureCtx;
 
 /// All figure ids in paper order, plus the beyond-the-paper parallel
-/// scaling study (`scale`).
+/// scaling study (`scale`) and the multi-query serving study (`serve`).
 pub const ALL: &[&str] = &[
-    "1", "2", "3", "4", "6", "7", "8", "9", "11", "12", "13", "14", "15", "16", "scale",
+    "1", "2", "3", "4", "6", "7", "8", "9", "11", "12", "13", "14", "15", "16", "scale", "serve",
 ];
 
-/// Dispatch a figure by id; returns false for unknown ids.
+/// Dispatch a figure by id; returns false for unknown ids (the CLI turns
+/// that into a non-zero exit with the known ids printed).
 pub fn run(id: &str, ctx: &FigureCtx) -> bool {
     match id {
         "1" => fig01::run(ctx),
@@ -44,7 +46,30 @@ pub fn run(id: &str, ctx: &FigureCtx) -> bool {
         "15" => fig15::run(ctx),
         "16" => fig16::run(ctx),
         "scale" => scale::run(ctx),
+        "serve" => serve::run(ctx),
         _ => return false,
     }
     true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_ids_are_rejected_and_known_ids_are_unique() {
+        // `run` must refuse ids it does not know (the CLI exits non-zero
+        // and prints `ALL` when it sees `false`), and every advertised
+        // id must be unique and non-empty.
+        let ctx = FigureCtx { quick: true };
+        assert!(!run("not-a-figure", &ctx));
+        assert!(!run("", &ctx));
+        assert!(!run("Serve", &ctx), "ids are case-sensitive");
+        let mut seen = std::collections::HashSet::new();
+        for id in ALL {
+            assert!(!id.is_empty());
+            assert!(seen.insert(id), "duplicate figure id {id:?}");
+        }
+        assert!(ALL.contains(&"serve"), "the serving figure must be listed");
+    }
 }

@@ -1,0 +1,448 @@
+//! Serving figure (beyond the paper): multi-query admission, priority
+//! scheduling, and cross-query order reuse on the shared pool.
+//!
+//! Three experiments over a mixed workload of repeated query templates
+//! (a high-priority selective scan, a normal-priority selection+join
+//! pipeline started from the *worse* static order, and a low-priority
+//! background scan):
+//!
+//! 1. **Closed-loop throughput sweep** — the whole batch arrives at
+//!    time 0; workers swept 1→8. Morsel slots are divided by stride
+//!    scheduling, every query reoptimizes independently, and throughput
+//!    must scale (asserted ≥ 2× at 4 workers).
+//! 2. **Open-loop latency** — arrivals spaced to ~80% utilization of
+//!    the 4-worker pool, priorities cycling high/normal/low over one
+//!    template. Reported per priority class: latency percentiles and
+//!    mean queueing delay — the stride weights separate the classes.
+//! 3. **Warm vs. cold order cache** — the same batch served twice by
+//!    one server (fresh pool each time). The second run hits the order
+//!    cache, starts every query from its template's converged order and
+//!    calibration, and must pay measurably less overhead-vs-best than
+//!    the cold run (asserted per template).
+//!
+//! Every admitted query's qualified/sum is asserted bit-identical to a
+//! solo single-core execution in all three experiments.
+
+use popt_core::exec::pipeline::{FilterOp, Pipeline};
+use popt_core::exec::scan::CompiledSelection;
+use popt_core::plan::SelectionPlan;
+use popt_core::predicate::CompareOp;
+use popt_core::serve::{Priority, QueryOutcome, QueryServer, QuerySpec, ServeConfig, ServeReport};
+use popt_cpu::{CpuConfig, CpuPool, SimCpu};
+use popt_storage::Table;
+
+use crate::common::{banner, fmt, row, FigureCtx};
+use crate::figures::fig15::scaled_cpu;
+use crate::figures::workload::{fig14_mem_tables, uniform_plan, uniform_table, xorshift64, DOMAIN};
+
+/// Worker counts of the closed-loop sweep.
+pub const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+fn serve_cpu() -> CpuConfig {
+    scaled_cpu()
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        // Small morsels relative to the templates' row counts: a served
+        // query's stream must span enough reopt intervals to converge
+        // even when it only owns a slice of the pool. Reoptimization
+        // itself runs at the serving default cadence.
+        morsels: popt_core::parallel::MorselConfig::new(1024),
+        ..Default::default()
+    }
+}
+
+fn cycles_to_ms(cycles: u64) -> f64 {
+    cycles as f64 / (serve_cpu().timing.frequency_ghz * 1e6)
+}
+
+/// The three query templates of the serving mix.
+struct Mix {
+    scan_table: Table,
+    scan_plan: SelectionPlan,
+    /// Descending-selectivity start: the worst static PEO.
+    scan_worst: Vec<usize>,
+    fact: Table,
+    dim: Table,
+    bg_table: Table,
+    bg_plan: SelectionPlan,
+}
+
+impl Mix {
+    fn new(scan_rows: usize, pipe_rows: usize, bg_rows: usize) -> Self {
+        let (fact, dim) = fig14_mem_tables(pipe_rows, 0x5CA1E);
+        Self {
+            scan_table: uniform_table(scan_rows, 3, 0x5E21),
+            scan_plan: uniform_plan(&[0.2, 0.5, 0.8]),
+            scan_worst: vec![2, 1, 0],
+            fact,
+            dim,
+            bg_table: uniform_table(bg_rows, 2, 0xB612),
+            bg_plan: uniform_plan(&[0.9, 0.5]),
+        }
+    }
+
+    /// The selection+join pipeline over the Mem tables (plan order:
+    /// selection 0, join 1 — served starting join-first, the worse
+    /// order at full shuffle).
+    fn pipeline(&self) -> Pipeline<'_> {
+        let sel = FilterOp::select(&self.fact, "val", CompareOp::Lt, DOMAIN / 2, 0, 50)
+            .expect("select compiles");
+        let join = FilterOp::join_filter(
+            &self.fact,
+            "fk",
+            &self.dim,
+            "payload",
+            CompareOp::Lt,
+            DOMAIN / 2,
+            1,
+            100,
+        )
+        .expect("join compiles");
+        Pipeline::new(vec![sel, join], self.fact.rows()).expect("two-stage pipeline")
+    }
+
+    fn scan_spec(&self, label: String, priority: Priority, arrival: u64) -> QuerySpec<'_> {
+        QuerySpec::scan(
+            label,
+            &self.scan_table,
+            self.scan_plan.clone(),
+            self.scan_worst.clone(),
+            priority,
+            arrival,
+        )
+    }
+
+    fn pipe_spec(&self, label: String, priority: Priority, arrival: u64) -> QuerySpec<'_> {
+        QuerySpec::pipeline(label, self.pipeline(), vec![1, 0], priority, arrival)
+    }
+
+    fn bg_spec(&self, label: String, arrival: u64) -> QuerySpec<'_> {
+        QuerySpec::scan(
+            label,
+            &self.bg_table,
+            self.bg_plan.clone(),
+            vec![0, 1],
+            Priority::Low,
+            arrival,
+        )
+    }
+
+    /// Solo single-core references: (scan, pipeline, background) as
+    /// (qualified, sum).
+    fn solo_refs(&self) -> [(u64, i64); 3] {
+        let mut cpu = SimCpu::new(serve_cpu());
+        let scan = CompiledSelection::compile(&self.scan_table, &self.scan_plan, &self.scan_worst)
+            .expect("scan compiles")
+            .run_range(&mut cpu, 0, self.scan_table.rows());
+        let mut cpu = SimCpu::new(serve_cpu());
+        let pipe = self.pipeline().run_range(&mut cpu, 0, self.fact.rows());
+        let mut cpu = SimCpu::new(serve_cpu());
+        let bg = CompiledSelection::compile(&self.bg_table, &self.bg_plan, &[0, 1])
+            .expect("bg scan compiles")
+            .run_range(&mut cpu, 0, self.bg_table.rows());
+        [
+            (scan.qualified, scan.sum),
+            (pipe.qualified, pipe.sum),
+            (bg.qualified, bg.sum),
+        ]
+    }
+
+    /// Assert every outcome matches its template's solo reference
+    /// (labels are "<template>-<k>").
+    fn assert_exact(&self, outcomes: &[QueryOutcome], refs: &[(u64, i64); 3]) -> bool {
+        for q in outcomes {
+            let (qualified, sum) = match q.label.split('-').next().expect("labelled template") {
+                "scan" => refs[0],
+                "pipe" => refs[1],
+                "bg" => refs[2],
+                other => panic!("unknown template label {other:?}"),
+            };
+            assert_eq!(
+                q.qualified, qualified,
+                "{}: served result diverged from solo execution",
+                q.label
+            );
+            assert_eq!(q.sum, sum, "{}: served sum diverged", q.label);
+        }
+        true
+    }
+}
+
+/// The closed-loop batch: 4 high-priority scans, 4 normal-priority
+/// pipelines, 2 low-priority background scans, all queued at time 0.
+fn closed_loop_batch<'t>(mix: &'t Mix) -> Vec<QuerySpec<'t>> {
+    let mut batch = Vec::new();
+    for k in 0..4 {
+        batch.push(mix.scan_spec(format!("scan-{k}"), Priority::High, 0));
+    }
+    for k in 0..4 {
+        batch.push(mix.pipe_spec(format!("pipe-{k}"), Priority::Normal, 0));
+    }
+    for k in 0..2 {
+        batch.push(mix.bg_spec(format!("bg-{k}"), 0));
+    }
+    batch
+}
+
+fn run_batch(batch: Vec<QuerySpec<'_>>, workers: usize) -> ServeReport {
+    let mut server = QueryServer::new(config());
+    for spec in batch {
+        server.admit(spec);
+    }
+    let mut pool = CpuPool::new(serve_cpu(), workers);
+    server.run(&mut pool).expect("serve batch runs")
+}
+
+fn throughput_sweep(mix: &Mix, refs: &[(u64, i64); 3]) -> (f64, f64) {
+    row(&[
+        "sweep",
+        "workers",
+        "queries",
+        "wall_ms",
+        "throughput_qps",
+        "occupancy",
+        "bit_identical",
+    ]);
+    let mut at_1w = 0.0f64;
+    let mut at_4w = 0.0f64;
+    for &workers in WORKER_COUNTS {
+        let report = run_batch(closed_loop_batch(mix), workers);
+        let exact = mix.assert_exact(&report.queries, refs);
+        let qps = report.throughput_qps();
+        if workers == 1 {
+            at_1w = qps;
+        }
+        if workers == 4 {
+            at_4w = qps;
+        }
+        row(&[
+            "closed-loop".to_string(),
+            workers.to_string(),
+            report.queries.len().to_string(),
+            fmt(report.wall_millis),
+            fmt(qps),
+            fmt(report.occupancy),
+            exact.to_string(),
+        ]);
+    }
+    (at_1w, at_4w)
+}
+
+fn open_loop_latency(mix: &Mix, refs: &[(u64, i64); 3], n: usize) {
+    // Self-calibrating load: measure the 4-worker closed-loop service
+    // rate of the scan template, then space arrivals to ~80% of it.
+    let probe = {
+        let batch: Vec<_> = (0..n)
+            .map(|k| mix.scan_spec(format!("scan-{k}"), Priority::Normal, 0))
+            .collect();
+        run_batch(batch, 4)
+    };
+    let mean_gap = (probe.wall_cycles / n as u64) * 8 / 10;
+
+    let mut state = 0xA221u64 | 1;
+    let mut arrival = 0u64;
+    let priorities = [Priority::High, Priority::Normal, Priority::Low];
+    let batch: Vec<_> = (0..n)
+        .map(|k| {
+            // Jittered gaps in [0.25, 1.75) × mean keep the queue
+            // bursty without long dead air.
+            let jitter = 25 + xorshift64(&mut state) % 150;
+            arrival += mean_gap * jitter / 100;
+            mix.scan_spec(format!("scan-{k}"), priorities[k % 3], arrival)
+        })
+        .collect();
+    let report = run_batch(batch, 4);
+    mix.assert_exact(&report.queries, refs);
+
+    row(&[
+        "priority",
+        "n",
+        "latency_p50_ms",
+        "latency_p95_ms",
+        "queue_mean_ms",
+    ]);
+    for priority in [Priority::High, Priority::Normal, Priority::Low] {
+        let class: Vec<_> = report
+            .queries
+            .iter()
+            .filter(|q| q.priority == priority)
+            .collect();
+        let p50 = report
+            .latency_percentile(Some(priority), 0.50)
+            .expect("class is populated");
+        let p95 = report
+            .latency_percentile(Some(priority), 0.95)
+            .expect("class is populated");
+        let queue_mean =
+            class.iter().map(|q| q.queue_cycles).sum::<u64>() as f64 / class.len() as f64;
+        row(&[
+            priority.label().to_string(),
+            class.len().to_string(),
+            fmt(cycles_to_ms(p50)),
+            fmt(cycles_to_ms(p95)),
+            fmt(queue_mean / (serve_cpu().timing.frequency_ghz * 1e6)),
+        ]);
+    }
+    println!(
+        "# open loop at ~80% load, one template across classes: stride weights \
+         (16/4/1) should order the classes' queueing delays high <= normal <= low"
+    );
+}
+
+fn warm_vs_cold<'t>(mix: &'t Mix, refs: &[(u64, i64); 3]) {
+    let batch = |server: &mut QueryServer<'t>| {
+        for k in 0..2 {
+            server.admit(mix.scan_spec(format!("scan-{k}"), Priority::Normal, 0));
+        }
+        for k in 0..2 {
+            server.admit(mix.pipe_spec(format!("pipe-{k}"), Priority::Normal, 0));
+        }
+    };
+    let mut server = QueryServer::new(config());
+    batch(&mut server);
+    let mut pool = CpuPool::new(serve_cpu(), 4);
+    let cold = server.run(&mut pool).expect("cold batch runs");
+    mix.assert_exact(&cold.queries, refs);
+    assert!(
+        cold.queries.iter().all(|q| !q.warm_start),
+        "first batch must be cold"
+    );
+
+    batch(&mut server);
+    let mut pool = CpuPool::new(serve_cpu(), 4);
+    let warm = server.run(&mut pool).expect("warm batch runs");
+    mix.assert_exact(&warm.queries, refs);
+    assert!(
+        warm.queries.iter().all(|q| q.warm_start),
+        "second batch must hit the order cache"
+    );
+
+    row(&[
+        "template",
+        "cold_cost_ms",
+        "warm_cost_ms",
+        "best_ms",
+        "cold_overhead_pct",
+        "warm_overhead_pct",
+        "warm_converged",
+    ]);
+    for template in ["scan", "pipe"] {
+        // The optimal orders are known by construction: ascending
+        // selectivity for the scan (0.2 < 0.5 < 0.8), selection before
+        // the LLC-thrashing random join for the pipeline.
+        let optimal: &[usize] = match template {
+            "scan" => &[0, 1, 2],
+            _ => &[0, 1],
+        };
+        let of = |report: &ServeReport| {
+            let instances: Vec<_> = report
+                .queries
+                .iter()
+                .filter(|q| q.label.starts_with(template))
+                .collect();
+            let cost =
+                instances.iter().map(|q| q.cost_cycles()).sum::<u64>() / instances.len() as u64;
+            (cost, instances[0].final_order.clone())
+        };
+        let (cold_cost, _cold_order) = of(&cold);
+        let (warm_cost, warm_order) = of(&warm);
+        // Best: solo single-core static execution under the optimal
+        // order — the cost with zero convergence overhead.
+        let best = match template {
+            "scan" => {
+                let mut cpu = SimCpu::new(serve_cpu());
+                CompiledSelection::compile(&mix.scan_table, &mix.scan_plan, optimal)
+                    .expect("optimal order compiles")
+                    .run_range(&mut cpu, 0, mix.scan_table.rows())
+                    .counters
+                    .cycles
+            }
+            _ => {
+                let mut pipeline = mix.pipeline();
+                pipeline.reorder(optimal).expect("optimal order");
+                let mut cpu = SimCpu::new(serve_cpu());
+                pipeline
+                    .run_range(&mut cpu, 0, mix.fact.rows())
+                    .counters
+                    .cycles
+            }
+        };
+        let overhead = |cost: u64| (cost as f64 / best as f64 - 1.0) * 100.0;
+        let (cold_pct, warm_pct) = (overhead(cold_cost), overhead(warm_cost));
+        // "Converged" pins the dominant decision — the cheapest-per-
+        // filtered-tuple stage at the front, where nearly all the cost
+        // lives. Near-tied tail stages may settle in either order (the
+        // same tie behaviour the scaling figure documents), so only the
+        // two-stage pipeline admits an exact-permutation check.
+        let converged = warm_order.first() == optimal.first();
+        row(&[
+            template.to_string(),
+            fmt(cycles_to_ms(cold_cost)),
+            fmt(cycles_to_ms(warm_cost)),
+            fmt(cycles_to_ms(best)),
+            fmt(cold_pct),
+            fmt(warm_pct),
+            converged.to_string(),
+        ]);
+        assert!(
+            converged,
+            "{template}: warm run must keep the converged front stage \
+             (got {warm_order:?}, optimal {optimal:?})"
+        );
+        if template == "pipe" {
+            assert_eq!(
+                warm_order, optimal,
+                "pipe: two stages leave no ties — the order must match exactly"
+            );
+        }
+        assert!(
+            warm_pct < cold_pct,
+            "{template}: warm overhead {warm_pct:.2}% must beat cold {cold_pct:.2}%"
+        );
+    }
+    println!(
+        "# note: overhead is vs a solo single-core run under the optimal order; \
+         served morsels run on 4 cores with private caches (4x the aggregate \
+         LLC), so a probe-heavy template can sit below the solo reference — \
+         the warm-vs-cold gap, not the sign, is the convergence-overhead signal"
+    );
+}
+
+/// Run the figure.
+pub fn run(ctx: &FigureCtx) {
+    banner(
+        "serve",
+        "Multi-query serving: admission, priority scheduling, cross-query order reuse",
+    );
+    let mix = Mix::new(
+        ctx.scale(1 << 18, 1 << 16),
+        ctx.scale(1 << 20, 1 << 18),
+        ctx.scale(1 << 19, 1 << 17),
+    );
+    let refs = mix.solo_refs();
+
+    let (at_1w, at_4w) = throughput_sweep(&mix, &refs);
+    assert!(
+        at_4w >= 2.0 * at_1w,
+        "4-worker throughput {at_4w:.2} qps < 2x 1-worker {at_1w:.2} qps"
+    );
+    println!(
+        "# serve: 4-worker throughput {} qps vs 1-worker {} qps (>= 2x 1-worker: {})",
+        fmt(at_4w),
+        fmt(at_1w),
+        at_4w >= 2.0 * at_1w
+    );
+
+    open_loop_latency(&mix, &refs, ctx.scale(30, 12));
+    warm_vs_cold(&mix, &refs);
+
+    println!(
+        "# expectation: throughput scales with workers (stride scheduling keeps \
+         every class served, morsel claims stay barrier-free), per-priority \
+         latency separates by weight under load, warm templates start at the \
+         converged order/calibration and skip the convergence overhead cold \
+         starts pay — with every query's result bit-identical to solo execution"
+    );
+}

@@ -237,9 +237,41 @@ impl<'t> FilterOp<'t> {
         matches!(self, FilterOp::JoinFilter { .. })
     }
 
+    /// Comparison operator of the stage's test.
+    pub fn compare_op(&self) -> CompareOp {
+        match self {
+            FilterOp::Select { op, .. } | FilterOp::JoinFilter { op, .. } => *op,
+        }
+    }
+
+    /// Literal operand of the stage's test.
+    pub fn literal(&self) -> i64 {
+        match self {
+            FilterOp::Select { literal, .. } | FilterOp::JoinFilter { literal, .. } => *literal,
+        }
+    }
+
+    /// Simulated base address of the fact-table column the stage reads
+    /// per tuple (predicate column for selects, FK column for joins) —
+    /// the column's identity in a workload signature.
+    pub fn column_base(&self) -> u64 {
+        match self {
+            FilterOp::Select { base, .. } => *base,
+            FilterOp::JoinFilter { fk_base, .. } => *fk_base,
+        }
+    }
+
+    /// Base address of the probed dimension payload, for join filters.
+    pub fn dim_base(&self) -> Option<u64> {
+        match self {
+            FilterOp::Select { .. } => None,
+            FilterOp::JoinFilter { dim_base, .. } => Some(*dim_base),
+        }
+    }
+
     /// Instructions charged per evaluation (on top of the base per-eval
     /// charge) — UDF work for selects, probe arithmetic for joins.
-    fn extra_instructions(&self) -> u64 {
+    pub fn extra_instructions(&self) -> u64 {
         match self {
             FilterOp::Select {
                 extra_instructions, ..
@@ -252,7 +284,7 @@ impl<'t> FilterOp<'t> {
 
     /// Stream id of the fact-table column this stage reads per tuple (the
     /// predicate column for selects, the FK column for joins).
-    fn column_stream(&self) -> usize {
+    pub fn column_stream(&self) -> usize {
         match self {
             FilterOp::Select { stream, .. } => *stream,
             FilterOp::JoinFilter { fk_stream, .. } => *fk_stream,
@@ -260,7 +292,7 @@ impl<'t> FilterOp<'t> {
     }
 
     /// Rows of the probed dimension, for join filters.
-    fn dim_rows(&self) -> Option<usize> {
+    pub fn dim_rows(&self) -> Option<usize> {
         match self {
             FilterOp::Select { .. } => None,
             FilterOp::JoinFilter { dim_values, .. } => Some(dim_values.len()),
@@ -372,15 +404,9 @@ impl<'t> Pipeline<'t> {
     /// `order` is a permutation of *plan* indices, so repeated reorders
     /// are absolute, not relative to the current arrangement.
     pub fn reorder(&mut self, order: &[usize]) -> Result<(), EngineError> {
-        let p = self.ops.len();
-        let mut seen = vec![false; p];
-        let valid = order.len() == p
-            && order
-                .iter()
-                .all(|&i| i < p && !std::mem::replace(&mut seen[i], true));
-        if !valid {
+        if !crate::plan::is_valid_peo(order, self.ops.len()) {
             return Err(EngineError::InvalidPeo {
-                expected: p,
+                expected: self.ops.len(),
                 got: order.to_vec(),
             });
         }

@@ -27,6 +27,10 @@
 //!   samples fuse into one pool-wide estimate, accepted orders are
 //!   epoch-published to every worker, and trial orders are leased to
 //!   exactly one core;
+//! * [`serve`] — multi-query serving over the shared pool: admission by
+//!   arrival time, stride scheduling by priority, per-query progressive
+//!   coordination, and a cross-query order/calibration cache that lets a
+//!   repeated query template start from its last converged state;
 //! * [`sortedness`] — counter-based access-pattern classification and join
 //!   reordering advice;
 //! * [`query`] — a high-level builder API (TPC-H Q6 ships as a preset).
@@ -53,6 +57,7 @@ pub mod plan;
 pub mod predicate;
 pub mod progressive;
 pub mod query;
+pub mod serve;
 pub mod sortedness;
 
 pub use error::EngineError;
@@ -68,3 +73,7 @@ pub use progressive::{
     ProgressiveTarget, VectorConfig,
 };
 pub use query::{QueryBuilder, QueryReport, RunMode};
+pub use serve::{
+    OrderCache, Priority, QueryServer, QuerySpec, ServeConfig, ServeReport, StrideScheduler,
+    WorkloadSignature,
+};

@@ -25,6 +25,14 @@
 //!   cycles-per-tuple. A bad trial order therefore never runs on more
 //!   than one core, while the other workers keep streaming at full
 //!   speed under the incumbent order.
+//!
+//! The coordination state itself is factored into [`CoordState`], whose
+//! methods are each a *locked step* of the protocol (the caller holds
+//! whatever mutex guards the state; the expensive Nelder–Mead estimate
+//! always runs between two locked steps, outside the lock). This module
+//! drives one `CoordState` per query via [`run_parallel_target`]; the
+//! serving layer (`crate::serve`) drives many concurrently — one per
+//! admitted query — multiplexed over the same pool.
 
 use std::sync::Mutex;
 
@@ -32,7 +40,7 @@ use popt_cost::cycles::{fleet_speedup, fleet_wall_cycles};
 use popt_cost::estimate::PlanGeometry;
 use popt_cpu::pmu::CounterDelta;
 use popt_cpu::{CpuConfig, CpuPool, SimCpu};
-use popt_solver::{estimate_selectivities, SampledCounters};
+use popt_solver::{estimate_selectivities, EstimateResult, SampledCounters};
 
 use crate::error::EngineError;
 use crate::exec::pipeline::Pipeline;
@@ -94,15 +102,41 @@ struct Trial {
     leased: bool,
 }
 
-/// Everything the workers share, behind one mutex.
-struct CoordState<'a, T> {
+/// What a worker should do with the morsel it just claimed, decided at
+/// the boundary sync ([`CoordState::begin_morsel`]).
+pub(crate) enum BoundaryAction {
+    /// A pending trial was leased to this worker: re-chain to the trial
+    /// order and resolve it against this morsel's counters.
+    Trial(Peo),
+    /// The published order moved since the worker last synced: re-chain
+    /// to it and record the new epoch.
+    Adopt {
+        /// The published order to adopt.
+        order: Peo,
+        /// The epoch the morsel will run under.
+        epoch: u64,
+    },
+    /// The worker's chained order is still the published one.
+    Keep {
+        /// The epoch the morsel will run under.
+        epoch: u64,
+    },
+}
+
+/// Per-query coordination state: the master target plus everything the
+/// §4.4 loop tracks between morsels. Methods are the *locked steps* of
+/// the coordination protocol — the caller serializes them behind its own
+/// mutex (one `Mutex<CoordState>` for a dedicated pool; the server's
+/// scheduler lock for interleaved queries) and runs the expensive
+/// estimator fits between steps, outside the lock.
+pub(crate) struct CoordState<'a, T> {
     /// The master target: order tracking plus the shared estimator model
     /// (probe clustering, proposal logic). Never executes a morsel.
-    target: &'a mut T,
+    pub(crate) target: &'a mut T,
     /// Bumped on every accepted switch; workers resync when it moves.
     epoch: u64,
     /// The accepted evaluation order.
-    published: Peo,
+    pub(crate) published: Peo,
     trial: Option<Trial>,
     /// Recently reverted orders: (order, reopt round rejected at).
     rejected: Vec<(Peo, usize)>,
@@ -122,13 +156,382 @@ struct CoordState<'a, T> {
     /// Whether an estimator round snapshot is being fitted outside the
     /// lock; excludes concurrent reopt rounds like a pending trial does.
     estimate_in_flight: bool,
-    switches: Vec<SwitchEvent>,
-    estimates: usize,
+    pub(crate) switches: Vec<SwitchEvent>,
+    pub(crate) estimates: usize,
     /// Optimizer cycles charged per worker (to the core that ran the
     /// estimator round).
-    optimizer_cycles: Vec<u64>,
-    morsels_done: usize,
+    pub(crate) optimizer_cycles: Vec<u64>,
+    pub(crate) morsels_done: usize,
+}
+
+impl<'a, T: ShardableTarget> CoordState<'a, T> {
+    /// Fresh coordination state over `target`'s current order, for a pool
+    /// of `workers` workers.
+    pub(crate) fn new(target: &'a mut T, workers: usize) -> Self {
+        let published = target.order();
+        Self {
+            target,
+            epoch: 0,
+            published,
+            trial: None,
+            rejected: Vec::new(),
+            reopt_round: 0,
+            last_accept_round: 0,
+            morsels_since_reopt: 0,
+            windows: vec![VectorStats::zero(); workers],
+            epoch_cycles: 0,
+            epoch_tuples: 0,
+            estimate_in_flight: false,
+            switches: Vec::new(),
+            estimates: 0,
+            optimizer_cycles: vec![0; workers],
+            morsels_done: 0,
+        }
+    }
+
+    /// Boundary sync for worker `w`, which last chained its shard under
+    /// `local_epoch`: lease a pending trial so the candidate runs on
+    /// exactly this core, or tell the worker which published order to
+    /// adopt. The caller applies the returned order to its shard
+    /// *outside* this state's lock (the shard is worker-private).
+    pub(crate) fn begin_morsel(&mut self, w: usize, local_epoch: u64) -> BoundaryAction {
+        let lease = match self.trial.as_mut() {
+            Some(trial) if !trial.leased => {
+                trial.leased = true;
+                Some(trial.order.clone())
+            }
+            _ => None,
+        };
+        if let Some(order) = lease {
+            // Ground the comparison in this core's own recent rate under
+            // the incumbent order when it has one — consecutive morsels
+            // on one core control for cache state, like the serial
+            // loop's vector-to-vector comparison. The pool-wide epoch
+            // average (snapshot at scheduling) remains the fallback for
+            // a cold core.
+            if self.windows[w].tuples > 0 {
+                let own_cpt = self.windows[w].cycles_per_tuple();
+                if let Some(trial) = self.trial.as_mut() {
+                    trial.prev_cpt = own_cpt;
+                }
+            }
+            BoundaryAction::Trial(order)
+        } else if local_epoch != self.epoch {
+            BoundaryAction::Adopt {
+                order: self.published.clone(),
+                epoch: self.epoch,
+            }
+        } else {
+            BoundaryAction::Keep { epoch: self.epoch }
+        }
+    }
+
+    /// Locked step 1 of trial resolution: count the morsel and derive the
+    /// trial-order geometry the sample must be fitted against — the
+    /// master target moves to the trial order (it moves back in
+    /// [`CoordState::resolve_trial`] if the trial reverts). Returns the
+    /// fit inputs for the estimate the caller runs outside the lock, or
+    /// `None` when the target does not calibrate from trials.
+    pub(crate) fn trial_fit_inputs(
+        &mut self,
+        stats: &VectorStats,
+        cpu_cfg: &CpuConfig,
+    ) -> Result<Option<(PlanGeometry, SampledCounters)>, EngineError> {
+        self.morsels_done += 1;
+        let trial_order = self
+            .trial
+            .as_ref()
+            .expect("a leased trial to resolve")
+            .order
+            .clone();
+        if self.target.wants_trial_calibration() {
+            let sampled = stats.sampled_counters();
+            self.target.set_order(&trial_order)?;
+            let geom = self.target.plan_geometry(sampled.n_input, cpu_cfg);
+            Ok(Some((geom, sampled)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Locked step 2 of trial resolution: calibrate from the (externally
+    /// computed) fit, then accept — publishing a new epoch — or revert
+    /// into the rejection memory. Returns the published order and epoch
+    /// after resolution so the resolving worker can resync its shard.
+    pub(crate) fn resolve_trial(
+        &mut self,
+        w: usize,
+        stats: &VectorStats,
+        fitted: Option<(PlanGeometry, SampledCounters, EstimateResult)>,
+        cfg: &ProgressiveConfig,
+    ) -> Result<(Peo, u64), EngineError> {
+        if let Some((geom, sampled, estimate)) = fitted {
+            self.estimates += 1;
+            self.optimizer_cycles[w] += estimate.evaluations as u64 * cfg.cycles_per_estimator_eval;
+            self.target.calibrate(&geom, &sampled, &estimate.survivors);
+        }
+        let trial = self.trial.take().expect("a leased trial to resolve");
+        let cpt = stats.cycles_per_tuple();
+        let regressed =
+            cfg.revert_on_regression && cpt > trial.prev_cpt * (1.0 + cfg.regression_tolerance);
+        if regressed {
+            let round = self.reopt_round;
+            self.rejected.push((trial.order, round));
+            self.switches[trial.switch_idx].reverted = true;
+            let published = self.published.clone();
+            self.target.set_order(&published)?;
+        } else {
+            self.target.set_order(&trial.order)?;
+            self.published = trial.order;
+            self.epoch += 1;
+            self.last_accept_round = self.reopt_round;
+            // The windows and the epoch reference sampled the superseded
+            // order; the trial morsel is the new epoch's first
+            // observation.
+            for window in &mut self.windows {
+                *window = VectorStats::zero();
+            }
+            self.morsels_since_reopt = 0;
+            self.epoch_cycles = stats.counters.cycles;
+            self.epoch_tuples = stats.tuples;
+        }
+        Ok((self.published.clone(), self.epoch))
+    }
+
+    /// Locked step for a morsel executed under the accepted order:
+    /// accumulate it into worker `w`'s sample window and, when the
+    /// interval is due (and `work_remains` — a trial scheduled after the
+    /// last morsel was claimed could never run), start one
+    /// reoptimization round. A returned snapshot means the caller must
+    /// run the estimate outside the lock and feed it back through
+    /// [`CoordState::finish_reoptimize`].
+    pub(crate) fn note_normal(
+        &mut self,
+        w: usize,
+        epoch: u64,
+        stats: &VectorStats,
+        reopt: Option<&ProgressiveConfig>,
+        cpu_cfg: &CpuConfig,
+        work_remains: bool,
+    ) -> Option<(PlanGeometry, SampledCounters)> {
+        self.morsels_done += 1;
+        if epoch != self.epoch {
+            // Measured under a stale epoch: counts toward the result,
+            // excluded from the sample window.
+            return None;
+        }
+        self.windows[w].accumulate(stats);
+        self.epoch_cycles += stats.counters.cycles;
+        self.epoch_tuples += stats.tuples;
+        self.morsels_since_reopt += 1;
+        match reopt {
+            Some(cfg)
+                if self.morsels_since_reopt >= cfg.reop_interval
+                    && self.trial.is_none()
+                    && !self.estimate_in_flight
+                    && work_remains =>
+            {
+                self.begin_reoptimize(cfg, cpu_cfg)
+            }
+            _ => None,
+        }
+    }
+
+    /// Locked step closing a reoptimization round whose estimate ran
+    /// outside the lock: calibrate, propose, and schedule a trial if the
+    /// proposal differs from the published order. No trial can have been
+    /// scheduled nor the epoch moved since [`CoordState::note_normal`]
+    /// returned the snapshot — both only happen inside reopt rounds, and
+    /// `estimate_in_flight` excluded those.
+    pub(crate) fn finish_reoptimize(
+        &mut self,
+        w: usize,
+        geom: &PlanGeometry,
+        merged: &SampledCounters,
+        estimate: EstimateResult,
+        cfg: &ProgressiveConfig,
+    ) {
+        self.estimate_in_flight = false;
+        self.estimates += 1;
+        self.optimizer_cycles[w] += estimate.evaluations as u64 * cfg.cycles_per_estimator_eval;
+        self.target.calibrate(geom, merged, &estimate.survivors);
+        let proposed = self.target.propose_order(geom, &estimate.selectivities);
+        if self.rejected.iter().any(|(order, _)| order == &proposed) {
+            return;
+        }
+        if proposed != self.published {
+            self.schedule_trial(proposed, false);
+        }
+    }
+
+    /// Start a reoptimization round: age out rejections, handle the cheap
+    /// stall-exploration and measurement-probe paths directly, or
+    /// snapshot the fused per-worker windows for an estimator round the
+    /// caller runs outside the lock.
+    fn begin_reoptimize(
+        &mut self,
+        cfg: &ProgressiveConfig,
+        cpu_cfg: &CpuConfig,
+    ) -> Option<(PlanGeometry, SampledCounters)> {
+        self.reopt_round += 1;
+        self.morsels_since_reopt = 0;
+        let round = self.reopt_round;
+        self.rejected
+            .retain(|(_, at)| round - at <= cfg.rejection_ttl);
+
+        // Stall-triggered exploration (§4.5), same trigger as the serial
+        // loop: no recently accepted switch AND an active disagreement.
+        let stalled = self.reopt_round >= self.last_accept_round + 3 && !self.rejected.is_empty();
+        if cfg.explore_correlation && stalled && self.reopt_round % 2 == 0 {
+            let mut explored = self.published.clone();
+            explored.rotate_right(1);
+            if explored != self.published {
+                self.schedule_trial(explored, true);
+            }
+            return None;
+        }
+
+        // Measurement probe: an order the target wants to observe once.
+        if let Some(probe) = self.target.take_probe_order() {
+            if probe != self.published {
+                self.schedule_trial(probe, true);
+                return None;
+            }
+        }
+
+        // Fuse the per-worker windows into one pool-wide sample; one
+        // estimator round serves the whole pool.
+        let samples: Vec<SampledCounters> = self
+            .windows
+            .iter()
+            .filter(|window| window.tuples > 0)
+            .map(VectorStats::sampled_counters)
+            .collect();
+        let merged = SampledCounters::merged(&samples)?;
+        let geom = self.target.plan_geometry(merged.n_input, cpu_cfg);
+        // The window feeds this estimate; the next interval accumulates
+        // fresh while the fit runs.
+        for window in &mut self.windows {
+            *window = VectorStats::zero();
+        }
+        self.estimate_in_flight = true;
+        Some((geom, merged))
+    }
+
+    fn schedule_trial(&mut self, order: Peo, exploratory: bool) {
+        self.switches.push(SwitchEvent {
+            vector: self.morsels_done,
+            from: self.published.clone(),
+            to: order.clone(),
+            reverted: false,
+            exploratory,
+        });
+        // Trials are only scheduled after at least one full reopt
+        // interval of in-epoch morsels, so the epoch average is always
+        // populated.
+        debug_assert!(self.epoch_tuples > 0, "trial scheduled with no reference");
+        self.trial = Some(Trial {
+            order,
+            switch_idx: self.switches.len() - 1,
+            prev_cpt: self.epoch_cycles as f64 / self.epoch_tuples.max(1) as f64,
+            leased: false,
+        });
+    }
+
+    /// A trial scheduled after the last morsel was claimed never ran; it
+    /// was never accepted either, so record it as reverted. Call once
+    /// after the last morsel of the stream resolved.
+    pub(crate) fn abandon_unleased_trial(&mut self) {
+        if let Some(trial) = self.trial.take() {
+            if !trial.leased {
+                self.switches[trial.switch_idx].reverted = true;
+            } else {
+                // A leased trial is always resolved by the worker that
+                // ran it; putting it back preserves that invariant.
+                self.trial = Some(trial);
+            }
+        }
+    }
+}
+
+/// Locked access to one query's [`CoordState`], abstracting over *which*
+/// mutex guards it: the dedicated-pool executor wraps a single state in
+/// its own mutex, while the serving layer keeps many queries behind one
+/// server lock. The trial/reopt choreography is written once against
+/// this trait ([`trial_round`] / [`normal_round`]) so the two executors
+/// cannot drift apart.
+pub(crate) trait WithCoord<'a, T> {
+    /// Run `f` with the coordination state locked.
+    fn with<R>(&self, f: impl FnOnce(&mut CoordState<'a, T>) -> R) -> R;
+}
+
+/// [`CoordState`] plus the error slot the workers of a dedicated-pool
+/// run share (the serving layer keeps its error slot in the scheduler
+/// state instead, one per server).
+struct SharedState<'a, T> {
+    coord: CoordState<'a, T>,
     error: Option<EngineError>,
+}
+
+impl<'a, T> WithCoord<'a, T> for Mutex<SharedState<'a, T>> {
+    fn with<R>(&self, f: impl FnOnce(&mut CoordState<'a, T>) -> R) -> R {
+        f(&mut self.lock().expect("coordinator lock").coord)
+    }
+}
+
+/// The trial-resolution choreography: locked fit-input derivation,
+/// unlocked estimate, locked resolution. Returns the published (order,
+/// epoch) for the resolving worker to resync its shard, plus the
+/// optimizer cycles the resolution charged to worker `w` (callers that
+/// track a wall-clock position fold them in; the dedicated-pool
+/// executor reads the per-worker totals from the state at the end and
+/// discards the delta).
+pub(crate) fn trial_round<'a, T: ShardableTarget>(
+    coord: &impl WithCoord<'a, T>,
+    w: usize,
+    stats: &VectorStats,
+    cfg: &ProgressiveConfig,
+    cpu_cfg: &CpuConfig,
+) -> Result<((Peo, u64), u64), EngineError> {
+    let fit_inputs = coord.with(|c| c.trial_fit_inputs(stats, cpu_cfg))?;
+    // Unlocked: the expensive estimate. The still-leased trial excludes
+    // reopt rounds and double-leasing while the pool keeps streaming.
+    let fitted = fit_inputs.map(|(geom, sampled)| {
+        let estimate = estimate_selectivities(&geom, &sampled, &cfg.estimator);
+        (geom, sampled, estimate)
+    });
+    coord.with(|c| {
+        let before = c.optimizer_cycles[w];
+        let resolved = c.resolve_trial(w, stats, fitted, cfg)?;
+        Ok((resolved, c.optimizer_cycles[w] - before))
+    })
+}
+
+/// The normal-morsel choreography: locked window accumulation (possibly
+/// opening a reopt round), unlocked estimate, locked calibration +
+/// proposal. Returns the optimizer cycles charged to worker `w` (zero
+/// when no round ran).
+pub(crate) fn normal_round<'a, T: ShardableTarget>(
+    coord: &impl WithCoord<'a, T>,
+    w: usize,
+    epoch: u64,
+    stats: &VectorStats,
+    reopt: Option<&ProgressiveConfig>,
+    cpu_cfg: &CpuConfig,
+    work_remains: bool,
+) -> u64 {
+    let prepared = coord.with(|c| c.note_normal(w, epoch, stats, reopt, cpu_cfg, work_remains));
+    let Some((geom, merged)) = prepared else {
+        return 0;
+    };
+    let cfg = reopt.expect("a prepared reopt round implies a config");
+    // Unlocked: the expensive pool-wide estimate.
+    let estimate = estimate_selectivities(&geom, &merged, &cfg.estimator);
+    coord.with(|c| {
+        let before = c.optimizer_cycles[w];
+        c.finish_reoptimize(w, &geom, &merged, estimate, cfg);
+        c.optimizer_cycles[w] - before
+    })
 }
 
 enum MorselMode {
@@ -195,24 +598,8 @@ where
         shards.push(target.shard()?);
     }
 
-    let initial_order = target.order();
-    let state = Mutex::new(CoordState {
-        target,
-        epoch: 0,
-        published: initial_order,
-        trial: None,
-        rejected: Vec::new(),
-        reopt_round: 0,
-        last_accept_round: 0,
-        morsels_since_reopt: 0,
-        windows: vec![VectorStats::zero(); workers],
-        epoch_cycles: 0,
-        epoch_tuples: 0,
-        estimate_in_flight: false,
-        switches: Vec::new(),
-        estimates: 0,
-        optimizer_cycles: vec![0; workers],
-        morsels_done: 0,
+    let state = Mutex::new(SharedState {
+        coord: CoordState::new(target, workers),
         error: None,
     });
 
@@ -245,13 +632,7 @@ where
     if let Some(err) = st.error.take() {
         return Err(err);
     }
-    // A trial scheduled after the last morsel was claimed never ran; it
-    // was never accepted either, so record it as reverted.
-    if let Some(trial) = st.trial.take() {
-        if !trial.leased {
-            st.switches[trial.switch_idx].reverted = true;
-        }
-    }
+    st.coord.abandon_unleased_trial();
 
     let mut total = VectorStats::zero();
     for (stats, _) in &worker_totals {
@@ -259,7 +640,7 @@ where
     }
     let per_worker_cycles: Vec<u64> = worker_totals
         .iter()
-        .zip(&st.optimizer_cycles)
+        .zip(&st.coord.optimizer_cycles)
         .map(|((_, exec_cycles), opt_cycles)| exec_cycles + opt_cycles)
         .collect();
     let wall_cycles = fleet_wall_cycles(&per_worker_cycles);
@@ -270,12 +651,12 @@ where
         total_cycles: per_worker_cycles.iter().sum(),
         millis: wall_cycles as f64 / (freq * 1e6),
         workers,
-        morsels: st.morsels_done,
+        morsels: st.coord.morsels_done,
         per_worker_cycles,
-        switches: st.switches,
-        estimates: st.estimates,
-        optimizer_cycles: st.optimizer_cycles.iter().sum(),
-        final_order: st.published,
+        switches: st.coord.switches,
+        estimates: st.coord.estimates,
+        optimizer_cycles: st.coord.optimizer_cycles.iter().sum(),
+        final_order: st.coord.published,
         counters: total.counters,
     })
 }
@@ -295,7 +676,7 @@ fn worker_loop<T, S>(
     core: &mut SimCpu,
     shard: &mut S,
     dispatcher: &MorselDispatcher,
-    state: &Mutex<CoordState<'_, T>>,
+    state: &Mutex<SharedState<'_, T>>,
     reopt: Option<&ProgressiveConfig>,
     cpu_cfg: &CpuConfig,
 ) -> (VectorStats, u64)
@@ -309,47 +690,30 @@ where
     while let Some((start, end)) = dispatcher.next(w) {
         // Boundary sync: adopt the published order, or lease a pending
         // trial so the candidate runs on exactly this core.
-        let mode = {
+        let action = {
             let mut st = state.lock().expect("coordinator lock");
             if st.error.is_some() {
                 break;
             }
-            let lease = match st.trial.as_mut() {
-                Some(trial) if !trial.leased => {
-                    trial.leased = true;
-                    Some(trial.order.clone())
-                }
-                _ => None,
-            };
-            if let Some(order) = lease {
-                // Ground the comparison in this core's own recent rate
-                // under the incumbent order when it has one —
-                // consecutive morsels on one core control for cache
-                // state, like the serial loop's vector-to-vector
-                // comparison. The pool-wide epoch average (snapshot at
-                // scheduling) remains the fallback for a cold core.
-                if st.windows[w].tuples > 0 {
-                    let own_cpt = st.windows[w].cycles_per_tuple();
-                    if let Some(trial) = st.trial.as_mut() {
-                        trial.prev_cpt = own_cpt;
-                    }
-                }
+            st.coord.begin_morsel(w, local_epoch)
+        };
+        let mode = match action {
+            BoundaryAction::Trial(order) => {
                 if let Err(err) = shard.set_order(&order) {
-                    st.error = Some(err);
+                    state.lock().expect("coordinator lock").error = Some(err);
                     break;
                 }
                 MorselMode::Trial
-            } else {
-                if local_epoch != st.epoch {
-                    let published = st.published.clone();
-                    if let Err(err) = shard.set_order(&published) {
-                        st.error = Some(err);
-                        break;
-                    }
-                    local_epoch = st.epoch;
-                }
-                MorselMode::Normal { epoch: st.epoch }
             }
+            BoundaryAction::Adopt { order, epoch } => {
+                if let Err(err) = shard.set_order(&order) {
+                    state.lock().expect("coordinator lock").error = Some(err);
+                    break;
+                }
+                local_epoch = epoch;
+                MorselMode::Normal { epoch }
+            }
+            BoundaryAction::Keep { epoch } => MorselMode::Normal { epoch },
         };
 
         let stats = shard.run_range(core, start, end);
@@ -358,16 +722,29 @@ where
         let outcome = match mode {
             MorselMode::Trial => {
                 let cfg = reopt.expect("trials are only scheduled when reopt is on");
-                resolve_trial(state, w, &stats, cfg, cpu_cfg).and_then(|(published, epoch)| {
-                    // Adopt whatever order the resolution left published
-                    // (the trial order if accepted, the incumbent if not).
-                    shard.set_order(&published)?;
-                    local_epoch = epoch;
-                    Ok(())
-                })
+                trial_round(state, w, &stats, cfg, cpu_cfg).and_then(
+                    |((published, epoch), _opt)| {
+                        // Adopt whatever order the resolution left
+                        // published (the trial order if accepted, the
+                        // incumbent if not). Optimizer cycles are read
+                        // from the state's per-worker totals at the end.
+                        shard.set_order(&published)?;
+                        local_epoch = epoch;
+                        Ok(())
+                    },
+                )
             }
             MorselMode::Normal { epoch } => {
-                report_normal(state, w, epoch, &stats, reopt, cpu_cfg, dispatcher)
+                let _opt = normal_round(
+                    state,
+                    w,
+                    epoch,
+                    &stats,
+                    reopt,
+                    cpu_cfg,
+                    !dispatcher.exhausted(),
+                );
+                Ok(())
             }
         };
         if let Err(err) = outcome {
@@ -376,211 +753,4 @@ where
         }
     }
     (total, core.counters().cycles - cycles_before)
-}
-
-/// Resolve a leased trial against the morsel that ran it: calibrate from
-/// the trial sample (trial vectors double as measurement probes, §5.5),
-/// then accept — publishing a new epoch — or revert into the rejection
-/// memory. Returns the published order and epoch after resolution so the
-/// resolving worker can resync its shard.
-fn resolve_trial<T: ShardableTarget>(
-    state: &Mutex<CoordState<'_, T>>,
-    w: usize,
-    stats: &VectorStats,
-    cfg: &ProgressiveConfig,
-    cpu_cfg: &CpuConfig,
-) -> Result<(Peo, u64), EngineError> {
-    // Locked: count the morsel and derive the trial-order geometry the
-    // sample must be fitted against — the master target moves to the
-    // trial order (it moves back below if the trial reverts).
-    let fit_inputs = {
-        let mut st = state.lock().expect("coordinator lock");
-        st.morsels_done += 1;
-        let trial_order = st
-            .trial
-            .as_ref()
-            .expect("a leased trial to resolve")
-            .order
-            .clone();
-        if st.target.wants_trial_calibration() {
-            let sampled = stats.sampled_counters();
-            st.target.set_order(&trial_order)?;
-            let geom = st.target.plan_geometry(sampled.n_input, cpu_cfg);
-            Some((geom, sampled))
-        } else {
-            None
-        }
-    };
-    // Unlocked: the expensive estimate. The still-leased trial excludes
-    // reopt rounds and double-leasing while the pool keeps streaming.
-    let fitted = fit_inputs.map(|(geom, sampled)| {
-        let estimate = estimate_selectivities(&geom, &sampled, &cfg.estimator);
-        (geom, sampled, estimate)
-    });
-    // Locked: calibrate, decide, publish or revert.
-    let mut st = state.lock().expect("coordinator lock");
-    if let Some((geom, sampled, estimate)) = fitted {
-        st.estimates += 1;
-        st.optimizer_cycles[w] += estimate.evaluations as u64 * cfg.cycles_per_estimator_eval;
-        st.target.calibrate(&geom, &sampled, &estimate.survivors);
-    }
-    let trial = st.trial.take().expect("a leased trial to resolve");
-    let cpt = stats.cycles_per_tuple();
-    let regressed =
-        cfg.revert_on_regression && cpt > trial.prev_cpt * (1.0 + cfg.regression_tolerance);
-    if regressed {
-        let round = st.reopt_round;
-        st.rejected.push((trial.order, round));
-        st.switches[trial.switch_idx].reverted = true;
-        let published = st.published.clone();
-        st.target.set_order(&published)?;
-    } else {
-        st.target.set_order(&trial.order)?;
-        st.published = trial.order;
-        st.epoch += 1;
-        st.last_accept_round = st.reopt_round;
-        // The windows and the epoch reference sampled the superseded
-        // order; the trial morsel is the new epoch's first observation.
-        for window in &mut st.windows {
-            *window = VectorStats::zero();
-        }
-        st.morsels_since_reopt = 0;
-        st.epoch_cycles = stats.counters.cycles;
-        st.epoch_tuples = stats.tuples;
-    }
-    Ok((st.published.clone(), st.epoch))
-}
-
-/// Report a morsel executed under the accepted order: accumulate it into
-/// the worker's sample window and, when the interval is due, run one
-/// reoptimization round — the estimate itself outside the lock.
-fn report_normal<T: ShardableTarget>(
-    state: &Mutex<CoordState<'_, T>>,
-    w: usize,
-    epoch: u64,
-    stats: &VectorStats,
-    reopt: Option<&ProgressiveConfig>,
-    cpu_cfg: &CpuConfig,
-    dispatcher: &MorselDispatcher,
-) -> Result<(), EngineError> {
-    // Locked: bookkeeping, possibly starting a reopt round.
-    let prepared = {
-        let mut st = state.lock().expect("coordinator lock");
-        st.morsels_done += 1;
-        if epoch != st.epoch {
-            // Measured under a stale epoch: counts toward the result,
-            // excluded from the sample window.
-            return Ok(());
-        }
-        st.windows[w].accumulate(stats);
-        st.epoch_cycles += stats.counters.cycles;
-        st.epoch_tuples += stats.tuples;
-        st.morsels_since_reopt += 1;
-        match reopt {
-            Some(cfg)
-                if st.morsels_since_reopt >= cfg.reop_interval
-                    && st.trial.is_none()
-                    && !st.estimate_in_flight
-                    && !dispatcher.exhausted() =>
-            {
-                begin_reoptimize(&mut st, cfg, cpu_cfg)
-            }
-            _ => None,
-        }
-    };
-    let Some((geom, merged)) = prepared else {
-        return Ok(());
-    };
-    let cfg = reopt.expect("a prepared reopt round implies a config");
-    // Unlocked: the expensive pool-wide estimate.
-    let estimate = estimate_selectivities(&geom, &merged, &cfg.estimator);
-    // Locked: calibrate and propose. No trial can have been scheduled
-    // nor the epoch moved meanwhile — both only happen inside reopt
-    // rounds, and `estimate_in_flight` excluded those.
-    let mut st = state.lock().expect("coordinator lock");
-    st.estimate_in_flight = false;
-    st.estimates += 1;
-    st.optimizer_cycles[w] += estimate.evaluations as u64 * cfg.cycles_per_estimator_eval;
-    st.target.calibrate(&geom, &merged, &estimate.survivors);
-    let proposed = st.target.propose_order(&geom, &estimate.selectivities);
-    if st.rejected.iter().any(|(order, _)| order == &proposed) {
-        return Ok(());
-    }
-    if proposed != st.published {
-        schedule_trial(&mut st, proposed, false);
-    }
-    Ok(())
-}
-
-/// Start a reoptimization round under the lock: age out rejections,
-/// handle the cheap stall-exploration and measurement-probe paths
-/// directly, or snapshot the fused per-worker windows for an estimator
-/// round the caller runs outside the lock.
-fn begin_reoptimize<T: ShardableTarget>(
-    st: &mut CoordState<'_, T>,
-    cfg: &ProgressiveConfig,
-    cpu_cfg: &CpuConfig,
-) -> Option<(PlanGeometry, SampledCounters)> {
-    st.reopt_round += 1;
-    st.morsels_since_reopt = 0;
-    let round = st.reopt_round;
-    st.rejected
-        .retain(|(_, at)| round - at <= cfg.rejection_ttl);
-
-    // Stall-triggered exploration (§4.5), same trigger as the serial
-    // loop: no recently accepted switch AND an active disagreement.
-    let stalled = st.reopt_round >= st.last_accept_round + 3 && !st.rejected.is_empty();
-    if cfg.explore_correlation && stalled && st.reopt_round % 2 == 0 {
-        let mut explored = st.published.clone();
-        explored.rotate_right(1);
-        if explored != st.published {
-            schedule_trial(st, explored, true);
-        }
-        return None;
-    }
-
-    // Measurement probe: an order the target wants to observe once.
-    if let Some(probe) = st.target.take_probe_order() {
-        if probe != st.published {
-            schedule_trial(st, probe, true);
-            return None;
-        }
-    }
-
-    // Fuse the per-worker windows into one pool-wide sample; one
-    // estimator round serves the whole pool.
-    let samples: Vec<SampledCounters> = st
-        .windows
-        .iter()
-        .filter(|window| window.tuples > 0)
-        .map(VectorStats::sampled_counters)
-        .collect();
-    let merged = SampledCounters::merged(&samples)?;
-    let geom = st.target.plan_geometry(merged.n_input, cpu_cfg);
-    // The window feeds this estimate; the next interval accumulates
-    // fresh while the fit runs.
-    for window in &mut st.windows {
-        *window = VectorStats::zero();
-    }
-    st.estimate_in_flight = true;
-    Some((geom, merged))
-}
-
-fn schedule_trial<T>(st: &mut CoordState<'_, T>, order: Peo, exploratory: bool) {
-    st.switches.push(SwitchEvent {
-        vector: st.morsels_done,
-        from: st.published.clone(),
-        to: order.clone(),
-        reverted: false,
-        exploratory,
-    });
-    // Trials are only scheduled after at least one full reopt interval
-    // of in-epoch morsels, so the epoch average is always populated.
-    debug_assert!(st.epoch_tuples > 0, "trial scheduled with no reference");
-    st.trial = Some(Trial {
-        order,
-        switch_idx: st.switches.len() - 1,
-        prev_cpt: st.epoch_cycles as f64 / st.epoch_tuples.max(1) as f64,
-        leased: false,
-    });
 }

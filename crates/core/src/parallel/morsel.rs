@@ -102,6 +102,14 @@ impl MorselDispatcher {
         })
     }
 
+    /// Whether `worker`'s share of the range still has unclaimed
+    /// morsels — the non-consuming eligibility probe the serving
+    /// scheduler uses before spending a stride slot on the query.
+    pub fn has_morsels(&self, worker: usize) -> bool {
+        let round = self.claimed[worker].load(Ordering::Relaxed);
+        (round * self.workers + worker) * self.morsel_tuples < self.rows
+    }
+
     /// Claim `worker`'s next morsel; `None` once that worker's share of
     /// the range is exhausted.
     pub fn next(&self, worker: usize) -> Option<(usize, usize)> {
@@ -205,6 +213,21 @@ mod tests {
             expect_start = end;
         }
         assert_eq!(expect_start, 100_000);
+    }
+
+    #[test]
+    fn has_morsels_tracks_per_worker_shares_without_consuming() {
+        let d = MorselDispatcher::new(4 * 777, 777, 2).unwrap();
+        assert!(d.has_morsels(0) && d.has_morsels(1));
+        // Probing never consumes.
+        assert!(d.has_morsels(0));
+        // Worker 0 drains its share; worker 1's is untouched.
+        while d.next(0).is_some() {}
+        assert!(!d.has_morsels(0));
+        assert!(d.has_morsels(1));
+        while d.next(1).is_some() {}
+        assert!(!d.has_morsels(1));
+        assert!(d.exhausted());
     }
 
     #[test]

@@ -11,6 +11,17 @@ use crate::predicate::Predicate;
 /// A predicate evaluation order: a permutation of plan predicate indices.
 pub type Peo = Vec<usize>;
 
+/// Whether `order` is a permutation of `0..stages` — the one validity
+/// rule every order-bearing structure shares (plans, pipelines, the
+/// serving layer's order cache).
+pub fn is_valid_peo(order: &[usize], stages: usize) -> bool {
+    let mut seen = vec![false; stages];
+    order.len() == stages
+        && order
+            .iter()
+            .all(|&i| i < stages && !std::mem::replace(&mut seen[i], true))
+}
+
 /// A multi-selection query plan with a sum aggregate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectionPlan {
@@ -52,22 +63,11 @@ impl SelectionPlan {
 
     /// Validate that `peo` is a permutation of this plan's predicates.
     pub fn validate_peo(&self, peo: &[usize]) -> Result<(), EngineError> {
-        let p = self.len();
-        let mut seen = vec![false; p];
-        let valid = peo.len() == p
-            && peo.iter().all(|&i| {
-                if i >= p || seen[i] {
-                    false
-                } else {
-                    seen[i] = true;
-                    true
-                }
-            });
-        if valid {
+        if is_valid_peo(peo, self.len()) {
             Ok(())
         } else {
             Err(EngineError::InvalidPeo {
-                expected: p,
+                expected: self.len(),
                 got: peo.to_vec(),
             })
         }

@@ -1,7 +1,7 @@
 //! Predicates over columns: the atoms of a multi-selection query.
 
 /// Comparison operator of a predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompareOp {
     /// `column < literal`
     Lt,
@@ -47,7 +47,7 @@ impl CompareOp {
 /// One conjunct of a multi-selection query: `column OP literal`, with an
 /// optional extra per-evaluation instruction cost for modelling expensive
 /// predicates (UDFs, `LIKE`, …; Section 5.5 uses one).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Predicate {
     /// Name of the column the predicate reads.
     pub column: String,

@@ -40,7 +40,7 @@ use popt_cost::estimate::{estimate_counters, PlanGeometry};
 use popt_cost::markov::ChainSpec;
 use popt_cpu::pmu::CounterDelta;
 use popt_cpu::{CpuConfig, SimCpu};
-use popt_solver::{estimate_selectivities, EstimatorConfig, SampledCounters};
+use popt_solver::{estimate_selectivities, CalibrationSnapshot, EstimatorConfig, SampledCounters};
 use popt_storage::Table;
 
 use crate::error::EngineError;
@@ -276,6 +276,21 @@ pub trait ProgressiveTarget {
     fn wants_trial_calibration(&self) -> bool {
         false
     }
+
+    /// Export the target's runtime-learned calibration so a later
+    /// execution of the same workload template can start from it (`None`
+    /// for targets that learn nothing at runtime).
+    fn calibration_snapshot(&self) -> Option<CalibrationSnapshot> {
+        None
+    }
+
+    /// Seed the target's calibration from a prior run's snapshot. A
+    /// snapshot whose shape does not match the target is ignored — a
+    /// wrong warm start may cost performance, never correctness, so the
+    /// restore path degrades to a cold start rather than erroring.
+    fn restore_calibration(&mut self, snapshot: &CalibrationSnapshot) {
+        let _ = snapshot;
+    }
 }
 
 /// The multi-selection scan as a progressive target: switching orders
@@ -450,6 +465,28 @@ impl ProgressiveTarget for PipelineTarget<'_, '_> {
 
     fn wants_trial_calibration(&self) -> bool {
         true
+    }
+
+    fn calibration_snapshot(&self) -> Option<CalibrationSnapshot> {
+        Some(CalibrationSnapshot::new(
+            self.clustering.clone(),
+            self.measured.clone(),
+        ))
+    }
+
+    fn restore_calibration(&mut self, snapshot: &CalibrationSnapshot) {
+        if !snapshot.matches(self.pipeline.len()) {
+            return;
+        }
+        self.clustering = snapshot
+            .clustering
+            .iter()
+            .map(|c| c.clamp(0.0, 1.0))
+            .collect();
+        self.measured = snapshot.measured.clone();
+        // Measured stages need no measurement probe; unmeasured ones keep
+        // their probe budget (`probed` stays false) so a template whose
+        // earlier runs never observed a stage can still learn it.
     }
 }
 

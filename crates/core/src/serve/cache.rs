@@ -1,0 +1,302 @@
+//! Cross-query order/calibration cache.
+//!
+//! A serving workload repeats query *templates*: the same table, the
+//! same predicate/probe set, different arrival times. The progressive
+//! loop converges each instance to the same operator order and the same
+//! probe-clustering calibration — so re-deriving them from the textbook
+//! order on every arrival wastes exactly the convergence overhead the
+//! paper measures. The cache keys a finished query's converged state by
+//! its **workload signature** (the structural identity of its stage
+//! set, independent of the evaluation order the instance happened to
+//! start or finish in) and seeds the next instance of the template with
+//! it.
+//!
+//! A warm start is a *prior*, never a promise: the seeded order still
+//! runs under full progressive supervision (sampling, trials, revert on
+//! regression), so a stale cache entry — data drifted, literal tweaked
+//! into a new signature, plain collision — costs at most the same
+//! convergence the cold start would have paid. Correctness is never at
+//! stake: operator orders cannot change query results.
+
+use std::collections::HashMap;
+
+use popt_solver::CalibrationSnapshot;
+use popt_storage::Table;
+
+use crate::error::EngineError;
+use crate::exec::pipeline::Pipeline;
+use crate::plan::{Peo, SelectionPlan};
+use crate::predicate::{CompareOp, Predicate};
+
+/// Structural identity of one pipeline stage, in *plan* order — what the
+/// stage computes and which simulated columns it touches, independent of
+/// where the evaluation order currently places it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StageSignature {
+    /// A predicate on a fact-table column.
+    Select {
+        /// Simulated base address of the predicate column (column
+        /// identity across queries over the same stored table).
+        base: u64,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Literal operand.
+        literal: i64,
+        /// Extra per-evaluation instructions (expensive predicates).
+        extra_instructions: u64,
+    },
+    /// A foreign-key join filter.
+    Join {
+        /// Base address of the FK column on the fact table.
+        fk_base: u64,
+        /// Base address of the probed dimension payload.
+        dim_base: u64,
+        /// Rows of the probed dimension.
+        dim_rows: usize,
+        /// Comparison operator applied to the probed payload.
+        op: CompareOp,
+        /// Literal operand.
+        literal: i64,
+    },
+}
+
+/// A query template's identity: the scanned row count plus the plan-order
+/// stage set. Two queries share a signature exactly when they run the
+/// same stages over the same stored columns — the unit of order reuse.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadSignature {
+    rows: usize,
+    stages: Vec<StageSignature>,
+}
+
+impl WorkloadSignature {
+    /// Signature of a multi-selection scan over `table`.
+    pub fn of_scan(table: &Table, plan: &SelectionPlan) -> Result<Self, EngineError> {
+        let stages = plan
+            .predicates
+            .iter()
+            .map(|p: &Predicate| {
+                let col = table
+                    .column(&p.column)
+                    .ok_or_else(|| EngineError::UnknownColumn(p.column.clone()))?;
+                Ok(StageSignature::Select {
+                    base: col.base_addr(),
+                    op: p.op,
+                    literal: p.literal,
+                    extra_instructions: p.extra_instructions,
+                })
+            })
+            .collect::<Result<Vec<_>, EngineError>>()?;
+        Ok(Self {
+            rows: table.rows(),
+            stages,
+        })
+    }
+
+    /// Signature of a filter pipeline, taken over the stages in plan
+    /// (construction) order so it is invariant under reordering.
+    pub fn of_pipeline(pipeline: &Pipeline<'_>) -> Self {
+        let stages = (0..pipeline.len())
+            .map(|j| {
+                let op = pipeline.op(j);
+                match op.dim_rows() {
+                    Some(dim_rows) => StageSignature::Join {
+                        fk_base: op.column_base(),
+                        dim_base: op.dim_base().expect("joins have a dimension"),
+                        dim_rows,
+                        op: op.compare_op(),
+                        literal: op.literal(),
+                    },
+                    None => StageSignature::Select {
+                        base: op.column_base(),
+                        op: op.compare_op(),
+                        literal: op.literal(),
+                        extra_instructions: op.extra_instructions(),
+                    },
+                }
+            })
+            .collect();
+        Self {
+            rows: pipeline.rows(),
+            stages,
+        }
+    }
+
+    /// Number of plan stages in the signature.
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// What the cache remembers about a converged template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The operator order the last instance converged to (plan indices).
+    pub order: Peo,
+    /// The last instance's probe-clustering calibration (`None` for
+    /// targets that learn nothing at runtime, e.g. plain scans).
+    pub calibration: Option<CalibrationSnapshot>,
+    /// Warm lookups served so far.
+    pub hits: u64,
+    /// Times the entry was (re-)recorded by a finishing query.
+    pub updates: u64,
+}
+
+/// The cross-query order/calibration cache a [`crate::serve::QueryServer`]
+/// carries between runs.
+#[derive(Debug, Default)]
+pub struct OrderCache {
+    entries: HashMap<WorkloadSignature, CacheEntry>,
+}
+
+impl OrderCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached templates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no templates.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Warm-start lookup: the entry for `signature`, if one exists whose
+    /// order still fits a plan of `signature.stages()` stages (a
+    /// malformed entry degrades to a cold start instead of erroring).
+    /// Counts a hit.
+    pub fn lookup(&mut self, signature: &WorkloadSignature) -> Option<CacheEntry> {
+        let entry = self.entries.get_mut(signature)?;
+        if !crate::plan::is_valid_peo(&entry.order, signature.stages()) {
+            return None;
+        }
+        entry.hits += 1;
+        Some(entry.clone())
+    }
+
+    /// Record a finished query's converged order (and calibration) under
+    /// its signature, creating or refreshing the template entry.
+    pub fn record(
+        &mut self,
+        signature: WorkloadSignature,
+        order: Peo,
+        calibration: Option<CalibrationSnapshot>,
+    ) {
+        let entry = self.entries.entry(signature).or_insert(CacheEntry {
+            order: Vec::new(),
+            calibration: None,
+            hits: 0,
+            updates: 0,
+        });
+        entry.order = order;
+        entry.calibration = calibration;
+        entry.updates += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_storage::{AddressSpace, ColumnData, Table};
+
+    fn table() -> Table {
+        let mut space = AddressSpace::new();
+        let mut t = Table::new("t");
+        t.add_column("a", ColumnData::I32(vec![1; 64]), &mut space);
+        t.add_column("b", ColumnData::I32(vec![2; 64]), &mut space);
+        t
+    }
+
+    fn plan(literal: i64) -> SelectionPlan {
+        SelectionPlan::new(
+            vec![
+                Predicate::new("a", CompareOp::Lt, literal),
+                Predicate::new("b", CompareOp::Ge, 7),
+            ],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_signature_distinguishes_literals_and_matches_itself() {
+        let t = table();
+        let a = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
+        let same = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
+        let other = WorkloadSignature::of_scan(&t, &plan(11)).unwrap();
+        assert_eq!(a, same);
+        assert_ne!(a, other, "a tweaked literal is a different template");
+        assert_eq!(a.stages(), 2);
+    }
+
+    #[test]
+    fn scan_signature_rejects_unknown_columns() {
+        let t = table();
+        let bad =
+            SelectionPlan::new(vec![Predicate::new("zzz", CompareOp::Lt, 1)], vec![]).unwrap();
+        assert!(matches!(
+            WorkloadSignature::of_scan(&t, &bad).unwrap_err(),
+            EngineError::UnknownColumn(_)
+        ));
+    }
+
+    #[test]
+    fn pipeline_signature_is_order_invariant() {
+        use crate::exec::pipeline::{FilterOp, Pipeline};
+        let t = table();
+        let mut dim_space = AddressSpace::new();
+        let mut dim = Table::new("dim");
+        dim.add_column("p", ColumnData::I32(vec![0; 4]), &mut dim_space);
+        let build = || {
+            let sel = FilterOp::select(&t, "a", CompareOp::Lt, 10, 0, 0).unwrap();
+            let join = FilterOp::join_filter(&t, "b", &dim, "p", CompareOp::Eq, 0, 1, 100);
+            // "b" holds 2s — valid keys into the 4-row dimension.
+            Pipeline::new(vec![sel, join.unwrap()], t.rows()).unwrap()
+        };
+        let in_plan_order = WorkloadSignature::of_pipeline(&build());
+        let mut reordered = build();
+        reordered.reorder(&[1, 0]).unwrap();
+        assert_eq!(
+            in_plan_order,
+            WorkloadSignature::of_pipeline(&reordered),
+            "signature must not depend on the evaluation order"
+        );
+    }
+
+    #[test]
+    fn cache_roundtrip_counts_hits_and_updates() {
+        let t = table();
+        let sig = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
+        let mut cache = OrderCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&sig).is_none());
+        cache.record(sig.clone(), vec![1, 0], None);
+        assert_eq!(cache.len(), 1);
+        let entry = cache.lookup(&sig).expect("warm hit");
+        assert_eq!(entry.order, vec![1, 0]);
+        assert_eq!(entry.updates, 1);
+        cache.record(sig.clone(), vec![0, 1], None);
+        let entry = cache.lookup(&sig).expect("warm hit");
+        assert_eq!(entry.order, vec![0, 1]);
+        assert_eq!(entry.updates, 2);
+        assert_eq!(entry.hits, 2);
+    }
+
+    #[test]
+    fn malformed_cached_order_degrades_to_cold() {
+        let t = table();
+        let sig = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
+        let mut cache = OrderCache::new();
+        cache.record(sig.clone(), vec![0, 0], None); // not a permutation
+        assert!(
+            cache.lookup(&sig).is_none(),
+            "bad order must not warm-start"
+        );
+        cache.record(sig.clone(), vec![0], None); // wrong arity
+        assert!(cache.lookup(&sig).is_none());
+    }
+}

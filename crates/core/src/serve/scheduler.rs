@@ -1,0 +1,176 @@
+//! Stride scheduling across active queries.
+//!
+//! Every admitted query holds a *stride* inversely proportional to its
+//! priority weight and a *pass* value that advances by the stride each
+//! time the query is scheduled. A worker asking for work receives the
+//! eligible query with the minimum pass — over time each query's share
+//! of morsel slots converges to `weight / Σ weights`, the classic
+//! proportional-share guarantee, with worst-case service delay bounded
+//! by one stride (no query starves, however low its weight).
+//!
+//! New arrivals are admitted at the scheduler's *global pass* (the pass
+//! of the most recently scheduled query), so a late query neither
+//! monopolizes the pool to "catch up" on slots it never owned, nor
+//! waits behind the backlog of passes the incumbents already spent.
+
+/// The pass increment of a weight-1 query. Large enough that integer
+/// division by any sane weight keeps fine-grained ratios exact.
+const STRIDE_ONE: u64 = 1 << 20;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pass: u64,
+    stride: u64,
+}
+
+/// Proportional-share scheduler over query ids `0..capacity`.
+#[derive(Debug, Default)]
+pub struct StrideScheduler {
+    entries: Vec<Option<Entry>>,
+    global_pass: u64,
+}
+
+impl StrideScheduler {
+    /// A scheduler able to hold query ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: vec![None; capacity],
+            global_pass: 0,
+        }
+    }
+
+    /// Admit query `id` with the given priority `weight` (≥ 1; higher
+    /// weight ⇒ proportionally more morsel slots). Starts at the global
+    /// pass so incumbents keep their shares.
+    pub fn admit(&mut self, id: usize, weight: u64) {
+        assert!(id < self.entries.len(), "query id beyond capacity");
+        assert!(weight >= 1, "priority weight must be at least 1");
+        self.entries[id] = Some(Entry {
+            pass: self.global_pass,
+            stride: STRIDE_ONE / weight.min(STRIDE_ONE),
+        });
+    }
+
+    /// Remove a finished (or cancelled) query from scheduling.
+    pub fn retire(&mut self, id: usize) {
+        self.entries[id] = None;
+    }
+
+    /// Whether `id` is currently admitted.
+    pub fn is_active(&self, id: usize) -> bool {
+        self.entries.get(id).is_some_and(Option::is_some)
+    }
+
+    /// Number of admitted queries.
+    pub fn active(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// Pick the eligible admitted query with the minimum pass (ties
+    /// break toward the lower id, deterministically) and charge it one
+    /// slot. `eligible` lets the caller exclude admitted queries that
+    /// momentarily have no claimable work.
+    pub fn pick(&mut self, eligible: impl Fn(usize) -> bool) -> Option<usize> {
+        let id = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(id, e)| e.map(|e| (id, e)))
+            .filter(|&(id, _)| eligible(id))
+            .min_by_key(|&(id, e)| (e.pass, id))
+            .map(|(id, _)| id)?;
+        let entry = self.entries[id].as_mut().expect("picked entry is active");
+        self.global_pass = entry.pass;
+        entry.pass += entry.stride;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_are_proportional_to_weights() {
+        let mut s = StrideScheduler::new(2);
+        s.admit(0, 3);
+        s.admit(1, 1);
+        let mut picks = [0usize; 2];
+        for _ in 0..400 {
+            picks[s.pick(|_| true).unwrap()] += 1;
+        }
+        // 3:1 over 400 slots = 300/100, exact up to one stride boundary.
+        assert!((299..=301).contains(&picks[0]), "{picks:?}");
+        assert!((99..=101).contains(&picks[1]), "{picks:?}");
+    }
+
+    #[test]
+    fn low_weight_queries_never_starve() {
+        let mut s = StrideScheduler::new(2);
+        s.admit(0, 16);
+        s.admit(1, 1);
+        let mut gap = 0usize;
+        let mut worst = 0usize;
+        for _ in 0..1000 {
+            if s.pick(|_| true).unwrap() == 1 {
+                worst = worst.max(gap);
+                gap = 0;
+            } else {
+                gap += 1;
+            }
+        }
+        assert!(worst <= 16, "weight-1 query waited {worst} slots");
+    }
+
+    #[test]
+    fn late_admission_does_not_monopolize() {
+        let mut s = StrideScheduler::new(2);
+        s.admit(0, 1);
+        for _ in 0..100 {
+            s.pick(|_| true);
+        }
+        // A same-weight query admitted late must split slots evenly from
+        // here on, not claim 100 catch-up slots first.
+        s.admit(1, 1);
+        let mut picks = [0usize; 2];
+        for _ in 0..20 {
+            picks[s.pick(|_| true).unwrap()] += 1;
+        }
+        assert!((9..=11).contains(&picks[0]), "{picks:?}");
+        assert!((9..=11).contains(&picks[1]), "{picks:?}");
+    }
+
+    #[test]
+    fn eligibility_filter_and_retire_are_respected() {
+        let mut s = StrideScheduler::new(3);
+        s.admit(0, 4);
+        s.admit(1, 1);
+        assert!(!s.is_active(2));
+        // Query 0 momentarily has no claimable work.
+        assert_eq!(s.pick(|id| id != 0), Some(1));
+        s.retire(1);
+        assert!(!s.is_active(1));
+        assert_eq!(s.active(), 1);
+        assert_eq!(s.pick(|_| true), Some(0));
+        s.retire(0);
+        assert_eq!(s.pick(|_| true), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically_toward_lower_ids() {
+        let mut s = StrideScheduler::new(3);
+        s.admit(0, 1);
+        s.admit(1, 1);
+        s.admit(2, 1);
+        assert_eq!(s.pick(|_| true), Some(0));
+        assert_eq!(s.pick(|_| true), Some(1));
+        assert_eq!(s.pick(|_| true), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_weight_is_rejected() {
+        let mut s = StrideScheduler::new(1);
+        s.admit(0, 0);
+    }
+}

@@ -1,0 +1,806 @@
+//! The query server: admission, interleaved scheduling, and per-query
+//! progressive reoptimization over one shared [`CpuPool`].
+//!
+//! A [`QueryServer`] holds a batch of [`QuerySpec`]s — scan or pipeline
+//! targets, each with a [`Priority`] and an arrival time in simulated
+//! cycles — and executes them as *interleaved morsel streams*:
+//!
+//! * **Admission** — a query becomes schedulable once a worker's
+//!   wall-clock position (busy + idle + charged optimizer cycles)
+//!   reaches its arrival time; a pool with no admissible work idles
+//!   forward to the next arrival instead of spinning.
+//! * **Scheduling** — at every morsel boundary the worker asks the
+//!   [`StrideScheduler`] which active query to serve next; shares
+//!   converge to the priority weights, and no query starves.
+//! * **Per-query coordination** — each admitted query owns a full
+//!   [`CoordState`]: its own epoch-published order, sample windows,
+//!   trial leasing and rejection memory, exactly as if it ran alone on
+//!   the pool. Estimator fits run outside the scheduler lock and their
+//!   cycles are charged to the core that ran them.
+//! * **Order reuse** — on admission the server consults its
+//!   [`OrderCache`] by workload signature; a warm hit starts the query
+//!   from the template's last converged order and clustering
+//!   calibration instead of the caller's (textbook) order.
+//!
+//! Results are bit-identical to running each query alone on a single
+//! core: every query's qualified count and aggregate sum are integer
+//! accumulations over its own disjoint morsels, so neither the
+//! interleaving, the priorities, nor mid-query order switches can change
+//! them.
+
+use std::sync::Mutex;
+
+use popt_cost::cycles::{fleet_occupancy, fleet_wall_cycles_interleaved};
+use popt_cpu::{CpuConfig, CpuPool, SimCpu};
+use popt_storage::Table;
+
+use crate::error::EngineError;
+use crate::exec::pipeline::Pipeline;
+use crate::exec::scan::VectorStats;
+use crate::parallel::coordinator::{
+    normal_round, trial_round, BoundaryAction, CoordState, WithCoord,
+};
+use crate::parallel::{MorselConfig, MorselDispatcher, ShardableTarget, TargetShard};
+use crate::plan::{Peo, SelectionPlan};
+use crate::progressive::{ProgressiveConfig, ProgressiveTarget, SwitchEvent};
+
+use super::cache::{OrderCache, WorkloadSignature};
+use super::scheduler::StrideScheduler;
+use super::target::{ServeShard, ServeTarget};
+
+/// Scheduling priority of a served query. Weights are proportional
+/// shares of morsel slots, not preemption levels: a `High` query gets
+/// 16× the slots of a `Low` one while both are active, and even a `Low`
+/// query is never starved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Background work (weight 1).
+    Low,
+    /// Default traffic (weight 4).
+    Normal,
+    /// Latency-sensitive foreground queries (weight 16).
+    High,
+}
+
+impl Priority {
+    /// The stride-scheduling weight of the priority class.
+    pub fn weight(self) -> u64 {
+        match self {
+            Priority::Low => 1,
+            Priority::Normal => 4,
+            Priority::High => 16,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+/// What a served query executes.
+pub enum QueryKind<'t> {
+    /// A multi-selection scan.
+    Scan {
+        /// The scanned table.
+        table: &'t Table,
+        /// The selection plan.
+        plan: SelectionPlan,
+        /// Evaluation order to start from on a cache miss.
+        initial_peo: Peo,
+    },
+    /// A mixed selection/join-filter pipeline.
+    Pipeline {
+        /// The pipeline (stages borrow immutable column data).
+        pipeline: Pipeline<'t>,
+        /// Evaluation order to start from on a cache miss.
+        initial_order: Peo,
+    },
+}
+
+/// One query submitted to the server.
+pub struct QuerySpec<'t> {
+    /// Human-readable identity carried into the report.
+    pub label: String,
+    /// What to execute.
+    pub kind: QueryKind<'t>,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Arrival time in simulated cycles since server start (0 = already
+    /// queued when the pool starts — a closed-loop workload).
+    pub arrival_cycles: u64,
+}
+
+impl<'t> QuerySpec<'t> {
+    /// A scan query.
+    pub fn scan(
+        label: impl Into<String>,
+        table: &'t Table,
+        plan: SelectionPlan,
+        initial_peo: Peo,
+        priority: Priority,
+        arrival_cycles: u64,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            kind: QueryKind::Scan {
+                table,
+                plan,
+                initial_peo,
+            },
+            priority,
+            arrival_cycles,
+        }
+    }
+
+    /// A pipeline query.
+    pub fn pipeline(
+        label: impl Into<String>,
+        pipeline: Pipeline<'t>,
+        initial_order: Peo,
+        priority: Priority,
+        arrival_cycles: u64,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            kind: QueryKind::Pipeline {
+                pipeline,
+                initial_order,
+            },
+            priority,
+            arrival_cycles,
+        }
+    }
+}
+
+/// Server-wide execution knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Morsel sizing shared by all queries.
+    pub morsels: MorselConfig,
+    /// Progressive reoptimization settings (`None` = every query runs
+    /// its submitted order statically).
+    pub reopt: Option<ProgressiveConfig>,
+    /// Whether to consult and feed the cross-query order cache.
+    /// Effective only with `reopt` enabled: a static run never
+    /// converges anywhere, so recording its start order as a template's
+    /// "converged" state would poison later warm starts — with `reopt:
+    /// None` the cache is bypassed entirely.
+    pub use_order_cache: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            morsels: MorselConfig::default(),
+            // Finer than the single-query default (10): a served query
+            // owns only a slice of the pool's morsel slots, so its
+            // stream is short in rounds and must converge within it.
+            // One estimator round per interval still serves the whole
+            // pool, so the finer cadence stays off the critical path.
+            reopt: Some(ProgressiveConfig {
+                reop_interval: 4,
+                ..Default::default()
+            }),
+            use_order_cache: true,
+        }
+    }
+}
+
+/// Per-query slice of a [`ServeReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The spec's label.
+    pub label: String,
+    /// The spec's priority.
+    pub priority: Priority,
+    /// The spec's arrival time.
+    pub arrival_cycles: u64,
+    /// Qualifying tuples (bit-identical to a solo single-core run).
+    pub qualified: u64,
+    /// Aggregate sum (bit-identical to a solo single-core run).
+    pub sum: i64,
+    /// Morsels executed for this query.
+    pub morsels: usize,
+    /// Busy cycles its morsels cost, summed across the cores that ran
+    /// them (excludes optimizer time and queueing).
+    pub exec_cycles: u64,
+    /// Estimator cycles charged on behalf of this query.
+    pub optimizer_cycles: u64,
+    /// Completion latency: finish wall-clock position − arrival.
+    pub latency_cycles: u64,
+    /// Time from arrival to the first executed morsel.
+    pub queue_cycles: u64,
+    /// Order switches attempted while serving the query.
+    pub switches: Vec<SwitchEvent>,
+    /// Estimator invocations.
+    pub estimates: usize,
+    /// The published order when the query finished.
+    pub final_order: Peo,
+    /// Whether the query started from a cached template order.
+    pub warm_start: bool,
+}
+
+impl QueryOutcome {
+    /// Execution plus optimizer cycles: the query's total cost to the
+    /// pool, the figure the warm/cold convergence comparison uses.
+    pub fn cost_cycles(&self) -> u64 {
+        self.exec_cycles + self.optimizer_cycles
+    }
+}
+
+/// Outcome of one [`QueryServer::run`] batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-query outcomes, in submission order.
+    pub queries: Vec<QueryOutcome>,
+    /// Workers (= pool cores) that served the batch.
+    pub workers: usize,
+    /// Wall-clock cycles of the batch: the furthest wall-clock position
+    /// any worker reached (busy + idle).
+    pub wall_cycles: u64,
+    /// Wall-clock simulated milliseconds.
+    pub wall_millis: f64,
+    /// Busy cycles summed across workers (execution + optimizer).
+    pub busy_cycles: u64,
+    /// Idle cycles summed across workers (admission gaps).
+    pub idle_cycles: u64,
+    /// Busy share of the wall-clock capacity (`1.0` for an empty batch).
+    pub occupancy: f64,
+    /// Per-worker busy cycles (execution + that worker's optimizer
+    /// rounds), for scaling plots.
+    pub per_worker_busy_cycles: Vec<u64>,
+    /// Per-worker idle cycles.
+    pub per_worker_idle_cycles: Vec<u64>,
+}
+
+impl ServeReport {
+    /// Completed queries per simulated second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_millis == 0.0 {
+            return 0.0;
+        }
+        self.queries.len() as f64 / (self.wall_millis / 1e3)
+    }
+
+    /// Latency percentile in cycles over the batch, optionally
+    /// restricted to one priority class. `fraction` is in `[0, 1]`
+    /// (0.5 = median). `None` when no query matches.
+    pub fn latency_percentile(&self, priority: Option<Priority>, fraction: f64) -> Option<u64> {
+        let mut latencies: Vec<u64> = self
+            .queries
+            .iter()
+            .filter(|q| priority.is_none_or(|p| q.priority == p))
+            .map(|q| q.latency_cycles)
+            .collect();
+        if latencies.is_empty() {
+            return None;
+        }
+        latencies.sort_unstable();
+        let idx = ((latencies.len() - 1) as f64 * fraction.clamp(0.0, 1.0)).round() as usize;
+        Some(latencies[idx])
+    }
+}
+
+/// The multi-query serving layer. Holds the submitted batch and the
+/// cross-run order cache; [`QueryServer::run`] drains the batch over a
+/// pool, [`QueryServer::admit`] queues the next one. The cache persists
+/// across runs — that is what makes repeated templates warm.
+pub struct QueryServer<'t> {
+    specs: Vec<QuerySpec<'t>>,
+    cache: OrderCache,
+    config: ServeConfig,
+}
+
+impl<'t> QueryServer<'t> {
+    /// A server with an empty queue and a cold cache.
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            specs: Vec::new(),
+            cache: OrderCache::new(),
+            config,
+        }
+    }
+
+    /// Queue a query for the next [`QueryServer::run`].
+    pub fn admit(&mut self, spec: QuerySpec<'t>) {
+        self.specs.push(spec);
+    }
+
+    /// Queries currently queued.
+    pub fn queued(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The cross-query order cache (inspection; fed automatically).
+    pub fn cache(&self) -> &OrderCache {
+        &self.cache
+    }
+
+    /// Serve the queued batch over `pool`. Queries are admitted by
+    /// arrival time, scheduled by priority, reoptimized independently,
+    /// and their converged orders recorded into the cache when the
+    /// batch completes. The queue is drained only on success — a batch
+    /// rejected for an invalid spec or config stays queued, so the
+    /// caller can fix the problem and retry without losing the valid
+    /// queries.
+    pub fn run(&mut self, pool: &mut CpuPool) -> Result<ServeReport, EngineError> {
+        if let Some(cfg) = &self.config.reopt {
+            if cfg.reop_interval == 0 {
+                return Err(EngineError::InvalidVectorConfig("reop_interval = 0".into()));
+            }
+        }
+        let workers = pool.len();
+        if self.specs.is_empty() {
+            return Ok(ServeReport {
+                queries: Vec::new(),
+                workers,
+                wall_cycles: 0,
+                wall_millis: 0.0,
+                busy_cycles: 0,
+                idle_cycles: 0,
+                occupancy: 1.0,
+                per_worker_busy_cycles: vec![0; workers],
+                per_worker_idle_cycles: vec![0; workers],
+            });
+        }
+        let cpu_cfg = pool.config().clone();
+        let freq = cpu_cfg.timing.frequency_ghz;
+        let reopt = self.config.reopt.as_ref();
+        let morsel_tuples = self.config.morsels.morsel_tuples;
+        // Without reoptimization nothing converges, so a "converged
+        // order" cache would just replay whatever order the first
+        // instance happened to start with — bypass it entirely.
+        let cache_on = self.config.use_order_cache && reopt.is_some();
+
+        let metas: Vec<(String, Priority, u64)> = self
+            .specs
+            .iter()
+            .map(|s| (s.label.clone(), s.priority, s.arrival_cycles))
+            .collect();
+
+        // Build one master target per query, warm-started from the order
+        // cache when the workload signature hits.
+        let mut targets = Vec::with_capacity(metas.len());
+        let mut signatures = Vec::with_capacity(metas.len());
+        let mut warms = Vec::with_capacity(metas.len());
+        for spec in self.specs.iter_mut() {
+            let (target, signature, warm) =
+                build_target(&mut spec.kind, cache_on.then_some(&mut self.cache))?;
+            targets.push(target);
+            signatures.push(signature);
+            warms.push(warm);
+        }
+
+        // Per-(worker, query) shards, minted before the mutable borrows
+        // below: each worker re-chains its own executors independently.
+        let mut worker_shards: Vec<Vec<ServeShard<'_, 't>>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let shards: Result<Vec<_>, EngineError> =
+                targets.iter().map(ShardableTarget::shard).collect();
+            worker_shards.push(shards?);
+        }
+
+        // Work division: each query's rows are interleaved across the
+        // workers exactly like the dedicated-pool executor (morsel k →
+        // worker k mod N), so every worker's share of every query is a
+        // pure function of the batch (see the `morsel` module docs for
+        // why a greedy shared cursor would not be). Without reopt the
+        // per-core simulated cycles — and with them the latency figures
+        // — reproduce exactly on any host; with reopt enabled the same
+        // residual, single-morsel-bounded scheduling sensitivity as the
+        // dedicated-pool executor remains (which worker leases a trial
+        // and where an epoch lands follow the cross-worker completion
+        // interleaving; results stay bit-identical regardless).
+        // Dispatcher claims are per-worker atomics, so they live
+        // outside the scheduler lock.
+        let mut dispatchers = Vec::with_capacity(targets.len());
+        let mut entries = Vec::with_capacity(targets.len());
+        let arrivals: Vec<u64> = metas.iter().map(|(_, _, arrival)| *arrival).collect();
+        let weights: Vec<u64> = metas
+            .iter()
+            .map(|(_, priority, _)| priority.weight())
+            .collect();
+        for target in targets.iter_mut() {
+            let dispatcher = MorselDispatcher::new(target.rows(), morsel_tuples, workers)?;
+            let total_morsels = dispatcher.total_morsels();
+            dispatchers.push(dispatcher);
+            entries.push(QueryEntry {
+                coord: CoordState::new(target, workers),
+                totals: VectorStats::zero(),
+                exec_cycles: 0,
+                first_vt: None,
+                finish_vt: None,
+                completed: 0,
+                total_morsels,
+            });
+        }
+
+        let state = Mutex::new(ServerState {
+            queries: entries,
+            error: None,
+        });
+
+        let mut worker_clocks: Vec<(u64, u64, u64)> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pool
+                .cores_mut()
+                .iter_mut()
+                .zip(worker_shards)
+                .enumerate()
+                .map(|(w, (core, mut shards))| {
+                    let state = &state;
+                    let cpu_cfg = &cpu_cfg;
+                    let dispatchers = &dispatchers;
+                    let arrivals = &arrivals;
+                    let weights = &weights;
+                    scope.spawn(move || {
+                        serve_worker(
+                            w,
+                            core,
+                            &mut shards,
+                            state,
+                            dispatchers,
+                            arrivals,
+                            weights,
+                            reopt,
+                            cpu_cfg,
+                        )
+                    })
+                })
+                .collect();
+            for handle in handles {
+                worker_clocks.push(handle.join().expect("serve worker panicked"));
+            }
+        });
+
+        let mut st = state.into_inner().expect("no worker held the lock");
+        if let Some(err) = st.error.take() {
+            return Err(err);
+        }
+
+        let mut queries = Vec::with_capacity(st.queries.len());
+        for (((entry, (label, priority, arrival)), signature), warm) in
+            st.queries.into_iter().zip(metas).zip(signatures).zip(warms)
+        {
+            let mut coord = entry.coord;
+            coord.abandon_unleased_trial();
+            let final_order = coord.published.clone();
+            if cache_on && entry.total_morsels > 0 {
+                self.cache.record(
+                    signature,
+                    final_order.clone(),
+                    coord.target.calibration_snapshot(),
+                );
+            }
+            let finish = entry.finish_vt.unwrap_or(arrival);
+            let first = entry.first_vt.unwrap_or(arrival);
+            queries.push(QueryOutcome {
+                label,
+                priority,
+                arrival_cycles: arrival,
+                qualified: entry.totals.qualified,
+                sum: entry.totals.sum,
+                morsels: entry.completed,
+                exec_cycles: entry.exec_cycles,
+                optimizer_cycles: coord.optimizer_cycles.iter().sum(),
+                latency_cycles: finish.saturating_sub(arrival),
+                queue_cycles: first.saturating_sub(arrival),
+                switches: coord.switches,
+                estimates: coord.estimates,
+                final_order,
+                warm_start: warm,
+            });
+        }
+
+        // The batch completed: only now does the queue drain (targets
+        // still borrow the specs; release them first).
+        drop(targets);
+        self.specs.clear();
+
+        let per_worker_busy_cycles: Vec<u64> = worker_clocks
+            .iter()
+            .map(|&(busy, _, opt)| busy + opt)
+            .collect();
+        let per_worker_idle_cycles: Vec<u64> =
+            worker_clocks.iter().map(|&(_, idle, _)| idle).collect();
+        let wall_cycles =
+            fleet_wall_cycles_interleaved(&per_worker_busy_cycles, &per_worker_idle_cycles);
+        Ok(ServeReport {
+            queries,
+            workers,
+            wall_cycles,
+            wall_millis: wall_cycles as f64 / (freq * 1e6),
+            busy_cycles: per_worker_busy_cycles.iter().sum(),
+            idle_cycles: per_worker_idle_cycles.iter().sum(),
+            occupancy: fleet_occupancy(&per_worker_busy_cycles, &per_worker_idle_cycles),
+            per_worker_busy_cycles,
+            per_worker_idle_cycles,
+        })
+    }
+}
+
+/// Build a query's master target, consulting the order cache (when
+/// given) for a warm-start order and calibration. Returns the target,
+/// its workload signature, and whether the start was warm.
+fn build_target<'p, 't>(
+    kind: &'p mut QueryKind<'t>,
+    cache: Option<&mut OrderCache>,
+) -> Result<(ServeTarget<'p, 't>, WorkloadSignature, bool), EngineError> {
+    match kind {
+        QueryKind::Scan {
+            table,
+            plan,
+            initial_peo,
+        } => {
+            let signature = WorkloadSignature::of_scan(table, plan)?;
+            let cached = cache.and_then(|c| c.lookup(&signature));
+            let start = cached
+                .as_ref()
+                .map_or(&initial_peo[..], |entry| &entry.order[..]);
+            let target = crate::progressive::ScanTarget::new(table, plan, start)?;
+            Ok((ServeTarget::Scan(target), signature, cached.is_some()))
+        }
+        QueryKind::Pipeline {
+            pipeline,
+            initial_order,
+        } => {
+            let signature = WorkloadSignature::of_pipeline(pipeline);
+            let cached = cache.and_then(|c| c.lookup(&signature));
+            match cached.as_ref() {
+                Some(entry) => pipeline.reorder(&entry.order)?,
+                None => pipeline.reorder(initial_order)?,
+            }
+            let mut target = crate::progressive::PipelineTarget::new(pipeline);
+            if let Some(calibration) = cached.as_ref().and_then(|e| e.calibration.as_ref()) {
+                target.restore_calibration(calibration);
+            }
+            Ok((ServeTarget::Pipeline(target), signature, cached.is_some()))
+        }
+    }
+}
+
+/// Per-query serving state behind the coordination lock: the query's
+/// progressive coordination plus its completion accounting. (The work
+/// division itself — dispatchers, arrivals, weights — is immutable or
+/// atomic and lives outside the lock.)
+struct QueryEntry<'a, 'p, 't> {
+    coord: CoordState<'a, ServeTarget<'p, 't>>,
+    totals: VectorStats,
+    exec_cycles: u64,
+    first_vt: Option<u64>,
+    finish_vt: Option<u64>,
+    completed: usize,
+    total_morsels: usize,
+}
+
+struct ServerState<'a, 'p, 't> {
+    queries: Vec<QueryEntry<'a, 'p, 't>>,
+    error: Option<EngineError>,
+}
+
+/// What a worker decided to do after consulting its scheduler.
+enum Step {
+    /// Serve one morsel of query `qid`.
+    Run {
+        qid: usize,
+        start: usize,
+        end: usize,
+        action: BoundaryAction,
+    },
+    /// No admissible work: idle forward to the next arrival.
+    Idle(u64),
+    /// This worker's share of every query has been claimed.
+    Done,
+}
+
+/// One serving worker: interleave the worker's shares of all admitted
+/// queries in stride order, execute each morsel on the private core,
+/// and run the owning query's coordination protocol — estimator fits
+/// outside the lock, their cycles charged to this core.
+///
+/// The scheduler is *worker-local*: each worker divides its own morsel
+/// slots across the queries it has admitted (by its own clock), over
+/// its own deterministic share of each query's rows. Pool-wide shares
+/// still converge to the priority weights — every worker enforces the
+/// same ratios — while the only cross-worker coupling left is the
+/// per-query coordination itself (epoch publication, trial leasing),
+/// which is bounded to single-morsel effects exactly as in the
+/// dedicated-pool executor. `w` is the worker's slot in the pool, used
+/// as its window index in every query's coordination state. Returns
+/// (busy, idle, optimizer) cycles.
+#[allow(clippy::too_many_arguments)]
+fn serve_worker<'a, 'p, 't>(
+    w: usize,
+    core: &mut SimCpu,
+    shards: &mut [ServeShard<'p, 't>],
+    state: &Mutex<ServerState<'a, 'p, 't>>,
+    dispatchers: &[MorselDispatcher],
+    arrivals: &[u64],
+    weights: &[u64],
+    reopt: Option<&ProgressiveConfig>,
+    cpu_cfg: &CpuConfig,
+) -> (u64, u64, u64) {
+    let base_cycles = core.cycles();
+    let base_idle = core.idle_cycles();
+    let mut opt_cycles = 0u64;
+    let mut local_epochs = vec![0u64; shards.len()];
+    let mut sched = StrideScheduler::new(shards.len());
+    let mut admitted = vec![false; shards.len()];
+
+    loop {
+        let idle_now = core.idle_cycles() - base_idle;
+        let now = (core.cycles() - base_cycles) + idle_now + opt_cycles;
+        // Admission: every arrived query with a non-empty share for this
+        // worker joins the worker's scheduler at the worker's clock.
+        for qid in 0..arrivals.len() {
+            if !admitted[qid] && arrivals[qid] <= now {
+                admitted[qid] = true;
+                if dispatchers[qid].has_morsels(w) {
+                    sched.admit(qid, weights[qid]);
+                }
+            }
+        }
+        let step = match sched.pick(|qid| dispatchers[qid].has_morsels(w)) {
+            Some(qid) => {
+                let (start, end) = dispatchers[qid]
+                    .next(w)
+                    .expect("an eligible query has a morsel in this worker's share");
+                if !dispatchers[qid].has_morsels(w) {
+                    // Share drained: out of this worker's scheduler
+                    // (completion is tracked separately).
+                    sched.retire(qid);
+                }
+                let mut guard = state.lock().expect("coordination lock");
+                if guard.error.is_some() {
+                    break;
+                }
+                let entry = &mut guard.queries[qid];
+                // Queue delay is measured to the *earliest* service
+                // across workers.
+                entry.first_vt = Some(entry.first_vt.map_or(now, |f| f.min(now)));
+                let action = entry.coord.begin_morsel(w, local_epochs[qid]);
+                Step::Run {
+                    qid,
+                    start,
+                    end,
+                    action,
+                }
+            }
+            None => {
+                let next_arrival = (0..arrivals.len())
+                    .filter(|&qid| !admitted[qid])
+                    .map(|qid| arrivals[qid])
+                    .min();
+                match next_arrival {
+                    Some(arrival) => {
+                        // The pool is ahead of the arrival process: idle
+                        // forward instead of spinning. A peer's failure
+                        // is only checked here (and under the claim
+                        // path's own lock) — the busy path must not pay
+                        // an extra acquisition of the shared mutex per
+                        // morsel just for the error flag.
+                        if state.lock().expect("coordination lock").error.is_some() {
+                            break;
+                        }
+                        Step::Idle(arrival.saturating_sub(now).max(1))
+                    }
+                    None => Step::Done,
+                }
+            }
+        };
+
+        match step {
+            Step::Done => break,
+            Step::Idle(gap) => {
+                core.idle(gap);
+                continue;
+            }
+            Step::Run {
+                qid,
+                start,
+                end,
+                action,
+            } => {
+                let (is_trial, epoch) = match action {
+                    BoundaryAction::Trial(order) => {
+                        if let Err(err) = shards[qid].set_order(&order) {
+                            state.lock().expect("scheduler lock").error = Some(err);
+                            break;
+                        }
+                        (true, local_epochs[qid])
+                    }
+                    BoundaryAction::Adopt { order, epoch } => {
+                        if let Err(err) = shards[qid].set_order(&order) {
+                            state.lock().expect("scheduler lock").error = Some(err);
+                            break;
+                        }
+                        local_epochs[qid] = epoch;
+                        (false, epoch)
+                    }
+                    BoundaryAction::Keep { epoch } => (false, epoch),
+                };
+
+                let stats = shards[qid].run_range(core, start, end);
+
+                // The shared trial/reopt choreography from the
+                // coordinator, with the estimator cycles it charged to
+                // this worker mirrored into the wall-clock position.
+                let coord_ref = QueryCoordRef { state, qid };
+                let outcome = if is_trial {
+                    let cfg = reopt.expect("trials are only scheduled when reopt is on");
+                    match trial_round(&coord_ref, w, &stats, cfg, cpu_cfg) {
+                        Ok(((published, new_epoch), opt)) => {
+                            // Adopt whatever order the resolution left
+                            // published (the trial order if accepted,
+                            // the incumbent if not).
+                            opt_cycles += opt;
+                            local_epochs[qid] = new_epoch;
+                            shards[qid].set_order(&published)
+                        }
+                        Err(err) => Err(err),
+                    }
+                } else {
+                    opt_cycles += normal_round(
+                        &coord_ref,
+                        w,
+                        epoch,
+                        &stats,
+                        reopt,
+                        cpu_cfg,
+                        // A trial can be leased by any worker still
+                        // serving this query, so "work remains" is
+                        // pool-wide, not this worker's share.
+                        !dispatchers[qid].exhausted(),
+                    );
+                    Ok(())
+                };
+                if let Err(err) = outcome {
+                    state.lock().expect("scheduler lock").error = Some(err);
+                    break;
+                }
+
+                // Completion accounting: the query finishes at the
+                // wall-clock position of the worker that ran its last
+                // morsel.
+                let mut guard = state.lock().expect("scheduler lock");
+                let st = &mut *guard;
+                let entry = &mut st.queries[qid];
+                entry.totals.accumulate(&stats);
+                entry.exec_cycles += stats.counters.cycles;
+                entry.completed += 1;
+                // The query is done when its last morsel completes; with
+                // per-worker clocks the finish position is the furthest
+                // wall-clock position any of its morsels reached (a
+                // lagging core's completion never rewinds the clock of
+                // an earlier one).
+                let idle_total = core.idle_cycles() - base_idle;
+                let vt = (core.cycles() - base_cycles) + idle_total + opt_cycles;
+                entry.finish_vt = Some(entry.finish_vt.unwrap_or(0).max(vt));
+            }
+        }
+    }
+    (
+        core.cycles() - base_cycles,
+        core.idle_cycles() - base_idle,
+        opt_cycles,
+    )
+}
+
+/// Locked access to one served query's coordination state: the server's
+/// single mutex plus the query index, plugged into the coordinator's
+/// shared [`trial_round`] / [`normal_round`] choreography.
+struct QueryCoordRef<'s, 'a, 'p, 't> {
+    state: &'s Mutex<ServerState<'a, 'p, 't>>,
+    qid: usize,
+}
+
+impl<'a, 'p, 't> WithCoord<'a, ServeTarget<'p, 't>> for QueryCoordRef<'_, 'a, 'p, 't> {
+    fn with<R>(&self, f: impl FnOnce(&mut CoordState<'a, ServeTarget<'p, 't>>) -> R) -> R {
+        f(&mut self.state.lock().expect("coordination lock").queries[self.qid].coord)
+    }
+}

@@ -166,21 +166,64 @@ pub fn scan_millis(geom: &PlanGeometry, survivors: &[f64], params: &CycleParams)
 }
 
 /// Wall-clock cycles of a parallel region: the busiest worker bounds the
-/// region's end (morsel-driven execution has no other barrier).
+/// region's end (morsel-driven execution has no other barrier). Defined
+/// for degenerate inputs: an empty worker list (or a pool that recorded
+/// zero cycles — empty or all-stale morsel streams) is a zero-length
+/// region, so the wall clock is 0 rather than an error.
 pub fn fleet_wall_cycles(per_worker_cycles: &[u64]) -> u64 {
     per_worker_cycles.iter().copied().max().unwrap_or(0)
 }
 
 /// Wall-clock speedup of a parallel run over a reference (typically the
 /// same workload on one worker): `reference / max(per-worker)`.
-/// Zero-cycle inputs yield a speedup of 0 rather than dividing by zero.
+///
+/// When the pool recorded zero cycles (empty or all-stale morsel
+/// streams), the ratio is `0/0`-shaped; a zero-length region completes
+/// neither faster nor slower than any reference, so the defined value is
+/// `1.0` — parity — rather than a division by zero (or the misleading
+/// `0.0`, which reads as "infinitely slower" to a scaling figure).
 pub fn fleet_speedup(reference_cycles: u64, per_worker_cycles: &[u64]) -> f64 {
     let wall = fleet_wall_cycles(per_worker_cycles);
     if wall == 0 {
-        0.0
+        1.0
     } else {
         reference_cycles as f64 / wall as f64
     }
+}
+
+/// Wall-clock cycles of an *interleaved* serving region: each worker's
+/// busy cycles plus the idle gaps it spent waiting for admissible work
+/// (open-loop arrivals leave the pool idle between bursts). The busiest
+/// wall-clock position across workers bounds the region; with no idle
+/// gaps this degenerates to [`fleet_wall_cycles`].
+pub fn fleet_wall_cycles_interleaved(
+    per_worker_busy_cycles: &[u64],
+    per_worker_idle_cycles: &[u64],
+) -> u64 {
+    assert_eq!(
+        per_worker_busy_cycles.len(),
+        per_worker_idle_cycles.len(),
+        "one idle entry per worker"
+    );
+    per_worker_busy_cycles
+        .iter()
+        .zip(per_worker_idle_cycles)
+        .map(|(&busy, &idle)| busy + idle)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Occupancy of an interleaved serving region: busy cycles as a fraction
+/// of the total core-cycles the region's wall clock made available
+/// (`wall × workers`). A zero-length region wastes no capacity, so its
+/// occupancy is the defined value `1.0` rather than a division by zero.
+pub fn fleet_occupancy(per_worker_busy_cycles: &[u64], per_worker_idle_cycles: &[u64]) -> f64 {
+    let wall = fleet_wall_cycles_interleaved(per_worker_busy_cycles, per_worker_idle_cycles);
+    if wall == 0 {
+        return 1.0;
+    }
+    let busy: u64 = per_worker_busy_cycles.iter().sum();
+    busy as f64 / (wall * per_worker_busy_cycles.len() as u64) as f64
 }
 
 /// Convenience: cycles for a PEO given per-predicate *selectivities* in
@@ -270,6 +313,41 @@ mod tests {
         // co-clustered probe.
         let costs = stage_costs_per_input_tuple(&g, &[100.0, 10.0], &[0.5, 0.5], &p);
         assert!(costs[0] > costs[1], "{costs:?}");
+    }
+
+    #[test]
+    fn fleet_zero_cycle_pools_have_defined_values() {
+        // Empty/all-stale morsel streams record zero cycles; the fleet
+        // figures must stay defined (parity, not 0/0).
+        assert_eq!(fleet_wall_cycles(&[]), 0);
+        assert_eq!(fleet_wall_cycles(&[0, 0]), 0);
+        assert_eq!(fleet_speedup(0, &[]), 1.0);
+        assert_eq!(fleet_speedup(0, &[0, 0]), 1.0);
+        assert_eq!(fleet_speedup(1_000, &[0]), 1.0);
+        // Non-degenerate inputs are the plain ratio.
+        assert_eq!(fleet_speedup(1_000, &[250, 500]), 2.0);
+    }
+
+    #[test]
+    fn interleaved_wall_includes_idle_gaps() {
+        // Worker 0: 100 busy. Worker 1: 60 busy after idling 80.
+        assert_eq!(fleet_wall_cycles_interleaved(&[100, 60], &[0, 80]), 140);
+        // No idle: degenerates to the busiest worker.
+        assert_eq!(fleet_wall_cycles_interleaved(&[100, 60], &[0, 0]), 100);
+        assert_eq!(fleet_wall_cycles_interleaved(&[], &[]), 0);
+    }
+
+    #[test]
+    fn occupancy_is_busy_share_of_the_horizon() {
+        // Two workers, wall 100: 100 + 50 busy of 200 available.
+        let occ = fleet_occupancy(&[100, 50], &[0, 0]);
+        assert!((occ - 0.75).abs() < 1e-12, "{occ}");
+        // Idle stretches the wall and dilutes occupancy.
+        let occ = fleet_occupancy(&[100, 50], &[100, 0]);
+        assert!((occ - 150.0 / 400.0).abs() < 1e-12, "{occ}");
+        // Zero-length region: defined as fully occupied.
+        assert_eq!(fleet_occupancy(&[], &[]), 1.0);
+        assert_eq!(fleet_occupancy(&[0], &[0]), 1.0);
     }
 
     #[test]

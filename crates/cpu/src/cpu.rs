@@ -42,6 +42,12 @@ pub struct SimCpu {
     pmu: Pmu,
     streams: Vec<StreamState>,
     line_shift: u32,
+    /// Cycles this core sat idle waiting for admissible work (a serving
+    /// scheduler with no runnable query advances the core's wall-clock
+    /// position without executing anything). Kept outside the PMU bank:
+    /// idle time is not attributable to any instruction stream, so it
+    /// never contaminates the counter samples the estimator fits.
+    idle_cycles: u64,
 }
 
 impl SimCpu {
@@ -55,6 +61,7 @@ impl SimCpu {
             pmu: Pmu::new(),
             streams: Vec::new(),
             line_shift: line.trailing_zeros(),
+            idle_cycles: 0,
             config,
         }
     }
@@ -182,6 +189,23 @@ impl SimCpu {
         self.cycles() as f64 / (self.config.timing.frequency_ghz * 1e6)
     }
 
+    /// Let the core sit idle for `cycles`: its wall-clock position
+    /// advances, its counters do not. Serving schedulers call this when
+    /// no admitted query has runnable work for this core.
+    pub fn idle(&mut self, cycles: u64) {
+        self.idle_cycles += cycles;
+    }
+
+    /// Total idle cycles accumulated via [`SimCpu::idle`].
+    pub fn idle_cycles(&self) -> u64 {
+        self.idle_cycles
+    }
+
+    /// Wall-clock position of the core: busy cycles plus idle gaps.
+    pub fn horizon_cycles(&self) -> u64 {
+        self.cycles() + self.idle_cycles
+    }
+
     /// Snapshot of the counter bank with the cycle counter finalized
     /// (instruction-base cycles folded in). Free — no sampling cost.
     pub fn counters(&self) -> Counters {
@@ -207,12 +231,14 @@ impl SimCpu {
         &self.hierarchy
     }
 
-    /// Forget all cached lines, predictor state, stream state and counters.
+    /// Forget all cached lines, predictor state, stream state, counters
+    /// and idle time.
     pub fn reset(&mut self) {
         self.hierarchy.reset();
         self.predictor.reset();
         self.pmu.reset();
         self.streams.clear();
+        self.idle_cycles = 0;
     }
 
     /// Forget stream adjacency (e.g. between vectors of a restarted scan)
@@ -332,6 +358,20 @@ mod tests {
         c.reset();
         assert_eq!(c.cycles(), 0);
         assert_eq!(c.counters(), Counters::default());
+    }
+
+    #[test]
+    fn idle_advances_horizon_but_not_counters() {
+        let mut c = cpu();
+        c.instr(100);
+        let busy = c.cycles();
+        c.idle(5_000);
+        assert_eq!(c.cycles(), busy, "idle must not count as work");
+        assert_eq!(c.idle_cycles(), 5_000);
+        assert_eq!(c.horizon_cycles(), busy + 5_000);
+        c.reset();
+        assert_eq!(c.idle_cycles(), 0);
+        assert_eq!(c.horizon_cycles(), 0);
     }
 
     #[test]

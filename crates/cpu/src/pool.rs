@@ -80,6 +80,40 @@ impl CpuPool {
         self.max_cycles() as f64 / (self.config().timing.frequency_ghz * 1e6)
     }
 
+    /// Aggregate idle cycles across all cores (gaps a serving scheduler
+    /// spent waiting for admissible work, charged via [`SimCpu::idle`]).
+    pub fn idle_cycles(&self) -> u64 {
+        self.cores.iter().map(SimCpu::idle_cycles).sum()
+    }
+
+    /// Wall-clock length of an *interleaved* serving region as the cores
+    /// themselves recorded it: the furthest position any core reached in
+    /// executed plus idle cycles. Equals [`CpuPool::max_cycles`] when no
+    /// core ever idled. Synthetic charges a caller folds into its own
+    /// wall clock (e.g. the serving report's estimator-cycle charges)
+    /// are not visible to the cores, so under reoptimization the serving
+    /// report's `wall_cycles`/`occupancy` — which include them — are the
+    /// serving-accurate figures; these methods stay the hardware view.
+    pub fn horizon_cycles(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(SimCpu::horizon_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Occupancy of the pool over the horizon: busy cycles as a fraction
+    /// of the total core-cycles available (`horizon × cores`). `1.0` for
+    /// a pool that has done nothing at all — an empty region wastes no
+    /// capacity.
+    pub fn occupancy(&self) -> f64 {
+        let horizon = self.horizon_cycles();
+        if horizon == 0 {
+            return 1.0;
+        }
+        self.total_cycles() as f64 / (horizon * self.cores.len() as u64) as f64
+    }
+
     /// Counter bank summed across all cores.
     pub fn counters(&self) -> CounterDelta {
         let mut total = CounterDelta::default();
@@ -140,6 +174,28 @@ mod tests {
         assert_eq!(total.branches, 2);
         assert_eq!(total.branches_taken, 1);
         assert_eq!(total.branches_not_taken, 1);
+    }
+
+    #[test]
+    fn occupancy_accounts_idle_gaps() {
+        let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+        assert_eq!(pool.occupancy(), 1.0, "empty pool wastes nothing");
+        // Core 0: 1000 instructions of work. Core 1: same work plus an
+        // idle gap of equal length — the horizon stretches, occupancy
+        // drops below 1.
+        pool.cores_mut()[0].instr(1000);
+        pool.cores_mut()[1].instr(1000);
+        let busy = pool.cores()[0].cycles();
+        assert_eq!(pool.horizon_cycles(), busy);
+        assert!((pool.occupancy() - 1.0).abs() < 1e-12);
+        pool.cores_mut()[1].idle(busy);
+        assert_eq!(pool.idle_cycles(), busy);
+        assert_eq!(pool.horizon_cycles(), 2 * busy);
+        assert!(
+            (pool.occupancy() - 0.5).abs() < 1e-12,
+            "{}",
+            pool.occupancy()
+        );
     }
 
     #[test]

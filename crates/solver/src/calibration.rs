@@ -1,0 +1,115 @@
+//! Snapshot/restore of a target's runtime calibration state.
+//!
+//! The progressive pipeline target learns each join probe's *clustering*
+//! (co-clustered vs. random dimension access, Section 5.5) from sampled
+//! counters while the query runs. That knowledge is a property of the
+//! *workload template*, not of one execution: a repeated query probes the
+//! same dimensions with the same foreign keys, so a serving layer can
+//! snapshot the converged calibration when a query finishes and seed the
+//! next instance of the same template with it — skipping the measurement
+//! probes and the textbook-pessimistic random prior entirely.
+//!
+//! The snapshot lives in the solver crate because it is estimator-model
+//! state (the clustering values parameterize the probe geometry the
+//! Nelder–Mead objective is fitted against), not executor state.
+
+/// A target's learned per-stage calibration, detached from the target so
+/// it can outlive the query that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSnapshot {
+    /// Per plan-stage probe clustering estimate (`1.0` = assume uniform
+    /// random, the cold prior; meaningless for non-probe stages).
+    pub clustering: Vec<f64>,
+    /// Whether the stage's clustering was ever calibrated from a sample.
+    pub measured: Vec<bool>,
+}
+
+impl CalibrationSnapshot {
+    /// The cold-start snapshot for `stages` stages: random-prior
+    /// clustering, nothing measured.
+    pub fn cold(stages: usize) -> Self {
+        Self {
+            clustering: vec![1.0; stages],
+            measured: vec![false; stages],
+        }
+    }
+
+    /// Build a snapshot from per-stage state; the vectors must be of
+    /// equal length and clustering values are clamped into `[0, 1]`.
+    pub fn new(clustering: Vec<f64>, measured: Vec<bool>) -> Self {
+        assert_eq!(
+            clustering.len(),
+            measured.len(),
+            "one measured flag per stage"
+        );
+        Self {
+            clustering: clustering.into_iter().map(|c| c.clamp(0.0, 1.0)).collect(),
+            measured,
+        }
+    }
+
+    /// Number of plan stages the snapshot describes.
+    pub fn stages(&self) -> usize {
+        self.clustering.len()
+    }
+
+    /// Whether the snapshot fits a target with `stages` plan stages — the
+    /// guard a restore must pass before overwriting a target's beliefs.
+    /// Both vectors must have the right arity (the fields are public, so
+    /// a hand-built or mutated snapshot can be lopsided; restoring one
+    /// must degrade to a cold start, never panic downstream).
+    pub fn matches(&self, stages: usize) -> bool {
+        self.clustering.len() == stages && self.measured.len() == stages
+    }
+
+    /// How many stages carry a measured (not prior) clustering.
+    pub fn observed(&self) -> usize {
+        self.measured.iter().filter(|&&m| m).count()
+    }
+
+    /// Whether nothing was ever measured (equivalent to
+    /// [`CalibrationSnapshot::cold`] of the same arity).
+    pub fn is_cold(&self) -> bool {
+        self.observed() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_snapshot_is_random_prior() {
+        let s = CalibrationSnapshot::cold(3);
+        assert_eq!(s.stages(), 3);
+        assert!(s.is_cold());
+        assert_eq!(s.observed(), 0);
+        assert!(s.clustering.iter().all(|&c| c == 1.0));
+        assert!(s.matches(3));
+        assert!(!s.matches(2));
+    }
+
+    #[test]
+    fn lopsided_snapshot_matches_nothing() {
+        // Public fields allow a mutated, inconsistent snapshot; matches()
+        // must reject it for every arity so restores degrade to cold.
+        let mut s = CalibrationSnapshot::cold(2);
+        s.measured = vec![];
+        assert!(!s.matches(2));
+        assert!(!s.matches(0));
+    }
+
+    #[test]
+    fn new_clamps_clustering_into_unit_interval() {
+        let s = CalibrationSnapshot::new(vec![-0.5, 0.25, 7.0], vec![true, true, false]);
+        assert_eq!(s.clustering, vec![0.0, 0.25, 1.0]);
+        assert_eq!(s.observed(), 2);
+        assert!(!s.is_cold());
+    }
+
+    #[test]
+    #[should_panic(expected = "one measured flag per stage")]
+    fn mismatched_lengths_are_rejected() {
+        let _ = CalibrationSnapshot::new(vec![0.5], vec![true, false]);
+    }
+}

@@ -16,14 +16,19 @@
 //!   largest unexplored subspace (Figure 9);
 //! * [`estimator`] — the outer loop (Section 4.4's inner sequence):
 //!   repeatedly start Nelder–Mead on the Equation-10 objective until no
-//!   better optimum appears for `n` rounds or `m = 2·p` rounds elapsed.
+//!   better optimum appears for `n` rounds or `m = 2·p` rounds elapsed;
+//! * [`calibration`] — snapshot/restore of the runtime-learned probe
+//!   clustering, so a serving layer can carry a converged calibration
+//!   from one execution of a query template to the next.
 
 pub mod bounds;
+pub mod calibration;
 pub mod estimator;
 pub mod nelder_mead;
 pub mod start_points;
 
 pub use bounds::SearchBounds;
+pub use calibration::CalibrationSnapshot;
 pub use estimator::{
     estimate_selectivities, CounterWeights, EstimateResult, EstimatorConfig, SampledCounters,
 };

@@ -1,0 +1,498 @@
+//! Integration tests for the multi-query serving layer: scheduler
+//! fairness and isolation, result exactness under interleaving, warm
+//! order-cache reuse, and admission/idle accounting.
+
+use popt::core::exec::pipeline::{FilterOp, Pipeline};
+use popt::core::exec::scan::CompiledSelection;
+use popt::core::plan::SelectionPlan;
+use popt::core::predicate::{CompareOp, Predicate};
+use popt::core::progressive::ProgressiveConfig;
+use popt::core::serve::{Priority, QueryServer, QuerySpec, ServeConfig};
+use popt::core::MorselConfig;
+use popt::cpu::{CpuConfig, CpuPool, SimCpu};
+use popt::storage::{AddressSpace, ColumnData, Table};
+use popt_bench::figures::workload::xorshift64;
+
+const ROWS: usize = 1 << 15;
+
+/// Fact with three value columns and a random FK into a payload
+/// dimension; uniform over 0..1000 so literals address selectivity.
+fn tables(seed: u64) -> (Table, Table) {
+    let dim_n = ROWS / 4;
+    let mut state = seed | 1;
+    let mut space = AddressSpace::new();
+    let mut fact = Table::new("fact");
+    for c in 0..3 {
+        let data: Vec<i32> = (0..ROWS)
+            .map(|_| (xorshift64(&mut state) % 1000) as i32)
+            .collect();
+        fact.add_column(format!("val{c}"), ColumnData::I32(data), &mut space);
+    }
+    fact.add_column(
+        "fk",
+        ColumnData::I32(
+            (0..ROWS)
+                .map(|_| (xorshift64(&mut state) % dim_n as u64) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    let mut dim_space = AddressSpace::new();
+    let mut dim = Table::new("dim");
+    dim.add_column(
+        "payload",
+        ColumnData::I32(
+            (0..dim_n)
+                .map(|_| (xorshift64(&mut state) % 1000) as i32)
+                .collect(),
+        ),
+        &mut dim_space,
+    );
+    (fact, dim)
+}
+
+fn scan_plan(lits: [i64; 3]) -> SelectionPlan {
+    SelectionPlan::new(
+        vec![
+            Predicate::new("val0", CompareOp::Lt, lits[0]),
+            Predicate::new("val1", CompareOp::Lt, lits[1]),
+            Predicate::new("val2", CompareOp::Lt, lits[2]),
+        ],
+        vec!["val0".into()],
+    )
+    .unwrap()
+}
+
+fn pipeline<'t>(fact: &'t Table, dim: &'t Table, lit: i64) -> Pipeline<'t> {
+    let sel = FilterOp::select(fact, "val0", CompareOp::Lt, lit, 0, 30).unwrap();
+    let join =
+        FilterOp::join_filter(fact, "fk", dim, "payload", CompareOp::Lt, lit, 1, 100).unwrap();
+    Pipeline::new(vec![sel, join], fact.rows())
+        .unwrap()
+        .with_aggregate(fact, "val1")
+        .unwrap()
+}
+
+fn config(reopt: bool) -> ServeConfig {
+    ServeConfig {
+        morsels: MorselConfig::new(1024),
+        reopt: reopt.then(|| ProgressiveConfig {
+            reop_interval: 3,
+            ..Default::default()
+        }),
+        use_order_cache: true,
+    }
+}
+
+/// A mixed batch of scans and pipelines with staggered arrivals and
+/// mixed priorities stays bit-identical to solo single-core execution
+/// at every worker count, with and without reoptimization.
+#[test]
+fn mixed_batch_matches_solo_execution() {
+    let (fact, dim) = tables(0xA11CE);
+    let plan = scan_plan([200, 500, 800]);
+
+    let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+    let scan_ref = CompiledSelection::compile(&fact, &plan, &[2, 1, 0])
+        .unwrap()
+        .run_range(&mut cpu, 0, ROWS);
+    let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+    let pipe_ref = pipeline(&fact, &dim, 500).run_range(&mut cpu, 0, ROWS);
+
+    for reopt in [false, true] {
+        for workers in [1usize, 2, 4] {
+            let mut server = QueryServer::new(config(reopt));
+            server.admit(QuerySpec::scan(
+                "scan-hi",
+                &fact,
+                plan.clone(),
+                vec![2, 1, 0],
+                Priority::High,
+                0,
+            ));
+            server.admit(QuerySpec::pipeline(
+                "pipe-norm",
+                pipeline(&fact, &dim, 500),
+                vec![1, 0],
+                Priority::Normal,
+                5_000,
+            ));
+            server.admit(QuerySpec::scan(
+                "scan-low",
+                &fact,
+                plan.clone(),
+                vec![0, 1, 2],
+                Priority::Low,
+                10_000,
+            ));
+            let mut pool = CpuPool::new(CpuConfig::tiny_test(), workers);
+            let report = server.run(&mut pool).unwrap();
+            assert_eq!(report.queries.len(), 3);
+            for q in &report.queries {
+                let (qualified, sum) = if q.label.starts_with("scan") {
+                    (scan_ref.qualified, scan_ref.sum)
+                } else {
+                    (pipe_ref.qualified, pipe_ref.sum)
+                };
+                assert_eq!(
+                    q.qualified, qualified,
+                    "{} diverged (workers={workers}, reopt={reopt})",
+                    q.label
+                );
+                assert_eq!(q.sum, sum, "{} sum diverged", q.label);
+                assert!(q.latency_cycles >= q.queue_cycles);
+            }
+            assert_eq!(report.workers, workers);
+            assert!(report.wall_cycles > 0);
+            assert!(
+                report.occupancy > 0.0 && report.occupancy <= 1.0 + 1e-12,
+                "occupancy {} out of range",
+                report.occupancy
+            );
+            // Wall clock bounds every worker's busy time.
+            for (&busy, &idle) in report
+                .per_worker_busy_cycles
+                .iter()
+                .zip(&report.per_worker_idle_cycles)
+            {
+                assert!(busy + idle <= report.wall_cycles);
+            }
+        }
+    }
+}
+
+/// Priority isolation: a high-priority query's latency is barely moved
+/// (≤ 10%) by a low-priority background scan hogging the leftover
+/// capacity — the stride weights cap the background's slot share at
+/// 1/17 while the foreground query is active.
+#[test]
+fn high_priority_latency_isolated_from_background_scan() {
+    let (fact, dim) = tables(0xB0B);
+    let _ = &dim;
+    let plan = scan_plan([300, 500, 700]);
+    let workers = 4;
+
+    let latency_of = |with_background: bool| -> u64 {
+        // No reopt: this pins scheduling behaviour, not convergence.
+        let mut server = QueryServer::new(ServeConfig {
+            morsels: MorselConfig::new(512),
+            reopt: None,
+            use_order_cache: false,
+        });
+        server.admit(QuerySpec::scan(
+            "fg",
+            &fact,
+            plan.clone(),
+            vec![0, 1, 2],
+            Priority::High,
+            0,
+        ));
+        if with_background {
+            // One weight-1 background scan against the weight-16
+            // foreground: the stride scheduler caps its slot share at
+            // 1/17 while the foreground is active, so the foreground
+            // loses at most ~6% of the pool.
+            server.admit(QuerySpec::scan(
+                "bg",
+                &fact,
+                plan.clone(),
+                vec![0, 1, 2],
+                Priority::Low,
+                0,
+            ));
+        }
+        let mut pool = CpuPool::new(CpuConfig::tiny_test(), workers);
+        let report = server.run(&mut pool).unwrap();
+        report
+            .queries
+            .iter()
+            .find(|q| q.label == "fg")
+            .expect("foreground query reported")
+            .latency_cycles
+    };
+
+    let alone = latency_of(false);
+    let contended = latency_of(true);
+    assert!(
+        (contended as f64) <= (alone as f64) * 1.10,
+        "high-priority latency inflated {alone} -> {contended} (> 10%)"
+    );
+}
+
+/// The order cache warms repeated templates: the second batch starts
+/// from the first's converged order and calibration, lands on the same
+/// final order, and pays less execution+optimizer cost.
+#[test]
+fn warm_cache_reuses_converged_state() {
+    let (fact, dim) = tables(0xCAFE);
+    let workers = 2;
+
+    let mut server = QueryServer::new(config(true));
+    server.admit(QuerySpec::pipeline(
+        "pipe",
+        pipeline(&fact, &dim, 500),
+        vec![1, 0],
+        Priority::Normal,
+        0,
+    ));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), workers);
+    let cold = server.run(&mut pool).unwrap();
+    assert!(!cold.queries[0].warm_start, "first sighting must be cold");
+    assert_eq!(server.cache().len(), 1);
+
+    server.admit(QuerySpec::pipeline(
+        "pipe",
+        pipeline(&fact, &dim, 500),
+        vec![1, 0],
+        Priority::Normal,
+        0,
+    ));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), workers);
+    let warm = server.run(&mut pool).unwrap();
+    assert!(warm.queries[0].warm_start, "repeat template must hit");
+    assert_eq!(
+        warm.queries[0].final_order, cold.queries[0].final_order,
+        "warm run must keep the converged order"
+    );
+    assert_eq!(warm.queries[0].qualified, cold.queries[0].qualified);
+    assert_eq!(warm.queries[0].sum, cold.queries[0].sum);
+    assert!(
+        warm.queries[0].cost_cycles() < cold.queries[0].cost_cycles(),
+        "warm {} !< cold {}",
+        warm.queries[0].cost_cycles(),
+        cold.queries[0].cost_cycles()
+    );
+
+    // A tweaked literal is a different template: cold again.
+    server.admit(QuerySpec::pipeline(
+        "pipe-tweaked",
+        pipeline(&fact, &dim, 501),
+        vec![1, 0],
+        Priority::Normal,
+        0,
+    ));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), workers);
+    let tweaked = server.run(&mut pool).unwrap();
+    assert!(!tweaked.queries[0].warm_start);
+    assert_eq!(server.cache().len(), 2);
+}
+
+/// The order cache is bypassed entirely when reoptimization is off: a
+/// static run converges nowhere, so recording its start order would
+/// poison later warm starts with whatever order the first instance
+/// happened to use.
+#[test]
+fn static_runs_bypass_the_order_cache() {
+    let (fact, _dim) = tables(0x5AFE);
+    let plan = scan_plan([300, 500, 700]);
+    let mut server = QueryServer::new(ServeConfig {
+        morsels: MorselConfig::new(1024),
+        reopt: None,
+        use_order_cache: true,
+    });
+    server.admit(QuerySpec::scan(
+        "q",
+        &fact,
+        plan.clone(),
+        vec![2, 1, 0],
+        Priority::Normal,
+        0,
+    ));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+    let first = server.run(&mut pool).unwrap();
+    assert!(!first.queries[0].warm_start);
+    assert_eq!(server.cache().len(), 0, "static runs must not record");
+
+    // A repeat of the template with a *better* submitted order must keep
+    // it, not be overridden by a stale "converged" entry.
+    server.admit(QuerySpec::scan(
+        "q",
+        &fact,
+        plan,
+        vec![0, 1, 2],
+        Priority::Normal,
+        0,
+    ));
+    let second = server.run(&mut pool).unwrap();
+    assert!(!second.queries[0].warm_start);
+    assert_eq!(second.queries[0].final_order, vec![0, 1, 2]);
+}
+
+/// Future arrivals idle the pool forward instead of spinning or
+/// serving early; the report separates idle from busy capacity.
+#[test]
+fn future_arrival_idles_the_pool() {
+    let (fact, _dim) = tables(0x1D1E);
+    let plan = scan_plan([100, 500, 900]);
+    let arrival = 2_000_000u64;
+
+    let mut server = QueryServer::new(config(false));
+    server.admit(QuerySpec::scan(
+        "late",
+        &fact,
+        plan,
+        vec![0, 1, 2],
+        Priority::Normal,
+        arrival,
+    ));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+    let report = server.run(&mut pool).unwrap();
+    let q = &report.queries[0];
+    assert!(report.wall_cycles >= arrival, "pool must wait for arrival");
+    assert!(report.idle_cycles > 0, "waiting must be accounted as idle");
+    assert!(report.occupancy < 1.0);
+    assert!(
+        q.latency_cycles < report.wall_cycles,
+        "latency excludes pre-arrival time: {} vs wall {}",
+        q.latency_cycles,
+        report.wall_cycles
+    );
+    // The pool's own occupancy accounting agrees that cores idled.
+    assert!(pool.idle_cycles() > 0);
+    assert!(pool.occupancy() < 1.0);
+    assert!(pool.horizon_cycles() >= arrival);
+}
+
+/// Config validation and degenerate batches.
+#[test]
+fn config_validation_and_empty_batches() {
+    let (fact, _dim) = tables(7);
+    let plan = scan_plan([500, 500, 500]);
+
+    // Empty batch: a defined empty report, no division by zero.
+    let mut server = QueryServer::new(config(true));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+    let report = server.run(&mut pool).unwrap();
+    assert!(report.queries.is_empty());
+    assert_eq!(report.wall_cycles, 0);
+    assert_eq!(report.occupancy, 1.0);
+    assert_eq!(report.throughput_qps(), 0.0);
+    assert!(report.latency_percentile(None, 0.5).is_none());
+
+    // reop_interval = 0 is rejected before any thread spawns.
+    let mut server = QueryServer::new(ServeConfig {
+        reopt: Some(ProgressiveConfig {
+            reop_interval: 0,
+            ..Default::default()
+        }),
+        ..ServeConfig::default()
+    });
+    server.admit(QuerySpec::scan(
+        "q",
+        &fact,
+        plan.clone(),
+        vec![0, 1, 2],
+        Priority::Normal,
+        0,
+    ));
+    assert!(server.run(&mut pool).is_err());
+
+    // morsel_tuples = 0 is rejected by the dispatcher.
+    let mut server = QueryServer::new(ServeConfig {
+        morsels: MorselConfig::new(0),
+        reopt: None,
+        use_order_cache: false,
+    });
+    server.admit(QuerySpec::scan(
+        "q",
+        &fact,
+        plan,
+        vec![0, 1, 2],
+        Priority::Normal,
+        0,
+    ));
+    assert!(server.run(&mut pool).is_err());
+    assert_eq!(
+        server.queued(),
+        1,
+        "a rejected batch must stay queued for retry"
+    );
+}
+
+/// A batch rejected mid-validation (one bad query among good ones)
+/// keeps the whole queue; fixing the config and retrying serves it.
+#[test]
+fn rejected_batch_is_not_drained() {
+    let (fact, _dim) = tables(0xEE);
+    let good = scan_plan([400, 500, 600]);
+    let bad = SelectionPlan::new(
+        vec![Predicate::new("no_such_column", CompareOp::Lt, 1)],
+        vec![],
+    )
+    .unwrap();
+
+    let mut server = QueryServer::new(config(false));
+    server.admit(QuerySpec::scan(
+        "good",
+        &fact,
+        good,
+        vec![0, 1, 2],
+        Priority::Normal,
+        0,
+    ));
+    server.admit(QuerySpec::scan(
+        "bad",
+        &fact,
+        bad,
+        vec![0],
+        Priority::Low,
+        0,
+    ));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+    assert!(server.run(&mut pool).is_err());
+    assert_eq!(server.queued(), 2, "both queries must survive the error");
+
+    // Successful runs drain.
+    let mut server2 = QueryServer::new(config(false));
+    server2.admit(QuerySpec::scan(
+        "ok",
+        &fact,
+        scan_plan([400, 500, 600]),
+        vec![0, 1, 2],
+        Priority::Normal,
+        0,
+    ));
+    let report = server2.run(&mut pool).unwrap();
+    assert_eq!(report.queries.len(), 1);
+    assert_eq!(server2.queued(), 0, "a served batch drains the queue");
+}
+
+/// Stride shares: with two long queries of unequal priority arriving
+/// together, the high-priority one must finish first by a wide margin
+/// (it owns 16/17 of the slots while both are active).
+#[test]
+fn priorities_order_completion_under_contention() {
+    let (fact, _dim) = tables(0xFA1);
+    let plan = scan_plan([500, 500, 500]);
+    let mut server = QueryServer::new(config(false));
+    server.admit(QuerySpec::scan(
+        "hi",
+        &fact,
+        plan.clone(),
+        vec![0, 1, 2],
+        Priority::High,
+        0,
+    ));
+    server.admit(QuerySpec::scan(
+        "lo",
+        &fact,
+        plan,
+        vec![0, 1, 2],
+        Priority::Low,
+        0,
+    ));
+    // One worker: completion order is purely the scheduler's doing.
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), 1);
+    let report = server.run(&mut pool).unwrap();
+    let hi = &report.queries[0];
+    let lo = &report.queries[1];
+    assert!(
+        hi.latency_cycles * 3 < lo.latency_cycles * 2,
+        "high priority must finish well before low: {} vs {}",
+        hi.latency_cycles,
+        lo.latency_cycles
+    );
+    // Both still produce identical results.
+    assert_eq!(hi.qualified, lo.qualified);
+    assert_eq!(hi.sum, lo.sum);
+}
