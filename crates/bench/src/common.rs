@@ -10,6 +10,11 @@ use std::sync::Mutex;
 pub struct FigureCtx {
     /// Reduced scale for smoke runs (`--quick`).
     pub quick: bool,
+    /// Run the parallel/serving figures in shared-LLC (single-socket)
+    /// mode (`--shared-llc`): co-running work contends for one LLC via
+    /// the deterministic capacity partition, instead of every core
+    /// keeping a private full-size LLC.
+    pub shared_llc: bool,
 }
 
 impl FigureCtx {
@@ -134,7 +139,21 @@ mod tests {
 
     #[test]
     fn scale_picks_by_mode() {
-        assert_eq!(FigureCtx { quick: true }.scale(100, 10), 10);
-        assert_eq!(FigureCtx { quick: false }.scale(100, 10), 100);
+        assert_eq!(
+            FigureCtx {
+                quick: true,
+                shared_llc: false
+            }
+            .scale(100, 10),
+            10
+        );
+        assert_eq!(
+            FigureCtx {
+                quick: false,
+                shared_llc: false
+            }
+            .scale(100, 10),
+            100
+        );
     }
 }

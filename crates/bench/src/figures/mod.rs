@@ -61,7 +61,10 @@ mod tests {
         // `run` must refuse ids it does not know (the CLI exits non-zero
         // and prints `ALL` when it sees `false`), and every advertised
         // id must be unique and non-empty.
-        let ctx = FigureCtx { quick: true };
+        let ctx = FigureCtx {
+            quick: true,
+            shared_llc: false,
+        };
         assert!(!run("not-a-figure", &ctx));
         assert!(!run("", &ctx));
         assert!(!run("Serve", &ctx), "ids are case-sensitive");

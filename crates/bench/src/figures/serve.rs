@@ -33,7 +33,9 @@ use popt_storage::Table;
 
 use crate::common::{banner, fmt, row, FigureCtx};
 use crate::figures::fig15::scaled_cpu;
-use crate::figures::workload::{fig14_mem_tables, uniform_plan, uniform_table, xorshift64, DOMAIN};
+use crate::figures::workload::{
+    fig14_mem_tables, mem_tables_with_dim, uniform_plan, uniform_table, xorshift64, DOMAIN,
+};
 
 /// Worker counts of the closed-loop sweep.
 pub const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
@@ -74,7 +76,11 @@ impl Mix {
         let (fact, dim) = fig14_mem_tables(pipe_rows, 0x5CA1E);
         Self {
             scan_table: uniform_table(scan_rows, 3, 0x5E21),
-            scan_plan: uniform_plan(&[0.2, 0.5, 0.8]),
+            // Well-separated selectivities: near-tied tail stages would
+            // let one noisy early estimate flip a warm-seeded optimum
+            // back and forth (accept, revert, explore), and the churn —
+            // not convergence — would dominate the warm/cold comparison.
+            scan_plan: uniform_plan(&[0.1, 0.45, 0.9]),
             scan_worst: vec![2, 1, 0],
             fact,
             dim,
@@ -186,16 +192,33 @@ fn closed_loop_batch<'t>(mix: &'t Mix) -> Vec<QuerySpec<'t>> {
     batch
 }
 
-fn run_batch(batch: Vec<QuerySpec<'_>>, workers: usize) -> ServeReport {
-    let mut server = QueryServer::new(config());
+fn make_pool(workers: usize, shared: bool) -> CpuPool {
+    if shared {
+        CpuPool::new_shared(serve_cpu(), workers)
+    } else {
+        CpuPool::new(serve_cpu(), workers)
+    }
+}
+
+fn run_batch(batch: Vec<QuerySpec<'_>>, workers: usize, shared: bool) -> ServeReport {
+    run_batch_with(batch, workers, shared, config())
+}
+
+fn run_batch_with(
+    batch: Vec<QuerySpec<'_>>,
+    workers: usize,
+    shared: bool,
+    config: ServeConfig,
+) -> ServeReport {
+    let mut server = QueryServer::new(config);
     for spec in batch {
         server.admit(spec);
     }
-    let mut pool = CpuPool::new(serve_cpu(), workers);
+    let mut pool = make_pool(workers, shared);
     server.run(&mut pool).expect("serve batch runs")
 }
 
-fn throughput_sweep(mix: &Mix, refs: &[(u64, i64); 3]) -> (f64, f64) {
+fn throughput_sweep(mix: &Mix, refs: &[(u64, i64); 3], shared: bool) -> (f64, f64) {
     row(&[
         "sweep",
         "workers",
@@ -208,7 +231,7 @@ fn throughput_sweep(mix: &Mix, refs: &[(u64, i64); 3]) -> (f64, f64) {
     let mut at_1w = 0.0f64;
     let mut at_4w = 0.0f64;
     for &workers in WORKER_COUNTS {
-        let report = run_batch(closed_loop_batch(mix), workers);
+        let report = run_batch(closed_loop_batch(mix), workers, shared);
         let exact = mix.assert_exact(&report.queries, refs);
         let qps = report.throughput_qps();
         if workers == 1 {
@@ -237,7 +260,7 @@ fn open_loop_latency(mix: &Mix, refs: &[(u64, i64); 3], n: usize) {
         let batch: Vec<_> = (0..n)
             .map(|k| mix.scan_spec(format!("scan-{k}"), Priority::Normal, 0))
             .collect();
-        run_batch(batch, 4)
+        run_batch(batch, 4, false)
     };
     let mean_gap = (probe.wall_cycles / n as u64) * 8 / 10;
 
@@ -253,7 +276,22 @@ fn open_loop_latency(mix: &Mix, refs: &[(u64, i64); 3], n: usize) {
             mix.scan_spec(format!("scan-{k}"), priorities[k % 3], arrival)
         })
         .collect();
-    let report = run_batch(batch, 4);
+    // Cache off: this experiment isolates the scheduler's priority
+    // separation. With mid-run publication enabled, *which* of the
+    // same-template arrivals warm up depends on the host-time race
+    // between a mate's completion and this query's first claim on a
+    // multi-worker pool — the percentiles below would not reproduce
+    // run-to-run. (The warm-up path itself is pinned deterministically
+    // by the 1-worker serving tests.)
+    let report = run_batch_with(
+        batch,
+        4,
+        false,
+        ServeConfig {
+            use_order_cache: false,
+            ..config()
+        },
+    );
     mix.assert_exact(&report.queries, refs);
 
     row(&[
@@ -291,18 +329,33 @@ fn open_loop_latency(mix: &Mix, refs: &[(u64, i64); 3], n: usize) {
     );
 }
 
-fn warm_vs_cold<'t>(mix: &'t Mix, refs: &[(u64, i64); 3]) {
+fn warm_vs_cold<'t>(mix: &'t Mix, refs: &[(u64, i64); 3], shared: bool) {
+    // One instance per template: co-scheduling two *identical* queries
+    // lets their lockstep morsels share streamed lines in each core's
+    // physical cache, a windfall that would mask the convergence and
+    // contention costs this experiment isolates.
     let batch = |server: &mut QueryServer<'t>| {
-        for k in 0..2 {
-            server.admit(mix.scan_spec(format!("scan-{k}"), Priority::Normal, 0));
-        }
-        for k in 0..2 {
-            server.admit(mix.pipe_spec(format!("pipe-{k}"), Priority::Normal, 0));
-        }
+        server.admit(mix.scan_spec("scan-0".into(), Priority::Normal, 0));
+        server.admit(mix.pipe_spec("pipe-0".into(), Priority::Normal, 0));
     };
-    let mut server = QueryServer::new(config());
+    // A coarse reopt interval, for signal-to-noise: the cold run pays a
+    // full interval of worst-order morsels before its first estimate can
+    // fix the order (the convergence cost a warm start skips), while the
+    // optimizer runs few enough rounds that the elastic multi-worker
+    // round scheduling (rounds are skipped while a fit is in flight —
+    // host-speed dependent by design) cannot swamp the comparison. At
+    // the serving default cadence the convergence cost is only a few
+    // morsels and the comparison drowns in optimizer-cycle jitter.
+    let warmcold_config = || ServeConfig {
+        reopt: Some(popt_core::progressive::ProgressiveConfig {
+            reop_interval: 32,
+            ..Default::default()
+        }),
+        ..config()
+    };
+    let mut server = QueryServer::new(warmcold_config());
     batch(&mut server);
-    let mut pool = CpuPool::new(serve_cpu(), 4);
+    let mut pool = make_pool(4, shared);
     let cold = server.run(&mut pool).expect("cold batch runs");
     mix.assert_exact(&cold.queries, refs);
     assert!(
@@ -311,7 +364,7 @@ fn warm_vs_cold<'t>(mix: &'t Mix, refs: &[(u64, i64); 3]) {
     );
 
     batch(&mut server);
-    let mut pool = CpuPool::new(serve_cpu(), 4);
+    let mut pool = make_pool(4, shared);
     let warm = server.run(&mut pool).expect("warm batch runs");
     mix.assert_exact(&warm.queries, refs);
     assert!(
@@ -330,7 +383,7 @@ fn warm_vs_cold<'t>(mix: &'t Mix, refs: &[(u64, i64); 3]) {
     ]);
     for template in ["scan", "pipe"] {
         // The optimal orders are known by construction: ascending
-        // selectivity for the scan (0.2 < 0.5 < 0.8), selection before
+        // selectivity for the scan (0.1 < 0.45 < 0.9), selection before
         // the LLC-thrashing random join for the pipeline.
         let optimal: &[usize] = match template {
             "scan" => &[0, 1, 2],
@@ -401,17 +454,185 @@ fn warm_vs_cold<'t>(mix: &'t Mix, refs: &[(u64, i64); 3]) {
             warm_pct < cold_pct,
             "{template}: warm overhead {warm_pct:.2}% must beat cold {cold_pct:.2}%"
         );
+        if shared {
+            // One socket has no aggregate-capacity windfall: served work
+            // can never beat the solo full-LLC reference, so the
+            // overheads lose the negative sign the private model showed.
+            assert!(
+                warm_pct >= 0.0 && cold_pct >= 0.0,
+                "{template}: shared-socket overhead must not go negative \
+                 (warm {warm_pct:.2}%, cold {cold_pct:.2}%)"
+            );
+        }
     }
+    if shared {
+        println!(
+            "# note: on the shared socket each core holds a slice of ONE LLC, so \
+             the negative overheads the private model produced (N private LLCs \
+             beating the solo reference) disappear — overhead is convergence cost \
+             plus real capacity contention, both >= 0"
+        );
+    } else {
+        println!(
+            "# note: overhead is vs a solo single-core run under the optimal order; \
+             served morsels run on 4 cores with private caches (4x the aggregate \
+             LLC), so a probe-heavy template pays almost no capacity cost and can \
+             even sit below the solo reference — --shared-llc closes that loophole"
+        );
+    }
+}
+
+/// Priority isolation under a probe-heavy co-runner, private vs shared
+/// socket: a high-priority pipeline whose dimension fits its share runs
+/// (a) alone and (b) against a low-priority pipeline whose dimension
+/// overwhelms a share but coexists in the full socket. In private mode
+/// the co-runner can only cost scheduler slots — the stride bound (the
+/// deterministic 6.03% = 17/16 of the serving tests). On the shared
+/// socket the slices shrink until the two hot sets no longer fit
+/// together, and the physical eviction pushes the high-priority query's
+/// latency past anything the scheduler alone could explain.
+fn isolation(ctx: &FigureCtx) -> [f64; 2] {
+    let rows = ctx.scale(1 << 17, 1 << 15);
+    // 6 Ki tuples = 24 KiB: fits a 4-worker share of the 128 KiB socket.
+    let (hp_fact, hp_dim) = mem_tables_with_dim(rows, 6 * 1024, 0xF00D);
+    // 24 Ki tuples = 96 KiB: coexists with 24 KiB in the full socket
+    // (120 KiB < 128 KiB), overwhelms a 32 KiB share.
+    let (bg_fact, bg_dim) = mem_tables_with_dim(rows, 24 * 1024, 0xBEEF);
+    fn pipe<'t>(fact: &'t Table, dim: &'t Table) -> Pipeline<'t> {
+        let sel = FilterOp::select(fact, "val", CompareOp::Lt, DOMAIN / 2, 0, 50).expect("select");
+        let join = FilterOp::join_filter(
+            fact,
+            "fk",
+            dim,
+            "payload",
+            CompareOp::Lt,
+            DOMAIN / 2,
+            1,
+            100,
+        )
+        .expect("join");
+        Pipeline::new(vec![sel, join], fact.rows()).expect("pipeline")
+    }
+
+    row(&[
+        "experiment",
+        "llc_mode",
+        "hp_solo_ms",
+        "hp_corun_ms",
+        "isolation_inflation_pct",
+    ]);
+    let mut inflation = [0.0f64; 2];
+    for (m, shared) in [false, true].into_iter().enumerate() {
+        let hp_spec = |label: &str| {
+            QuerySpec::pipeline(
+                label,
+                pipe(&hp_fact, &hp_dim),
+                vec![0, 1],
+                Priority::High,
+                0,
+            )
+        };
+        let solo = run_batch(vec![hp_spec("hp-solo")], 4, shared);
+        let corun = run_batch(
+            vec![
+                hp_spec("hp-corun"),
+                QuerySpec::pipeline(
+                    "bg-probe",
+                    pipe(&bg_fact, &bg_dim),
+                    vec![0, 1],
+                    Priority::Low,
+                    0,
+                ),
+            ],
+            4,
+            shared,
+        );
+        let solo_hp = &solo.queries[0];
+        let corun_hp = &corun.queries[0];
+        assert_eq!(
+            solo_hp.qualified, corun_hp.qualified,
+            "co-running moved results"
+        );
+        assert_eq!(solo_hp.sum, corun_hp.sum, "co-running moved the aggregate");
+        inflation[m] =
+            (corun_hp.latency_cycles as f64 / solo_hp.latency_cycles as f64 - 1.0) * 100.0;
+        row(&[
+            "isolation".to_string(),
+            if shared { "shared" } else { "private" }.to_string(),
+            fmt(cycles_to_ms(solo_hp.latency_cycles)),
+            fmt(cycles_to_ms(corun_hp.latency_cycles)),
+            fmt(inflation[m]),
+        ]);
+    }
+    inflation
+}
+
+/// The `--shared-llc` variant: the serving experiments on one socket,
+/// where capacity contention erodes the scheduler's isolation bound and
+/// removes the private model's negative warm overheads.
+fn run_shared(ctx: &FigureCtx) {
+    banner(
+        "serve",
+        "Multi-query serving on a shared-LLC socket: contention vs isolation",
+    );
+    let mix = Mix::new(
+        ctx.scale(1 << 18, 1 << 16),
+        ctx.scale(1 << 20, 1 << 18),
+        ctx.scale(1 << 19, 1 << 17),
+    );
+    let refs = mix.solo_refs();
+
+    let (at_1w, at_4w) = throughput_sweep(&mix, &refs, true);
     println!(
-        "# note: overhead is vs a solo single-core run under the optimal order; \
-         served morsels run on 4 cores with private caches (4x the aggregate \
-         LLC), so a probe-heavy template can sit below the solo reference — \
-         the warm-vs-cold gap, not the sign, is the convergence-overhead signal"
+        "# serve (shared socket): 4-worker throughput {} qps vs 1-worker {} qps \
+         ({:.2}x; contention makes this sub-linear where the private model scaled \
+         near-linearly)",
+        fmt(at_4w),
+        fmt(at_1w),
+        at_4w / at_1w
+    );
+    assert!(
+        at_4w >= 1.5 * at_1w,
+        "even a contended socket must scale somewhat: {at_4w:.2} < 1.5x {at_1w:.2}"
+    );
+
+    let inflation = isolation(ctx);
+    println!(
+        "# isolation: probe-heavy low-priority co-runner inflates high-priority \
+         latency {}% on the shared socket vs {}% private — the stride bound \
+         (6.03%) only survives while the LLC is not a shared resource",
+        fmt(inflation[1]),
+        fmt(inflation[0]),
+    );
+    assert!(
+        inflation[1] > 6.03,
+        "shared-socket inflation {:.2}% must exceed the private-mode stride \
+         bound of 6.03%",
+        inflation[1]
+    );
+    assert!(
+        inflation[1] > inflation[0],
+        "contention must cost beyond scheduling: shared {:.2}% <= private {:.2}%",
+        inflation[1],
+        inflation[0]
+    );
+
+    warm_vs_cold(&mix, &refs, true);
+    println!(
+        "# expectation: one socket's capacity is a shared resource — throughput \
+         scales sub-linearly for LLC-hungry templates, a probe-heavy co-runner \
+         breaks the scheduler's isolation bound by evicting the foreground \
+         query's hot set, warm overheads stay non-negative, and every query's \
+         result remains bit-identical to solo execution"
     );
 }
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
+    if ctx.shared_llc {
+        run_shared(ctx);
+        return;
+    }
     banner(
         "serve",
         "Multi-query serving: admission, priority scheduling, cross-query order reuse",
@@ -423,7 +644,7 @@ pub fn run(ctx: &FigureCtx) {
     );
     let refs = mix.solo_refs();
 
-    let (at_1w, at_4w) = throughput_sweep(&mix, &refs);
+    let (at_1w, at_4w) = throughput_sweep(&mix, &refs, false);
     assert!(
         at_4w >= 2.0 * at_1w,
         "4-worker throughput {at_4w:.2} qps < 2x 1-worker {at_1w:.2} qps"
@@ -436,7 +657,7 @@ pub fn run(ctx: &FigureCtx) {
     );
 
     open_loop_latency(&mix, &refs, ctx.scale(30, 12));
-    warm_vs_cold(&mix, &refs);
+    warm_vs_cold(&mix, &refs, false);
 
     println!(
         "# expectation: throughput scales with workers (stride scheduling keeps \

@@ -47,7 +47,14 @@ pub fn uniform_table(rows: usize, columns: usize, seed: u64) -> Table {
 /// uniform over `0..DOMAIN`, so `< literal_for(s)` selects with
 /// selectivity `s` on either side.
 pub fn fig14_mem_tables(rows: usize, seed: u64) -> (Table, Table) {
-    let dim_n = rows / 4;
+    mem_tables_with_dim(rows, rows / 4, seed)
+}
+
+/// [`fig14_mem_tables`] with an explicit dimension row count — the
+/// shared-LLC figures size the probed dimension against the socket
+/// capacity (fits the full LLC, thrashes a contended share) instead of
+/// deriving it from the fact table.
+pub fn mem_tables_with_dim(rows: usize, dim_n: usize, seed: u64) -> (Table, Table) {
     let mut state = seed | 1;
     let mut space = AddressSpace::new();
     let mut fact = Table::new("fact");

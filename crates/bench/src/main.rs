@@ -10,19 +10,33 @@ use popt_bench::common::FigureCtx;
 use popt_bench::figures;
 
 fn print_usage() {
-    eprintln!("usage: figures <id...|all|help> [--quick]");
+    eprintln!("usage: figures <id...|all|help> [--quick] [--shared-llc]");
     eprintln!("figure ids: {}", figures::ALL.join(", "));
+    eprintln!("  --quick       reduced scale for smoke runs");
+    eprintln!("  --shared-llc  single-socket mode: co-running work contends for one LLC");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(String::as_str)
-        .collect();
-    let ctx = FigureCtx { quick };
+    let mut quick = false;
+    let mut shared_llc = false;
+    let mut ids: Vec<&str> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--shared-llc" => shared_llc = true,
+            flag if flag.starts_with('-') => {
+                // An unknown flag must fail loudly: silently ignoring it
+                // would let a CI smoke "pass" while running the wrong
+                // experiment.
+                eprintln!("error: unknown flag {flag:?}");
+                print_usage();
+                std::process::exit(2);
+            }
+            id => ids.push(id),
+        }
+    }
+    let ctx = FigureCtx { quick, shared_llc };
 
     // `figures help` is a successful, explicit request for usage (exit 0);
     // a bare `figures` is a misuse that still deserves the usage text but

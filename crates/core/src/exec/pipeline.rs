@@ -457,13 +457,23 @@ impl<'t> Pipeline<'t> {
     ///
     /// `clustering` holds one entry per *plan* stage: the measured
     /// clustering ratio of that stage's dimension probe (ignored for
-    /// selects; `1.0` = assume uniform random). Cache shape (line size,
-    /// LLC capacity, the L2 capacity that gates whether probes reach L3 at
-    /// all) comes from the CPU the pipeline runs on.
-    pub fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, clustering: &[f64]) -> PlanGeometry {
+    /// selects; `1.0` = assume uniform random). Line size, predictor
+    /// shape and the private L2 capacity (which gates whether probes
+    /// reach L3 at all) come from the CPU the pipeline runs on;
+    /// `llc_bytes` is the **effective** last-level capacity the executing
+    /// core sees — the full configured LLC on a private socket, the
+    /// contention-shrunken share under the shared-socket partition — so
+    /// the Equation-1 probe predictions price contended miss rates.
+    pub fn plan_geometry(
+        &self,
+        n_input: u64,
+        cpu: &CpuConfig,
+        llc_bytes: u64,
+        clustering: &[f64],
+    ) -> PlanGeometry {
         assert_eq!(clustering.len(), self.ops.len(), "one entry per stage");
         let line_bytes = cpu.line_bytes() as u32;
-        let llc_lines = cpu.llc().lines();
+        let llc_lines = (llc_bytes / u64::from(line_bytes)).max(1);
         let upper_cache_bytes = cpu.levels.get(1).map_or(0.0, |l| l.capacity_bytes as f64);
         let chain = ChainSpec {
             states: cpu.predictor.states,
@@ -510,6 +520,24 @@ impl<'t> Pipeline<'t> {
             chain,
             probes,
         }
+    }
+
+    /// Bytes this pipeline wants resident in the last-level cache while
+    /// it runs — the hot-set footprint it declares to a shared-socket
+    /// pool's capacity partition: every probed dimension in full (probes
+    /// re-reference it across morsels) plus a fixed streaming footprint
+    /// per scanned column (streamed lines are touched once; only a small
+    /// in-flight window ever competes for capacity).
+    pub fn hot_set_bytes(&self) -> u64 {
+        let dims: u64 = self
+            .ops
+            .iter()
+            .filter_map(FilterOp::dim_rows)
+            .map(|rows| rows as u64 * 4)
+            .sum();
+        let streams = (self.ops.len() + self.agg.len()) as u64
+            * crate::progressive::STREAM_HOT_BYTES_PER_COLUMN;
+        dims + streams
     }
 
     /// Instructions charged per evaluation of each stage, in the current
@@ -757,6 +785,13 @@ mod tests {
         assert!(p.op(1).is_join());
     }
 
+    fn probe_lines(geom: &popt_cost::estimate::PlanGeometry) -> u64 {
+        geom.probe(0)
+            .expect("front stage is a join")
+            .relation
+            .cache_lines
+    }
+
     #[test]
     fn plan_geometry_carries_probes_in_evaluation_order() {
         let (fact, dim) = tables(1000, 100);
@@ -767,8 +802,12 @@ mod tests {
         let mut p = Pipeline::new(vec![sel, join], fact.rows()).unwrap();
         p.reorder(&[1, 0]).unwrap();
         let cfg = CpuConfig::tiny_test();
-        let geom = p.plan_geometry(1000, &cfg, &[1.0, 0.25]);
+        let geom = p.plan_geometry(1000, &cfg, cfg.llc().capacity_bytes, &[1.0, 0.25]);
         assert_eq!(geom.predicates(), 2);
+        assert_eq!(probe_lines(&geom), cfg.llc().lines());
+        // A contended share rebinds the probe's Equation-1 capacity.
+        let contended = p.plan_geometry(1000, &cfg, cfg.llc().capacity_bytes / 4, &[1.0, 0.25]);
+        assert_eq!(probe_lines(&contended), cfg.llc().lines() / 4);
         // Join first: probe at position 0 with the join's clustering.
         let probe = geom.probe(0).expect("join stage has a probe");
         assert_eq!(probe.relation.relation_tuples, 100);

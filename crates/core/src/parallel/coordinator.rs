@@ -162,12 +162,18 @@ pub(crate) struct CoordState<'a, T> {
     /// estimator round).
     pub(crate) optimizer_cycles: Vec<u64>,
     pub(crate) morsels_done: usize,
+    /// Effective LLC capacity (bytes) the query's morsels run against —
+    /// the socket share under contention, the full LLC otherwise. Every
+    /// estimator fit prices its geometry with this capacity, so the
+    /// proposals it produces reflect what a co-runner left the query.
+    llc_share_bytes: u64,
 }
 
 impl<'a, T: ShardableTarget> CoordState<'a, T> {
     /// Fresh coordination state over `target`'s current order, for a pool
-    /// of `workers` workers.
-    pub(crate) fn new(target: &'a mut T, workers: usize) -> Self {
+    /// of `workers` workers whose cores give this query an effective LLC
+    /// capacity of `llc_share_bytes`.
+    pub(crate) fn new(target: &'a mut T, workers: usize, llc_share_bytes: u64) -> Self {
         let published = target.order();
         Self {
             target,
@@ -186,6 +192,7 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
             estimates: 0,
             optimizer_cycles: vec![0; workers],
             morsels_done: 0,
+            llc_share_bytes,
         }
     }
 
@@ -247,7 +254,9 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         if self.target.wants_trial_calibration() {
             let sampled = stats.sampled_counters();
             self.target.set_order(&trial_order)?;
-            let geom = self.target.plan_geometry(sampled.n_input, cpu_cfg);
+            let geom = self
+                .target
+                .plan_geometry(sampled.n_input, cpu_cfg, self.llc_share_bytes);
             Ok(Some((geom, sampled)))
         } else {
             Ok(None)
@@ -408,7 +417,9 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
             .map(VectorStats::sampled_counters)
             .collect();
         let merged = SampledCounters::merged(&samples)?;
-        let geom = self.target.plan_geometry(merged.n_input, cpu_cfg);
+        let geom = self
+            .target
+            .plan_geometry(merged.n_input, cpu_cfg, self.llc_share_bytes);
         // The window feeds this estimate; the next interval accumulates
         // fresh while the fit runs.
         for window in &mut self.windows {
@@ -436,6 +447,31 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
             prev_cpt: self.epoch_cycles as f64 / self.epoch_tuples.max(1) as f64,
             leased: false,
         });
+    }
+
+    /// Re-seed a query that has not yet executed any morsel from a cached
+    /// template state: the order becomes the published one under a new
+    /// epoch (every worker re-chains its shard at its first claim) and
+    /// the calibration is restored into the master target. Only legal
+    /// before the first morsel — there are no samples, no trials and no
+    /// epoch history to invalidate. An order the target rejects degrades
+    /// to keeping the cold start: a stale seed may cost performance,
+    /// never correctness. Returns whether the seed was applied.
+    pub(crate) fn reseed(
+        &mut self,
+        order: &[usize],
+        calibration: Option<&popt_solver::CalibrationSnapshot>,
+    ) -> bool {
+        debug_assert_eq!(self.morsels_done, 0, "reseed after execution began");
+        if self.target.set_order(order).is_err() {
+            return false;
+        }
+        self.published = order.to_vec();
+        self.epoch += 1;
+        if let Some(snapshot) = calibration {
+            self.target.restore_calibration(snapshot);
+        }
+        true
     }
 
     /// A trial scheduled after the last morsel was claimed never ran; it
@@ -593,13 +629,22 @@ where
     let cpu_cfg = pool.config().clone();
     let freq = cpu_cfg.timing.frequency_ghz;
 
+    // Socket boundary: declare this query's hot set on every core it is
+    // about to occupy. On a shared-LLC pool the partition shrinks each
+    // core's slice to its share — a pure function of the declared
+    // footprints, so per-core cycles stay host-independent — and every
+    // estimator fit below prices against the (conservative, pool-minimum)
+    // share instead of the configured socket capacity.
+    pool.declare_footprints(&vec![target.hot_set_bytes(); workers]);
+    let llc_share_bytes = pool.min_effective_llc_bytes();
+
     let mut shards = Vec::with_capacity(workers);
     for _ in 0..workers {
         shards.push(target.shard()?);
     }
 
     let state = Mutex::new(SharedState {
-        coord: CoordState::new(target, workers),
+        coord: CoordState::new(target, workers, llc_share_bytes),
         error: None,
     });
 

@@ -57,8 +57,33 @@ impl MorselConfig {
             .levels
             .get(1)
             .map_or(64 * 1024, |l| l.capacity_bytes as usize);
+        Self::fit_hot_bytes(l2_bytes, hot_bytes_per_tuple)
+    }
+
+    /// [`MorselConfig::cache_friendly`] for a core on a contended socket:
+    /// the morsel's hot data must fit the *smaller* of the private L2 and
+    /// the core's effective LLC share (`llc_share_bytes`). On a shared
+    /// socket the share can drop below L2 — an L2-sized morsel would then
+    /// stream through a slice that cannot hold it, re-fetching from
+    /// memory what a share-sized morsel keeps resident.
+    pub fn cache_friendly_for_share(
+        cpu: &CpuConfig,
+        hot_bytes_per_tuple: usize,
+        llc_share_bytes: u64,
+    ) -> Self {
+        let l2_bytes = cpu
+            .levels
+            .get(1)
+            .map_or(64 * 1024, |l| l.capacity_bytes as usize);
+        Self::fit_hot_bytes(
+            l2_bytes.min(usize::try_from(llc_share_bytes).unwrap_or(usize::MAX)),
+            hot_bytes_per_tuple,
+        )
+    }
+
+    fn fit_hot_bytes(budget_bytes: usize, hot_bytes_per_tuple: usize) -> Self {
         Self {
-            morsel_tuples: (l2_bytes / hot_bytes_per_tuple.max(1)).clamp(1_024, 65_536),
+            morsel_tuples: (budget_bytes / hot_bytes_per_tuple.max(1)).clamp(1_024, 65_536),
         }
     }
 }
@@ -259,5 +284,21 @@ mod tests {
         // More hot bytes per tuple never increases the morsel.
         let wide = MorselConfig::cache_friendly(&cfg, 64);
         assert!(wide.morsel_tuples <= m.morsel_tuples);
+    }
+
+    #[test]
+    fn share_aware_sizing_fits_the_smaller_of_l2_and_share() {
+        let cfg = CpuConfig::xeon_e5_2630_v2(); // 256 KiB L2
+        let hot = 16;
+        // Share above L2: identical to the private sizing.
+        let wide = MorselConfig::cache_friendly_for_share(&cfg, hot, 1 << 20);
+        assert_eq!(wide, MorselConfig::cache_friendly(&cfg, hot));
+        // Share below L2: the morsel shrinks to fit the slice.
+        let narrow = MorselConfig::cache_friendly_for_share(&cfg, hot, 64 * 1024);
+        assert_eq!(narrow.morsel_tuples, 64 * 1024 / hot);
+        assert!(narrow.morsel_tuples < wide.morsel_tuples);
+        // The floor still applies for tiny shares.
+        let floor = MorselConfig::cache_friendly_for_share(&cfg, hot, 1024);
+        assert_eq!(floor.morsel_tuples, 1_024);
     }
 }

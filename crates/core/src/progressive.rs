@@ -48,6 +48,13 @@ use crate::exec::pipeline::Pipeline;
 use crate::exec::scan::{CompiledSelection, VectorStats};
 use crate::plan::{order_by_cost_per_tuple, order_by_selectivity, Peo, SelectionPlan};
 
+/// Streaming footprint one scanned column claims in the last-level
+/// cache, for [`ProgressiveTarget::hot_set_bytes`] declarations: streamed
+/// lines are touched once and evicted, so only a small in-flight window
+/// (a few dozen lines of read-ahead) ever competes for capacity — unlike
+/// a probed dimension, which wants to stay resident in full.
+pub const STREAM_HOT_BYTES_PER_COLUMN: u64 = 4 * 1024;
+
 /// Configuration of the progressive optimizer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProgressiveConfig {
@@ -245,7 +252,23 @@ pub trait ProgressiveTarget {
     fn run_range(&mut self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats;
 
     /// Counter-model geometry of the current order for `n_input` tuples.
-    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig) -> PlanGeometry;
+    /// `llc_bytes` is the *effective* last-level capacity of the core(s)
+    /// executing the target — the full configured LLC on a private
+    /// socket, the contention-shrunken share when a shared-socket pool
+    /// has partitioned capacity among co-runners — so counter
+    /// predictions (and with them the reorder decisions fitted against
+    /// them) price contended miss rates.
+    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, llc_bytes: u64) -> PlanGeometry;
+
+    /// Bytes the target wants resident in the LLC while it runs — the
+    /// hot-set footprint a shared-socket pool's capacity partition
+    /// divides the LLC by. Streaming targets claim only the
+    /// [`STREAM_HOT_BYTES_PER_COLUMN`] in-flight window per column;
+    /// targets that re-reference data structures (probed dimensions)
+    /// claim them in full.
+    fn hot_set_bytes(&self) -> u64 {
+        STREAM_HOT_BYTES_PER_COLUMN
+    }
 
     /// Propose an evaluation order given per-stage selectivity estimates
     /// (in current evaluation order).
@@ -333,13 +356,21 @@ impl ProgressiveTarget for ScanTarget<'_, '_> {
         self.compiled.run_range(cpu, start, end)
     }
 
-    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig) -> PlanGeometry {
+    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, _llc_bytes: u64) -> PlanGeometry {
+        // A multi-selection scan streams its columns and probes nothing,
+        // so its counter model is LLC-capacity-independent.
         let chain = ChainSpec {
             states: cpu.predictor.states,
             not_taken_states: cpu.predictor.not_taken_states,
         };
         self.compiled
             .plan_geometry(n_input, chain, cpu.line_bytes() as u32)
+    }
+
+    fn hot_set_bytes(&self) -> u64 {
+        // Pure streaming: one in-flight window per touched column.
+        (self.plan.predicates.len() + self.plan.aggregate_columns.len()) as u64
+            * STREAM_HOT_BYTES_PER_COLUMN
     }
 
     fn propose_order(&self, _geom: &PlanGeometry, selectivities: &[f64]) -> Peo {
@@ -394,8 +425,13 @@ impl ProgressiveTarget for PipelineTarget<'_, '_> {
         self.pipeline.run_range(cpu, start, end)
     }
 
-    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig) -> PlanGeometry {
-        self.pipeline.plan_geometry(n_input, cpu, &self.clustering)
+    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, llc_bytes: u64) -> PlanGeometry {
+        self.pipeline
+            .plan_geometry(n_input, cpu, llc_bytes, &self.clustering)
+    }
+
+    fn hot_set_bytes(&self) -> u64 {
+        self.pipeline.hot_set_bytes()
     }
 
     fn propose_order(&self, geom: &PlanGeometry, selectivities: &[f64]) -> Peo {
@@ -538,6 +574,9 @@ pub fn run_progressive_target<T: ProgressiveTarget>(
     }
     let ranges = vectors.ranges(target.rows())?;
     let cpu_cfg = cpu.config().clone();
+    // The capacity every fit prices against: this core's LLC slice (the
+    // full socket unless a shared pool shrank it).
+    let llc_bytes = cpu.llc_effective_bytes();
 
     let mut total = VectorStats::zero();
     let mut per_vector = Vec::with_capacity(ranges.len());
@@ -577,7 +616,7 @@ pub fn run_progressive_target<T: ProgressiveTarget>(
             // target calibrate, before any revert discards that order.
             if target.wants_trial_calibration() {
                 let sampled = stats.sampled_counters();
-                let geom = target.plan_geometry(sampled.n_input, &cpu_cfg);
+                let geom = target.plan_geometry(sampled.n_input, &cpu_cfg, llc_bytes);
                 let estimate = estimate_selectivities(&geom, &sampled, &config.estimator);
                 estimates += 1;
                 optimizer_cycles += estimate.evaluations as u64 * config.cycles_per_estimator_eval;
@@ -665,7 +704,7 @@ pub fn run_progressive_target<T: ProgressiveTarget>(
             Some(fitted) => fitted,
             None => {
                 let sampled = stats.sampled_counters();
-                let geom = target.plan_geometry(sampled.n_input, &cpu_cfg);
+                let geom = target.plan_geometry(sampled.n_input, &cpu_cfg, llc_bytes);
                 let estimate = estimate_selectivities(&geom, &sampled, &config.estimator);
                 estimates += 1;
                 optimizer_cycles += estimate.evaluations as u64 * config.cycles_per_estimator_eval;

@@ -140,19 +140,46 @@ pub struct CacheEntry {
     pub hits: u64,
     /// Times the entry was (re-)recorded by a finishing query.
     pub updates: u64,
+    /// Consecutive warm completions whose converged order diverged from
+    /// the order they were seeded with. Reaching the cache's staleness
+    /// threshold evicts the entry: a template whose warm starts keep
+    /// getting re-reordered is tracking drifted data, and replaying its
+    /// order only buys each instance a failed trial.
+    pub diverged_streak: u32,
 }
+
+/// Consecutive divergent warm completions after which a template entry
+/// is dropped (see [`OrderCache::with_stale_after`]).
+pub const STALE_AFTER_DEFAULT: u32 = 3;
 
 /// The cross-query order/calibration cache a [`crate::serve::QueryServer`]
 /// carries between runs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct OrderCache {
     entries: HashMap<WorkloadSignature, CacheEntry>,
+    stale_after: u32,
+}
+
+impl Default for OrderCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OrderCache {
-    /// An empty cache.
+    /// An empty cache with the default staleness threshold.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_stale_after(STALE_AFTER_DEFAULT)
+    }
+
+    /// An empty cache evicting a template after `stale_after` consecutive
+    /// divergent warm completions (`0` is clamped to `1`: an entry that
+    /// diverges every time is pure overhead and must not be immortal).
+    pub fn with_stale_after(stale_after: u32) -> Self {
+        Self {
+            entries: HashMap::new(),
+            stale_after: stale_after.max(1),
+        }
     }
 
     /// Number of cached templates.
@@ -178,8 +205,10 @@ impl OrderCache {
         Some(entry.clone())
     }
 
-    /// Record a finished query's converged order (and calibration) under
-    /// its signature, creating or refreshing the template entry.
+    /// Record a *cold-started* query's converged order (and calibration)
+    /// under its signature, creating or refreshing the template entry. A
+    /// cold convergence is fresh knowledge, so any divergence streak the
+    /// template had accumulated resets.
     pub fn record(
         &mut self,
         signature: WorkloadSignature,
@@ -191,10 +220,57 @@ impl OrderCache {
             calibration: None,
             hits: 0,
             updates: 0,
+            diverged_streak: 0,
         });
         entry.order = order;
         entry.calibration = calibration;
         entry.updates += 1;
+        entry.diverged_streak = 0;
+    }
+
+    /// Record a *warm-started* query's completion, converged to `order`.
+    /// Divergence is judged against the entry's **current** order — the
+    /// template's latest belief, which a faster template mate may have
+    /// refreshed since this instance was seeded — not the instance's own
+    /// (possibly outdated) seed: once the template has settled on a new
+    /// optimum, later completions that agree with it clear the streak
+    /// instead of ganging up to evict a stable entry. A warm run that
+    /// confirms the current order refreshes the entry; one that was
+    /// re-reordered away from it counts against the template, and the
+    /// configured number of **consecutive** divergent warm runs evicts
+    /// it — the next instance starts cold and re-learns. Returns `true`
+    /// when the entry was evicted.
+    pub fn record_warm(
+        &mut self,
+        signature: WorkloadSignature,
+        order: Peo,
+        calibration: Option<CalibrationSnapshot>,
+    ) -> bool {
+        let Some(entry) = self.entries.get_mut(&signature) else {
+            // The entry vanished between seeding and completion (e.g. a
+            // concurrent eviction): the converged order is still the
+            // latest knowledge, and it starts a fresh streak history.
+            self.record(signature, order, calibration);
+            return false;
+        };
+        if order == entry.order {
+            entry.calibration = calibration;
+            entry.updates += 1;
+            entry.diverged_streak = 0;
+            return false;
+        }
+        entry.diverged_streak += 1;
+        if entry.diverged_streak >= self.stale_after {
+            self.entries.remove(&signature);
+            return true;
+        }
+        // Keep the streak but refresh the payload: if the data merely
+        // moved to a *new* stable order, the next warm run converges
+        // where it starts (and matches the entry) and the streak clears.
+        entry.order = order;
+        entry.calibration = calibration;
+        entry.updates += 1;
+        false
     }
 }
 
@@ -284,6 +360,68 @@ mod tests {
         assert_eq!(entry.order, vec![0, 1]);
         assert_eq!(entry.updates, 2);
         assert_eq!(entry.hits, 2);
+    }
+
+    #[test]
+    fn consecutive_divergent_warm_runs_evict_the_template() {
+        let t = table();
+        let sig = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
+        let mut cache = OrderCache::with_stale_after(3);
+        cache.record(sig.clone(), vec![0, 1], None);
+        // Two flip-flopping warm completions (each diverging from the
+        // entry's then-current order): entry survives, payload tracks
+        // the latest converged order.
+        assert!(!cache.record_warm(sig.clone(), vec![1, 0], None));
+        assert_eq!(cache.lookup(&sig).unwrap().order, vec![1, 0]);
+        assert!(!cache.record_warm(sig.clone(), vec![0, 1], None));
+        assert_eq!(cache.lookup(&sig).unwrap().diverged_streak, 2);
+        // Third consecutive divergence: evicted, next lookup is cold.
+        assert!(cache.record_warm(sig.clone(), vec![1, 0], None));
+        assert!(cache.lookup(&sig).is_none(), "stale template must drop");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn converging_warm_run_clears_the_divergence_streak() {
+        let t = table();
+        let sig = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
+        let mut cache = OrderCache::with_stale_after(2);
+        cache.record(sig.clone(), vec![0, 1], None);
+        assert!(!cache.record_warm(sig.clone(), vec![1, 0], None));
+        assert_eq!(cache.lookup(&sig).unwrap().diverged_streak, 1);
+        // The next warm run confirms the entry's (updated) order: the
+        // streak is not consecutive any more and resets, so the template
+        // stays alive indefinitely.
+        assert!(!cache.record_warm(sig.clone(), vec![1, 0], None));
+        assert_eq!(cache.lookup(&sig).unwrap().diverged_streak, 0);
+        assert!(!cache.record_warm(sig.clone(), vec![0, 1], None));
+        assert!(
+            cache.lookup(&sig).is_some(),
+            "a single divergence after a reset must not evict"
+        );
+        // A cold re-record also clears the streak.
+        cache.record(sig.clone(), vec![0, 1], None);
+        assert_eq!(cache.lookup(&sig).unwrap().diverged_streak, 0);
+    }
+
+    #[test]
+    fn template_that_stabilizes_on_a_new_optimum_is_not_evicted() {
+        // Data drifts once; several in-flight instances were all seeded
+        // with the stale order but all converge to the same new one. The
+        // first completion moves the entry; the rest *agree* with the
+        // moved entry (divergence is judged against the template's
+        // current belief, not each instance's outdated seed), so the
+        // stabilized template survives any number of such completions.
+        let t = table();
+        let sig = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
+        let mut cache = OrderCache::with_stale_after(3);
+        cache.record(sig.clone(), vec![0, 1], None);
+        for _ in 0..5 {
+            assert!(!cache.record_warm(sig.clone(), vec![1, 0], None));
+        }
+        let entry = cache.lookup(&sig).expect("stable template survives");
+        assert_eq!(entry.order, vec![1, 0]);
+        assert_eq!(entry.diverged_streak, 0, "agreement clears the streak");
     }
 
     #[test]

@@ -364,17 +364,52 @@ impl<'t> QueryServer<'t> {
             .collect();
 
         // Build one master target per query, warm-started from the order
-        // cache when the workload signature hits.
+        // cache when the workload signature hits at admission. (Open-loop
+        // later arrivals get a second chance mid-run: completed template
+        // mates publish at completion, and the first morsel claim of an
+        // `arrival > 0` query re-consults the cache under the lock.)
         let mut targets = Vec::with_capacity(metas.len());
         let mut signatures = Vec::with_capacity(metas.len());
         let mut warms = Vec::with_capacity(metas.len());
         for spec in self.specs.iter_mut() {
-            let (target, signature, warm) =
+            let (target, signature, warm_seed) =
                 build_target(&mut spec.kind, cache_on.then_some(&mut self.cache))?;
             targets.push(target);
             signatures.push(signature);
-            warms.push(warm);
+            warms.push(warm_seed);
         }
+
+        // Socket boundary: every query's rows interleave across all
+        // workers, so each core co-runs the whole batch — its declared
+        // footprint is the batch's aggregate hot set. On a shared-LLC
+        // pool the partition shrinks every core's slice accordingly (a
+        // pure function of the admitted batch, recomputed at this batch
+        // boundary; finer-grained recomputation would make shares depend
+        // on host thread timing — the same hazard that reverted the
+        // shared morsel cursor). Each query's estimator then prices
+        // against its footprint-proportional slice of the core share, so
+        // reoptimization sees what the co-runners actually left it.
+        let footprints: Vec<u64> = targets
+            .iter()
+            .map(crate::progressive::ProgressiveTarget::hot_set_bytes)
+            .collect();
+        let total_footprint: u64 = footprints.iter().sum();
+        pool.declare_footprints(&vec![total_footprint; workers]);
+        let core_share = pool.min_effective_llc_bytes();
+        let shared_socket = pool.llc_mode() == popt_cpu::LlcMode::Shared;
+        let line_bytes = cpu_cfg.line_bytes();
+        let budgets: Vec<u64> = footprints
+            .iter()
+            .map(|&f| {
+                if shared_socket && total_footprint > 0 {
+                    let slice =
+                        u128::from(core_share) * u128::from(f) / u128::from(total_footprint.max(1));
+                    (slice as u64).max(line_bytes)
+                } else {
+                    core_share
+                }
+            })
+            .collect();
 
         // Per-(worker, query) shards, minted before the mutable borrows
         // below: each worker re-chains its own executors independently.
@@ -405,24 +440,36 @@ impl<'t> QueryServer<'t> {
             .iter()
             .map(|(_, priority, _)| priority.weight())
             .collect();
-        for target in targets.iter_mut() {
+        for (((target, &budget), signature), warm_seed) in
+            targets.iter_mut().zip(&budgets).zip(signatures).zip(warms)
+        {
             let dispatcher = MorselDispatcher::new(target.rows(), morsel_tuples, workers)?;
             let total_morsels = dispatcher.total_morsels();
+            let arrival = metas[entries.len()].2;
             dispatchers.push(dispatcher);
             entries.push(QueryEntry {
-                coord: CoordState::new(target, workers),
+                coord: CoordState::new(target, workers, budget),
                 totals: VectorStats::zero(),
                 exec_cycles: 0,
                 first_vt: None,
                 finish_vt: None,
                 completed: 0,
                 total_morsels,
+                signature,
+                warm_seed,
+                seed_checked: false,
+                arrival,
             });
         }
 
         let state = Mutex::new(ServerState {
             queries: entries,
             error: None,
+            cache: if cache_on {
+                Some(&mut self.cache)
+            } else {
+                None
+            },
         });
 
         let mut worker_clocks: Vec<(u64, u64, u64)> = Vec::with_capacity(workers);
@@ -463,20 +510,14 @@ impl<'t> QueryServer<'t> {
             return Err(err);
         }
 
+        // Converged orders were already published to the cache at each
+        // query's completion (under the coordination lock); assembling
+        // the report only reads.
         let mut queries = Vec::with_capacity(st.queries.len());
-        for (((entry, (label, priority, arrival)), signature), warm) in
-            st.queries.into_iter().zip(metas).zip(signatures).zip(warms)
-        {
+        for (entry, (label, priority, arrival)) in st.queries.into_iter().zip(metas) {
             let mut coord = entry.coord;
             coord.abandon_unleased_trial();
             let final_order = coord.published.clone();
-            if cache_on && entry.total_morsels > 0 {
-                self.cache.record(
-                    signature,
-                    final_order.clone(),
-                    coord.target.calibration_snapshot(),
-                );
-            }
             let finish = entry.finish_vt.unwrap_or(arrival);
             let first = entry.first_vt.unwrap_or(arrival);
             queries.push(QueryOutcome {
@@ -493,7 +534,7 @@ impl<'t> QueryServer<'t> {
                 switches: coord.switches,
                 estimates: coord.estimates,
                 final_order,
-                warm_start: warm,
+                warm_start: entry.warm_seed.is_some(),
             });
         }
 
@@ -526,11 +567,12 @@ impl<'t> QueryServer<'t> {
 
 /// Build a query's master target, consulting the order cache (when
 /// given) for a warm-start order and calibration. Returns the target,
-/// its workload signature, and whether the start was warm.
+/// its workload signature, and the cached order the target was seeded
+/// with (`None` = cold start).
 fn build_target<'p, 't>(
     kind: &'p mut QueryKind<'t>,
     cache: Option<&mut OrderCache>,
-) -> Result<(ServeTarget<'p, 't>, WorkloadSignature, bool), EngineError> {
+) -> Result<(ServeTarget<'p, 't>, WorkloadSignature, Option<Peo>), EngineError> {
     match kind {
         QueryKind::Scan {
             table,
@@ -543,7 +585,11 @@ fn build_target<'p, 't>(
                 .as_ref()
                 .map_or(&initial_peo[..], |entry| &entry.order[..]);
             let target = crate::progressive::ScanTarget::new(table, plan, start)?;
-            Ok((ServeTarget::Scan(target), signature, cached.is_some()))
+            Ok((
+                ServeTarget::Scan(target),
+                signature,
+                cached.map(|entry| entry.order),
+            ))
         }
         QueryKind::Pipeline {
             pipeline,
@@ -559,7 +605,11 @@ fn build_target<'p, 't>(
             if let Some(calibration) = cached.as_ref().and_then(|e| e.calibration.as_ref()) {
                 target.restore_calibration(calibration);
             }
-            Ok((ServeTarget::Pipeline(target), signature, cached.is_some()))
+            Ok((
+                ServeTarget::Pipeline(target),
+                signature,
+                cached.map(|entry| entry.order),
+            ))
         }
     }
 }
@@ -576,11 +626,26 @@ struct QueryEntry<'a, 'p, 't> {
     finish_vt: Option<u64>,
     completed: usize,
     total_morsels: usize,
+    /// The template identity, for mid-run cache publication/consultation.
+    signature: WorkloadSignature,
+    /// The cached order the query was seeded with (`None` = cold start),
+    /// whether at admission to the batch or by a mid-run warm start.
+    warm_seed: Option<Peo>,
+    /// Whether the mid-run cache was already consulted for a late seed.
+    seed_checked: bool,
+    /// The query's arrival time (gates mid-run warm starts to open-loop
+    /// later arrivals).
+    arrival: u64,
 }
 
 struct ServerState<'a, 'p, 't> {
     queries: Vec<QueryEntry<'a, 'p, 't>>,
     error: Option<EngineError>,
+    /// The server's order cache, shared with the workers so converged
+    /// state publishes at query *completion* (under this same lock)
+    /// instead of at batch drain — a long open-loop stream warms its own
+    /// later arrivals online. `None` when the cache is bypassed.
+    cache: Option<&'a mut OrderCache>,
 }
 
 /// What a worker decided to do after consulting its scheduler.
@@ -659,7 +724,35 @@ fn serve_worker<'a, 'p, 't>(
                 if guard.error.is_some() {
                     break;
                 }
-                let entry = &mut guard.queries[qid];
+                let st = &mut *guard;
+                let entry = &mut st.queries[qid];
+                // Mid-run warm start: the first claim of an open-loop
+                // later arrival re-consults the cache once, under the
+                // same lock publication uses — a template mate that
+                // completed earlier in the stream seeds this instance
+                // even though both were admitted in one batch. Closed-
+                // loop queries (arrival 0) co-start with their mates and
+                // keep the batch-admission semantics. On a multi-worker
+                // pool, whether a mate's completion lands before this
+                // first claim follows the *host* completion interleaving
+                // when the two are close, so warm-vs-cold here — like
+                // trial leasing — is bounded perf-only nondeterminism:
+                // it can move switches and cycles, never results. With
+                // one worker (or arrival gaps that dwarf query runtimes,
+                // the open-loop regime this path exists for) the choice
+                // is fully deterministic.
+                if !entry.seed_checked {
+                    entry.seed_checked = true;
+                    if entry.warm_seed.is_none() && entry.arrival > 0 {
+                        if let Some(cache) = st.cache.as_deref_mut() {
+                            if let Some(hit) = cache.lookup(&entry.signature) {
+                                if entry.coord.reseed(&hit.order, hit.calibration.as_ref()) {
+                                    entry.warm_seed = Some(hit.order);
+                                }
+                            }
+                        }
+                    }
+                }
                 // Queue delay is measured to the *earliest* service
                 // across workers.
                 entry.first_vt = Some(entry.first_vt.map_or(now, |f| f.min(now)));
@@ -781,6 +874,25 @@ fn serve_worker<'a, 'p, 't>(
                 let idle_total = core.idle_cycles() - base_idle;
                 let vt = (core.cycles() - base_cycles) + idle_total + opt_cycles;
                 entry.finish_vt = Some(entry.finish_vt.unwrap_or(0).max(vt));
+                // Mid-run publication: the query just completed (every
+                // one of its morsels has resolved — a leased trial
+                // resolves before its morsel counts), so its converged
+                // order and calibration go to the cache *now*, under the
+                // coordination lock we already hold. Later arrivals of
+                // the template in this same batch can warm from it; a
+                // warm instance feeds the staleness accounting instead.
+                if entry.completed == entry.total_morsels {
+                    entry.coord.abandon_unleased_trial();
+                    if let Some(cache) = st.cache.as_deref_mut() {
+                        let final_order = entry.coord.published.clone();
+                        let calibration = entry.coord.target.calibration_snapshot();
+                        if entry.warm_seed.is_some() {
+                            cache.record_warm(entry.signature.clone(), final_order, calibration);
+                        } else {
+                            cache.record(entry.signature.clone(), final_order, calibration);
+                        }
+                    }
+                }
             }
         }
     }

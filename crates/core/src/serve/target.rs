@@ -50,10 +50,17 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         }
     }
 
-    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig) -> PlanGeometry {
+    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, llc_bytes: u64) -> PlanGeometry {
         match self {
-            Self::Scan(t) => t.plan_geometry(n_input, cpu),
-            Self::Pipeline(t) => t.plan_geometry(n_input, cpu),
+            Self::Scan(t) => t.plan_geometry(n_input, cpu, llc_bytes),
+            Self::Pipeline(t) => t.plan_geometry(n_input, cpu, llc_bytes),
+        }
+    }
+
+    fn hot_set_bytes(&self) -> u64 {
+        match self {
+            Self::Scan(t) => t.hot_set_bytes(),
+            Self::Pipeline(t) => t.hot_set_bytes(),
         }
     }
 

@@ -107,6 +107,12 @@ fn column_stall(cg: &CacheGeometry, n: u64, density: f64, params: &CycleParams) 
 /// (Equation 1) and co-clustered regimes by the probe's measured
 /// clustering. A relation resident above the LLC costs nothing here (its
 /// stalls are upper-cache latencies absorbed by the instruction stream).
+///
+/// The LLC capacity this prices against is whatever the probe's
+/// [`JoinGeometry`](crate::join_model::JoinGeometry) carries — under the
+/// socket model that is the core's *effective* (contention-shrunken)
+/// share, so a co-runner stealing capacity raises the predicted stall
+/// and can flip the cost-per-tuple ranking that orders the pipeline.
 pub fn probe_stall_per_tuple(probe: &crate::estimate::ProbeGeometry, params: &CycleParams) -> f64 {
     let rel = &probe.relation;
     if rel.relation_bytes() <= probe.upper_cache_bytes {
@@ -313,6 +319,55 @@ mod tests {
         // co-clustered probe.
         let costs = stage_costs_per_input_tuple(&g, &[100.0, 10.0], &[0.5, 0.5], &p);
         assert!(costs[0] > costs[1], "{costs:?}");
+    }
+
+    #[test]
+    fn probe_stall_grows_as_the_llc_share_shrinks() {
+        use crate::estimate::ProbeGeometry;
+        use crate::join_model::JoinGeometry;
+        // A 128 KiB dimension against shares swept 128 KiB -> 16 KiB:
+        // each halving of the share raises the Equation-1 miss blend, so
+        // the predicted probe stall must grow monotonically.
+        let relation = JoinGeometry {
+            relation_tuples: 32 * 1024,
+            tuple_bytes: 4,
+            line_bytes: 64,
+            cache_lines: 0, // rebound per share below
+        };
+        let p = CycleParams::default();
+        let stall_at = |share_bytes: u64| {
+            probe_stall_per_tuple(
+                &ProbeGeometry {
+                    relation: relation.with_cache_bytes(share_bytes),
+                    upper_cache_bytes: 8.0 * 1024.0,
+                    clustering: 1.0,
+                },
+                &p,
+            )
+        };
+        let full = stall_at(128 * 1024);
+        let half = stall_at(64 * 1024);
+        let quarter = stall_at(32 * 1024);
+        let eighth = stall_at(16 * 1024);
+        assert!(
+            full < half && half < quarter && quarter < eighth,
+            "{full} {half} {quarter} {eighth}"
+        );
+        // Fully resident at the full share: LLC-hit latency only.
+        assert!((full - p.llc_hit).abs() < 1e-9, "{full}");
+        // A co-clustered probe is immune to the capacity loss (streamed
+        // lines are fetched once either way).
+        let seq = |share: u64| {
+            probe_stall_per_tuple(
+                &ProbeGeometry {
+                    relation: relation.with_cache_bytes(share),
+                    upper_cache_bytes: 8.0 * 1024.0,
+                    clustering: 0.0,
+                },
+                &p,
+            )
+        };
+        assert!((seq(128 * 1024) - seq(16 * 1024)).abs() < 1e-9);
     }
 
     #[test]

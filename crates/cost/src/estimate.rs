@@ -361,6 +361,31 @@ mod tests {
     }
 
     #[test]
+    fn contended_share_raises_predicted_probe_misses() {
+        // The socket model rebinds a probe's Equation-1 capacity to the
+        // core's effective share: the prediction must see more misses as
+        // a co-runner steals capacity, while access counts (demand +
+        // buddy prefetch per probe) stay capacity-independent.
+        let p = |share_bytes: u64| ProbeGeometry {
+            relation: thrashing_probe(1.0).relation.with_cache_bytes(share_bytes),
+            upper_cache_bytes: 64.0 * 1024.0,
+            clustering: 1.0,
+        };
+        // Enough probes that both shares sit in Equation 1's thrashing
+        // branch (at low probe counts the compulsory branch applies and
+        // capacity is irrelevant).
+        let r = 100_000.0;
+        let full = p(1024 * 1024);
+        let halved = p(512 * 1024);
+        assert!(halved.l3_misses(r) > full.l3_misses(r));
+        assert_eq!(halved.l3_accesses(r), full.l3_accesses(r));
+        // Equation 1's thrashing branch: miss probability tracks
+        // 1 − share/relation.
+        let expect = r * (1.0 - (512.0 * 1024.0) / (2_000_000.0));
+        assert!((halved.l3_misses(r) - expect).abs() < 1.0);
+    }
+
+    #[test]
     fn clustering_interpolates_probe_accesses() {
         let mut geom = PlanGeometry::uniform_i32(100_000, 1);
         let survivors = [40_000.0];

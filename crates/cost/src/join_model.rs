@@ -50,6 +50,16 @@ impl JoinGeometry {
     pub fn cache_bytes(&self) -> f64 {
         self.cache_lines as f64 * f64::from(self.line_bytes)
     }
+
+    /// The same relation priced against a cache slice of `capacity_bytes`
+    /// — how the socket model rebinds Equation 1 to a core's *effective*
+    /// (contention-shrunken) LLC share instead of the configured socket
+    /// capacity. At least one line survives, mirroring the partition's
+    /// minimum-occupancy floor.
+    pub fn with_cache_bytes(mut self, capacity_bytes: u64) -> Self {
+        self.cache_lines = (capacity_bytes / u64::from(self.line_bytes)).max(1);
+        self
+    }
 }
 
 /// Equation 2: expected number of distinct cache lines touched by `r`

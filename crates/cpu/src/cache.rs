@@ -66,6 +66,32 @@ impl CacheLevel {
         }
     }
 
+    /// Current associativity limit of the level (ways per set).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Restrict (or re-widen) the level to `ways` ways per set — the
+    /// way-partitioning mechanism behind the socket model's capacity
+    /// contention (Intel CAT style). Shrinking trims each set's LRU tail
+    /// immediately, so residency never exceeds the new allocation; the
+    /// trim is a pure function of current contents, keeping the
+    /// simulation deterministic.
+    ///
+    /// # Panics
+    /// Panics if `ways` is zero — every occupant keeps at least one way.
+    pub fn set_ways(&mut self, ways: usize) {
+        assert!(ways >= 1, "a cache occupant keeps at least one way");
+        if ways < self.ways {
+            for set in &mut self.sets {
+                while set.len() > ways {
+                    set.remove(0); // LRU is at the front
+                }
+            }
+        }
+        self.ways = ways;
+    }
+
     #[inline]
     fn set_of(&self, line: u64) -> usize {
         if self.set_mask != 0 {
@@ -155,10 +181,21 @@ pub struct AccessResult {
     pub prefetch_memory: bool,
 }
 
-/// The multi-level hierarchy.
+/// The multi-level hierarchy, split into the **private levels** (L1/L2 —
+/// per-core by construction on real sockets) and the core's slice of the
+/// **last-level cache**. On a private-LLC pool the slice is the full
+/// configured LLC; on a shared socket the pool shrinks it to the core's
+/// deterministically partitioned share (see `popt_cpu::pool`), so the
+/// slice is what this core's occupancy of the socket LLC looks like
+/// without any cross-thread mutable cache state.
 #[derive(Debug, Clone)]
 pub struct CacheHierarchy {
-    levels: Vec<CacheLevel>,
+    /// Private upper levels (L1, L2, …) — never contended.
+    private: Vec<CacheLevel>,
+    /// This core's slice of the last-level cache.
+    llc: CacheLevel,
+    /// The socket's full LLC associativity, for re-widening a slice.
+    llc_configured_ways: usize,
     adjacent_line_prefetch: bool,
     /// Demand requests that reached main memory.
     pub memory_demand: u64,
@@ -167,25 +204,57 @@ pub struct CacheHierarchy {
 }
 
 impl CacheHierarchy {
-    /// Build the hierarchy described by `config`.
+    /// Build the hierarchy described by `config`: all levels but the last
+    /// become the private stack, the last becomes the (initially
+    /// full-capacity) LLC slice.
     pub fn new(config: &CpuConfig) -> Self {
         assert!(!config.levels.is_empty());
+        let (last, upper) = config.levels.split_last().expect("at least one level");
         Self {
-            levels: config.levels.iter().map(CacheLevel::new).collect(),
+            private: upper.iter().map(CacheLevel::new).collect(),
+            llc: CacheLevel::new(last),
+            llc_configured_ways: last.ways as usize,
             adjacent_line_prefetch: config.adjacent_line_prefetch,
             memory_demand: 0,
             memory_prefetch: 0,
         }
     }
 
-    /// Borrow a level (0 = L1).
+    /// Borrow a level (0 = L1; `depth() - 1` = the LLC slice).
     pub fn level(&self, idx: usize) -> &CacheLevel {
-        &self.levels[idx]
+        if idx < self.private.len() {
+            &self.private[idx]
+        } else {
+            assert_eq!(idx, self.private.len(), "level index out of range");
+            &self.llc
+        }
     }
 
-    /// Number of configured levels.
+    /// Number of configured levels (private stack + LLC).
     pub fn depth(&self) -> usize {
-        self.levels.len()
+        self.private.len() + 1
+    }
+
+    /// Borrow this core's LLC slice.
+    pub fn llc(&self) -> &CacheLevel {
+        &self.llc
+    }
+
+    /// Restrict this core's LLC slice to `ways` ways (clamped into
+    /// `1..=configured`). Called by the pool when a shared socket's
+    /// capacity partition changes; private levels are never touched.
+    pub fn set_llc_ways(&mut self, ways: usize) {
+        self.llc.set_ways(ways.clamp(1, self.llc_configured_ways));
+    }
+
+    /// Current associativity of the LLC slice.
+    pub fn llc_ways(&self) -> usize {
+        self.llc.ways()
+    }
+
+    /// The socket's full LLC associativity.
+    pub fn llc_configured_ways(&self) -> usize {
+        self.llc_configured_ways
     }
 
     /// Perform a demand access for `line`, filling every level on the way
@@ -193,11 +262,14 @@ impl CacheHierarchy {
     /// prefetcher for the buddy line.
     pub fn demand_access(&mut self, line: u64) -> AccessResult {
         let mut hit_level = None;
-        for (i, level) in self.levels.iter_mut().enumerate() {
+        for (i, level) in self.private.iter_mut().enumerate() {
             if level.access(line, false) {
                 hit_level = Some(i);
                 break;
             }
+        }
+        if hit_level.is_none() && self.llc.access(line, false) {
+            hit_level = Some(self.private.len());
         }
         let served_by = match hit_level {
             Some(i) => ServedBy::Level(i),
@@ -209,35 +281,38 @@ impl CacheHierarchy {
         // Fill the line into every level above the hit.
         let fill_upto = match served_by {
             ServedBy::Level(i) => i,
-            ServedBy::Memory => self.levels.len(),
+            ServedBy::Memory => self.depth(),
         };
-        for level in self.levels[..fill_upto].iter_mut() {
+        for level in self.private.iter_mut().take(fill_upto) {
             level.fill(line);
         }
+        if fill_upto > self.private.len() {
+            self.llc.fill(line);
+        }
 
-        // Adjacent-line prefetch: on a demand miss that had to leave L2
-        // (i.e. the request reached L3), fetch the buddy line of the
-        // 128-byte aligned pair into L2/L3.
-        let reached_l3 = matches!(served_by, ServedBy::Memory)
-            || matches!(served_by, ServedBy::Level(i) if i >= 2);
+        // Adjacent-line prefetch: on a demand miss that had to leave the
+        // private stack (i.e. the request reached the LLC), fetch the
+        // buddy line of the 128-byte aligned pair into L2 and the LLC.
+        let reached_llc = matches!(served_by, ServedBy::Memory)
+            || matches!(served_by, ServedBy::Level(i) if i >= self.private.len());
         let mut prefetch_issued = false;
         let mut prefetch_memory = false;
-        if self.adjacent_line_prefetch && reached_l3 && self.levels.len() >= 3 {
+        if self.adjacent_line_prefetch && reached_llc && self.private.len() >= 2 {
             let buddy = line ^ 1;
             // Only issue if the buddy is not already in L2.
-            if !self.levels[1].contains(buddy) {
+            let l2 = self.private.len() - 1;
+            if !self.private[l2].contains(buddy) {
                 prefetch_issued = true;
-                // The prefetch looks up L3 (counted as an L3 access).
-                let l3 = &mut self.levels[2];
-                let hit = l3.access(buddy, true);
+                // The prefetch looks up the LLC (counted as an L3 access).
+                let hit = self.llc.access(buddy, true);
                 if !hit {
                     self.memory_prefetch += 1;
                     prefetch_memory = true;
-                    self.levels[2].fill(buddy);
+                    self.llc.fill(buddy);
                 }
                 // Install in L2 so a later sequential demand hits there.
-                if !self.levels[1].contains(buddy) {
-                    self.levels[1].fill(buddy);
+                if !self.private[l2].contains(buddy) {
+                    self.private[l2].fill(buddy);
                 }
             }
         }
@@ -249,21 +324,33 @@ impl CacheHierarchy {
     }
 
     /// L3 accesses in the paper's sense: demand requests from above plus
-    /// prefetch requests (Section 2.2.2). Zero if fewer than three levels.
+    /// prefetch requests (Section 2.2.2). Zero if fewer than three levels
+    /// (a hierarchy that shallow has no L3).
     pub fn l3_accesses(&self) -> u64 {
-        self.levels.get(2).map_or(0, CacheLevel::total_accesses)
+        if self.depth() >= 3 {
+            self.llc.total_accesses()
+        } else {
+            0
+        }
     }
 
     /// L3 misses (demand + prefetch requests that went to memory).
     pub fn l3_misses(&self) -> u64 {
-        self.levels.get(2).map_or(0, CacheLevel::total_misses)
+        if self.depth() >= 3 {
+            self.llc.total_misses()
+        } else {
+            0
+        }
     }
 
-    /// Clear residency and statistics of all levels.
+    /// Clear residency and statistics of all levels. The LLC slice's way
+    /// allocation is a *socket* property (set by the pool's partition),
+    /// not run state, so it survives a reset.
     pub fn reset(&mut self) {
-        for l in &mut self.levels {
+        for l in &mut self.private {
             l.reset();
         }
+        self.llc.reset();
         self.memory_demand = 0;
         self.memory_prefetch = 0;
     }
@@ -376,6 +463,70 @@ mod tests {
         assert_eq!(h.memory_demand, 0);
         let r = h.demand_access(1);
         assert_eq!(r.served_by, ServedBy::Memory);
+    }
+
+    #[test]
+    fn shrinking_llc_ways_trims_lru_and_caps_residency() {
+        // tiny L3: 16384 B / 64 B = 256 lines, 4 ways -> 64 sets. Lines
+        // colliding in set 0: 0, 64, 128, 192, 256.
+        let mut h = tiny();
+        for l in [0u64, 64, 128, 192] {
+            h.demand_access(l * 2); // *2 defeats the buddy prefetch pairing
+        }
+        // All four resident in the LLC set (L1/L2 too small to matter for
+        // contains checks below — check the LLC directly).
+        let llc = h.llc();
+        assert_eq!(llc.ways(), 4);
+        // Shrink to 1 way: the three LRU lines of every set are trimmed.
+        h.set_llc_ways(1);
+        assert_eq!(h.llc_ways(), 1);
+        assert_eq!(h.llc_configured_ways(), 4);
+        let resident: usize = [0u64, 64, 128, 192]
+            .iter()
+            .filter(|&&l| h.llc().contains(l * 2))
+            .count();
+        assert_eq!(resident, 1, "one way holds exactly the MRU line");
+        assert!(h.llc().contains(192 * 2), "the MRU line survives the trim");
+        // Re-widening never exceeds the configured ways.
+        h.set_llc_ways(100);
+        assert_eq!(h.llc_ways(), 4);
+    }
+
+    #[test]
+    fn one_way_slice_thrashes_where_full_slice_holds() {
+        // A working set that fits the full LLC but not a 1-way slice:
+        // re-scanning it hits with full ways and misses with one way.
+        let scan = |h: &mut CacheHierarchy| {
+            let mut memory = 0u64;
+            for round in 0..4 {
+                for l in (0..128u64).map(|l| l * 2) {
+                    let r = h.demand_access(l);
+                    if round > 0 && r.served_by == ServedBy::Memory {
+                        memory += 1;
+                    }
+                }
+            }
+            memory
+        };
+        let mut full = tiny();
+        let full_misses = scan(&mut full);
+        let mut sliced = tiny();
+        sliced.set_llc_ways(1);
+        let sliced_misses = scan(&mut sliced);
+        assert!(
+            sliced_misses > full_misses,
+            "1-way slice {sliced_misses} !> full {full_misses}"
+        );
+    }
+
+    #[test]
+    fn reset_preserves_the_way_allocation() {
+        let mut h = tiny();
+        h.set_llc_ways(2);
+        h.demand_access(7);
+        h.reset();
+        assert_eq!(h.llc_ways(), 2, "partition is socket state, not run state");
+        assert_eq!(h.l3_accesses(), 0);
     }
 
     #[test]

@@ -231,6 +231,22 @@ impl SimCpu {
         &self.hierarchy
     }
 
+    /// Restrict this core's LLC slice to `ways` ways (clamped into
+    /// `1..=configured`). Called by a shared-socket pool when its
+    /// capacity partition changes.
+    pub fn set_llc_ways(&mut self, ways: usize) {
+        self.hierarchy.set_llc_ways(ways);
+    }
+
+    /// Effective capacity in bytes of this core's LLC slice: the
+    /// configured capacity scaled by the way allocation. Equals the full
+    /// configured LLC on a private (uncontended) core — the figure every
+    /// cost estimate for work on this core should price against.
+    pub fn llc_effective_bytes(&self) -> u64 {
+        let llc = self.config.llc();
+        llc.capacity_bytes * self.hierarchy.llc_ways() as u64 / u64::from(llc.ways)
+    }
+
     /// Forget all cached lines, predictor state, stream state, counters
     /// and idle time.
     pub fn reset(&mut self) {

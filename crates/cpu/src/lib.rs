@@ -56,4 +56,4 @@ pub use cache::{CacheHierarchy, CacheLevel, LevelStats};
 pub use config::{CacheLevelConfig, CpuConfig, PredictorConfig, TimingConfig};
 pub use cpu::SimCpu;
 pub use pmu::{CounterDelta, Counters, Pmu};
-pub use pool::CpuPool;
+pub use pool::{partition_llc_ways, CpuPool, LlcMode};

@@ -1,14 +1,24 @@
-//! A pool of independent simulated cores for morsel-driven parallel
-//! execution.
+//! A pool of simulated cores for morsel-driven parallel execution, with
+//! an optional **socket model** for the shared last-level cache.
 //!
-//! Each core is a full [`SimCpu`]: its own cache hierarchy, branch
-//! predictor, stream state and free-running PMU bank. Cores share
-//! *nothing* — the only shared resource in the parallel execution model
-//! is the storage layer's simulated address space, which is immutable
-//! during a query. That mirrors the hardware the paper measures on
-//! (per-core PMU banks sampled independently) and keeps the simulation
-//! deterministic per core: a worker's counter values depend only on the
-//! morsels it executed, not on thread scheduling.
+//! Each core is a full [`SimCpu`]: its own private L1/L2, branch
+//! predictor, stream state and free-running PMU bank. What cores share
+//! depends on the pool's [`LlcMode`]:
+//!
+//! * [`LlcMode::Private`] — every core keeps the full configured LLC, as
+//!   if each sat on its own socket. Right for one query on one core;
+//!   optimistic for co-running work (N private LLCs beat one socket).
+//! * [`LlcMode::Shared`] — the configured LLC is the *socket's*, and
+//!   co-running cores contend for it. Because workers are real threads,
+//!   contention is modelled **deterministically** by way-partitioning
+//!   rather than by a shared mutable cache: callers declare each core's
+//!   hot-set footprint at region boundaries
+//!   ([`CpuPool::declare_footprints`]), the pool computes every core's
+//!   capacity share with [`partition_llc_ways`] (a pure function of the
+//!   declared footprints), and each core's hierarchy is restricted to
+//!   its slice. Per-core simulated cycles therefore depend only on the
+//!   declared co-runner set — never on host thread scheduling — and
+//!   query *results* never depend on cache state at all.
 //!
 //! The pool's timing view is the one a wall clock would see: the
 //! parallel region is as slow as its busiest core ([`CpuPool::max_cycles`]),
@@ -19,23 +29,162 @@ use crate::config::CpuConfig;
 use crate::cpu::SimCpu;
 use crate::pmu::{CounterDelta, Counters};
 
-/// A fixed-size pool of independent simulated cores.
+/// How a pool models the last-level cache across its cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LlcMode {
+    /// Every core keeps the full configured LLC (N independent sockets).
+    #[default]
+    Private,
+    /// One socket: cores contend for the configured LLC capacity via the
+    /// deterministic footprint partition.
+    Shared,
+}
+
+/// Deterministic capacity partition of a shared LLC: split `total_ways`
+/// across cores in proportion to their declared hot-set footprints
+/// (bytes), by largest-remainder apportionment.
+///
+/// * A core with footprint zero is not contending; it keeps the full
+///   `total_ways` (it runs nothing, so its slice is inert).
+/// * A **single** active core keeps the full capacity — an uncontended
+///   socket is exactly the private model.
+/// * Every active core keeps at least one way, even when that overcommits
+///   `total_ways` (more co-runners than ways): the minimum-occupancy
+///   floor bounds the pessimism for heavily oversubscribed sockets.
+/// * Apportionment is integer arithmetic with ties broken by core index,
+///   so the partition is a pure function of the footprint vector.
+pub fn partition_llc_ways(total_ways: u32, footprints: &[u64]) -> Vec<u32> {
+    assert!(total_ways >= 1, "an LLC has at least one way");
+    let mut ways = vec![total_ways; footprints.len()];
+    let active: Vec<usize> = (0..footprints.len())
+        .filter(|&i| footprints[i] > 0)
+        .collect();
+    if active.len() <= 1 {
+        return ways; // idle pool or lone occupant: full capacity
+    }
+    let sum: u128 = active.iter().map(|&i| u128::from(footprints[i])).sum();
+    // Largest-remainder apportionment over the active cores.
+    let mut base: Vec<(usize, u32)> = Vec::with_capacity(active.len());
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(active.len());
+    let mut allocated = 0u32;
+    for &i in &active {
+        let scaled = u128::from(total_ways) * u128::from(footprints[i]);
+        let b = (scaled / sum) as u32;
+        base.push((i, b));
+        remainders.push((scaled % sum, i));
+        allocated += b;
+    }
+    // Hand out the leftover ways by descending remainder (ties: lowest
+    // core index first) — deterministic and exact.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut leftover = total_ways - allocated;
+    for &(_, i) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        let slot = base.iter_mut().find(|(j, _)| *j == i).expect("active core");
+        slot.1 += 1;
+        leftover -= 1;
+    }
+    // Minimum-occupancy floor: raise zero allocations to one way, paid
+    // for by the largest allocations while any can still give.
+    while let Some(zero) = base.iter().position(|&(_, w)| w == 0) {
+        if let Some(donor) = base
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, w))| w > 1)
+            .max_by_key(|(k, &(_, w))| (w, usize::MAX - k))
+            .map(|(k, _)| k)
+        {
+            base[donor].1 -= 1;
+        }
+        base[zero].1 = 1;
+    }
+    for (i, w) in base {
+        ways[i] = w;
+    }
+    ways
+}
+
+/// A fixed-size pool of simulated cores sharing (or not) one socket LLC.
 #[derive(Debug, Clone)]
 pub struct CpuPool {
     cores: Vec<SimCpu>,
+    mode: LlcMode,
+    /// Most recently declared per-core hot-set footprints (bytes).
+    footprints: Vec<u64>,
 }
 
 impl CpuPool {
-    /// Build a pool of `cores` identical cores from one configuration.
+    /// Build a pool of `cores` identical cores from one configuration,
+    /// with private (per-core) LLCs — the historical model.
     ///
     /// # Panics
     /// Panics if `cores` is zero — a pool with no cores cannot execute
     /// anything.
     pub fn new(config: CpuConfig, cores: usize) -> Self {
+        Self::with_mode(config, cores, LlcMode::Private)
+    }
+
+    /// Build a single-socket pool whose cores share the configured LLC
+    /// under the deterministic capacity partition.
+    pub fn new_shared(config: CpuConfig, cores: usize) -> Self {
+        Self::with_mode(config, cores, LlcMode::Shared)
+    }
+
+    /// Build a pool with an explicit [`LlcMode`].
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero.
+    pub fn with_mode(config: CpuConfig, cores: usize, mode: LlcMode) -> Self {
         assert!(cores >= 1, "a CPU pool needs at least one core");
         Self {
             cores: (0..cores).map(|_| SimCpu::new(config.clone())).collect(),
+            mode,
+            footprints: vec![0; cores],
         }
+    }
+
+    /// The pool's LLC model.
+    pub fn llc_mode(&self) -> LlcMode {
+        self.mode
+    }
+
+    /// Declare each core's hot-set footprint (bytes of data the work it
+    /// is about to run wants resident in the LLC) and, on a shared
+    /// socket, repartition the capacity accordingly — each core's slice
+    /// is restricted to its share before the region starts, so per-core
+    /// cycles stay a pure function of the declared co-runner set. A
+    /// no-op on a private pool (every core already has the full LLC).
+    ///
+    /// # Panics
+    /// Panics if `footprints.len()` differs from the core count.
+    pub fn declare_footprints(&mut self, footprints: &[u64]) {
+        assert_eq!(footprints.len(), self.cores.len(), "one footprint per core");
+        self.footprints = footprints.to_vec();
+        if self.mode != LlcMode::Shared {
+            return;
+        }
+        let total_ways = self.config().llc().ways;
+        let shares = partition_llc_ways(total_ways, footprints);
+        for (core, ways) in self.cores.iter_mut().zip(shares) {
+            core.set_llc_ways(ways as usize);
+        }
+    }
+
+    /// Effective LLC capacity in bytes of one core's slice.
+    pub fn effective_llc_bytes(&self, core: usize) -> u64 {
+        self.cores[core].llc_effective_bytes()
+    }
+
+    /// The smallest LLC slice across the pool — the conservative capacity
+    /// a pool-wide cost estimate should price against.
+    pub fn min_effective_llc_bytes(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(SimCpu::llc_effective_bytes)
+            .min()
+            .expect("a pool has at least one core")
     }
 
     /// Number of cores.
@@ -210,5 +359,93 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn empty_pool_is_rejected() {
         let _ = CpuPool::new(CpuConfig::tiny_test(), 0);
+    }
+
+    #[test]
+    fn partition_gives_lone_and_idle_cores_full_capacity() {
+        // Idle pool: nothing contends.
+        assert_eq!(partition_llc_ways(16, &[0, 0, 0]), vec![16, 16, 16]);
+        // A single active core keeps the whole socket (the 1-core =
+        // full-capacity edge case), idle peers stay inert at full ways.
+        assert_eq!(partition_llc_ways(16, &[0, 4096, 0]), vec![16, 16, 16]);
+        assert_eq!(partition_llc_ways(16, &[1 << 30]), vec![16]);
+    }
+
+    #[test]
+    fn partition_splits_equal_footprints_evenly() {
+        assert_eq!(partition_llc_ways(16, &[100, 100, 100, 100]), vec![4; 4]);
+        assert_eq!(partition_llc_ways(16, &[7, 7]), vec![8, 8]);
+        // Non-divisible ways: largest remainder, ties to the lowest index.
+        assert_eq!(partition_llc_ways(16, &[1, 1, 1]), vec![6, 5, 5]);
+    }
+
+    #[test]
+    fn partition_is_proportional_to_footprints() {
+        // 3:1 footprints over 16 ways -> 12:4.
+        assert_eq!(partition_llc_ways(16, &[3 << 20, 1 << 20]), vec![12, 4]);
+        // A dominant co-runner squeezes the small one, but never to zero.
+        let shares = partition_llc_ways(16, &[1 << 30, 4096]);
+        assert_eq!(shares[1], 1, "minimum-occupancy floor");
+        assert_eq!(shares[0], 15, "the donor pays for the floor");
+    }
+
+    #[test]
+    fn partition_overcommits_at_one_way_when_oversubscribed() {
+        // More active cores than ways: everyone keeps the one-way floor.
+        let shares = partition_llc_ways(2, &[5, 5, 5, 5]);
+        assert_eq!(shares, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn shared_pool_partitions_slices_and_private_pool_does_not() {
+        let cfg = CpuConfig::tiny_test(); // 16 KiB LLC, 4 ways
+        let full = cfg.llc().capacity_bytes;
+        let mut private = CpuPool::new(cfg.clone(), 2);
+        private.declare_footprints(&[1 << 20, 1 << 20]);
+        assert_eq!(private.llc_mode(), LlcMode::Private);
+        assert_eq!(private.effective_llc_bytes(0), full);
+        assert_eq!(private.min_effective_llc_bytes(), full);
+
+        let mut shared = CpuPool::new_shared(cfg, 2);
+        assert_eq!(shared.llc_mode(), LlcMode::Shared);
+        assert_eq!(shared.effective_llc_bytes(0), full, "unclaimed = full");
+        shared.declare_footprints(&[1 << 20, 1 << 20]);
+        assert_eq!(shared.effective_llc_bytes(0), full / 2);
+        assert_eq!(shared.effective_llc_bytes(1), full / 2);
+        assert_eq!(shared.min_effective_llc_bytes(), full / 2);
+        // Re-declaring with a lone occupant re-widens back to the socket.
+        shared.declare_footprints(&[1 << 20, 0]);
+        assert_eq!(shared.effective_llc_bytes(0), full);
+    }
+
+    #[test]
+    fn contended_core_pays_more_for_the_same_accesses() {
+        // The same working set re-scanned on an uncontended core vs a core
+        // whose slice was halved: the contended core must stall more.
+        // 128 even lines (128-byte stride): 4 lines per even LLC set —
+        // exactly the tiny config's 4 ways, so the set fits the full
+        // slice and cyclically thrashes a halved one. Buddy prefetches
+        // target odd lines, i.e. odd sets, and cannot disturb the
+        // resident working set.
+        let cfg = CpuConfig::tiny_test();
+        let run = |pool: &mut CpuPool| {
+            let core = &mut pool.cores_mut()[0];
+            for _round in 0..4u64 {
+                for l in 0..128u64 {
+                    core.load(0, l * 128, 4);
+                }
+            }
+            core.cycles()
+        };
+        let mut private = CpuPool::new(cfg.clone(), 2);
+        private.declare_footprints(&[128 * 64, 128 * 64]);
+        let uncontended = run(&mut private);
+        let mut shared = CpuPool::new_shared(cfg, 2);
+        shared.declare_footprints(&[128 * 64, 128 * 64]);
+        let contended = run(&mut shared);
+        assert!(
+            contended > uncontended,
+            "contended {contended} !> uncontended {uncontended}"
+        );
     }
 }

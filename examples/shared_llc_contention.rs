@@ -1,0 +1,175 @@
+//! Shared-LLC contention: two co-running queries degrading each other.
+//!
+//! ```text
+//! cargo run --release --example shared_llc_contention
+//! ```
+//!
+//! A latency-sensitive pipeline (small probed dimension) is served
+//! alongside a probe-heavy background pipeline (large dimension), first
+//! on a pool of private per-core LLCs — the optimistic historical model
+//! where co-runners cannot touch each other's cache — and then on a
+//! single shared socket, where the deterministic capacity partition
+//! gives each core a slice of ONE last-level cache. The background
+//! query's hot set no longer fits next to the foreground's, the
+//! foreground query's probes start missing, and its latency inflates
+//! far past what priority scheduling alone could explain. Results are
+//! asserted bit-identical in both modes: contention moves cycles, never
+//! answers.
+
+use popt::core::exec::pipeline::{FilterOp, Pipeline};
+use popt::core::serve::{Priority, QueryServer, QuerySpec, ServeConfig, ServeReport};
+use popt::cpu::{CacheLevelConfig, CpuConfig, CpuPool, LlcMode};
+use popt::storage::{AddressSpace, ColumnData, Table};
+
+const ROWS: usize = 1 << 15;
+
+/// A small socket (8 KiB L1 / 32 KiB L2 / 128 KiB LLC) so the demo's
+/// tables are example-sized instead of gigabytes.
+fn socket() -> CpuConfig {
+    let mut cfg = CpuConfig::xeon_e5_2630_v2();
+    cfg.name = "demo socket (128 KiB shared LLC)";
+    cfg.levels = vec![
+        CacheLevelConfig {
+            capacity_bytes: 8 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 0,
+        },
+        CacheLevelConfig {
+            capacity_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency_cycles: 10,
+        },
+        CacheLevelConfig {
+            capacity_bytes: 128 * 1024,
+            line_bytes: 64,
+            ways: 16,
+            hit_latency_cycles: 30,
+        },
+    ];
+    cfg
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33
+}
+
+/// Fact table with a random FK into `dim_rows` tuples plus a value
+/// column; the dimension size decides how much LLC the query wants.
+fn tables(dim_rows: usize, seed: u64) -> (Table, Table) {
+    let mut state = seed | 1;
+    let mut space = AddressSpace::new();
+    let mut fact = Table::new("fact");
+    fact.add_column(
+        "fk",
+        ColumnData::I32(
+            (0..ROWS)
+                .map(|_| (xorshift(&mut state) % dim_rows as u64) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    fact.add_column(
+        "val",
+        ColumnData::I32(
+            (0..ROWS)
+                .map(|_| (xorshift(&mut state) % 1000) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    let mut dim_space = AddressSpace::new();
+    let mut dim = Table::new("dim");
+    dim.add_column(
+        "payload",
+        ColumnData::I32(
+            (0..dim_rows)
+                .map(|_| (xorshift(&mut state) % 1000) as i32)
+                .collect(),
+        ),
+        &mut dim_space,
+    );
+    (fact, dim)
+}
+
+fn pipeline<'t>(fact: &'t Table, dim: &'t Table) -> Pipeline<'t> {
+    let sel = FilterOp::select(fact, "val", CompareOp::Lt, 500, 0, 50).expect("select");
+    let join = FilterOp::join_filter(fact, "fk", dim, "payload", CompareOp::Lt, 500, 1, 100)
+        .expect("join");
+    Pipeline::new(vec![sel, join], fact.rows()).expect("pipeline")
+}
+
+use popt::core::predicate::CompareOp;
+
+/// Serve the given pipelines as equal-priority co-runners (or one of
+/// them alone) and return the report.
+fn serve(queries: &[(&str, (&Table, &Table))], mode: LlcMode) -> ServeReport {
+    let mut server = QueryServer::new(ServeConfig::default());
+    for (label, (fact, dim)) in queries {
+        server.admit(QuerySpec::pipeline(
+            *label,
+            pipeline(fact, dim),
+            vec![0, 1],
+            Priority::Normal,
+            0,
+        ));
+    }
+    let mut pool = CpuPool::with_mode(socket(), 2, mode);
+    server.run(&mut pool).expect("batch serves")
+}
+
+fn main() {
+    // Query A: 24 KiB dimension — fits even a contended slice.
+    let a = tables(6 * 1024, 0xF00D);
+    // Query B: 96 KiB dimension — wants most of the socket for itself:
+    // resident when a core owns the full 128 KiB LLC, thrashing once the
+    // socket is split two ways.
+    let b = tables(24 * 1024, 0xBEEF);
+    let queries = [
+        ("A (24 KiB dim)", (&a.0, &a.1)),
+        ("B (96 KiB dim)", (&b.0, &b.1)),
+    ];
+
+    // The same co-running batch under both memory models. A query's
+    // *own* execution cycles (its morsels, on whichever core ran them)
+    // are the contention signal: scheduler slots lent to the co-runner
+    // stretch latency in any mode, but only the cache can make a query's
+    // own work burn more cycles.
+    println!("two equal-priority queries co-running on a 2-core pool:");
+    let private = serve(&queries, LlcMode::Private);
+    let shared = serve(&queries, LlcMode::Shared);
+    let mut degradation = [0.0f64; 2];
+    for (q, (label, _)) in queries.iter().enumerate() {
+        let (p, s) = (&private.queries[q], &shared.queries[q]);
+        assert_eq!(p.qualified, s.qualified, "results never move");
+        assert_eq!(p.sum, s.sum, "aggregates never move");
+        degradation[q] = (s.exec_cycles as f64 / p.exec_cycles as f64 - 1.0) * 100.0;
+        println!(
+            "  {label}: {:>9} own cycles with private LLCs, {:>9} on one shared \
+             socket  ({:+.1}%)",
+            p.exec_cycles, s.exec_cycles, degradation[q]
+        );
+    }
+    println!(
+        "\nwith private per-core LLCs each query keeps a full 128 KiB cache and \
+         the co-runner is invisible to it; on one shared socket the partition \
+         leaves each core a 64 KiB slice of the batch's one LLC — A's dimension \
+         still fits ({:+.1}%), B's no longer does and its probes fall out to \
+         memory ({:+.1}%) — while every result stays bit-identical.",
+        degradation[0], degradation[1]
+    );
+    assert!(
+        degradation[1] > 20.0,
+        "the shared socket must degrade the LLC-hungry co-runner measurably \
+         (got {:+.1}%)",
+        degradation[1]
+    );
+    assert!(
+        degradation[0] < degradation[1],
+        "the slice-resident query must suffer less than the LLC-hungry one"
+    );
+}

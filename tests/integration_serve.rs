@@ -496,3 +496,87 @@ fn priorities_order_completion_under_contention() {
     assert_eq!(hi.qualified, lo.qualified);
     assert_eq!(hi.sum, lo.sum);
 }
+
+/// Mid-run order-cache publication: a query's converged order and
+/// calibration publish at *query completion* (under the coordination
+/// lock), so a long open-loop stream warms its own later arrivals —
+/// within one batch, without waiting for the batch to drain.
+#[test]
+fn completed_query_warms_a_later_arrival_in_the_same_batch() {
+    let (fact, _dim) = tables(0x0A51);
+    let plan = scan_plan([200, 500, 800]);
+    // Far enough out that the first instance has certainly completed
+    // (in simulated time) before the second arrives; with one worker
+    // the host-time order matches, so the test is fully deterministic.
+    let late_arrival = 100_000_000u64;
+
+    let mut server = QueryServer::new(config(true));
+    server.admit(QuerySpec::scan(
+        "early",
+        &fact,
+        plan.clone(),
+        vec![2, 1, 0],
+        Priority::Normal,
+        0,
+    ));
+    server.admit(QuerySpec::scan(
+        "late",
+        &fact,
+        plan,
+        vec![2, 1, 0],
+        Priority::Normal,
+        late_arrival,
+    ));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), 1);
+    let report = server.run(&mut pool).unwrap();
+    let early = &report.queries[0];
+    let late = &report.queries[1];
+    assert!(
+        !early.warm_start,
+        "the first instance has nothing to warm from"
+    );
+    assert!(
+        late.warm_start,
+        "the later arrival must warm from its completed template mate"
+    );
+    assert_eq!(early.final_order, vec![0, 1, 2], "{:?}", early.switches);
+    assert_eq!(late.final_order, early.final_order);
+    assert!(
+        late.switches.is_empty(),
+        "seeded at the converged order, the warm run has nothing to switch: {:?}",
+        late.switches
+    );
+    assert_eq!(late.qualified, early.qualified);
+    assert_eq!(late.sum, early.sum);
+    assert_eq!(server.cache().len(), 1);
+}
+
+/// Closed-loop instances of one template co-start and must all run cold:
+/// the mid-run warm path is gated to later arrivals (`arrival > 0`), so
+/// a batch that arrives together keeps batch-admission semantics
+/// regardless of completion interleaving.
+#[test]
+fn co_starting_template_mates_stay_cold() {
+    let (fact, _dim) = tables(0x0A52);
+    let plan = scan_plan([200, 500, 800]);
+    let mut server = QueryServer::new(config(true));
+    for k in 0..3 {
+        server.admit(QuerySpec::scan(
+            format!("q{k}"),
+            &fact,
+            plan.clone(),
+            vec![2, 1, 0],
+            Priority::Normal,
+            0,
+        ));
+    }
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+    let report = server.run(&mut pool).unwrap();
+    assert!(report.queries.iter().all(|q| !q.warm_start));
+    for q in &report.queries {
+        assert_eq!(q.qualified, report.queries[0].qualified);
+        assert_eq!(q.sum, report.queries[0].sum);
+    }
+    // All three completed and published; one template, one entry.
+    assert_eq!(server.cache().len(), 1);
+}
