@@ -14,9 +14,8 @@
 //! counts; window labels L1/L2/L3 refer to those scaled capacities (see
 //! EXPERIMENTS.md).
 
-use popt_core::exec::pipeline::{FilterOp, Pipeline};
-use popt_core::predicate::CompareOp;
-use popt_core::progressive::{run_progressive_pipeline, ProgressiveConfig, VectorConfig};
+use popt_core::plan::{Expr, PlanBuilder};
+use popt_core::progressive::{run_progressive_program, ProgressiveConfig, VectorConfig};
 use popt_cpu::{CacheLevelConfig, CpuConfig, SimCpu};
 use popt_storage::distribution::knuth_shuffle_window;
 use popt_storage::{AddressSpace, ColumnData, Table};
@@ -115,27 +114,21 @@ pub fn run(ctx: &FigureCtx) {
         let build = || {
             // Expensive selection (~50 instructions of UDF work) with 50%
             // selectivity; join filter with 50% selectivity on the
-            // dimension payload.
-            let sel = FilterOp::select(&fact, "val", CompareOp::Lt, DOMAIN / 2, 0, 50)
-                .expect("select compiles");
-            let join = FilterOp::join_filter(
-                &fact,
-                "fk",
-                &dim,
-                "payload",
-                CompareOp::Lt,
-                DOMAIN / 2,
-                1,
-                100,
-            )
-            .expect("join compiles");
-            Pipeline::new(vec![sel, join], fact.rows()).expect("two-stage pipeline")
+            // dimension payload. Goes through the query frontend: builder
+            // → optimizer passes → compiled program.
+            PlanBuilder::scan(&fact)
+                .filter_costed(Expr::col("val").less_than(DOMAIN / 2), 50)
+                .join(&dim, "fk", Expr::col("payload").less_than(DOMAIN / 2))
+                .build()
+                .optimize()
+                .compile()
+                .expect("plan lowers to a two-stage program")
         };
         let run_order = |order: [usize; 2]| {
-            let mut pipeline = build();
-            pipeline.reorder(&order).expect("valid order");
+            let mut program = build();
+            program.reorder(&order).expect("valid order");
             let mut cpu = SimCpu::new(scaled_cpu());
-            let stats = pipeline.run_range(&mut cpu, 0, fact.rows());
+            let stats = program.run_range(&mut cpu, 0, fact.rows());
             (cpu.millis(), stats.counters.l3_misses, stats.qualified)
         };
         let (sel_ms, sel_miss, q1) = run_order([0, 1]);
@@ -146,10 +139,10 @@ pub fn run(ctx: &FigureCtx) {
         // it must discover the crossover side on its own from the
         // counters (Section 5.5).
         let worse: [usize; 2] = if sel_ms <= join_ms { [1, 0] } else { [0, 1] };
-        let mut pipeline = build();
+        let mut program = build();
         let mut cpu = SimCpu::new(scaled_cpu());
-        let prog = run_progressive_pipeline(
-            &mut pipeline,
+        let prog = run_progressive_program(
+            &mut program,
             &worse,
             VectorConfig {
                 vector_tuples: 4096,

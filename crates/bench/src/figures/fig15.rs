@@ -9,9 +9,8 @@
 //! misses behind the effect — and the signal the sortedness detector
 //! (Equation 1 comparison) uses to flip the order.
 
-use popt_core::exec::pipeline::{FilterOp, Pipeline};
-use popt_core::predicate::CompareOp;
-use popt_core::progressive::{run_progressive_pipeline, ProgressiveConfig, VectorConfig};
+use popt_core::plan::{Expr, PlanBuilder};
+use popt_core::progressive::{run_progressive_program, ProgressiveConfig, VectorConfig};
 use popt_core::sortedness::{recommend_join_order, JoinObservation};
 use popt_cost::join_model::JoinGeometry;
 use popt_cpu::{CacheLevelConfig, CpuConfig, SimCpu};
@@ -93,44 +92,37 @@ pub fn run(ctx: &FigureCtx) {
     banner("15", "Foreign-key join order: orders-first vs. part-first");
     let rows = ctx.scale(1 << 21, 1 << 17);
     let (fact, orders, part) = tables(rows, 0xF1615);
+    println!("# frontend: PlanBuilder -> optimizer passes -> CompiledProgram");
 
     let sels: Vec<f64> = (2..=10).map(|i| i as f64 / 10.0).collect();
     let results = parallel_map(&sels, |&sel| {
         let literal = (sel * DOMAIN as f64) as i64;
-        let build = |orders_first: bool| {
-            let join_orders = FilterOp::join_filter(
-                &fact,
-                "l_orderkey",
-                &orders,
-                "o_totalprice",
-                CompareOp::Lt,
-                literal,
-                0,
-                100,
-            )
-            .expect("orders join compiles");
-            let join_part = FilterOp::join_filter(
-                &fact,
-                "l_partkey",
-                &part,
-                "p_retailprice",
-                CompareOp::Lt,
-                literal,
-                1,
-                101,
-            )
-            .expect("part join compiles");
-            let ops = if orders_first {
-                vec![join_orders, join_part]
-            } else {
-                vec![join_part, join_orders]
-            };
-            Pipeline::new(ops, fact.rows()).expect("two joins")
+        // One fixed logical plan (orders join at plan index 0, part at
+        // 1) through the full frontend; the evaluation order is a
+        // permutation of it, never a different plan.
+        let build = || {
+            PlanBuilder::scan(&fact)
+                .join(
+                    &orders,
+                    "l_orderkey",
+                    Expr::col("o_totalprice").less_than(literal),
+                )
+                .join(
+                    &part,
+                    "l_partkey",
+                    Expr::col("p_retailprice").less_than(literal),
+                )
+                .build()
+                .optimize()
+                .compile()
+                .expect("plan lowers to two joins")
         };
         let run_order = |orders_first: bool| {
-            let pipeline = build(orders_first);
+            let mut program = build();
+            let order: [usize; 2] = if orders_first { [0, 1] } else { [1, 0] };
+            program.reorder(&order).expect("valid order");
             let mut cpu = SimCpu::new(scaled_cpu());
-            let stats = pipeline.run_range(&mut cpu, 0, fact.rows());
+            let stats = program.run_range(&mut cpu, 0, fact.rows());
             (cpu.millis(), stats.counters.l3_misses, stats.qualified)
         };
         let (o_ms, o_miss, q1) = run_order(true);
@@ -140,11 +132,11 @@ pub fn run(ctx: &FigureCtx) {
         // Progressive execution from the *textbook* order (the ~8× smaller
         // `part` joined first): the counters must reveal the co-clustered
         // orders join and flip the order at runtime (Section 5.6).
-        let mut pipeline = build(false);
+        let mut program = build();
         let mut cpu = SimCpu::new(scaled_cpu());
-        let prog = run_progressive_pipeline(
-            &mut pipeline,
-            &[0, 1],
+        let prog = run_progressive_program(
+            &mut program,
+            &[1, 0],
             VectorConfig {
                 vector_tuples: 4096,
                 max_vectors: None,
@@ -155,10 +147,10 @@ pub fn run(ctx: &FigureCtx) {
                 ..Default::default()
             },
         )
-        .expect("progressive pipeline runs");
+        .expect("progressive program runs");
         assert_eq!(prog.qualified, q1, "progressive must not change the result");
-        // In `build(false)` plan index 0 is the part join.
-        let flipped = prog.final_peo == vec![1, 0];
+        // Plan index 0 is the orders join; [1, 0] started part-first.
+        let flipped = prog.final_peo == vec![0, 1];
         (sel, o_ms, p_ms, prog.millis, o_miss, p_miss, flipped)
     });
 
@@ -192,21 +184,15 @@ pub fn run(ctx: &FigureCtx) {
     // sample and ask which join should go first.
     let cpu_cfg = scaled_cpu();
     let probe = |dim: &Table, fk_col: &str, dim_col: &str, name: &str| {
-        let join = FilterOp::join_filter(
-            &fact,
-            fk_col,
-            dim,
-            dim_col,
-            CompareOp::Lt,
-            DOMAIN / 2,
-            0,
-            100,
-        )
-        .expect("probe join compiles");
-        let pipeline = Pipeline::new(vec![join], fact.rows()).expect("probe");
+        let program = PlanBuilder::scan(&fact)
+            .join(dim, fk_col, Expr::col(dim_col).less_than(DOMAIN / 2))
+            .build()
+            .optimize()
+            .compile()
+            .expect("probe join lowers");
         let mut cpu = SimCpu::new(cpu_cfg.clone());
         let sample_rows = fact.rows().min(1 << 16);
-        let stats = pipeline.run_range(&mut cpu, 0, sample_rows);
+        let stats = program.run_range(&mut cpu, 0, sample_rows);
         JoinObservation {
             name: name.into(),
             geometry: JoinGeometry {
@@ -241,40 +227,29 @@ pub fn run(ctx: &FigureCtx) {
 /// part-first order) crosses the static-order gap.
 fn convergence_sweep(fact: &Table, orders: &Table, part: &Table) {
     let literal = DOMAIN / 2;
-    let build = |orders_first: bool| {
-        let join_orders = FilterOp::join_filter(
-            fact,
-            "l_orderkey",
-            orders,
-            "o_totalprice",
-            CompareOp::Lt,
-            literal,
-            0,
-            100,
-        )
-        .expect("orders join compiles");
-        let join_part = FilterOp::join_filter(
-            fact,
-            "l_partkey",
-            part,
-            "p_retailprice",
-            CompareOp::Lt,
-            literal,
-            1,
-            101,
-        )
-        .expect("part join compiles");
-        let ops = if orders_first {
-            vec![join_orders, join_part]
-        } else {
-            vec![join_part, join_orders]
-        };
-        Pipeline::new(ops, fact.rows()).expect("two joins")
+    let build = || {
+        PlanBuilder::scan(fact)
+            .join(
+                orders,
+                "l_orderkey",
+                Expr::col("o_totalprice").less_than(literal),
+            )
+            .join(
+                part,
+                "l_partkey",
+                Expr::col("p_retailprice").less_than(literal),
+            )
+            .build()
+            .optimize()
+            .compile()
+            .expect("plan lowers to two joins")
     };
     let static_ms = |orders_first: bool| {
-        let pipeline = build(orders_first);
+        let mut program = build();
+        let order: [usize; 2] = if orders_first { [0, 1] } else { [1, 0] };
+        program.reorder(&order).expect("valid order");
         let mut cpu = SimCpu::new(scaled_cpu());
-        pipeline.run_range(&mut cpu, 0, fact.rows());
+        program.run_range(&mut cpu, 0, fact.rows());
         cpu.millis()
     };
     let best_ms = static_ms(true); // orders-first (co-clustered) wins
@@ -296,11 +271,11 @@ fn convergence_sweep(fact: &Table, orders: &Table, part: &Table) {
         .flat_map(|reop| [1_024usize, 4_096, 16_384].map(|vt| (reop, vt)))
         .collect();
     let sweep = parallel_map(&grid, |&(reop_interval, vector_tuples)| {
-        let mut pipeline = build(false);
+        let mut program = build();
         let mut cpu = SimCpu::new(scaled_cpu());
-        let prog = run_progressive_pipeline(
-            &mut pipeline,
-            &[0, 1],
+        let prog = run_progressive_program(
+            &mut program,
+            &[1, 0],
             VectorConfig {
                 vector_tuples,
                 max_vectors: None,
@@ -311,7 +286,7 @@ fn convergence_sweep(fact: &Table, orders: &Table, part: &Table) {
                 ..Default::default()
             },
         )
-        .expect("progressive pipeline runs");
+        .expect("progressive program runs");
         (reop_interval, vector_tuples, prog.millis)
     });
     for (reop_interval, vector_tuples, prog_ms) in sweep {

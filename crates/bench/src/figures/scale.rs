@@ -18,16 +18,16 @@
 //! estimator round per interval, charged to the core that ran it) and
 //! trial morsels (leased to exactly one core).
 
-use popt_core::exec::pipeline::{FilterOp, Pipeline};
-use popt_core::parallel::{run_parallel_pipeline, MorselConfig};
-use popt_core::predicate::CompareOp;
-use popt_core::progressive::{run_progressive_pipeline, ProgressiveConfig, VectorConfig};
+use popt_core::exec::program::CompiledProgram;
+use popt_core::parallel::{run_parallel_program, MorselConfig};
+use popt_core::plan::{Expr, PlanBuilder};
+use popt_core::progressive::{run_progressive_program, ProgressiveConfig, VectorConfig};
 use popt_cpu::{CpuPool, LlcMode, SimCpu};
 
 use crate::common::{banner, fmt, row, FigureCtx};
 use crate::figures::fig15::scaled_cpu;
 use crate::figures::workload::{
-    fig14_mem_tables, mem_tables_with_dim, star_pipeline, star_schema, DOMAIN,
+    fig14_mem_tables, mem_tables_with_dim, star_program, star_schema, DOMAIN,
 };
 
 /// Worker counts of the sweep.
@@ -44,10 +44,10 @@ struct SweepPoint {
 
 /// Run one workload's sweep: serial ground truth + progressive
 /// reference, then the worker-count scan. `build` must hand back a fresh
-/// pipeline in plan order each call; `hot_bytes_per_tuple` sizes the
-/// morsels so a worker's hot column data fits its private L2.
+/// compiled program in plan order each call; `hot_bytes_per_tuple` sizes
+/// the morsels so a worker's hot column data fits its private L2.
 fn sweep<'t>(
-    build: &dyn Fn() -> Pipeline<'t>,
+    build: &dyn Fn() -> CompiledProgram<'t>,
     initial_order: &[usize],
     hot_bytes_per_tuple: usize,
 ) -> Vec<SweepPoint> {
@@ -68,10 +68,10 @@ fn sweep<'t>(
         reop_interval: 4,
         ..Default::default()
     };
-    let mut serial_pipeline = build();
+    let mut serial_program = build();
     let mut serial_cpu = SimCpu::new(scaled_cpu());
-    let serial = run_progressive_pipeline(
-        &mut serial_pipeline,
+    let serial = run_progressive_program(
+        &mut serial_program,
         initial_order,
         VectorConfig {
             vector_tuples: 4_096,
@@ -86,10 +86,10 @@ fn sweep<'t>(
     WORKER_COUNTS
         .iter()
         .map(|&workers| {
-            let mut pipeline = build();
+            let mut program = build();
             let mut pool = CpuPool::new(scaled_cpu(), workers);
-            let report = run_parallel_pipeline(
-                &mut pipeline,
+            let report = run_parallel_program(
+                &mut program,
                 initial_order,
                 morsels,
                 &mut pool,
@@ -162,20 +162,13 @@ struct ContentionSweep {
 fn contention_sweep(label: &str, rows: usize, dim_rows: usize, seed: u64) -> ContentionSweep {
     let (fact, dim) = mem_tables_with_dim(rows, dim_rows, seed);
     let build = || {
-        let sel = FilterOp::select(&fact, "val", CompareOp::Lt, DOMAIN / 2, 0, 50)
-            .expect("select compiles");
-        let join = FilterOp::join_filter(
-            &fact,
-            "fk",
-            &dim,
-            "payload",
-            CompareOp::Lt,
-            DOMAIN / 2,
-            1,
-            100,
-        )
-        .expect("join compiles");
-        Pipeline::new(vec![sel, join], fact.rows()).expect("two-stage pipeline")
+        PlanBuilder::scan(&fact)
+            .filter_costed(Expr::col("val").less_than(DOMAIN / 2), 50)
+            .join(&dim, "fk", Expr::col("payload").less_than(DOMAIN / 2))
+            .build()
+            .optimize()
+            .compile()
+            .expect("plan lowers to a two-stage program")
     };
     let mut static_cpu = SimCpu::new(scaled_cpu());
     let expect = build().run_range(&mut static_cpu, 0, rows);
@@ -200,13 +193,13 @@ fn contention_sweep(label: &str, rows: usize, dim_rows: usize, seed: u64) -> Con
                 LlcMode::Shared => full_llc / workers as u64,
             };
             let morsels = MorselConfig::cache_friendly_for_share(&scaled_cpu(), 12, share);
-            let mut pipeline = build();
+            let mut program = build();
             let mut pool = CpuPool::with_mode(scaled_cpu(), workers, mode);
             // Baseline (no reopt): the sweep isolates *capacity* effects,
             // and without trial scheduling the interleaved placement
             // makes per-core cycles — and with them every column below —
             // exactly reproducible on any host.
-            let report = run_parallel_pipeline(&mut pipeline, &[0, 1], morsels, &mut pool, None)
+            let report = run_parallel_program(&mut program, &[0, 1], morsels, &mut pool, None)
                 .expect("parallel baseline runs");
             if workers == 1 {
                 one_worker_wall = report.wall_cycles;
@@ -335,20 +328,13 @@ pub fn run(ctx: &FigureCtx) {
     // worse order at "Mem" sortedness).
     let (fact, dim) = fig14_mem_tables(rows, 0x5CA1E);
     let build_fig14 = || {
-        let sel = FilterOp::select(&fact, "val", CompareOp::Lt, DOMAIN / 2, 0, 50)
-            .expect("select compiles");
-        let join = FilterOp::join_filter(
-            &fact,
-            "fk",
-            &dim,
-            "payload",
-            CompareOp::Lt,
-            DOMAIN / 2,
-            1,
-            100,
-        )
-        .expect("join compiles");
-        Pipeline::new(vec![sel, join], fact.rows()).expect("two-stage pipeline")
+        PlanBuilder::scan(&fact)
+            .filter_costed(Expr::col("val").less_than(DOMAIN / 2), 50)
+            .join(&dim, "fk", Expr::col("payload").less_than(DOMAIN / 2))
+            .build()
+            .optimize()
+            .compile()
+            .expect("plan lowers to a two-stage program")
     };
     // Hot bytes per tuple: fk + val + dimension probe, 4 B each.
     print_sweep("fig14-mem", &sweep(&build_fig14, &[1, 0], 12));
@@ -357,7 +343,7 @@ pub fn run(ctx: &FigureCtx) {
     // part and supplier joins first, then the co-clustered customer
     // join, with the cheap selection dead last).
     let star = star_schema(rows, 0x57A12);
-    let build_star = || star_pipeline(&star, Some(0.5), [0.5, 0.5, 0.5]);
+    let build_star = || star_program(&star, Some(0.5), [0.5, 0.5, 0.5]);
     // Hot bytes per tuple: val + 3 FKs + 3 probes + agg, 4 B each.
     print_sweep("star-3join", &sweep(&build_star, &[3, 2, 1, 0], 32));
 

@@ -23,10 +23,9 @@
 //! Every admitted query's qualified/sum is asserted bit-identical to a
 //! solo single-core execution in all three experiments.
 
-use popt_core::exec::pipeline::{FilterOp, Pipeline};
+use popt_core::exec::program::CompiledProgram;
 use popt_core::exec::scan::CompiledSelection;
-use popt_core::plan::SelectionPlan;
-use popt_core::predicate::CompareOp;
+use popt_core::plan::{Expr, PlanBuilder, SelectionPlan};
 use popt_core::serve::{Priority, QueryOutcome, QueryServer, QuerySpec, ServeConfig, ServeReport};
 use popt_cpu::{CpuConfig, CpuPool, SimCpu};
 use popt_storage::Table;
@@ -89,24 +88,17 @@ impl Mix {
         }
     }
 
-    /// The selection+join pipeline over the Mem tables (plan order:
-    /// selection 0, join 1 — served starting join-first, the worse
-    /// order at full shuffle).
-    fn pipeline(&self) -> Pipeline<'_> {
-        let sel = FilterOp::select(&self.fact, "val", CompareOp::Lt, DOMAIN / 2, 0, 50)
-            .expect("select compiles");
-        let join = FilterOp::join_filter(
-            &self.fact,
-            "fk",
-            &self.dim,
-            "payload",
-            CompareOp::Lt,
-            DOMAIN / 2,
-            1,
-            100,
-        )
-        .expect("join compiles");
-        Pipeline::new(vec![sel, join], self.fact.rows()).expect("two-stage pipeline")
+    /// The selection+join program over the Mem tables, built through
+    /// the query frontend (plan order: selection 0, join 1 — served
+    /// starting join-first, the worse order at full shuffle).
+    fn program(&self) -> CompiledProgram<'_> {
+        PlanBuilder::scan(&self.fact)
+            .filter_costed(Expr::col("val").less_than(DOMAIN / 2), 50)
+            .join(&self.dim, "fk", Expr::col("payload").less_than(DOMAIN / 2))
+            .build()
+            .optimize()
+            .compile()
+            .expect("plan lowers to a two-stage program")
     }
 
     fn scan_spec(&self, label: String, priority: Priority, arrival: u64) -> QuerySpec<'_> {
@@ -121,7 +113,9 @@ impl Mix {
     }
 
     fn pipe_spec(&self, label: String, priority: Priority, arrival: u64) -> QuerySpec<'_> {
-        QuerySpec::pipeline(label, self.pipeline(), vec![1, 0], priority, arrival)
+        let mut program = self.program();
+        program.reorder(&[1, 0]).expect("join-first start order");
+        QuerySpec::compiled(label, program, priority, arrival)
     }
 
     fn bg_spec(&self, label: String, arrival: u64) -> QuerySpec<'_> {
@@ -143,7 +137,7 @@ impl Mix {
             .expect("scan compiles")
             .run_range(&mut cpu, 0, self.scan_table.rows());
         let mut cpu = SimCpu::new(serve_cpu());
-        let pipe = self.pipeline().run_range(&mut cpu, 0, self.fact.rows());
+        let pipe = self.program().run_range(&mut cpu, 0, self.fact.rows());
         let mut cpu = SimCpu::new(serve_cpu());
         let bg = CompiledSelection::compile(&self.bg_table, &self.bg_plan, &[0, 1])
             .expect("bg scan compiles")
@@ -413,10 +407,10 @@ fn warm_vs_cold<'t>(mix: &'t Mix, refs: &[(u64, i64); 3], shared: bool) {
                     .cycles
             }
             _ => {
-                let mut pipeline = mix.pipeline();
-                pipeline.reorder(optimal).expect("optimal order");
+                let mut program = mix.program();
+                program.reorder(optimal).expect("optimal order");
                 let mut cpu = SimCpu::new(serve_cpu());
-                pipeline
+                program
                     .run_range(&mut cpu, 0, mix.fact.rows())
                     .counters
                     .cycles
@@ -498,20 +492,14 @@ fn isolation(ctx: &FigureCtx) -> [f64; 2] {
     // 24 Ki tuples = 96 KiB: coexists with 24 KiB in the full socket
     // (120 KiB < 128 KiB), overwhelms a 32 KiB share.
     let (bg_fact, bg_dim) = mem_tables_with_dim(rows, 24 * 1024, 0xBEEF);
-    fn pipe<'t>(fact: &'t Table, dim: &'t Table) -> Pipeline<'t> {
-        let sel = FilterOp::select(fact, "val", CompareOp::Lt, DOMAIN / 2, 0, 50).expect("select");
-        let join = FilterOp::join_filter(
-            fact,
-            "fk",
-            dim,
-            "payload",
-            CompareOp::Lt,
-            DOMAIN / 2,
-            1,
-            100,
-        )
-        .expect("join");
-        Pipeline::new(vec![sel, join], fact.rows()).expect("pipeline")
+    fn pipe<'t>(fact: &'t Table, dim: &'t Table) -> CompiledProgram<'t> {
+        PlanBuilder::scan(fact)
+            .filter_costed(Expr::col("val").less_than(DOMAIN / 2), 50)
+            .join(dim, "fk", Expr::col("payload").less_than(DOMAIN / 2))
+            .build()
+            .optimize()
+            .compile()
+            .expect("plan lowers")
     }
 
     row(&[
@@ -523,26 +511,13 @@ fn isolation(ctx: &FigureCtx) -> [f64; 2] {
     ]);
     let mut inflation = [0.0f64; 2];
     for (m, shared) in [false, true].into_iter().enumerate() {
-        let hp_spec = |label: &str| {
-            QuerySpec::pipeline(
-                label,
-                pipe(&hp_fact, &hp_dim),
-                vec![0, 1],
-                Priority::High,
-                0,
-            )
-        };
+        let hp_spec =
+            |label: &str| QuerySpec::compiled(label, pipe(&hp_fact, &hp_dim), Priority::High, 0);
         let solo = run_batch(vec![hp_spec("hp-solo")], 4, shared);
         let corun = run_batch(
             vec![
                 hp_spec("hp-corun"),
-                QuerySpec::pipeline(
-                    "bg-probe",
-                    pipe(&bg_fact, &bg_dim),
-                    vec![0, 1],
-                    Priority::Low,
-                    0,
-                ),
+                QuerySpec::compiled("bg-probe", pipe(&bg_fact, &bg_dim), Priority::Low, 0),
             ],
             4,
             shared,

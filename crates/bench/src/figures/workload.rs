@@ -3,8 +3,8 @@
 //! star-schema workload the multi-join and parallel-scaling figures
 //! exercise.
 
-use popt_core::exec::pipeline::{FilterOp, Pipeline};
-use popt_core::plan::SelectionPlan;
+use popt_core::exec::program::CompiledProgram;
+use popt_core::plan::{Expr, PlanBuilder, SelectionPlan};
 use popt_core::predicate::{CompareOp, Predicate};
 use popt_storage::{AddressSpace, ColumnData, Table};
 
@@ -194,49 +194,37 @@ pub fn star_schema(rows: usize, seed: u64) -> StarSchema {
     }
 }
 
-/// Build the star-join filter pipeline: an optional selection on `val`
-/// plus the three FK join filters, each `< literal_for(selectivity)` on
-/// its dimension payload, aggregating over `agg`.
+/// Build the star-join program through the query frontend: an optional
+/// selection on `val` plus the three FK join filters, each
+/// `< literal_for(selectivity)` on its dimension payload, aggregating
+/// over `agg` — [`PlanBuilder`] → optimizer passes → compiled program.
 ///
 /// Plan-order stage indices: selection (if any) first, then customer,
 /// supplier, part — so with a selection, plan index 1 is the
 /// co-clustered join and 2/3 are the random ones.
-pub fn star_pipeline<'t>(
+pub fn star_program<'t>(
     star: &'t StarSchema,
     select_sel: Option<f64>,
     join_sels: [f64; 3],
-) -> Pipeline<'t> {
-    let mut ops = Vec::new();
+) -> CompiledProgram<'t> {
+    let mut builder = PlanBuilder::scan(&star.fact);
     if let Some(sel) = select_sel {
-        ops.push(
-            FilterOp::select(&star.fact, "val", CompareOp::Lt, literal_for(sel), 0, 50)
-                .expect("selection compiles"),
-        );
+        builder = builder.filter_costed(Expr::col("val").less_than(literal_for(sel)), 50);
     }
     let joins: [(&Table, &str, &str); 3] = [
         (&star.customer, "fk_customer", "c_payload"),
         (&star.supplier, "fk_supplier", "s_payload"),
         (&star.part, "fk_part", "p_payload"),
     ];
-    for (k, ((dim, fk, payload), sel)) in joins.iter().zip(join_sels).enumerate() {
-        ops.push(
-            FilterOp::join_filter(
-                &star.fact,
-                fk,
-                dim,
-                payload,
-                CompareOp::Lt,
-                literal_for(sel),
-                (k + 1) as u32,
-                100 + k,
-            )
-            .expect("join filter compiles"),
-        );
+    for (&(dim, fk, payload), sel) in joins.iter().zip(join_sels) {
+        builder = builder.join(dim, fk, Expr::col(payload).less_than(literal_for(sel)));
     }
-    Pipeline::new(ops, star.fact.rows())
-        .expect("non-empty pipeline")
-        .with_aggregate(&star.fact, "agg")
-        .expect("aggregate column exists")
+    builder
+        .aggregate("agg")
+        .build()
+        .optimize()
+        .compile()
+        .expect("star plan lowers")
 }
 
 #[cfg(test)]
@@ -266,9 +254,9 @@ mod tests {
     fn star_schema_joins_hit_requested_selectivities() {
         let rows = 1 << 15;
         let star = star_schema(rows, 0x57A2);
-        // Every FK is in range by construction; the pipeline compiles.
-        let pipeline = star_pipeline(&star, Some(0.5), [0.3, 0.5, 0.7]);
-        assert_eq!(pipeline.len(), 4);
+        // Every FK is in range by construction; the plan lowers.
+        let program = star_program(&star, Some(0.5), [0.3, 0.5, 0.7]);
+        assert_eq!(program.len(), 4);
         // Ground truth: host-side evaluation of the conjunction.
         let fk = |name: &str| star.fact.column(name).unwrap().data().as_i32().unwrap();
         fn payload<'t>(t: &'t Table, c: &str) -> &'t [i32] {
@@ -290,7 +278,7 @@ mod tests {
             })
             .count() as u64;
         let mut cpu = SimCpu::new(CpuConfig::tiny_test());
-        let stats = pipeline.run_range(&mut cpu, 0, rows);
+        let stats = program.run_range(&mut cpu, 0, rows);
         assert_eq!(stats.qualified, expect);
         // Roughly 0.5 * 0.3 * 0.5 * 0.7 = 5.25% qualify.
         let frac = expect as f64 / rows as f64;

@@ -22,6 +22,10 @@ pub enum EngineError {
     },
     /// A vectorization parameter is zero or otherwise unusable.
     InvalidVectorConfig(String),
+    /// A predicate expression has a shape the compiled stage form cannot
+    /// express (e.g. a disjunction of non-constant terms, or a constant-
+    /// false filter that would qualify nothing).
+    UnsupportedExpr(String),
     /// A foreign-key column holds a key outside the dimension table's row
     /// range (negative or dangling), detected at join-filter construction.
     ForeignKeyOutOfRange {
@@ -49,6 +53,9 @@ impl fmt::Display for EngineError {
                 write!(f, "PEO {got:?} is not a permutation of 0..{expected}")
             }
             EngineError::InvalidVectorConfig(msg) => write!(f, "invalid vector config: {msg}"),
+            EngineError::UnsupportedExpr(msg) => {
+                write!(f, "unsupported predicate expression: {msg}")
+            }
             EngineError::ForeignKeyOutOfRange {
                 column,
                 key,

@@ -14,6 +14,17 @@
 //! co-clustered dimension (lineitem→orders) produces a near-sequential
 //! access stream, a probe into a randomly keyed dimension (lineitem→part)
 //! produces the random pattern Equation 1 prices.
+//!
+//! **Deprecation note.** Hand-chaining [`FilterOp`]s into a
+//! [`Pipeline`] is the legacy construction path. New code should go
+//! through the query frontend — [`crate::plan::PlanBuilder`] →
+//! optimizer passes → [`crate::exec::program::CompiledProgram`] — which
+//! lowers to an executor with the exact same per-tuple event sequence
+//! (pinned by test) while adding predicate normalization, static passes,
+//! structural cache signatures, and cheap permutation re-emission. The
+//! hand-chaining path remains for targeted executor tests and for
+//! drivers not yet migrated; it will lose its public constructors in a
+//! later change.
 
 use popt_cost::estimate::{PlanGeometry, ProbeGeometry};
 use popt_cost::join_model::JoinGeometry;
@@ -651,6 +662,24 @@ mod tests {
         let mut p = Pipeline::new(vec![sel, join], fact.rows()).unwrap();
         assert!(p.reorder(&[0, 0]).is_err());
         assert!(p.reorder(&[1]).is_err());
+    }
+
+    #[test]
+    fn failed_reorder_leaves_the_order_untouched() {
+        let (fact, dim) = tables(100, 10);
+        let sel = FilterOp::select(&fact, "val", CompareOp::Lt, 50, 0, 0).unwrap();
+        let join =
+            FilterOp::join_filter(&fact, "fk_seq", &dim, "payload", CompareOp::Eq, 0, 1, 100)
+                .unwrap();
+        let mut p = Pipeline::new(vec![sel, join], fact.rows()).unwrap();
+        p.reorder(&[1, 0]).unwrap();
+        // A rejected permutation must not clobber the current order —
+        // reorder validates before it mutates, so a caller can treat a
+        // failed reorder as a no-op and keep executing.
+        assert!(p.reorder(&[0, 0]).is_err());
+        assert_eq!(p.order(), &[1, 0]);
+        assert!(p.reorder(&[2, 1, 0]).is_err());
+        assert_eq!(p.order(), &[1, 0]);
     }
 
     #[test]

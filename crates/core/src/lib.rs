@@ -7,7 +7,13 @@
 //! approach to join ordering (Sections 5.5–5.6).
 //!
 //! * [`predicate`] / [`plan`] — predicate and plan representation, PEO
-//!   permutation utilities;
+//!   permutation utilities, and the **query frontend**: a typed
+//!   [`plan::LogicalPlan`] builder ([`plan::PlanBuilder`], the single
+//!   entry door for query construction), static optimizer passes
+//!   ([`plan::PassRegistry`]: constant folding, join-condition
+//!   extraction, filter pushdown, projection pruning), and lowering to
+//!   the compiled flat stage form ([`exec::program::CompiledProgram`])
+//!   the progressive runtime reorders with a cheap permutation re-emit;
 //! * [`exec`] — the "compiled" scan loop (the short-circuit branch
 //!   code of Section 2.1 driven against the simulated CPU), the foreign-key
 //!   join-filter operator, and the invasive enumerator baseline of
@@ -62,15 +68,16 @@ pub mod sortedness;
 
 pub use error::EngineError;
 pub use exec::pipeline::{FilterOp, Pipeline};
+pub use exec::program::{CompiledProgram, CompiledStage};
 pub use parallel::{
-    run_parallel_pipeline, run_parallel_scan, run_parallel_target, MorselConfig, MorselDispatcher,
-    ParallelReport, ShardableTarget, TargetShard,
+    run_parallel_pipeline, run_parallel_program, run_parallel_scan, run_parallel_target,
+    MorselConfig, MorselDispatcher, ParallelReport, ShardableTarget, TargetShard,
 };
-pub use plan::{Peo, SelectionPlan};
+pub use plan::{Expr, LogicalNode, LogicalPlan, PassRegistry, Peo, PlanBuilder, SelectionPlan};
 pub use predicate::{CompareOp, Predicate};
 pub use progressive::{
-    run_baseline, run_progressive, run_progressive_pipeline, ProgressiveConfig, ProgressiveReport,
-    ProgressiveTarget, VectorConfig,
+    run_baseline, run_progressive, run_progressive_pipeline, run_progressive_program,
+    CompiledTarget, ProgressiveConfig, ProgressiveReport, ProgressiveTarget, VectorConfig,
 };
 pub use query::{QueryBuilder, QueryReport, RunMode};
 pub use serve::{

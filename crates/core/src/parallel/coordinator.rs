@@ -609,6 +609,22 @@ pub fn run_parallel_pipeline(
     run_parallel_target(&mut target, morsels, pool, reopt)
 }
 
+/// Execute a compiled program with morsel-driven parallelism, optionally
+/// with shared progressive operator reordering. The program is left in
+/// the final accepted order. The parallel generalization of
+/// [`crate::progressive::run_progressive_program`].
+pub fn run_parallel_program(
+    program: &mut crate::exec::program::CompiledProgram<'_>,
+    initial_order: &[usize],
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+) -> Result<ParallelReport, EngineError> {
+    program.reorder(initial_order)?;
+    let mut target = crate::progressive::CompiledTarget::new(program);
+    run_parallel_target(&mut target, morsels, pool, reopt)
+}
+
 /// Drive any range-shardable progressive target across the pool.
 pub fn run_parallel_target<T>(
     target: &mut T,

@@ -69,7 +69,8 @@ pub mod coordinator;
 pub mod morsel;
 
 pub use coordinator::{
-    run_parallel_pipeline, run_parallel_scan, run_parallel_target, ParallelReport,
+    run_parallel_pipeline, run_parallel_program, run_parallel_scan, run_parallel_target,
+    ParallelReport,
 };
 pub use morsel::{MorselConfig, MorselDispatcher};
 
@@ -77,8 +78,9 @@ use popt_cpu::SimCpu;
 
 use crate::error::EngineError;
 use crate::exec::pipeline::Pipeline;
+use crate::exec::program::CompiledProgram;
 use crate::exec::scan::VectorStats;
-use crate::progressive::{PipelineTarget, ProgressiveTarget, ScanTarget};
+use crate::progressive::{CompiledTarget, PipelineTarget, ProgressiveTarget, ScanTarget};
 
 /// A per-worker executor: the execution half of a progressive target,
 /// runnable over arbitrary row ranges and switchable to any published
@@ -144,6 +146,33 @@ impl<'t> ShardableTarget for PipelineTarget<'_, 't> {
     fn shard(&self) -> Result<Self::Shard, EngineError> {
         Ok(PipelineShard {
             pipeline: self.pipeline.clone(),
+        })
+    }
+}
+
+/// A worker-owned compiled-program clone (the stage table borrows the
+/// shared immutable column data, so the clone is cheap — re-chaining is
+/// just the order permutation re-emit).
+pub struct CompiledShard<'t> {
+    program: CompiledProgram<'t>,
+}
+
+impl TargetShard for CompiledShard<'_> {
+    fn set_order(&mut self, order: &[usize]) -> Result<(), EngineError> {
+        self.program.reorder(order)
+    }
+
+    fn run_range(&mut self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats {
+        self.program.run_range(cpu, start, end)
+    }
+}
+
+impl<'t> ShardableTarget for CompiledTarget<'_, 't> {
+    type Shard = CompiledShard<'t>;
+
+    fn shard(&self) -> Result<Self::Shard, EngineError> {
+        Ok(CompiledShard {
+            program: self.program().clone(),
         })
     }
 }

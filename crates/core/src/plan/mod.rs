@@ -4,6 +4,19 @@
 //! plus an aggregate; the **PEO** — the order in which the predicates are
 //! wired into the short-circuit loop — is the runtime degree of freedom
 //! the progressive optimizer adjusts (Section 2.1).
+//!
+//! The module also hosts the query frontend: [`logical`] holds the
+//! [`logical::LogicalPlan`] builder layer (typed scan/filter/join/
+//! aggregate nodes over arbitrary boolean predicate expressions) and
+//! [`passes`] the static optimizer passes that rewrite a logical plan
+//! before it is lowered to the compiled stage form
+//! (`crate::exec::program`).
+
+pub mod logical;
+pub mod passes;
+
+pub use logical::{Expr, LogicalNode, LogicalPlan, PlanBuilder};
+pub use passes::PassRegistry;
 
 use crate::error::EngineError;
 use crate::predicate::Predicate;

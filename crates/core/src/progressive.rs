@@ -45,6 +45,7 @@ use popt_storage::Table;
 
 use crate::error::EngineError;
 use crate::exec::pipeline::Pipeline;
+use crate::exec::program::CompiledProgram;
 use crate::exec::scan::{CompiledSelection, VectorStats};
 use crate::plan::{order_by_cost_per_tuple, order_by_selectivity, Peo, SelectionPlan};
 
@@ -380,13 +381,11 @@ impl ProgressiveTarget for ScanTarget<'_, '_> {
     }
 }
 
-/// A filter pipeline (selections + foreign-key join filters) as a
-/// progressive target. Orders are ranked by estimated cost per input
-/// tuple, and each join stage's probe clustering is calibrated from the
-/// counters whenever the stage runs at the front of the pipeline (the
-/// position where its signal dominates the sample).
-pub(crate) struct PipelineTarget<'p, 't> {
-    pub(crate) pipeline: &'p mut Pipeline<'t>,
+/// Runtime-learned probe locality, shared by every target whose stages
+/// include foreign-key joins ([`PipelineTarget`], [`CompiledTarget`]):
+/// one clustering estimate per *plan* stage, which stages were ever
+/// observed, and which already spent their measurement probe.
+pub(crate) struct ProbeCalibration {
     /// Per plan-stage clustering estimate (1.0 = assume uniform random,
     /// the textbook-pessimistic prior; meaningless for selects).
     clustering: Vec<f64>,
@@ -396,63 +395,32 @@ pub(crate) struct PipelineTarget<'p, 't> {
     probed: Vec<bool>,
 }
 
-impl<'p, 't> PipelineTarget<'p, 't> {
-    pub(crate) fn new(pipeline: &'p mut Pipeline<'t>) -> Self {
-        let stages = pipeline.len();
+impl ProbeCalibration {
+    pub(crate) fn cold(stages: usize) -> Self {
         Self {
-            pipeline,
             clustering: vec![1.0; stages],
             measured: vec![false; stages],
             probed: vec![false; stages],
         }
     }
-}
 
-impl ProgressiveTarget for PipelineTarget<'_, '_> {
-    fn rows(&self) -> usize {
-        self.pipeline.rows()
+    pub(crate) fn clustering(&self) -> &[f64] {
+        &self.clustering
     }
 
-    fn order(&self) -> Peo {
-        self.pipeline.order().to_vec()
-    }
-
-    fn set_order(&mut self, order: &[usize]) -> Result<(), EngineError> {
-        self.pipeline.reorder(order)
-    }
-
-    fn run_range(&mut self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats {
-        self.pipeline.run_range(cpu, start, end)
-    }
-
-    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, llc_bytes: u64) -> PlanGeometry {
-        self.pipeline
-            .plan_geometry(n_input, cpu, llc_bytes, &self.clustering)
-    }
-
-    fn hot_set_bytes(&self) -> u64 {
-        self.pipeline.hot_set_bytes()
-    }
-
-    fn propose_order(&self, geom: &PlanGeometry, selectivities: &[f64]) -> Peo {
-        let costs = stage_costs_per_input_tuple(
-            geom,
-            &self.pipeline.stage_instructions(),
-            selectivities,
-            &CycleParams::default(),
-        );
-        order_by_cost_per_tuple(self.pipeline.order(), &costs, selectivities)
-    }
-
-    fn calibrate(&mut self, geom: &PlanGeometry, sampled: &SampledCounters, survivors: &[f64]) {
-        // Only the front stage's probe is solved for: it sees every tuple
-        // of the vector, so its contribution dominates the L3 sample,
-        // while the later stages' (smaller) contributions are carried by
-        // their current estimates inside `geom`.
-        let front = self.pipeline.order()[0];
-        if !self.pipeline.op(front).is_join() {
-            return;
-        }
+    /// Solve the front stage's clustering from a vector's L3 sample. Only
+    /// the front probe is solved for: it sees every tuple of the vector,
+    /// so its contribution dominates the L3 signal, while the later
+    /// stages' (smaller) contributions are carried by their current
+    /// estimates inside `geom`. The caller has checked that `front` is a
+    /// join stage.
+    fn calibrate_front(
+        &mut self,
+        front: usize,
+        geom: &PlanGeometry,
+        sampled: &SampledCounters,
+        survivors: &[f64],
+    ) {
         let predict_at = |clustering: f64| -> f64 {
             let mut g = geom.clone();
             if let Some(p) = g.probes[0].as_mut() {
@@ -480,10 +448,16 @@ impl ProgressiveTarget for PipelineTarget<'_, '_> {
         self.measured[front] = true;
     }
 
-    fn take_probe_order(&mut self) -> Option<Peo> {
-        let order = self.pipeline.order().to_vec();
+    /// An order that moves the first never-observed, never-probed join to
+    /// the front, spending its probe budget; `None` when nothing is left
+    /// to learn (or the candidate already runs at the front).
+    fn take_probe_order(
+        &mut self,
+        order: &[usize],
+        is_join: impl Fn(usize) -> bool,
+    ) -> Option<Peo> {
         for (pos, &j) in order.iter().enumerate() {
-            if !self.pipeline.op(j).is_join() || self.measured[j] || self.probed[j] {
+            if !is_join(j) || self.measured[j] || self.probed[j] {
                 continue;
             }
             if pos == 0 {
@@ -499,21 +473,7 @@ impl ProgressiveTarget for PipelineTarget<'_, '_> {
         None
     }
 
-    fn wants_trial_calibration(&self) -> bool {
-        true
-    }
-
-    fn calibration_snapshot(&self) -> Option<CalibrationSnapshot> {
-        Some(CalibrationSnapshot::new(
-            self.clustering.clone(),
-            self.measured.clone(),
-        ))
-    }
-
-    fn restore_calibration(&mut self, snapshot: &CalibrationSnapshot) {
-        if !snapshot.matches(self.pipeline.len()) {
-            return;
-        }
+    fn restore(&mut self, snapshot: &CalibrationSnapshot) {
         self.clustering = snapshot
             .clustering
             .iter()
@@ -523,6 +483,194 @@ impl ProgressiveTarget for PipelineTarget<'_, '_> {
         // Measured stages need no measurement probe; unmeasured ones keep
         // their probe budget (`probed` stays false) so a template whose
         // earlier runs never observed a stage can still learn it.
+    }
+}
+
+/// A filter pipeline (selections + foreign-key join filters) as a
+/// progressive target. Orders are ranked by estimated cost per input
+/// tuple, and each join stage's probe clustering is calibrated from the
+/// counters whenever the stage runs at the front of the pipeline (the
+/// position where its signal dominates the sample).
+pub(crate) struct PipelineTarget<'p, 't> {
+    pub(crate) pipeline: &'p mut Pipeline<'t>,
+    cal: ProbeCalibration,
+}
+
+impl<'p, 't> PipelineTarget<'p, 't> {
+    pub(crate) fn new(pipeline: &'p mut Pipeline<'t>) -> Self {
+        let stages = pipeline.len();
+        Self {
+            pipeline,
+            cal: ProbeCalibration::cold(stages),
+        }
+    }
+}
+
+impl ProgressiveTarget for PipelineTarget<'_, '_> {
+    fn rows(&self) -> usize {
+        self.pipeline.rows()
+    }
+
+    fn order(&self) -> Peo {
+        self.pipeline.order().to_vec()
+    }
+
+    fn set_order(&mut self, order: &[usize]) -> Result<(), EngineError> {
+        self.pipeline.reorder(order)
+    }
+
+    fn run_range(&mut self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats {
+        self.pipeline.run_range(cpu, start, end)
+    }
+
+    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, llc_bytes: u64) -> PlanGeometry {
+        self.pipeline
+            .plan_geometry(n_input, cpu, llc_bytes, self.cal.clustering())
+    }
+
+    fn hot_set_bytes(&self) -> u64 {
+        self.pipeline.hot_set_bytes()
+    }
+
+    fn propose_order(&self, geom: &PlanGeometry, selectivities: &[f64]) -> Peo {
+        let costs = stage_costs_per_input_tuple(
+            geom,
+            &self.pipeline.stage_instructions(),
+            selectivities,
+            &CycleParams::default(),
+        );
+        order_by_cost_per_tuple(self.pipeline.order(), &costs, selectivities)
+    }
+
+    fn calibrate(&mut self, geom: &PlanGeometry, sampled: &SampledCounters, survivors: &[f64]) {
+        let front = self.pipeline.order()[0];
+        if !self.pipeline.op(front).is_join() {
+            return;
+        }
+        self.cal.calibrate_front(front, geom, sampled, survivors);
+    }
+
+    fn take_probe_order(&mut self) -> Option<Peo> {
+        let order = self.pipeline.order().to_vec();
+        self.cal
+            .take_probe_order(&order, |j| self.pipeline.op(j).is_join())
+    }
+
+    fn wants_trial_calibration(&self) -> bool {
+        true
+    }
+
+    fn calibration_snapshot(&self) -> Option<CalibrationSnapshot> {
+        Some(CalibrationSnapshot::new(
+            self.cal.clustering.clone(),
+            self.cal.measured.clone(),
+        ))
+    }
+
+    fn restore_calibration(&mut self, snapshot: &CalibrationSnapshot) {
+        if !snapshot.matches(self.pipeline.len()) {
+            return;
+        }
+        self.cal.restore(snapshot);
+    }
+}
+
+/// A [`CompiledProgram`] as a progressive target — the frontend's
+/// counterpart of [`PipelineTarget`], with identical ranking, probe
+/// calibration, and trial semantics. The one difference is snapshot
+/// identity: compiled programs key their calibration to the program's
+/// literal-free [`CompiledProgram::stage_keys`], so a cached snapshot
+/// warm-starts any query of the same *structure* regardless of its
+/// literals, and is ignored for a structurally different program even
+/// when the stage count happens to match.
+pub struct CompiledTarget<'p, 't> {
+    program: &'p mut CompiledProgram<'t>,
+    cal: ProbeCalibration,
+}
+
+impl<'p, 't> CompiledTarget<'p, 't> {
+    /// Wrap `program` with cold calibration state.
+    pub fn new(program: &'p mut CompiledProgram<'t>) -> Self {
+        let stages = program.len();
+        Self {
+            program,
+            cal: ProbeCalibration::cold(stages),
+        }
+    }
+
+    /// The wrapped program (for sharding).
+    pub(crate) fn program(&self) -> &CompiledProgram<'t> {
+        self.program
+    }
+}
+
+impl ProgressiveTarget for CompiledTarget<'_, '_> {
+    fn rows(&self) -> usize {
+        self.program.rows()
+    }
+
+    fn order(&self) -> Peo {
+        self.program.order().to_vec()
+    }
+
+    fn set_order(&mut self, order: &[usize]) -> Result<(), EngineError> {
+        self.program.reorder(order)
+    }
+
+    fn run_range(&mut self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats {
+        self.program.run_range(cpu, start, end)
+    }
+
+    fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, llc_bytes: u64) -> PlanGeometry {
+        self.program
+            .plan_geometry(n_input, cpu, llc_bytes, self.cal.clustering())
+    }
+
+    fn hot_set_bytes(&self) -> u64 {
+        self.program.hot_set_bytes()
+    }
+
+    fn propose_order(&self, geom: &PlanGeometry, selectivities: &[f64]) -> Peo {
+        let costs = stage_costs_per_input_tuple(
+            geom,
+            &self.program.stage_instructions(),
+            selectivities,
+            &CycleParams::default(),
+        );
+        order_by_cost_per_tuple(self.program.order(), &costs, selectivities)
+    }
+
+    fn calibrate(&mut self, geom: &PlanGeometry, sampled: &SampledCounters, survivors: &[f64]) {
+        let front = self.program.order()[0];
+        if !self.program.stage(front).is_join() {
+            return;
+        }
+        self.cal.calibrate_front(front, geom, sampled, survivors);
+    }
+
+    fn take_probe_order(&mut self) -> Option<Peo> {
+        let order = self.program.order().to_vec();
+        self.cal
+            .take_probe_order(&order, |j| self.program.stage(j).is_join())
+    }
+
+    fn wants_trial_calibration(&self) -> bool {
+        true
+    }
+
+    fn calibration_snapshot(&self) -> Option<CalibrationSnapshot> {
+        Some(CalibrationSnapshot::keyed(
+            self.cal.clustering.clone(),
+            self.cal.measured.clone(),
+            self.program.stage_keys(),
+        ))
+    }
+
+    fn restore_calibration(&mut self, snapshot: &CalibrationSnapshot) {
+        if !snapshot.matches_keys(&self.program.stage_keys()) {
+            return;
+        }
+        self.cal.restore(snapshot);
     }
 }
 
@@ -556,6 +704,22 @@ pub fn run_progressive_pipeline(
 ) -> Result<ProgressiveReport, EngineError> {
     pipeline.reorder(initial_order)?;
     let mut target = PipelineTarget::new(pipeline);
+    run_progressive_target(&mut target, vectors, cpu, config)
+}
+
+/// [`run_progressive_pipeline`] for a [`CompiledProgram`] — the execution
+/// entry point the frontend's `plan → passes → compile` chain feeds into.
+///
+/// The program is left in the final order the run converged to.
+pub fn run_progressive_program(
+    program: &mut CompiledProgram<'_>,
+    initial_order: &[usize],
+    vectors: VectorConfig,
+    cpu: &mut SimCpu,
+    config: &ProgressiveConfig,
+) -> Result<ProgressiveReport, EngineError> {
+    program.reorder(initial_order)?;
+    let mut target = CompiledTarget::new(program);
     run_progressive_target(&mut target, vectors, cpu, config)
 }
 

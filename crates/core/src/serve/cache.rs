@@ -19,18 +19,25 @@
 //! stake: operator orders cannot change query results.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use popt_solver::CalibrationSnapshot;
 use popt_storage::Table;
 
 use crate::error::EngineError;
 use crate::exec::pipeline::Pipeline;
+use crate::exec::program::CompiledProgram;
 use crate::plan::{Peo, SelectionPlan};
 use crate::predicate::{CompareOp, Predicate};
 
 /// Structural identity of one pipeline stage, in *plan* order — what the
 /// stage computes and which simulated columns it touches, independent of
-/// where the evaluation order currently places it.
+/// where the evaluation order currently places it. Deliberately
+/// **literal-free**: a converged operator order and probe calibration are
+/// properties of the stage *shapes* (which columns stream, which
+/// dimensions probe), so a parameterized template — the same query with a
+/// sliding literal — keeps one cache identity. The literals live next to
+/// the signature as a feature vector ([`WorkloadSignature::literals`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum StageSignature {
     /// A predicate on a fact-table column.
@@ -40,8 +47,6 @@ pub enum StageSignature {
         base: u64,
         /// Comparison operator.
         op: CompareOp,
-        /// Literal operand.
-        literal: i64,
         /// Extra per-evaluation instructions (expensive predicates).
         extra_instructions: u64,
     },
@@ -55,18 +60,38 @@ pub enum StageSignature {
         dim_rows: usize,
         /// Comparison operator applied to the probed payload.
         op: CompareOp,
-        /// Literal operand.
-        literal: i64,
     },
 }
 
 /// A query template's identity: the scanned row count plus the plan-order
 /// stage set. Two queries share a signature exactly when they run the
-/// same stages over the same stored columns — the unit of order reuse.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// same stage *structure* over the same stored columns — the unit of
+/// order reuse. Literals ride along as features but do not participate
+/// in equality or hashing, so instances of a parameterized template
+/// (`val < 500`, `val < 501`, …) warm-hit each other while any structural
+/// change — a different column, operator, or dimension — still misses.
+#[derive(Debug, Clone)]
 pub struct WorkloadSignature {
     rows: usize,
     stages: Vec<StageSignature>,
+    literals: Vec<i64>,
+}
+
+impl PartialEq for WorkloadSignature {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.stages == other.stages
+    }
+}
+
+impl Eq for WorkloadSignature {}
+
+impl Hash for WorkloadSignature {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Literals are features, not identity: keep the hash consistent
+        // with the structural equality above.
+        self.rows.hash(state);
+        self.stages.hash(state);
+    }
 }
 
 impl WorkloadSignature {
@@ -82,7 +107,6 @@ impl WorkloadSignature {
                 Ok(StageSignature::Select {
                     base: col.base_addr(),
                     op: p.op,
-                    literal: p.literal,
                     extra_instructions: p.extra_instructions,
                 })
             })
@@ -90,6 +114,7 @@ impl WorkloadSignature {
         Ok(Self {
             rows: table.rows(),
             stages,
+            literals: plan.predicates.iter().map(|p| p.literal).collect(),
         })
     }
 
@@ -105,12 +130,10 @@ impl WorkloadSignature {
                         dim_base: op.dim_base().expect("joins have a dimension"),
                         dim_rows,
                         op: op.compare_op(),
-                        literal: op.literal(),
                     },
                     None => StageSignature::Select {
                         base: op.column_base(),
                         op: op.compare_op(),
-                        literal: op.literal(),
                         extra_instructions: op.extra_instructions(),
                     },
                 }
@@ -119,12 +142,51 @@ impl WorkloadSignature {
         Self {
             rows: pipeline.rows(),
             stages,
+            literals: (0..pipeline.len())
+                .map(|j| pipeline.op(j).literal())
+                .collect(),
+        }
+    }
+
+    /// Signature of a compiled program, taken over the stages in plan
+    /// (lowering) order so it is invariant under reordering.
+    pub fn of_compiled(program: &CompiledProgram<'_>) -> Self {
+        let stages = (0..program.len())
+            .map(|j| {
+                let stage = program.stage(j);
+                match stage.dim_rows() {
+                    Some(dim_rows) => StageSignature::Join {
+                        fk_base: stage.column_base(),
+                        dim_base: stage.dim_base().expect("joins have a dimension"),
+                        dim_rows,
+                        op: stage.compare_op(),
+                    },
+                    None => StageSignature::Select {
+                        base: stage.column_base(),
+                        op: stage.compare_op(),
+                        extra_instructions: stage.extra_instructions(),
+                    },
+                }
+            })
+            .collect();
+        Self {
+            rows: program.rows(),
+            stages,
+            literals: (0..program.len())
+                .map(|j| program.stage(j).literal())
+                .collect(),
         }
     }
 
     /// Number of plan stages in the signature.
     pub fn stages(&self) -> usize {
         self.stages.len()
+    }
+
+    /// The per-stage literal operands, in plan order — the template's
+    /// parameter feature vector (not part of its identity).
+    pub fn literals(&self) -> &[i64] {
+        &self.literals
     }
 }
 
@@ -299,14 +361,54 @@ mod tests {
     }
 
     #[test]
-    fn scan_signature_distinguishes_literals_and_matches_itself() {
+    fn signature_treats_literals_as_features_not_identity() {
         let t = table();
         let a = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
         let same = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
-        let other = WorkloadSignature::of_scan(&t, &plan(11)).unwrap();
+        let slid = WorkloadSignature::of_scan(&t, &plan(11)).unwrap();
         assert_eq!(a, same);
-        assert_ne!(a, other, "a tweaked literal is a different template");
+        assert_eq!(
+            a, slid,
+            "a tweaked literal is the same parameterized template"
+        );
+        assert_eq!(a.literals(), &[10, 7]);
+        assert_eq!(slid.literals(), &[11, 7], "literals still ride along");
+        // A structural change — different operator — is a different
+        // template even with identical literals.
+        let structural = SelectionPlan::new(
+            vec![
+                Predicate::new("a", CompareOp::Ge, 10),
+                Predicate::new("b", CompareOp::Ge, 7),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let other = WorkloadSignature::of_scan(&t, &structural).unwrap();
+        assert_ne!(a, other, "operator change must miss the template");
         assert_eq!(a.stages(), 2);
+    }
+
+    #[test]
+    fn compiled_signature_matches_the_pipeline_signature() {
+        use crate::exec::pipeline::{FilterOp, Pipeline};
+        use crate::plan::PlanBuilder;
+        let t = table();
+        let mut dim_space = AddressSpace::new();
+        let mut dim = Table::new("dim");
+        dim.add_column("p", ColumnData::I32(vec![0; 4]), &mut dim_space);
+        let sel = FilterOp::select(&t, "a", CompareOp::Lt, 10, 0, 0).unwrap();
+        let join = FilterOp::join_filter(&t, "b", &dim, "p", CompareOp::Eq, 0, 1, 100).unwrap();
+        let pipeline = Pipeline::new(vec![sel, join], t.rows()).unwrap();
+        let plan = PlanBuilder::scan(&t)
+            .filter(crate::plan::Expr::col("a").less_than(10))
+            .join(&dim, "b", crate::plan::Expr::col("p").equal_to(0))
+            .build();
+        let program = plan.compile().unwrap();
+        assert_eq!(
+            WorkloadSignature::of_pipeline(&pipeline),
+            WorkloadSignature::of_compiled(&program),
+            "a compiled plan and the equivalent hand-built pipeline share a template"
+        );
     }
 
     #[test]

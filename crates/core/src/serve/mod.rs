@@ -6,8 +6,10 @@
 //! morsel-driven parallel executor without touching the execution or
 //! optimization machinery — the non-invasive theme, one level up:
 //!
-//! * [`server::QueryServer`] admits [`server::QuerySpec`]s (scan or
-//!   pipeline, each with a [`server::Priority`] and an arrival time) and
+//! * [`server::QueryServer`] admits [`server::QuerySpec`]s (scan,
+//!   pipeline, or compiled frontend program — see
+//!   [`server::QuerySpec::from_plan`] — each with a [`server::Priority`]
+//!   and an arrival time) and
 //!   executes them as interleaved morsel streams over one pool. Each
 //!   query keeps its own progressive coordination state — epoch-published
 //!   orders, trial leasing, rejection memory — exactly as if it ran
@@ -18,9 +20,11 @@
 //!   of one stride.
 //! * [`cache::OrderCache`] keys each finished query's converged operator
 //!   order and probe-clustering calibration by its workload signature
-//!   (table + predicate/probe set), so a repeated query *template*
-//!   starts from the last converged state instead of the textbook order
-//!   — the paper's convergence win amortized across the workload.
+//!   (table + predicate/probe *structure*; literals are features, not
+//!   identity), so a repeated query *template* — including a
+//!   parameterized one whose literals slide between arrivals — starts
+//!   from the last converged state instead of the textbook order — the
+//!   paper's convergence win amortized across the workload.
 //!
 //! Results are bit-identical to solo single-core execution for every
 //! admitted query, for any worker count, priority mix, or arrival

@@ -36,6 +36,7 @@ use popt_storage::Table;
 
 use crate::error::EngineError;
 use crate::exec::pipeline::Pipeline;
+use crate::exec::program::CompiledProgram;
 use crate::exec::scan::VectorStats;
 use crate::parallel::coordinator::{
     normal_round, trial_round, BoundaryAction, CoordState, WithCoord,
@@ -100,6 +101,15 @@ pub enum QueryKind<'t> {
         /// Evaluation order to start from on a cache miss.
         initial_order: Peo,
     },
+    /// A compiled frontend program ([`crate::plan::LogicalPlan`] →
+    /// [`CompiledProgram`]). Signatures are literal-free, so sliding a
+    /// plan's literals keeps the template warm across arrivals.
+    Compiled {
+        /// The compiled program (stages borrow immutable column data).
+        program: CompiledProgram<'t>,
+        /// Evaluation order to start from on a cache miss.
+        initial_order: Peo,
+    },
 }
 
 /// One query submitted to the server.
@@ -154,6 +164,38 @@ impl<'t> QuerySpec<'t> {
             priority,
             arrival_cycles,
         }
+    }
+
+    /// A compiled-program query, starting from the program's lowering
+    /// (plan) order on a cache miss.
+    pub fn compiled(
+        label: impl Into<String>,
+        program: CompiledProgram<'t>,
+        priority: Priority,
+        arrival_cycles: u64,
+    ) -> Self {
+        let initial_order = program.order().to_vec();
+        Self {
+            label: label.into(),
+            kind: QueryKind::Compiled {
+                program,
+                initial_order,
+            },
+            priority,
+            arrival_cycles,
+        }
+    }
+
+    /// Optimize and compile a logical plan into a served query — the
+    /// frontend entry door for the serving layer.
+    pub fn from_plan(
+        label: impl Into<String>,
+        plan: crate::plan::LogicalPlan<'t>,
+        priority: Priority,
+        arrival_cycles: u64,
+    ) -> Result<Self, EngineError> {
+        let program = plan.optimize().compile()?;
+        Ok(Self::compiled(label, program, priority, arrival_cycles))
     }
 }
 
@@ -607,6 +649,26 @@ fn build_target<'p, 't>(
             }
             Ok((
                 ServeTarget::Pipeline(target),
+                signature,
+                cached.map(|entry| entry.order),
+            ))
+        }
+        QueryKind::Compiled {
+            program,
+            initial_order,
+        } => {
+            let signature = WorkloadSignature::of_compiled(program);
+            let cached = cache.and_then(|c| c.lookup(&signature));
+            match cached.as_ref() {
+                Some(entry) => program.reorder(&entry.order)?,
+                None => program.reorder(initial_order)?,
+            }
+            let mut target = crate::progressive::CompiledTarget::new(program);
+            if let Some(calibration) = cached.as_ref().and_then(|e| e.calibration.as_ref()) {
+                target.restore_calibration(calibration);
+            }
+            Ok((
+                ServeTarget::Compiled(target),
                 signature,
                 cached.map(|entry| entry.order),
             ))

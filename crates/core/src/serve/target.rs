@@ -1,9 +1,10 @@
-//! The uniform target type the server schedules: a served query is
-//! either a multi-selection scan or a mixed selection/join-filter
-//! pipeline, and the scheduler must hold a heterogeneous set of them in
-//! one collection. A closed enum (rather than trait objects) keeps the
-//! [`ShardableTarget`] associated-type machinery — and with it the
-//! zero-cost shard dispatch in the morsel hot path — fully static.
+//! The uniform target type the server schedules: a served query is a
+//! multi-selection scan, a mixed selection/join-filter pipeline, or a
+//! compiled frontend program, and the scheduler must hold a
+//! heterogeneous set of them in one collection. A closed enum (rather
+//! than trait objects) keeps the [`ShardableTarget`] associated-type
+//! machinery — and with it the zero-cost shard dispatch in the morsel
+//! hot path — fully static.
 
 use popt_cost::estimate::PlanGeometry;
 use popt_cpu::{CpuConfig, SimCpu};
@@ -11,14 +12,15 @@ use popt_solver::{CalibrationSnapshot, SampledCounters};
 
 use crate::error::EngineError;
 use crate::exec::scan::VectorStats;
-use crate::parallel::{PipelineShard, ShardableTarget, TargetShard};
+use crate::parallel::{CompiledShard, PipelineShard, ShardableTarget, TargetShard};
 use crate::plan::Peo;
-use crate::progressive::{PipelineTarget, ProgressiveTarget, ScanTarget};
+use crate::progressive::{CompiledTarget, PipelineTarget, ProgressiveTarget, ScanTarget};
 
-/// A served query's master target: scan or pipeline.
+/// A served query's master target: scan, pipeline, or compiled program.
 pub(crate) enum ServeTarget<'p, 't> {
     Scan(ScanTarget<'p, 't>),
     Pipeline(PipelineTarget<'p, 't>),
+    Compiled(CompiledTarget<'p, 't>),
 }
 
 impl ProgressiveTarget for ServeTarget<'_, '_> {
@@ -26,6 +28,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => t.rows(),
             Self::Pipeline(t) => t.rows(),
+            Self::Compiled(t) => t.rows(),
         }
     }
 
@@ -33,6 +36,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => ProgressiveTarget::order(t),
             Self::Pipeline(t) => ProgressiveTarget::order(t),
+            Self::Compiled(t) => ProgressiveTarget::order(t),
         }
     }
 
@@ -40,6 +44,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => ProgressiveTarget::set_order(t, order),
             Self::Pipeline(t) => ProgressiveTarget::set_order(t, order),
+            Self::Compiled(t) => ProgressiveTarget::set_order(t, order),
         }
     }
 
@@ -47,6 +52,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => ProgressiveTarget::run_range(t, cpu, start, end),
             Self::Pipeline(t) => ProgressiveTarget::run_range(t, cpu, start, end),
+            Self::Compiled(t) => ProgressiveTarget::run_range(t, cpu, start, end),
         }
     }
 
@@ -54,6 +60,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => t.plan_geometry(n_input, cpu, llc_bytes),
             Self::Pipeline(t) => t.plan_geometry(n_input, cpu, llc_bytes),
+            Self::Compiled(t) => t.plan_geometry(n_input, cpu, llc_bytes),
         }
     }
 
@@ -61,6 +68,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => t.hot_set_bytes(),
             Self::Pipeline(t) => t.hot_set_bytes(),
+            Self::Compiled(t) => t.hot_set_bytes(),
         }
     }
 
@@ -68,6 +76,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => t.propose_order(geom, selectivities),
             Self::Pipeline(t) => t.propose_order(geom, selectivities),
+            Self::Compiled(t) => t.propose_order(geom, selectivities),
         }
     }
 
@@ -75,6 +84,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => t.calibrate(geom, sampled, survivors),
             Self::Pipeline(t) => t.calibrate(geom, sampled, survivors),
+            Self::Compiled(t) => t.calibrate(geom, sampled, survivors),
         }
     }
 
@@ -82,6 +92,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => t.take_probe_order(),
             Self::Pipeline(t) => t.take_probe_order(),
+            Self::Compiled(t) => t.take_probe_order(),
         }
     }
 
@@ -89,6 +100,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => t.wants_trial_calibration(),
             Self::Pipeline(t) => t.wants_trial_calibration(),
+            Self::Compiled(t) => t.wants_trial_calibration(),
         }
     }
 
@@ -96,6 +108,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => t.calibration_snapshot(),
             Self::Pipeline(t) => t.calibration_snapshot(),
+            Self::Compiled(t) => t.calibration_snapshot(),
         }
     }
 
@@ -103,6 +116,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
         match self {
             Self::Scan(t) => t.restore_calibration(snapshot),
             Self::Pipeline(t) => t.restore_calibration(snapshot),
+            Self::Compiled(t) => t.restore_calibration(snapshot),
         }
     }
 }
@@ -111,6 +125,7 @@ impl ProgressiveTarget for ServeTarget<'_, '_> {
 pub(crate) enum ServeShard<'p, 't> {
     Scan(ScanTarget<'p, 't>),
     Pipeline(PipelineShard<'t>),
+    Compiled(CompiledShard<'t>),
 }
 
 impl TargetShard for ServeShard<'_, '_> {
@@ -118,6 +133,7 @@ impl TargetShard for ServeShard<'_, '_> {
         match self {
             Self::Scan(s) => TargetShard::set_order(s, order),
             Self::Pipeline(s) => TargetShard::set_order(s, order),
+            Self::Compiled(s) => TargetShard::set_order(s, order),
         }
     }
 
@@ -125,6 +141,7 @@ impl TargetShard for ServeShard<'_, '_> {
         match self {
             Self::Scan(s) => TargetShard::run_range(s, cpu, start, end),
             Self::Pipeline(s) => TargetShard::run_range(s, cpu, start, end),
+            Self::Compiled(s) => TargetShard::run_range(s, cpu, start, end),
         }
     }
 }
@@ -136,6 +153,7 @@ impl<'p, 't> ShardableTarget for ServeTarget<'p, 't> {
         Ok(match self {
             Self::Scan(t) => ServeShard::Scan(t.shard()?),
             Self::Pipeline(t) => ServeShard::Pipeline(t.shard()?),
+            Self::Compiled(t) => ServeShard::Compiled(t.shard()?),
         })
     }
 }

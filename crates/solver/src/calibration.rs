@@ -22,6 +22,11 @@ pub struct CalibrationSnapshot {
     pub clustering: Vec<f64>,
     /// Whether the stage's clustering was ever calibrated from a sample.
     pub measured: Vec<bool>,
+    /// Literal-free structural keys of the stages the calibration was
+    /// learned on (one per stage), for targets that can describe their
+    /// stages beyond a count. Empty for legacy snapshots: those are
+    /// matched by arity alone.
+    pub stage_keys: Vec<u64>,
 }
 
 impl CalibrationSnapshot {
@@ -31,6 +36,7 @@ impl CalibrationSnapshot {
         Self {
             clustering: vec![1.0; stages],
             measured: vec![false; stages],
+            stage_keys: Vec::new(),
         }
     }
 
@@ -45,7 +51,22 @@ impl CalibrationSnapshot {
         Self {
             clustering: clustering.into_iter().map(|c| c.clamp(0.0, 1.0)).collect(),
             measured,
+            stage_keys: Vec::new(),
         }
+    }
+
+    /// [`CalibrationSnapshot::new`] with per-stage structural keys, so a
+    /// restore can verify it is seeding the same stage *shapes* the
+    /// calibration was learned on — not merely the same stage count.
+    pub fn keyed(clustering: Vec<f64>, measured: Vec<bool>, stage_keys: Vec<u64>) -> Self {
+        assert_eq!(
+            clustering.len(),
+            stage_keys.len(),
+            "one structural key per stage"
+        );
+        let mut snapshot = Self::new(clustering, measured);
+        snapshot.stage_keys = stage_keys;
+        snapshot
     }
 
     /// Number of plan stages the snapshot describes.
@@ -60,6 +81,17 @@ impl CalibrationSnapshot {
     /// must degrade to a cold start, never panic downstream).
     pub fn matches(&self, stages: usize) -> bool {
         self.clustering.len() == stages && self.measured.len() == stages
+    }
+
+    /// Whether the snapshot fits a target whose stages carry the given
+    /// structural keys. A keyed snapshot must match them exactly; a
+    /// legacy (unkeyed) snapshot falls back to the arity check, so old
+    /// producers keep restoring into key-aware targets.
+    pub fn matches_keys(&self, keys: &[u64]) -> bool {
+        if self.stage_keys.is_empty() {
+            return self.matches(keys.len());
+        }
+        self.matches(keys.len()) && self.stage_keys == keys
     }
 
     /// How many stages carry a measured (not prior) clustering.
@@ -111,5 +143,23 @@ mod tests {
     #[should_panic(expected = "one measured flag per stage")]
     fn mismatched_lengths_are_rejected() {
         let _ = CalibrationSnapshot::new(vec![0.5], vec![true, false]);
+    }
+
+    #[test]
+    fn keyed_snapshots_match_on_structure_not_arity() {
+        let s = CalibrationSnapshot::keyed(vec![0.5, 1.0], vec![true, false], vec![7, 9]);
+        assert!(s.matches_keys(&[7, 9]));
+        assert!(!s.matches_keys(&[9, 7]), "same arity, different structure");
+        assert!(!s.matches_keys(&[7]));
+        // Legacy snapshots (no keys) keep matching by arity alone.
+        let legacy = CalibrationSnapshot::new(vec![0.5, 1.0], vec![true, false]);
+        assert!(legacy.matches_keys(&[1, 2]));
+        assert!(!legacy.matches_keys(&[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one structural key per stage")]
+    fn keyed_rejects_mismatched_key_arity() {
+        let _ = CalibrationSnapshot::keyed(vec![0.5], vec![true], vec![1, 2]);
     }
 }

@@ -11,8 +11,7 @@
 //! cache misses against the Equation-1 random-access prediction and flips
 //! the order.
 
-use popt::core::exec::pipeline::{FilterOp, Pipeline};
-use popt::core::predicate::CompareOp;
+use popt::core::plan::{Expr, PlanBuilder};
 use popt::core::sortedness::{recommend_join_order, JoinObservation};
 use popt::cost::join_model::JoinGeometry;
 use popt::cpu::{CacheLevelConfig, CpuConfig, SimCpu};
@@ -58,44 +57,35 @@ fn main() {
         orders.rows() / part.rows()
     );
 
-    let build = |orders_first: bool| {
-        let jo = FilterOp::join_filter(
-            &lineitem,
-            "l_orderkey",
-            &orders,
-            "o_totalprice",
-            CompareOp::Lt,
-            250_000,
-            0,
-            100,
-        )
-        .expect("orders join");
-        let jp = FilterOp::join_filter(
-            &lineitem,
-            "l_partkey",
-            &part,
-            "p_retailprice",
-            CompareOp::Lt,
-            1_500,
-            1,
-            101,
-        )
-        .expect("part join");
-        let ops = if orders_first {
-            vec![jo, jp]
-        } else {
-            vec![jp, jo]
-        };
-        Pipeline::new(ops, lineitem.rows()).expect("pipeline")
+    // One fixed logical plan through the query frontend (orders join at
+    // plan index 0, part at 1); the two static executions differ only in
+    // the evaluation order, never in the plan.
+    let build = || {
+        PlanBuilder::scan(&lineitem)
+            .join(
+                &orders,
+                "l_orderkey",
+                Expr::col("o_totalprice").less_than(250_000),
+            )
+            .join(
+                &part,
+                "l_partkey",
+                Expr::col("p_retailprice").less_than(1_500),
+            )
+            .build()
+            .optimize()
+            .compile()
+            .expect("plan lowers to two joins")
     };
 
-    for (label, orders_first) in [
-        ("part-first  (textbook)", false),
-        ("orders-first (counters)", true),
+    for (label, order) in [
+        ("part-first  (textbook)", [1usize, 0]),
+        ("orders-first (counters)", [0usize, 1]),
     ] {
-        let pipeline = build(orders_first);
+        let mut program = build();
+        program.reorder(&order).expect("valid order");
         let mut cpu = SimCpu::new(scaled_cpu());
-        let stats = pipeline.run_range(&mut cpu, 0, lineitem.rows());
+        let stats = program.run_range(&mut cpu, 0, lineitem.rows());
         println!(
             "{label}: {:8.2} ms, {:9} L3 misses, {} rows",
             cpu.millis(),
@@ -107,12 +97,14 @@ fn main() {
     // What the detector concludes from a one-vector sample per join.
     let cpu_cfg = scaled_cpu();
     let observe = |fk: &str, dim: &popt::storage::Table, col: &str, name: &str| {
-        let join =
-            FilterOp::join_filter(&lineitem, fk, dim, col, CompareOp::Lt, i64::MAX / 2, 0, 100)
-                .expect("probe join");
-        let pipeline = Pipeline::new(vec![join], lineitem.rows()).expect("probe");
+        let program = PlanBuilder::scan(&lineitem)
+            .join(dim, fk, Expr::col(col).less_than(i64::MAX / 2))
+            .build()
+            .optimize()
+            .compile()
+            .expect("probe join lowers");
         let mut cpu = SimCpu::new(cpu_cfg.clone());
-        let stats = pipeline.run_range(&mut cpu, 0, 65_536);
+        let stats = program.run_range(&mut cpu, 0, 65_536);
         JoinObservation {
             name: name.into(),
             geometry: JoinGeometry {

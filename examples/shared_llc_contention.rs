@@ -16,7 +16,7 @@
 //! asserted bit-identical in both modes: contention moves cycles, never
 //! answers.
 
-use popt::core::exec::pipeline::{FilterOp, Pipeline};
+use popt::core::plan::{Expr, PlanBuilder};
 use popt::core::serve::{Priority, QueryServer, QuerySpec, ServeConfig, ServeReport};
 use popt::cpu::{CacheLevelConfig, CpuConfig, CpuPool, LlcMode};
 use popt::storage::{AddressSpace, ColumnData, Table};
@@ -96,27 +96,16 @@ fn tables(dim_rows: usize, seed: u64) -> (Table, Table) {
     (fact, dim)
 }
 
-fn pipeline<'t>(fact: &'t Table, dim: &'t Table) -> Pipeline<'t> {
-    let sel = FilterOp::select(fact, "val", CompareOp::Lt, 500, 0, 50).expect("select");
-    let join = FilterOp::join_filter(fact, "fk", dim, "payload", CompareOp::Lt, 500, 1, 100)
-        .expect("join");
-    Pipeline::new(vec![sel, join], fact.rows()).expect("pipeline")
-}
-
-use popt::core::predicate::CompareOp;
-
-/// Serve the given pipelines as equal-priority co-runners (or one of
-/// them alone) and return the report.
+/// Serve the given selection+join plans (built through the query
+/// frontend) as equal-priority co-runners and return the report.
 fn serve(queries: &[(&str, (&Table, &Table))], mode: LlcMode) -> ServeReport {
     let mut server = QueryServer::new(ServeConfig::default());
     for (label, (fact, dim)) in queries {
-        server.admit(QuerySpec::pipeline(
-            *label,
-            pipeline(fact, dim),
-            vec![0, 1],
-            Priority::Normal,
-            0,
-        ));
+        let plan = PlanBuilder::scan(fact)
+            .filter_costed(Expr::col("val").less_than(500), 50)
+            .join(dim, "fk", Expr::col("payload").less_than(500))
+            .build();
+        server.admit(QuerySpec::from_plan(*label, plan, Priority::Normal, 0).expect("plan lowers"));
     }
     let mut pool = CpuPool::with_mode(socket(), 2, mode);
     server.run(&mut pool).expect("batch serves")

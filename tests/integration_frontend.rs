@@ -1,0 +1,328 @@
+//! Integration tests for the query frontend: [`PlanBuilder`] → static
+//! optimizer passes → [`CompiledProgram`] → the progressive, parallel,
+//! and serving runtimes. The compiled form must be a drop-in for the
+//! boxed pipeline executor — same results, same simulated CPU events —
+//! and its literal-free template signature must warm the order cache
+//! across sliding parameters.
+
+use popt::core::exec::pipeline::{FilterOp, Pipeline};
+use popt::core::parallel::{run_parallel_pipeline, run_parallel_program, MorselConfig};
+use popt::core::plan::{passes, Expr, PassRegistry, PlanBuilder};
+use popt::core::predicate::CompareOp;
+use popt::core::progressive::{
+    run_progressive_pipeline, run_progressive_program, ProgressiveConfig, VectorConfig,
+};
+use popt::core::serve::{Priority, QueryServer, QuerySpec, ServeConfig};
+use popt::cpu::{CpuConfig, CpuPool, SimCpu};
+use popt::storage::{AddressSpace, ColumnData, Table};
+use popt_bench::figures::workload::xorshift64;
+
+const ROWS: usize = 1 << 14;
+
+/// Fact with two value columns and an FK into a payload dimension,
+/// uniform over 0..1000 so literals address selectivity directly.
+fn tables(seed: u64) -> (Table, Table) {
+    let dim_n = ROWS / 4;
+    let mut state = seed | 1;
+    let mut space = AddressSpace::new();
+    let mut fact = Table::new("fact");
+    for c in 0..2 {
+        let data: Vec<i32> = (0..ROWS)
+            .map(|_| (xorshift64(&mut state) % 1000) as i32)
+            .collect();
+        fact.add_column(format!("val{c}"), ColumnData::I32(data), &mut space);
+    }
+    fact.add_column(
+        "fk",
+        ColumnData::I32(
+            (0..ROWS)
+                .map(|_| (xorshift64(&mut state) % dim_n as u64) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    let mut dim_space = AddressSpace::new();
+    let mut dim = Table::new("dim");
+    dim.add_column(
+        "payload",
+        ColumnData::I32(
+            (0..dim_n)
+                .map(|_| (xorshift64(&mut state) % 1000) as i32)
+                .collect(),
+        ),
+        &mut dim_space,
+    );
+    (fact, dim)
+}
+
+fn program<'t>(
+    fact: &'t Table,
+    dim: &'t Table,
+    lit: i64,
+) -> popt::core::exec::program::CompiledProgram<'t> {
+    PlanBuilder::scan(fact)
+        .filter_costed(Expr::col("val0").less_than(lit), 30)
+        .join(dim, "fk", Expr::col("payload").less_than(lit))
+        .aggregate("val1")
+        .build()
+        .optimize()
+        .compile()
+        .expect("plan lowers to a two-stage program")
+}
+
+fn pipeline<'t>(fact: &'t Table, dim: &'t Table, lit: i64) -> Pipeline<'t> {
+    let sel = FilterOp::select(fact, "val0", CompareOp::Lt, lit, 0, 30).unwrap();
+    let join =
+        FilterOp::join_filter(fact, "fk", dim, "payload", CompareOp::Lt, lit, 1, 100).unwrap();
+    Pipeline::new(vec![sel, join], fact.rows())
+        .unwrap()
+        .with_aggregate(fact, "val1")
+        .unwrap()
+}
+
+/// The compiled frontend program drives the same CPU events as the
+/// hand-chained boxed pipeline: identical results *and* identical
+/// counters, solo, progressively reoptimized, and morsel-parallel.
+#[test]
+fn frontend_program_is_a_drop_in_for_the_boxed_pipeline() {
+    let (fact, dim) = tables(0xF60);
+
+    // Solo: bit-identical counters and cycles.
+    let prog = program(&fact, &dim, 500);
+    let pipe = pipeline(&fact, &dim, 500);
+    let mut c1 = SimCpu::new(CpuConfig::tiny_test());
+    let a = prog.run_range(&mut c1, 0, ROWS);
+    let mut c2 = SimCpu::new(CpuConfig::tiny_test());
+    let b = pipe.run_range(&mut c2, 0, ROWS);
+    assert_eq!(a.qualified, b.qualified);
+    assert_eq!(a.sum, b.sum);
+    assert_eq!(a.counters, b.counters, "bit-identical CPU events");
+    assert_eq!(c1.counters().cycles, c2.counters().cycles);
+
+    // Progressive: same convergence trajectory from the same start.
+    let reopt = ProgressiveConfig {
+        reop_interval: 3,
+        ..Default::default()
+    };
+    let vectors = VectorConfig {
+        vector_tuples: 1024,
+        max_vectors: None,
+    };
+    let mut prog = program(&fact, &dim, 500);
+    let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+    let via_program =
+        run_progressive_program(&mut prog, &[1, 0], vectors, &mut cpu, &reopt).unwrap();
+    let mut pipe = pipeline(&fact, &dim, 500);
+    let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+    let via_pipeline =
+        run_progressive_pipeline(&mut pipe, &[1, 0], vectors, &mut cpu, &reopt).unwrap();
+    assert_eq!(via_program.qualified, via_pipeline.qualified);
+    assert_eq!(via_program.sum, via_pipeline.sum);
+    assert_eq!(via_program.final_peo, via_pipeline.final_peo);
+    assert_eq!(
+        via_program.cycles, via_pipeline.cycles,
+        "same simulated cost"
+    );
+
+    // Morsel-parallel with shared reoptimization: same results at every
+    // worker count. (Wall cycles are not compared: morsel→worker
+    // assignment follows host thread timing, so only the *results* are
+    // deterministic across runs.)
+    for workers in [1usize, 2, 4] {
+        let mut prog = program(&fact, &dim, 500);
+        let mut pool = CpuPool::new(CpuConfig::tiny_test(), workers);
+        let p = run_parallel_program(
+            &mut prog,
+            &[1, 0],
+            MorselConfig::new(1024),
+            &mut pool,
+            Some(&reopt),
+        )
+        .unwrap();
+        let mut pipe = pipeline(&fact, &dim, 500);
+        let mut pool = CpuPool::new(CpuConfig::tiny_test(), workers);
+        let q = run_parallel_pipeline(
+            &mut pipe,
+            &[1, 0],
+            MorselConfig::new(1024),
+            &mut pool,
+            Some(&reopt),
+        )
+        .unwrap();
+        assert_eq!(p.qualified, q.qualified, "workers={workers}");
+        assert_eq!(p.sum, q.sum);
+    }
+}
+
+/// The standard pass registry is result-preserving and never raises a
+/// node's estimated input cardinality; lowering performs the same
+/// normalization itself, so skipping the passes changes nothing about
+/// the answer.
+#[test]
+fn optimizer_passes_preserve_results_and_lower_estimates() {
+    let (fact, dim) = tables(0xF61);
+    // A deliberately messy plan: a tautology, a join whose condition
+    // smuggles a fact-side conjunct, and a filter *after* the join.
+    let build = || {
+        PlanBuilder::scan(&fact)
+            .filter(Expr::lit(1).less_than(2))
+            .join(
+                &dim,
+                "fk",
+                Expr::col("payload")
+                    .less_than(500)
+                    .and(Expr::col("val0").less_than(800)),
+            )
+            .filter(Expr::col("val1").at_least(100))
+            .aggregate("val1")
+            .build()
+    };
+
+    let raw = build();
+    let optimized = build().optimize();
+    // Pushdown + extraction put both fact filters before the join.
+    assert!(!optimized.nodes()[0].is_join());
+    assert!(!optimized.nodes()[1].is_join());
+    assert!(optimized.nodes()[2].is_join());
+    let before = raw.input_estimates();
+    let after = build().optimize().input_estimates();
+    for (k, (b, a)) in before.iter().zip(&after).enumerate() {
+        assert!(a <= b, "position {k}: estimate rose {b} -> {a}");
+    }
+
+    let unopt = raw.compile().expect("lowering normalizes on its own");
+    let opt = optimized.compile().expect("optimized plan lowers");
+    assert_eq!(unopt.len(), opt.len(), "same conjuncts, different order");
+    let mut c1 = SimCpu::new(CpuConfig::tiny_test());
+    let mut c2 = SimCpu::new(CpuConfig::tiny_test());
+    let u = unopt.run_range(&mut c1, 0, ROWS);
+    let o = opt.run_range(&mut c2, 0, ROWS);
+    assert_eq!(u.qualified, o.qualified);
+    assert_eq!(u.sum, o.sum);
+
+    // A custom registry composes the same passes in a different order
+    // and still agrees.
+    let custom = PassRegistry::empty()
+        .with("pushdown", passes::filter_pushdown)
+        .with("folding", passes::constant_folding)
+        .with("extraction", passes::join_condition_extraction)
+        .with("pruning", passes::projection_pruning);
+    let reordered = custom.run(build()).compile().unwrap();
+    let mut c3 = SimCpu::new(CpuConfig::tiny_test());
+    let r = reordered.run_range(&mut c3, 0, ROWS);
+    assert_eq!(r.qualified, o.qualified);
+    assert_eq!(r.sum, o.sum);
+}
+
+/// Parameterized templates through the serving layer: a compiled plan
+/// whose literal slides between arrivals warm-hits its template's cache
+/// entry; a structural change misses; and a hand-built pipeline of the
+/// same shape shares the template (the signature is representation-
+/// agnostic).
+#[test]
+fn compiled_templates_warm_across_sliding_literals() {
+    let (fact, dim) = tables(0xF62);
+    let config = ServeConfig {
+        morsels: MorselConfig::new(1024),
+        reopt: Some(ProgressiveConfig {
+            reop_interval: 3,
+            ..Default::default()
+        }),
+        use_order_cache: true,
+    };
+    let spec = |label: &str, lit: i64| {
+        let plan = PlanBuilder::scan(&fact)
+            .filter_costed(Expr::col("val0").less_than(lit), 30)
+            .join(&dim, "fk", Expr::col("payload").less_than(lit))
+            .aggregate("val1")
+            .build();
+        QuerySpec::from_plan(label, plan, Priority::Normal, 0).expect("plan lowers")
+    };
+
+    let mut server = QueryServer::new(config);
+    server.admit(spec("q-500", 500));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+    let cold = server.run(&mut pool).unwrap();
+    assert!(!cold.queries[0].warm_start, "first sighting is cold");
+    assert_eq!(server.cache().len(), 1);
+
+    // Slide the literal: same template, warm start, and the answer is
+    // still computed with the *new* literal.
+    server.admit(spec("q-250", 250));
+    let warm = server.run(&mut pool).unwrap();
+    assert!(
+        warm.queries[0].warm_start,
+        "a slid literal must reuse the template's converged state"
+    );
+    assert_eq!(server.cache().len(), 1, "still one template");
+    let solo = {
+        let prog = program(&fact, &dim, 250);
+        let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+        prog.run_range(&mut cpu, 0, ROWS)
+    };
+    assert_eq!(warm.queries[0].qualified, solo.qualified);
+    assert_eq!(warm.queries[0].sum, solo.sum);
+
+    // Structure change (operator flip) is a new template: cold.
+    let restructured = PlanBuilder::scan(&fact)
+        .filter_costed(Expr::col("val0").at_least(500), 30)
+        .join(&dim, "fk", Expr::col("payload").less_than(500))
+        .aggregate("val1")
+        .build();
+    server
+        .admit(QuerySpec::from_plan("q-restructured", restructured, Priority::Normal, 0).unwrap());
+    let changed = server.run(&mut pool).unwrap();
+    assert!(!changed.queries[0].warm_start, "operator flip must miss");
+    assert_eq!(server.cache().len(), 2);
+
+    // A hand-chained pipeline with the original shape maps to the same
+    // template and warms from the compiled queries' converged state.
+    server.admit(QuerySpec::pipeline(
+        "q-boxed",
+        pipeline(&fact, &dim, 750),
+        vec![0, 1],
+        Priority::Normal,
+        0,
+    ));
+    let boxed = server.run(&mut pool).unwrap();
+    assert!(
+        boxed.queries[0].warm_start,
+        "the signature is representation-agnostic"
+    );
+    assert_eq!(server.cache().len(), 2);
+}
+
+/// `QuerySpec::compiled` starts from the program's *current* order, so a
+/// caller can pick a deliberate (e.g. textbook) starting order by
+/// reordering before admission — and a failed reorder can never corrupt
+/// it, because rejected permutations leave the order untouched.
+#[test]
+fn compiled_specs_honor_the_submitted_order() {
+    let (fact, dim) = tables(0xF63);
+    let mut prog = program(&fact, &dim, 500);
+    prog.reorder(&[1, 0]).unwrap();
+    assert!(prog.reorder(&[0, 0]).is_err());
+    assert!(prog.reorder(&[0, 1, 2]).is_err());
+    assert_eq!(prog.order(), &[1, 0], "rejected orders leave no trace");
+
+    let mut server = QueryServer::new(ServeConfig {
+        morsels: MorselConfig::new(1024),
+        reopt: None,
+        use_order_cache: false,
+    });
+    server.admit(QuerySpec::compiled("q", prog, Priority::Normal, 0));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);
+    let report = server.run(&mut pool).unwrap();
+    assert_eq!(
+        report.queries[0].final_order,
+        vec![1, 0],
+        "a static run keeps the submitted order"
+    );
+    let solo = {
+        let prog = program(&fact, &dim, 500);
+        let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+        prog.run_range(&mut cpu, 0, ROWS)
+    };
+    assert_eq!(report.queries[0].qualified, solo.qualified);
+    assert_eq!(report.queries[0].sum, solo.sum);
+}

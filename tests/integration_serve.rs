@@ -263,7 +263,9 @@ fn warm_cache_reuses_converged_state() {
         cold.queries[0].cost_cycles()
     );
 
-    // A tweaked literal is a different template: cold again.
+    // A slid literal is the *same* template: parameterized queries
+    // (`val0 < ?`) share one cache entry, so the tweaked instance
+    // warm-starts from the converged state of its 500-literal mate.
     server.admit(QuerySpec::pipeline(
         "pipe-tweaked",
         pipeline(&fact, &dim, 501),
@@ -273,7 +275,34 @@ fn warm_cache_reuses_converged_state() {
     ));
     let mut pool = CpuPool::new(CpuConfig::tiny_test(), workers);
     let tweaked = server.run(&mut pool).unwrap();
-    assert!(!tweaked.queries[0].warm_start);
+    assert!(
+        tweaked.queries[0].warm_start,
+        "a slid literal must reuse the template's converged order"
+    );
+    assert_eq!(server.cache().len(), 1, "still one template entry");
+
+    // A *structural* change (different comparison operator) is a new
+    // template and must miss.
+    let sel = FilterOp::select(&fact, "val0", CompareOp::Ge, 500, 0, 30).unwrap();
+    let join =
+        FilterOp::join_filter(&fact, "fk", &dim, "payload", CompareOp::Lt, 500, 1, 100).unwrap();
+    let restructured = Pipeline::new(vec![sel, join], fact.rows())
+        .unwrap()
+        .with_aggregate(&fact, "val1")
+        .unwrap();
+    server.admit(QuerySpec::pipeline(
+        "pipe-restructured",
+        restructured,
+        vec![1, 0],
+        Priority::Normal,
+        0,
+    ));
+    let mut pool = CpuPool::new(CpuConfig::tiny_test(), workers);
+    let changed = server.run(&mut pool).unwrap();
+    assert!(
+        !changed.queries[0].warm_start,
+        "an operator change is a different template"
+    );
     assert_eq!(server.cache().len(), 2);
 }
 

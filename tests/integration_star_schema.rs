@@ -9,10 +9,10 @@
 //! reordering must never change the query result, single- or
 //! multi-worker.
 
-use popt::core::parallel::{run_parallel_pipeline, MorselConfig};
-use popt::core::progressive::{run_progressive_pipeline, ProgressiveConfig, VectorConfig};
+use popt::core::parallel::{run_parallel_program, MorselConfig};
+use popt::core::progressive::{run_progressive_program, ProgressiveConfig, VectorConfig};
 use popt::cpu::{CpuPool, SimCpu};
-use popt_bench::figures::workload::{star_pipeline, star_schema, StarSchema};
+use popt_bench::figures::workload::{star_program, star_schema, StarSchema};
 
 mod common;
 use common::small_cache_cpu;
@@ -30,7 +30,7 @@ fn config() -> ProgressiveConfig {
     }
 }
 
-/// Plan-order indices of `star_pipeline` with a selection: 0 = select,
+/// Plan-order indices of `star_program` with a selection: 0 = select,
 /// 1 = customer (co-clustered), 2 = supplier (random), 3 = part (random).
 const CUSTOMER: usize = 1;
 const SUPPLIER: usize = 2;
@@ -40,17 +40,17 @@ const PART: usize = 3;
 fn calibration_attributes_locality_with_three_probes_per_sample() {
     let star = star();
     // Ground truth from the static plan order.
-    let static_pipeline = star_pipeline(&star, Some(0.5), [0.5, 0.5, 0.5]);
+    let static_program = star_program(&star, Some(0.5), [0.5, 0.5, 0.5]);
     let mut cpu1 = SimCpu::new(small_cache_cpu());
-    let expect = static_pipeline.run_range(&mut cpu1, 0, ROWS);
+    let expect = static_program.run_range(&mut cpu1, 0, ROWS);
     assert!(expect.sum > 0, "aggregate must actually sum");
 
     // Progressive from the fully reversed order: both random joins ahead
     // of the co-clustered one, the selection last.
-    let mut pipeline = star_pipeline(&star, Some(0.5), [0.5, 0.5, 0.5]);
+    let mut program = star_program(&star, Some(0.5), [0.5, 0.5, 0.5]);
     let mut cpu2 = SimCpu::new(small_cache_cpu());
-    let prog = run_progressive_pipeline(
-        &mut pipeline,
+    let prog = run_progressive_program(
+        &mut program,
         &[PART, SUPPLIER, CUSTOMER, 0],
         VectorConfig {
             vector_tuples: 4_096,
@@ -83,15 +83,15 @@ fn calibration_attributes_locality_with_three_probes_per_sample() {
 #[test]
 fn star_parallel_matches_serial_for_one_and_many_workers() {
     let star = star();
-    let static_pipeline = star_pipeline(&star, Some(0.5), [0.5, 0.5, 0.5]);
+    let static_program = star_program(&star, Some(0.5), [0.5, 0.5, 0.5]);
     let mut cpu = SimCpu::new(small_cache_cpu());
-    let expect = static_pipeline.run_range(&mut cpu, 0, ROWS);
+    let expect = static_program.run_range(&mut cpu, 0, ROWS);
 
     // Serial progressive reference order.
-    let mut serial_pipeline = star_pipeline(&star, Some(0.5), [0.5, 0.5, 0.5]);
+    let mut serial_program = star_program(&star, Some(0.5), [0.5, 0.5, 0.5]);
     let mut serial_cpu = SimCpu::new(small_cache_cpu());
-    let serial = run_progressive_pipeline(
-        &mut serial_pipeline,
+    let serial = run_progressive_program(
+        &mut serial_program,
         &[PART, SUPPLIER, CUSTOMER, 0],
         VectorConfig {
             vector_tuples: 4_096,
@@ -104,7 +104,7 @@ fn star_parallel_matches_serial_for_one_and_many_workers() {
     assert_eq!(serial.qualified, expect.qualified);
 
     for workers in [1usize, 4, 8] {
-        let mut pipeline = star_pipeline(&star, Some(0.5), [0.5, 0.5, 0.5]);
+        let mut program = star_program(&star, Some(0.5), [0.5, 0.5, 0.5]);
         let mut pool = CpuPool::new(small_cache_cpu(), workers);
         // Cache-friendly morsels (L2-fitted) rather than one fixed size:
         // convergence needs enough morsel boundaries per worker for the
@@ -113,8 +113,8 @@ fn star_parallel_matches_serial_for_one_and_many_workers() {
         // boundaries per worker, too few to finish calibrating.
         let morsels = MorselConfig::cache_friendly(&small_cache_cpu(), 32);
         assert!(morsels.morsel_tuples < 4_096, "sizing tracks the tiny L2");
-        let report = run_parallel_pipeline(
-            &mut pipeline,
+        let report = run_parallel_program(
+            &mut program,
             &[PART, SUPPLIER, CUSTOMER, 0],
             morsels,
             &mut pool,
