@@ -15,6 +15,12 @@ pub struct FigureCtx {
     /// the deterministic capacity partition, instead of every core
     /// keeping a private full-size LLC.
     pub shared_llc: bool,
+    /// Socket count for the parallel/serving figures (`--sockets N`).
+    /// With more than one socket the pool splits into contiguous core
+    /// blocks, morsel ranges pin to the socket whose workers claim them,
+    /// and remote-socket misses pay the deterministic latency surcharge;
+    /// `1` is the flat pre-NUMA pool.
+    pub sockets: usize,
 }
 
 impl FigureCtx {
@@ -142,7 +148,8 @@ mod tests {
         assert_eq!(
             FigureCtx {
                 quick: true,
-                shared_llc: false
+                shared_llc: false,
+                sockets: 1
             }
             .scale(100, 10),
             10
@@ -150,7 +157,8 @@ mod tests {
         assert_eq!(
             FigureCtx {
                 quick: false,
-                shared_llc: false
+                shared_llc: false,
+                sockets: 1
             }
             .scale(100, 10),
             100

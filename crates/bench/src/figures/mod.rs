@@ -64,6 +64,7 @@ mod tests {
         let ctx = FigureCtx {
             quick: true,
             shared_llc: false,
+            sockets: 1,
         };
         assert!(!run("not-a-figure", &ctx));
         assert!(!run("", &ctx));

@@ -27,7 +27,8 @@ use popt_core::exec::program::CompiledProgram;
 use popt_core::exec::scan::CompiledSelection;
 use popt_core::plan::{Expr, PlanBuilder, SelectionPlan};
 use popt_core::serve::{Priority, QueryOutcome, QueryServer, QuerySpec, ServeConfig, ServeReport};
-use popt_cpu::{CpuConfig, CpuPool, SimCpu};
+use popt_cost::cycles::fleet_occupancy_per_socket;
+use popt_cpu::{CpuConfig, CpuPool, LlcMode, SimCpu};
 use popt_storage::Table;
 
 use crate::common::{banner, fmt, row, FigureCtx};
@@ -542,6 +543,232 @@ fn isolation(ctx: &FigureCtx) -> [f64; 2] {
     inflation
 }
 
+/// The `--sockets N` variant: the closed-loop batch served on a NUMA
+/// pool. Queries are homed on one socket each (greedy least-loaded by
+/// footprint), so a query's morsels run only on its home socket's
+/// workers and its LLC budget is a slice of that socket's partition —
+/// the sweep shows throughput scaling surviving the split. The second
+/// table reruns the batch on *shared*-LLC sockets with and without
+/// dynamic repartitioning: with it on, a query completing hands its LLC
+/// ways back to the co-runners still live on that socket.
+fn run_numa(ctx: &FigureCtx) {
+    let sockets = ctx.sockets;
+    banner(
+        "serve",
+        "Multi-query serving across sockets: footprint placement and dynamic repartition",
+    );
+    let mix = Mix::new(
+        ctx.scale(1 << 18, 1 << 16),
+        ctx.scale(1 << 20, 1 << 18),
+        ctx.scale(1 << 19, 1 << 17),
+    );
+    let refs = mix.solo_refs();
+
+    row(&[
+        "sweep",
+        "workers",
+        "sockets",
+        "queries",
+        "wall_ms",
+        "throughput_qps",
+        "occ_per_socket",
+        "bit_identical",
+    ]);
+    let mut at_min = 0.0f64;
+    let mut at_max = 0.0f64;
+    let counts: Vec<usize> = WORKER_COUNTS
+        .iter()
+        .copied()
+        .filter(|&w| w >= sockets)
+        .collect();
+    for &workers in &counts {
+        let mut server = QueryServer::new(config());
+        for spec in closed_loop_batch(&mix) {
+            server.admit(spec);
+        }
+        let mut pool = CpuPool::with_topology(serve_cpu(), workers, LlcMode::Private, sockets);
+        let report = server.run(&mut pool).expect("serve batch runs");
+        let exact = mix.assert_exact(&report.queries, &refs);
+        let qps = report.throughput_qps();
+        if workers == counts[0] {
+            at_min = qps;
+        }
+        if workers == *counts.last().expect("non-empty sweep") {
+            at_max = qps;
+        }
+        let occ: Vec<String> = fleet_occupancy_per_socket(&report.per_worker_busy_cycles, sockets)
+            .iter()
+            .map(|&o| fmt(o))
+            .collect();
+        row(&[
+            "closed-loop".to_string(),
+            workers.to_string(),
+            sockets.to_string(),
+            report.queries.len().to_string(),
+            fmt(report.wall_millis),
+            fmt(qps),
+            occ.join("|"),
+            exact.to_string(),
+        ]);
+    }
+    println!(
+        "# serve ({sockets} sockets): throughput {} -> {} qps across the worker sweep",
+        fmt(at_min),
+        fmt(at_max),
+    );
+    assert!(
+        at_max > at_min,
+        "adding workers across sockets must still raise throughput \
+         ({at_min:.2} -> {at_max:.2} qps)"
+    );
+
+    // Dynamic repartitioning on shared-LLC sockets. Per-query way
+    // slicing models cross-query contention *within* a core's slice the
+    // same way the pool models cross-core contention: by deterministic
+    // footprint-proportional capacity shares. While a co-runner lives,
+    // the foreground query runs on a fraction of the core's ways — the
+    // pessimistic price of declared contention — and at the co-runner's
+    // completion event (a point in the worker's own claim stream, so
+    // per-core cycles stay host-schedule independent) the partition is
+    // recomputed and the survivor reclaims the ways. The experiment
+    // pins exactly that reclaim: the same probe-heavy foreground
+    // pipeline served against a *short* co-runner and against a *long*
+    // one, repartitioning on. The short co-runner drains early, hands
+    // its ways back, and most of the foreground stream runs at full
+    // capacity. Static orders, no reopt: the pair isolates the
+    // partition events.
+    let rows = ctx.scale(1 << 17, 1 << 15);
+    let (fg_fact, fg_dim) = mem_tables_with_dim(rows, 10 * 1024, 0xF00D);
+    let (bg_long_fact, bg_long_dim) = mem_tables_with_dim(rows, 24 * 1024, 0xBEEF);
+    let (bg_short_fact, bg_short_dim) = mem_tables_with_dim(rows / 8, 24 * 1024, 0xBEEF);
+    fn pipe<'t>(fact: &'t Table, dim: &'t Table) -> CompiledProgram<'t> {
+        PlanBuilder::scan(fact)
+            .filter_costed(Expr::col("val").less_than(DOMAIN / 2), 50)
+            .join(dim, "fk", Expr::col("payload").less_than(DOMAIN / 2))
+            .build()
+            .optimize()
+            .compile()
+            .expect("plan lowers")
+    }
+    let solo = |fact: &Table, dim: &Table, n: usize| {
+        let mut cpu = SimCpu::new(serve_cpu());
+        let stats = pipe(fact, dim).run_range(&mut cpu, 0, n);
+        (stats.qualified, stats.sum)
+    };
+    let fg_ref = solo(&fg_fact, &fg_dim, rows);
+    let bg_refs = [
+        solo(&bg_long_fact, &bg_long_dim, rows),
+        solo(&bg_short_fact, &bg_short_dim, rows / 8),
+    ];
+
+    row(&[
+        "experiment",
+        "co_runner",
+        "dynamic_repartition",
+        "fg_exec_mcycles",
+        "bit_identical",
+    ]);
+    // fg's exec cycles under: [long co-runner, short co-runner], each
+    // with repartitioning off then on.
+    let mut fg_exec = [[0u64; 2]; 2];
+    for (c, (bg_label, bg_fact, bg_dim)) in [
+        ("long", &bg_long_fact, &bg_long_dim),
+        ("short", &bg_short_fact, &bg_short_dim),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for (i, dynamic) in [false, true].into_iter().enumerate() {
+            let mut server = QueryServer::new(ServeConfig {
+                dynamic_repartition: dynamic,
+                reopt: None,
+                ..config()
+            });
+            // One (bg, fg) pair per socket: equal footprints within each
+            // class and class-by-class admission home bg-k and fg-k on
+            // socket k.
+            for s in 0..sockets {
+                server.admit(QuerySpec::compiled(
+                    format!("bg-{s}"),
+                    pipe(bg_fact, bg_dim),
+                    Priority::Normal,
+                    0,
+                ));
+            }
+            for s in 0..sockets {
+                server.admit(QuerySpec::compiled(
+                    format!("fg-{s}"),
+                    pipe(&fg_fact, &fg_dim),
+                    Priority::Normal,
+                    0,
+                ));
+            }
+            let mut pool =
+                CpuPool::with_topology(serve_cpu(), 2 * sockets, LlcMode::Shared, sockets);
+            let report = server.run(&mut pool).expect("serve batch runs");
+            let mut exact = true;
+            for q in &report.queries {
+                let (qualified, sum) = if q.label.starts_with("fg") {
+                    fg_ref
+                } else {
+                    bg_refs[c]
+                };
+                exact &= q.qualified == qualified && q.sum == sum;
+            }
+            fg_exec[c][i] = report
+                .queries
+                .iter()
+                .filter(|q| q.label.starts_with("fg"))
+                .map(|q| q.exec_cycles)
+                .sum::<u64>();
+            row(&[
+                "repartition".to_string(),
+                bg_label.to_string(),
+                dynamic.to_string(),
+                fmt(fg_exec[c][i] as f64 / 1e6),
+                exact.to_string(),
+            ]);
+            assert!(
+                exact,
+                "per-query way partitioning moves cycles, never results"
+            );
+        }
+    }
+    let reclaim = (fg_exec[0][1] as f64 / fg_exec[1][1] as f64 - 1.0) * 100.0;
+    println!(
+        "# repartition: with per-query way slicing on, a short co-runner's \
+         completion hands its ways back early — the foreground pipeline runs {}% \
+         cheaper than against a long co-runner that holds its slice to the end",
+        fmt(reclaim),
+    );
+    assert!(
+        fg_exec[1][1] < fg_exec[0][1],
+        "the completion-event reclaim must show: fg exec vs short co-runner {} \
+         >= vs long co-runner {}",
+        fg_exec[1][1],
+        fg_exec[0][1]
+    );
+    for c in [0, 1] {
+        assert!(
+            fg_exec[c][1] >= fg_exec[c][0],
+            "declared contention is pessimistic by design: slicing a core's ways \
+             per query must not make the foreground cheaper than unpartitioned \
+             sharing ({} < {})",
+            fg_exec[c][1],
+            fg_exec[c][0]
+        );
+    }
+
+    println!(
+        "# expectation: footprint placement keeps every query on one socket (its \
+         budget a slice of that socket's partition), throughput keeps scaling as \
+         workers spread over sockets, and per-query way slicing — recomputed \
+         at deterministic completion events — prices declared contention while \
+         co-runners live and hands a finished query's ways back to the \
+         survivors — results bit-identical to solo execution throughout"
+    );
+}
+
 /// The `--shared-llc` variant: the serving experiments on one socket,
 /// where capacity contention erodes the scheduler's isolation bound and
 /// removes the private model's negative warm overheads.
@@ -604,6 +831,10 @@ fn run_shared(ctx: &FigureCtx) {
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
+    if ctx.sockets > 1 {
+        run_numa(ctx);
+        return;
+    }
     if ctx.shared_llc {
         run_shared(ctx);
         return;

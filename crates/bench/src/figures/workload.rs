@@ -90,6 +90,102 @@ pub fn mem_tables_with_dim(rows: usize, dim_n: usize, seed: u64) -> (Table, Tabl
     (fact, dim)
 }
 
+/// NUMA affinity workload: fact (`fk`, `val`) plus a dimension
+/// (`payload`) allocated in **one** address space, so the two tables
+/// occupy disjoint simulated addresses and a [`popt_cpu::NumaPlacement`]
+/// can home their ranges independently. (Separate `AddressSpace`s all
+/// start at the same base address — registrations would collide.)
+///
+/// `bands` are the per-socket fact row ranges the affinity dispatcher
+/// will pin (`MorselDispatcher::socket_row_range`); a row in band `b`
+/// draws its FK uniformly from the proportional slice of the dimension,
+/// the partitioned layout a NUMA-aware build produces. Probes stay fully
+/// random *within* the band (memory-served when the band outgrows the
+/// LLC), so a placement that homes each band on its socket makes every
+/// probe local while the default line-interleave leaves roughly half of
+/// them remote.
+pub fn numa_banded_tables(
+    rows: usize,
+    dim_n: usize,
+    bands: &[(usize, usize)],
+    seed: u64,
+) -> (Table, Table) {
+    let mut state = seed | 1;
+    let mut space = AddressSpace::new();
+    let dim_band = |r: usize| r * dim_n / rows;
+    let mut fk = Vec::with_capacity(rows);
+    for &(r0, r1) in bands {
+        let (d0, d1) = (dim_band(r0), dim_band(r1));
+        let width = (d1 - d0).max(1) as u64;
+        for _ in r0..r1 {
+            fk.push((d0 as u64 + xorshift64(&mut state) % width) as i32);
+        }
+    }
+    assert_eq!(fk.len(), rows, "bands must cover every fact row");
+    let mut fact = Table::new("fact");
+    fact.add_column("fk", ColumnData::I32(fk), &mut space);
+    fact.add_column(
+        "val",
+        ColumnData::I32(
+            (0..rows)
+                .map(|_| (xorshift64(&mut state) % DOMAIN as u64) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    let mut dim = Table::new("dim");
+    dim.add_column(
+        "payload",
+        ColumnData::I32(
+            (0..dim_n)
+                .map(|_| (xorshift64(&mut state) % DOMAIN as u64) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    (fact, dim)
+}
+
+/// NUMA divergence workload: a fact with two fully random FKs into two
+/// equal-size dimensions (`dim_a.payload_a`, `dim_b.payload_b`), all
+/// three tables in **one** address space (see [`numa_banded_tables`] for
+/// why). Homing `dim_a` on socket 0 and `dim_b` on socket 1 makes the
+/// two join stages cost-symmetric *mirror images* across the sockets —
+/// the setup in which each socket's progressive loop should converge to
+/// probing its local dimension first.
+pub fn numa_two_dim_tables(rows: usize, dim_n: usize, seed: u64) -> (Table, Table, Table) {
+    let mut state = seed | 1;
+    let mut space = AddressSpace::new();
+    let mut fact = Table::new("fact");
+    for fk in ["fk_a", "fk_b"] {
+        fact.add_column(
+            fk,
+            ColumnData::I32(
+                (0..rows)
+                    .map(|_| (xorshift64(&mut state) % dim_n as u64) as i32)
+                    .collect(),
+            ),
+            &mut space,
+        );
+    }
+    let mut dim = |name: &str, col: &str| {
+        let mut t = Table::new(name);
+        t.add_column(
+            col,
+            ColumnData::I32(
+                (0..dim_n)
+                    .map(|_| (xorshift64(&mut state) % DOMAIN as u64) as i32)
+                    .collect(),
+            ),
+            &mut space,
+        );
+        t
+    };
+    let dim_a = dim("dim_a", "payload_a");
+    let dim_b = dim("dim_b", "payload_b");
+    (fact, dim_a, dim_b)
+}
+
 /// Literal giving a `< literal` predicate the requested selectivity on a
 /// uniform `0..DOMAIN` column.
 pub fn literal_for(selectivity: f64) -> i64 {
@@ -325,5 +421,48 @@ mod tests {
             .count() as f64
             / 50_000.0;
         assert!((both - 0.25).abs() < 0.02, "joint = {both}");
+    }
+
+    #[test]
+    fn banded_fks_stay_inside_their_band() {
+        let rows = 8_192;
+        let dim_n = rows;
+        let bands = [(0usize, rows / 2), (rows / 2, rows)];
+        let (fact, dim) = numa_banded_tables(rows, dim_n, &bands, 0xBA2D);
+        assert_eq!(fact.rows(), rows);
+        assert_eq!(dim.rows(), dim_n);
+        let fks = fact.column("fk").unwrap().data().as_i32().unwrap();
+        for &(r0, r1) in &bands {
+            let (d0, d1) = (r0 * dim_n / rows, r1 * dim_n / rows);
+            for &fk in &fks[r0..r1] {
+                let fk = fk as usize;
+                assert!(
+                    (d0..d1).contains(&fk),
+                    "row band [{r0},{r1}) drew fk {fk} outside dim band [{d0},{d1})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn numa_tables_share_one_address_space() {
+        // Separate `AddressSpace`s all allocate from the same base, so a
+        // placement registered on one table's range would capture the
+        // other's. The NUMA builders must hand out disjoint ranges.
+        let (fact, dim_a, dim_b) = numa_two_dim_tables(4_096, 1_024, 0x5EED);
+        let cols = [
+            fact.column("fk_a").unwrap(),
+            fact.column("fk_b").unwrap(),
+            dim_a.column("payload_a").unwrap(),
+            dim_b.column("payload_b").unwrap(),
+        ];
+        let mut ranges: Vec<(u64, u64)> = cols
+            .iter()
+            .map(|c| (c.base_addr(), c.addr_of(c.data().len() - 1) + 4))
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "column ranges overlap: {w:?}");
+        }
     }
 }

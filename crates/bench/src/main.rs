@@ -10,21 +10,36 @@ use popt_bench::common::FigureCtx;
 use popt_bench::figures;
 
 fn print_usage() {
-    eprintln!("usage: figures <id...|all|help> [--quick] [--shared-llc]");
+    eprintln!("usage: figures <id...|all|help> [--quick] [--shared-llc] [--sockets N]");
     eprintln!("figure ids: {}", figures::ALL.join(", "));
     eprintln!("  --quick       reduced scale for smoke runs");
     eprintln!("  --shared-llc  single-socket mode: co-running work contends for one LLC");
+    eprintln!("  --sockets N   split the pool into N sockets (parallel/serving figures)");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut shared_llc = false;
+    let mut sockets = 1usize;
     let mut ids: Vec<&str> = Vec::new();
-    for arg in &args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
             "--shared-llc" => shared_llc = true,
+            "--sockets" => {
+                // A socket count of 0 (or garbage) must fail loudly for
+                // the same reason an unknown flag does.
+                sockets = match iter.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => {
+                        eprintln!("error: --sockets needs a count >= 1");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                };
+            }
             flag if flag.starts_with('-') => {
                 // An unknown flag must fail loudly: silently ignoring it
                 // would let a CI smoke "pass" while running the wrong
@@ -36,7 +51,11 @@ fn main() {
             id => ids.push(id),
         }
     }
-    let ctx = FigureCtx { quick, shared_llc };
+    let ctx = FigureCtx {
+        quick,
+        shared_llc,
+        sockets,
+    };
 
     // `figures help` is a successful, explicit request for usage (exit 0);
     // a bare `figures` is a misuse that still deserves the usage text but

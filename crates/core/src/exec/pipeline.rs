@@ -15,21 +15,21 @@
 //! access stream, a probe into a randomly keyed dimension (lineitem→part)
 //! produces the random pattern Equation 1 prices.
 //!
-//! **Deprecation note.** Hand-chaining [`FilterOp`]s into a
-//! [`Pipeline`] is the legacy construction path. New code should go
-//! through the query frontend — [`crate::plan::PlanBuilder`] →
-//! optimizer passes → [`crate::exec::program::CompiledProgram`] — which
-//! lowers to an executor with the exact same per-tuple event sequence
-//! (pinned by test) while adding predicate normalization, static passes,
-//! structural cache signatures, and cheap permutation re-emission. The
-//! hand-chaining path remains for targeted executor tests and for
-//! drivers not yet migrated; it will lose its public constructors in a
-//! later change.
+//! **Construction.** Queries are built through the frontend —
+//! [`crate::plan::PlanBuilder`] → optimizer passes →
+//! [`crate::exec::program::CompiledProgram`] — which lowers to an
+//! executor with the exact same per-tuple event sequence (pinned by
+//! test) while adding predicate normalization, static passes,
+//! structural cache signatures, and cheap permutation re-emission.
+//! Hand-chaining [`FilterOp`]s into a [`Pipeline`] is test support:
+//! the constructors stay callable (hidden from docs) so targeted
+//! executor tests can pin the event stream of a single stage without
+//! routing through the planner.
 
 use popt_cost::estimate::{PlanGeometry, ProbeGeometry};
 use popt_cost::join_model::JoinGeometry;
 use popt_cost::markov::ChainSpec;
-use popt_cpu::{BranchSite, CpuConfig, SimCpu};
+use popt_cpu::{BranchSite, CpuConfig, NumaPlacement, SimCpu};
 use popt_storage::Table;
 
 use crate::error::EngineError;
@@ -105,6 +105,11 @@ impl std::fmt::Debug for FilterOp<'_> {
 
 impl<'t> FilterOp<'t> {
     /// Build a [`FilterOp::Select`] from a table column.
+    ///
+    /// Test support: production code builds stages through the query
+    /// frontend (see the module docs); this stays callable for targeted
+    /// executor tests.
+    #[doc(hidden)]
     pub fn select(
         table: &'t Table,
         column: &str,
@@ -137,6 +142,11 @@ impl<'t> FilterOp<'t> {
     /// `fk_column` lives on the fact table; `dim_column` on `dim`. Stream
     /// ids must be distinct across the whole pipeline — callers typically
     /// offset dimension streams past the fact table's column count.
+    ///
+    /// Test support: production code builds stages through the query
+    /// frontend (see the module docs); this stays callable for targeted
+    /// executor tests.
+    #[doc(hidden)]
     #[allow(clippy::too_many_arguments)]
     pub fn join_filter(
         fact: &'t Table,
@@ -353,6 +363,11 @@ impl std::fmt::Debug for Pipeline<'_> {
 impl<'t> Pipeline<'t> {
     /// Build a pipeline over `rows` fact tuples; the initial evaluation
     /// order is the plan order.
+    ///
+    /// Test support: production code builds pipelines through the query
+    /// frontend (see the module docs); this stays callable for targeted
+    /// executor tests.
+    #[doc(hidden)]
     pub fn new(ops: Vec<FilterOp<'t>>, rows: usize) -> Result<Self, EngineError> {
         if ops.is_empty() {
             return Err(EngineError::EmptyPlan);
@@ -508,6 +523,7 @@ impl<'t> Pipeline<'t> {
                     },
                     upper_cache_bytes,
                     clustering: clustering[j].clamp(0.0, 1.0),
+                    remote_fraction: 0.0,
                 })
             })
             .collect();
@@ -531,6 +547,35 @@ impl<'t> Pipeline<'t> {
             chain,
             probes,
         }
+    }
+
+    /// [`Pipeline::plan_geometry`] with NUMA-aware probe pricing: each
+    /// join stage's probe gains the fraction of its dimension homed on a
+    /// socket other than `socket` under `placement`, so the per-socket
+    /// cost model prices the hop into a remote partition. Both inputs
+    /// are static topology — the geometry stays deterministic.
+    pub fn plan_geometry_numa(
+        &self,
+        n_input: u64,
+        cpu: &CpuConfig,
+        llc_bytes: u64,
+        clustering: &[f64],
+        placement: &NumaPlacement,
+        socket: usize,
+    ) -> PlanGeometry {
+        let mut geom = self.plan_geometry(n_input, cpu, llc_bytes, clustering);
+        let line_bytes = cpu.line_bytes();
+        for (&j, probe) in self.order.iter().zip(geom.probes.iter_mut()) {
+            if let (Some(p), Some(base), Some(rows)) = (
+                probe.as_mut(),
+                self.ops[j].dim_base(),
+                self.ops[j].dim_rows(),
+            ) {
+                p.remote_fraction =
+                    placement.remote_fraction(base, rows as u64 * 4, socket, line_bytes);
+            }
+        }
+        geom
     }
 
     /// Bytes this pipeline wants resident in the last-level cache while

@@ -18,7 +18,7 @@ use std::hash::{Hash, Hasher};
 use popt_cost::estimate::{PlanGeometry, ProbeGeometry};
 use popt_cost::join_model::JoinGeometry;
 use popt_cost::markov::ChainSpec;
-use popt_cpu::{BranchSite, CpuConfig, SimCpu};
+use popt_cpu::{BranchSite, CpuConfig, NumaPlacement, SimCpu};
 
 use crate::error::EngineError;
 use crate::exec::scan::{AggColumn, InstrCosts, VectorStats, LOOP_BRANCH_SITE};
@@ -414,6 +414,7 @@ impl<'t> CompiledProgram<'t> {
                     },
                     upper_cache_bytes,
                     clustering: clustering[j].clamp(0.0, 1.0),
+                    remote_fraction: 0.0,
                 })
             })
             .collect();
@@ -437,6 +438,34 @@ impl<'t> CompiledProgram<'t> {
             chain,
             probes,
         }
+    }
+
+    /// [`CompiledProgram::plan_geometry`] with NUMA-aware probe pricing:
+    /// each join stage's probe gains the fraction of its dimension homed
+    /// on a socket other than `socket` under `placement` (see
+    /// `Pipeline::plan_geometry_numa`).
+    pub fn plan_geometry_numa(
+        &self,
+        n_input: u64,
+        cpu: &CpuConfig,
+        llc_bytes: u64,
+        clustering: &[f64],
+        placement: &NumaPlacement,
+        socket: usize,
+    ) -> PlanGeometry {
+        let mut geom = self.plan_geometry(n_input, cpu, llc_bytes, clustering);
+        let line_bytes = cpu.line_bytes();
+        for (&j, probe) in self.order.iter().zip(geom.probes.iter_mut()) {
+            if let (Some(p), Some(base), Some(rows)) = (
+                probe.as_mut(),
+                self.stages[j].dim_base(),
+                self.stages[j].dim_rows(),
+            ) {
+                p.remote_fraction =
+                    placement.remote_fraction(base, rows as u64 * 4, socket, line_bytes);
+            }
+        }
+        geom
     }
 
     /// Hot-set footprint declared to a shared-socket capacity partition:

@@ -39,7 +39,7 @@ use std::sync::Mutex;
 use popt_cost::cycles::{fleet_speedup, fleet_wall_cycles};
 use popt_cost::estimate::PlanGeometry;
 use popt_cpu::pmu::CounterDelta;
-use popt_cpu::{CpuConfig, CpuPool, SimCpu};
+use popt_cpu::{CpuConfig, CpuPool, NumaPlacement, SimCpu};
 use popt_solver::{estimate_selectivities, EstimateResult, SampledCounters};
 
 use crate::error::EngineError;
@@ -80,8 +80,17 @@ pub struct ParallelReport {
     pub estimates: usize,
     /// Total cycles attributed to the optimizer.
     pub optimizer_cycles: u64,
-    /// The accepted order when the scan finished.
+    /// The accepted order when the scan finished (socket 0's on a
+    /// multi-socket pool).
     pub final_order: Peo,
+    /// The accepted order of each socket when the scan finished — on a
+    /// NUMA pool the sockets optimize independently and can converge to
+    /// *different* orders (a dim homed locally ranks cheaper there).
+    /// One entry (equal to `final_order`) on a single-socket pool.
+    pub socket_orders: Vec<Peo>,
+    /// Percentage of memory-served accesses that crossed to a remote
+    /// socket (0 on a single-socket pool).
+    pub remote_access_pct: f64,
     /// Counter totals across all cores.
     pub counters: CounterDelta,
 }
@@ -123,28 +132,26 @@ pub(crate) enum BoundaryAction {
     },
 }
 
-/// Per-query coordination state: the master target plus everything the
-/// §4.4 loop tracks between morsels. Methods are the *locked steps* of
-/// the coordination protocol — the caller serializes them behind its own
-/// mutex (one `Mutex<CoordState>` for a dedicated pool; the server's
-/// scheduler lock for interleaved queries) and runs the expensive
-/// estimator fits between steps, outside the lock.
-pub(crate) struct CoordState<'a, T> {
-    /// The master target: order tracking plus the shared estimator model
-    /// (probe clustering, proposal logic). Never executes a morsel.
-    pub(crate) target: &'a mut T,
-    /// Bumped on every accepted switch; workers resync when it moves.
+/// Per-socket slice of the coordination state: the §4.4 loop's order
+/// tracking, trial lease, rejection memory and epoch reference, one per
+/// socket. Sockets optimize independently — a trial accepted on socket
+/// 0 never re-chains socket 1's workers — which is what lets the two
+/// halves of a NUMA pool converge to *different* accepted orders when
+/// their placements price the same dims differently. A single-socket
+/// pool has exactly one slice, making the state identical to the flat
+/// pre-NUMA coordinator.
+struct SocketCoord {
+    /// Bumped on every accepted switch; this socket's workers resync
+    /// when it moves.
     epoch: u64,
-    /// The accepted evaluation order.
-    pub(crate) published: Peo,
+    /// The accepted evaluation order on this socket.
+    published: Peo,
     trial: Option<Trial>,
     /// Recently reverted orders: (order, reopt round rejected at).
     rejected: Vec<(Peo, usize)>,
     reopt_round: usize,
     last_accept_round: usize,
     morsels_since_reopt: usize,
-    /// Per-worker sample windows under the current epoch's order.
-    windows: Vec<VectorStats>,
     /// Cycles and tuples accumulated under the current epoch's order —
     /// their ratio is the accepted order's cycles-per-tuple, the
     /// reference a trial must not regress from. An *average* over the
@@ -156,27 +163,17 @@ pub(crate) struct CoordState<'a, T> {
     /// Whether an estimator round snapshot is being fitted outside the
     /// lock; excludes concurrent reopt rounds like a pending trial does.
     estimate_in_flight: bool,
-    pub(crate) switches: Vec<SwitchEvent>,
-    pub(crate) estimates: usize,
-    /// Optimizer cycles charged per worker (to the core that ran the
-    /// estimator round).
-    pub(crate) optimizer_cycles: Vec<u64>,
-    pub(crate) morsels_done: usize,
-    /// Effective LLC capacity (bytes) the query's morsels run against —
-    /// the socket share under contention, the full LLC otherwise. Every
-    /// estimator fit prices its geometry with this capacity, so the
-    /// proposals it produces reflect what a co-runner left the query.
+    /// Effective LLC capacity (bytes) this socket's morsels run against
+    /// — the smallest member share under contention, the full LLC
+    /// otherwise. Every estimator fit prices its geometry with this
+    /// capacity, so the proposals it produces reflect what a co-runner
+    /// left the query.
     llc_share_bytes: u64,
 }
 
-impl<'a, T: ShardableTarget> CoordState<'a, T> {
-    /// Fresh coordination state over `target`'s current order, for a pool
-    /// of `workers` workers whose cores give this query an effective LLC
-    /// capacity of `llc_share_bytes`.
-    pub(crate) fn new(target: &'a mut T, workers: usize, llc_share_bytes: u64) -> Self {
-        let published = target.order();
+impl SocketCoord {
+    fn new(published: Peo, llc_share_bytes: u64) -> Self {
         Self {
-            target,
             epoch: 0,
             published,
             trial: None,
@@ -184,25 +181,120 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
             reopt_round: 0,
             last_accept_round: 0,
             morsels_since_reopt: 0,
-            windows: vec![VectorStats::zero(); workers],
             epoch_cycles: 0,
             epoch_tuples: 0,
             estimate_in_flight: false,
+            llc_share_bytes,
+        }
+    }
+}
+
+/// Per-query coordination state: the master target plus everything the
+/// §4.4 loop tracks between morsels, sliced per socket. Methods are the
+/// *locked steps* of the coordination protocol — the caller serializes
+/// them behind its own mutex (one `Mutex<CoordState>` for a dedicated
+/// pool; the server's scheduler lock for interleaved queries) and runs
+/// the expensive estimator fits between steps, outside the lock.
+///
+/// The master target holds a single evaluation order, so every locked
+/// step that derives geometry, calibrates, or proposes for socket `s`
+/// first re-establishes `s`'s published (or trial) order on the target;
+/// cross-socket interleaving between locked steps can therefore never
+/// leak one socket's order into another's fit.
+pub(crate) struct CoordState<'a, T> {
+    /// The master target: order tracking plus the shared estimator model
+    /// (probe clustering, proposal logic). Never executes a morsel.
+    pub(crate) target: &'a mut T,
+    /// Per-socket coordination slices.
+    sockets: Vec<SocketCoord>,
+    /// Socket of each worker (contiguous blocks, `CpuPool::socket_of`).
+    socket_of: Vec<usize>,
+    /// The pool's memory map, for remote-fraction probe pricing.
+    placement: NumaPlacement,
+    /// Per-worker sample windows under the worker's socket epoch order.
+    windows: Vec<VectorStats>,
+    pub(crate) switches: Vec<SwitchEvent>,
+    pub(crate) estimates: usize,
+    /// Optimizer cycles charged per worker (to the core that ran the
+    /// estimator round).
+    pub(crate) optimizer_cycles: Vec<u64>,
+    pub(crate) morsels_done: usize,
+}
+
+impl<'a, T: ShardableTarget> CoordState<'a, T> {
+    /// Fresh single-socket coordination state over `target`'s current
+    /// order, for a pool of `workers` workers whose cores give this
+    /// query an effective LLC capacity of `llc_share_bytes`.
+    pub(crate) fn new(target: &'a mut T, workers: usize, llc_share_bytes: u64) -> Self {
+        Self::with_topology(
+            target,
+            vec![0; workers],
+            vec![llc_share_bytes],
+            NumaPlacement::single(),
+        )
+    }
+
+    /// Coordination state over a socket topology: `socket_of` maps each
+    /// worker to its socket, `llc_shares` carries one effective LLC
+    /// capacity per socket, and `placement` prices remote probes. Every
+    /// socket starts from the target's current order.
+    pub(crate) fn with_topology(
+        target: &'a mut T,
+        socket_of: Vec<usize>,
+        llc_shares: Vec<u64>,
+        placement: NumaPlacement,
+    ) -> Self {
+        let published = target.order();
+        let workers = socket_of.len();
+        Self {
+            target,
+            sockets: llc_shares
+                .into_iter()
+                .map(|share| SocketCoord::new(published.clone(), share))
+                .collect(),
+            socket_of,
+            placement,
+            windows: vec![VectorStats::zero(); workers],
             switches: Vec::new(),
             estimates: 0,
             optimizer_cycles: vec![0; workers],
             morsels_done: 0,
-            llc_share_bytes,
+        }
+    }
+
+    /// The accepted order on `socket`.
+    pub(crate) fn published_order(&self, socket: usize) -> &Peo {
+        &self.sockets[socket].published
+    }
+
+    /// The accepted order of every socket, in socket order.
+    pub(crate) fn socket_orders(&self) -> Vec<Peo> {
+        self.sockets.iter().map(|s| s.published.clone()).collect()
+    }
+
+    /// Geometry for socket `s`'s current target order: NUMA-priced when
+    /// the pool has remote memory to price, the flat (PR 5) geometry
+    /// otherwise — so a 1-socket run takes the exact legacy path.
+    fn geometry(&self, s: usize, n_input: u64, cpu_cfg: &CpuConfig) -> PlanGeometry {
+        let share = self.sockets[s].llc_share_bytes;
+        if self.placement.sockets() > 1 {
+            self.target
+                .plan_geometry_numa(n_input, cpu_cfg, share, &self.placement, s)
+        } else {
+            self.target.plan_geometry(n_input, cpu_cfg, share)
         }
     }
 
     /// Boundary sync for worker `w`, which last chained its shard under
-    /// `local_epoch`: lease a pending trial so the candidate runs on
-    /// exactly this core, or tell the worker which published order to
-    /// adopt. The caller applies the returned order to its shard
-    /// *outside* this state's lock (the shard is worker-private).
+    /// `local_epoch`: lease a pending trial on `w`'s socket so the
+    /// candidate runs on exactly this core, or tell the worker which
+    /// published order to adopt. The caller applies the returned order
+    /// to its shard *outside* this state's lock (the shard is
+    /// worker-private).
     pub(crate) fn begin_morsel(&mut self, w: usize, local_epoch: u64) -> BoundaryAction {
-        let lease = match self.trial.as_mut() {
+        let s = self.socket_of[w];
+        let sc = &mut self.sockets[s];
+        let lease = match sc.trial.as_mut() {
             Some(trial) if !trial.leased => {
                 trial.leased = true;
                 Some(trial.order.clone())
@@ -213,39 +305,42 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
             // Ground the comparison in this core's own recent rate under
             // the incumbent order when it has one — consecutive morsels
             // on one core control for cache state, like the serial
-            // loop's vector-to-vector comparison. The pool-wide epoch
+            // loop's vector-to-vector comparison. The socket-wide epoch
             // average (snapshot at scheduling) remains the fallback for
             // a cold core.
             if self.windows[w].tuples > 0 {
                 let own_cpt = self.windows[w].cycles_per_tuple();
-                if let Some(trial) = self.trial.as_mut() {
+                if let Some(trial) = sc.trial.as_mut() {
                     trial.prev_cpt = own_cpt;
                 }
             }
             BoundaryAction::Trial(order)
-        } else if local_epoch != self.epoch {
+        } else if local_epoch != sc.epoch {
             BoundaryAction::Adopt {
-                order: self.published.clone(),
-                epoch: self.epoch,
+                order: sc.published.clone(),
+                epoch: sc.epoch,
             }
         } else {
-            BoundaryAction::Keep { epoch: self.epoch }
+            BoundaryAction::Keep { epoch: sc.epoch }
         }
     }
 
-    /// Locked step 1 of trial resolution: count the morsel and derive the
-    /// trial-order geometry the sample must be fitted against — the
-    /// master target moves to the trial order (it moves back in
-    /// [`CoordState::resolve_trial`] if the trial reverts). Returns the
-    /// fit inputs for the estimate the caller runs outside the lock, or
-    /// `None` when the target does not calibrate from trials.
+    /// Locked step 1 of trial resolution for worker `w`: count the
+    /// morsel and derive the trial-order geometry the sample must be
+    /// fitted against — the master target moves to the trial order (it
+    /// is re-established in [`CoordState::resolve_trial`] regardless).
+    /// Returns the fit inputs for the estimate the caller runs outside
+    /// the lock, or `None` when the target does not calibrate from
+    /// trials.
     pub(crate) fn trial_fit_inputs(
         &mut self,
+        w: usize,
         stats: &VectorStats,
         cpu_cfg: &CpuConfig,
     ) -> Result<Option<(PlanGeometry, SampledCounters)>, EngineError> {
         self.morsels_done += 1;
-        let trial_order = self
+        let s = self.socket_of[w];
+        let trial_order = self.sockets[s]
             .trial
             .as_ref()
             .expect("a leased trial to resolve")
@@ -254,9 +349,7 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         if self.target.wants_trial_calibration() {
             let sampled = stats.sampled_counters();
             self.target.set_order(&trial_order)?;
-            let geom = self
-                .target
-                .plan_geometry(sampled.n_input, cpu_cfg, self.llc_share_bytes);
+            let geom = self.geometry(s, sampled.n_input, cpu_cfg);
             Ok(Some((geom, sampled)))
         } else {
             Ok(None)
@@ -274,37 +367,55 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         fitted: Option<(PlanGeometry, SampledCounters, EstimateResult)>,
         cfg: &ProgressiveConfig,
     ) -> Result<(Peo, u64), EngineError> {
+        let s = self.socket_of[w];
         if let Some((geom, sampled, estimate)) = fitted {
             self.estimates += 1;
             self.optimizer_cycles[w] += estimate.evaluations as u64 * cfg.cycles_per_estimator_eval;
+            // Another socket's locked step may have moved the master
+            // order since the fit inputs were derived; the calibration
+            // must run under the geometry's (trial) order.
+            let trial_order = self.sockets[s]
+                .trial
+                .as_ref()
+                .expect("a leased trial to resolve")
+                .order
+                .clone();
+            self.target.set_order(&trial_order)?;
             self.target.calibrate(&geom, &sampled, &estimate.survivors);
         }
-        let trial = self.trial.take().expect("a leased trial to resolve");
+        let trial = self.sockets[s]
+            .trial
+            .take()
+            .expect("a leased trial to resolve");
         let cpt = stats.cycles_per_tuple();
         let regressed =
             cfg.revert_on_regression && cpt > trial.prev_cpt * (1.0 + cfg.regression_tolerance);
+        let sc = &mut self.sockets[s];
         if regressed {
-            let round = self.reopt_round;
-            self.rejected.push((trial.order, round));
+            let round = sc.reopt_round;
+            sc.rejected.push((trial.order, round));
             self.switches[trial.switch_idx].reverted = true;
-            let published = self.published.clone();
+            let published = sc.published.clone();
             self.target.set_order(&published)?;
         } else {
             self.target.set_order(&trial.order)?;
-            self.published = trial.order;
-            self.epoch += 1;
-            self.last_accept_round = self.reopt_round;
-            // The windows and the epoch reference sampled the superseded
-            // order; the trial morsel is the new epoch's first
-            // observation.
-            for window in &mut self.windows {
-                *window = VectorStats::zero();
+            sc.published = trial.order;
+            sc.epoch += 1;
+            sc.last_accept_round = sc.reopt_round;
+            sc.morsels_since_reopt = 0;
+            sc.epoch_cycles = stats.counters.cycles;
+            sc.epoch_tuples = stats.tuples;
+            // The socket's windows and epoch reference sampled the
+            // superseded order; the trial morsel is the new epoch's
+            // first observation. Other sockets' windows are untouched.
+            for (wi, window) in self.windows.iter_mut().enumerate() {
+                if self.socket_of[wi] == s {
+                    *window = VectorStats::zero();
+                }
             }
-            self.morsels_since_reopt = 0;
-            self.epoch_cycles = stats.counters.cycles;
-            self.epoch_tuples = stats.tuples;
         }
-        Ok((self.published.clone(), self.epoch))
+        let sc = &self.sockets[s];
+        Ok((sc.published.clone(), sc.epoch))
     }
 
     /// Locked step for a morsel executed under the accepted order:
@@ -324,23 +435,25 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         work_remains: bool,
     ) -> Option<(PlanGeometry, SampledCounters)> {
         self.morsels_done += 1;
-        if epoch != self.epoch {
+        let s = self.socket_of[w];
+        if epoch != self.sockets[s].epoch {
             // Measured under a stale epoch: counts toward the result,
             // excluded from the sample window.
             return None;
         }
         self.windows[w].accumulate(stats);
-        self.epoch_cycles += stats.counters.cycles;
-        self.epoch_tuples += stats.tuples;
-        self.morsels_since_reopt += 1;
+        let sc = &mut self.sockets[s];
+        sc.epoch_cycles += stats.counters.cycles;
+        sc.epoch_tuples += stats.tuples;
+        sc.morsels_since_reopt += 1;
         match reopt {
             Some(cfg)
-                if self.morsels_since_reopt >= cfg.reop_interval
-                    && self.trial.is_none()
-                    && !self.estimate_in_flight
+                if sc.morsels_since_reopt >= cfg.reop_interval
+                    && sc.trial.is_none()
+                    && !sc.estimate_in_flight
                     && work_remains =>
             {
-                self.begin_reoptimize(cfg, cpu_cfg)
+                self.begin_reoptimize(s, cfg, cpu_cfg)
             }
             _ => None,
         }
@@ -360,79 +473,100 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         estimate: EstimateResult,
         cfg: &ProgressiveConfig,
     ) {
-        self.estimate_in_flight = false;
+        let s = self.socket_of[w];
+        self.sockets[s].estimate_in_flight = false;
         self.estimates += 1;
         self.optimizer_cycles[w] += estimate.evaluations as u64 * cfg.cycles_per_estimator_eval;
-        self.target.calibrate(geom, merged, &estimate.survivors);
-        let proposed = self.target.propose_order(geom, &estimate.selectivities);
-        if self.rejected.iter().any(|(order, _)| order == &proposed) {
+        // Another socket's locked step may have moved the master order
+        // since the snapshot; re-establish this socket's published order
+        // (which the geometry was built under, and which `s`'s pending
+        // state guarantees is unchanged) before calibrating/proposing.
+        if self.target.set_order(&self.sockets[s].published).is_err() {
             return;
         }
-        if proposed != self.published {
-            self.schedule_trial(proposed, false);
+        self.target.calibrate(geom, merged, &estimate.survivors);
+        let proposed = self.target.propose_order(geom, &estimate.selectivities);
+        if self.sockets[s]
+            .rejected
+            .iter()
+            .any(|(order, _)| order == &proposed)
+        {
+            return;
+        }
+        if proposed != self.sockets[s].published {
+            self.schedule_trial(s, proposed, false);
         }
     }
 
-    /// Start a reoptimization round: age out rejections, handle the cheap
-    /// stall-exploration and measurement-probe paths directly, or
-    /// snapshot the fused per-worker windows for an estimator round the
-    /// caller runs outside the lock.
+    /// Start a reoptimization round on socket `s`: age out rejections,
+    /// handle the cheap stall-exploration and measurement-probe paths
+    /// directly, or snapshot the fused windows of `s`'s workers for an
+    /// estimator round the caller runs outside the lock — the solver
+    /// fits *per-socket* counter windows, so each socket's estimate sees
+    /// only counters generated under its own order and placement.
     fn begin_reoptimize(
         &mut self,
+        s: usize,
         cfg: &ProgressiveConfig,
         cpu_cfg: &CpuConfig,
     ) -> Option<(PlanGeometry, SampledCounters)> {
-        self.reopt_round += 1;
-        self.morsels_since_reopt = 0;
-        let round = self.reopt_round;
-        self.rejected
+        self.sockets[s].reopt_round += 1;
+        self.sockets[s].morsels_since_reopt = 0;
+        let round = self.sockets[s].reopt_round;
+        self.sockets[s]
+            .rejected
             .retain(|(_, at)| round - at <= cfg.rejection_ttl);
 
         // Stall-triggered exploration (§4.5), same trigger as the serial
         // loop: no recently accepted switch AND an active disagreement.
-        let stalled = self.reopt_round >= self.last_accept_round + 3 && !self.rejected.is_empty();
-        if cfg.explore_correlation && stalled && self.reopt_round % 2 == 0 {
-            let mut explored = self.published.clone();
+        let stalled =
+            round >= self.sockets[s].last_accept_round + 3 && !self.sockets[s].rejected.is_empty();
+        if cfg.explore_correlation && stalled && round % 2 == 0 {
+            let mut explored = self.sockets[s].published.clone();
             explored.rotate_right(1);
-            if explored != self.published {
-                self.schedule_trial(explored, true);
+            if explored != self.sockets[s].published {
+                self.schedule_trial(s, explored, true);
             }
             return None;
         }
 
         // Measurement probe: an order the target wants to observe once.
         if let Some(probe) = self.target.take_probe_order() {
-            if probe != self.published {
-                self.schedule_trial(probe, true);
+            if probe != self.sockets[s].published {
+                self.schedule_trial(s, probe, true);
                 return None;
             }
         }
 
-        // Fuse the per-worker windows into one pool-wide sample; one
-        // estimator round serves the whole pool.
+        // Fuse this socket's per-worker windows into one socket-wide
+        // sample; one estimator round serves the socket.
         let samples: Vec<SampledCounters> = self
             .windows
             .iter()
-            .filter(|window| window.tuples > 0)
-            .map(VectorStats::sampled_counters)
+            .enumerate()
+            .filter(|(wi, window)| self.socket_of[*wi] == s && window.tuples > 0)
+            .map(|(_, window)| window.sampled_counters())
             .collect();
         let merged = SampledCounters::merged(&samples)?;
-        let geom = self
-            .target
-            .plan_geometry(merged.n_input, cpu_cfg, self.llc_share_bytes);
-        // The window feeds this estimate; the next interval accumulates
+        // The geometry must describe the order the windows sampled.
+        self.target.set_order(&self.sockets[s].published).ok()?;
+        let geom = self.geometry(s, merged.n_input, cpu_cfg);
+        // The windows feed this estimate; the next interval accumulates
         // fresh while the fit runs.
-        for window in &mut self.windows {
-            *window = VectorStats::zero();
+        for (wi, window) in self.windows.iter_mut().enumerate() {
+            if self.socket_of[wi] == s {
+                *window = VectorStats::zero();
+            }
         }
-        self.estimate_in_flight = true;
+        self.sockets[s].estimate_in_flight = true;
         Some((geom, merged))
     }
 
-    fn schedule_trial(&mut self, order: Peo, exploratory: bool) {
+    fn schedule_trial(&mut self, s: usize, order: Peo, exploratory: bool) {
+        let sc = &mut self.sockets[s];
         self.switches.push(SwitchEvent {
             vector: self.morsels_done,
-            from: self.published.clone(),
+            from: sc.published.clone(),
             to: order.clone(),
             reverted: false,
             exploratory,
@@ -440,11 +574,11 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         // Trials are only scheduled after at least one full reopt
         // interval of in-epoch morsels, so the epoch average is always
         // populated.
-        debug_assert!(self.epoch_tuples > 0, "trial scheduled with no reference");
-        self.trial = Some(Trial {
+        debug_assert!(sc.epoch_tuples > 0, "trial scheduled with no reference");
+        sc.trial = Some(Trial {
             order,
             switch_idx: self.switches.len() - 1,
-            prev_cpt: self.epoch_cycles as f64 / self.epoch_tuples.max(1) as f64,
+            prev_cpt: sc.epoch_cycles as f64 / sc.epoch_tuples.max(1) as f64,
             leased: false,
         });
     }
@@ -466,8 +600,10 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         if self.target.set_order(order).is_err() {
             return false;
         }
-        self.published = order.to_vec();
-        self.epoch += 1;
+        for sc in &mut self.sockets {
+            sc.published = order.to_vec();
+            sc.epoch += 1;
+        }
         if let Some(snapshot) = calibration {
             self.target.restore_calibration(snapshot);
         }
@@ -478,13 +614,16 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
     /// was never accepted either, so record it as reverted. Call once
     /// after the last morsel of the stream resolved.
     pub(crate) fn abandon_unleased_trial(&mut self) {
-        if let Some(trial) = self.trial.take() {
-            if !trial.leased {
-                self.switches[trial.switch_idx].reverted = true;
-            } else {
-                // A leased trial is always resolved by the worker that
-                // ran it; putting it back preserves that invariant.
-                self.trial = Some(trial);
+        for sc in &mut self.sockets {
+            if let Some(trial) = sc.trial.take() {
+                if !trial.leased {
+                    self.switches[trial.switch_idx].reverted = true;
+                } else {
+                    // A leased trial is always resolved by the worker
+                    // that ran it; putting it back preserves that
+                    // invariant.
+                    sc.trial = Some(trial);
+                }
             }
         }
     }
@@ -529,7 +668,7 @@ pub(crate) fn trial_round<'a, T: ShardableTarget>(
     cfg: &ProgressiveConfig,
     cpu_cfg: &CpuConfig,
 ) -> Result<((Peo, u64), u64), EngineError> {
-    let fit_inputs = coord.with(|c| c.trial_fit_inputs(stats, cpu_cfg))?;
+    let fit_inputs = coord.with(|c| c.trial_fit_inputs(w, stats, cpu_cfg))?;
     // Unlocked: the expensive estimate. The still-leased trial excludes
     // reopt rounds and double-leasing while the pool keeps streaming.
     let fitted = fit_inputs.map(|(geom, sampled)| {
@@ -641,7 +780,13 @@ where
         }
     }
     let workers = pool.len();
-    let dispatcher = MorselDispatcher::new(target.rows(), morsels.morsel_tuples, workers)?;
+    let sockets = pool.sockets();
+    // Range affinity: each socket's workers claim from that socket's
+    // contiguous morsel range (HyPer-style), via per-socket claim
+    // counters that stay host-schedule-independent. One socket reduces
+    // exactly to the flat round-robin interleave.
+    let dispatcher =
+        MorselDispatcher::with_affinity(target.rows(), morsels.morsel_tuples, workers, sockets)?;
     let cpu_cfg = pool.config().clone();
     let freq = cpu_cfg.timing.frequency_ghz;
 
@@ -649,10 +794,14 @@ where
     // about to occupy. On a shared-LLC pool the partition shrinks each
     // core's slice to its share — a pure function of the declared
     // footprints, so per-core cycles stay host-independent — and every
-    // estimator fit below prices against the (conservative, pool-minimum)
-    // share instead of the configured socket capacity.
+    // estimator fit below prices against the (conservative, per-socket
+    // minimum) share instead of the configured socket capacity.
     pool.declare_footprints(&vec![target.hot_set_bytes(); workers]);
-    let llc_share_bytes = pool.min_effective_llc_bytes();
+    let llc_shares: Vec<u64> = (0..sockets)
+        .map(|s| pool.min_effective_llc_bytes_socket(s))
+        .collect();
+    let socket_of: Vec<usize> = (0..workers).map(|w| pool.socket_of(w)).collect();
+    let placement = pool.cores()[0].placement().clone();
 
     let mut shards = Vec::with_capacity(workers);
     for _ in 0..workers {
@@ -660,7 +809,7 @@ where
     }
 
     let state = Mutex::new(SharedState {
-        coord: CoordState::new(target, workers, llc_share_bytes),
+        coord: CoordState::with_topology(target, socket_of, llc_shares, placement),
         error: None,
     });
 
@@ -705,6 +854,14 @@ where
         .map(|((_, exec_cycles), opt_cycles)| exec_cycles + opt_cycles)
         .collect();
     let wall_cycles = fleet_wall_cycles(&per_worker_cycles);
+    let socket_orders = st.coord.socket_orders();
+    // Leave the master target in socket 0's accepted order: callers read
+    // one final order off the target, and socket 0 is the deterministic
+    // representative (`final_order` carries the same choice).
+    st.coord
+        .target
+        .set_order(&socket_orders[0])
+        .expect("published order was accepted before");
     Ok(ParallelReport {
         qualified: total.qualified,
         sum: total.sum,
@@ -717,7 +874,9 @@ where
         switches: st.coord.switches,
         estimates: st.coord.estimates,
         optimizer_cycles: st.coord.optimizer_cycles.iter().sum(),
-        final_order: st.coord.published,
+        final_order: socket_orders[0].clone(),
+        socket_orders,
+        remote_access_pct: pool.remote_access_pct(),
         counters: total.counters,
     })
 }

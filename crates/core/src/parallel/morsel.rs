@@ -24,8 +24,18 @@
 //! single-morsel granularity (per-core cycles shift by a few percent;
 //! query results stay bit-identical regardless). Morsels are
 //! near-uniform (same tuple count), so the balance work-stealing would
-//! buy is at most one morsel; NUMA-style range affinity is a ROADMAP
-//! follow-up.
+//! buy is at most one morsel.
+//!
+//! On a multi-socket pool the dispatcher adds HyPer-style **range
+//! affinity** ([`MorselDispatcher::with_affinity`]): the morsel range is
+//! first split into contiguous per-socket blocks (proportional to each
+//! socket's worker count), and each socket's workers interleave within
+//! their own block via the same per-worker claim counters. A worker
+//! therefore only ever touches rows from its socket's block — pin those
+//! rows' columns to that socket in the `NumaPlacement` and every fact
+//! access is local. The placement stays a pure function of the workload
+//! and topology, never of host scheduling; with one socket the formula
+//! reduces exactly to the flat interleave.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -96,35 +106,97 @@ impl Default for MorselConfig {
     }
 }
 
-/// The work division of a parallel scan over `0..rows`: morsel `k`
-/// (rows `k·m .. (k+1)·m`) belongs to worker `k mod workers`, claimed
-/// lazily via per-worker counters. Disjoint ranges, deterministic
-/// placement, completion in any order.
+/// The work division of a parallel scan over `0..rows`: the morsel
+/// range is split into contiguous per-socket blocks (one block spanning
+/// everything for a single-socket dispatcher), and within its socket's
+/// block worker `w` owns every `ws`-th morsel (`ws` = workers on that
+/// socket), claimed lazily via per-worker counters. Disjoint ranges,
+/// deterministic placement, completion in any order.
 #[derive(Debug)]
 pub struct MorselDispatcher {
     rows: usize,
     morsel_tuples: usize,
     workers: usize,
+    sockets: usize,
+    /// Morsel-index boundary of each socket's contiguous block
+    /// (`boundaries[s] .. boundaries[s + 1]`); length `sockets + 1`.
+    boundaries: Vec<usize>,
     /// Per-worker count of morsels that worker has claimed so far.
     claimed: Vec<AtomicUsize>,
 }
 
 impl MorselDispatcher {
     /// A dispatcher over `rows` tuples in morsels of `morsel_tuples`,
-    /// interleaved across `workers` workers.
+    /// interleaved across `workers` workers (single socket: morsel `k`
+    /// belongs to worker `k mod workers`).
     pub fn new(rows: usize, morsel_tuples: usize, workers: usize) -> Result<Self, EngineError> {
+        Self::with_affinity(rows, morsel_tuples, workers, 1)
+    }
+
+    /// A dispatcher with range affinity across `sockets` contiguous
+    /// socket blocks. Workers map to sockets exactly like pool cores
+    /// (`socket_of(w) = w * sockets / workers`), block sizes are
+    /// proportional to each socket's worker count, and each socket's
+    /// workers interleave within their block — so the claim placement
+    /// is a pure function of `(rows, morsel_tuples, workers, sockets)`.
+    /// `sockets = 1` is exactly [`MorselDispatcher::new`].
+    pub fn with_affinity(
+        rows: usize,
+        morsel_tuples: usize,
+        workers: usize,
+        sockets: usize,
+    ) -> Result<Self, EngineError> {
         if morsel_tuples == 0 {
             return Err(EngineError::InvalidVectorConfig("morsel_tuples = 0".into()));
         }
         if workers == 0 {
             return Err(EngineError::InvalidVectorConfig("workers = 0".into()));
         }
+        if sockets == 0 || sockets > workers {
+            return Err(EngineError::InvalidVectorConfig(format!(
+                "sockets ({sockets}) must be in 1..=workers ({workers})"
+            )));
+        }
+        let total = rows.div_ceil(morsel_tuples);
+        // boundary[s] splits the morsel range proportionally to the
+        // cumulative worker count — each socket's block matches its
+        // share of the execution bandwidth.
+        let boundaries: Vec<usize> = (0..=sockets)
+            .map(|s| total * Self::first_worker_of(s, workers, sockets) / workers)
+            .collect();
         Ok(Self {
             rows,
             morsel_tuples,
             workers,
+            sockets,
+            boundaries,
             claimed: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
         })
+    }
+
+    /// First worker index on socket `s` (contiguous worker blocks, same
+    /// split as `CpuPool::socket_of`); `workers` for `s == sockets`.
+    fn first_worker_of(s: usize, workers: usize, sockets: usize) -> usize {
+        (s * workers).div_ceil(sockets)
+    }
+
+    /// Socket of `worker`, plus its local index and the worker count of
+    /// that socket.
+    fn worker_slot(&self, worker: usize) -> (usize, usize, usize) {
+        let s = worker * self.sockets / self.workers;
+        let first = Self::first_worker_of(s, self.workers, self.sockets);
+        let next = Self::first_worker_of(s + 1, self.workers, self.sockets);
+        (s, worker - first, next - first)
+    }
+
+    /// The morsel index `worker` would claim at claim count `round`,
+    /// with its socket's block end.
+    fn morsel_at(&self, worker: usize, round: usize) -> (usize, usize) {
+        let (s, local, ws) = self.worker_slot(worker);
+        (
+            self.boundaries[s] + round * ws + local,
+            self.boundaries[s + 1],
+        )
     }
 
     /// Whether `worker`'s share of the range still has unclaimed
@@ -132,15 +204,19 @@ impl MorselDispatcher {
     /// scheduler uses before spending a stride slot on the query.
     pub fn has_morsels(&self, worker: usize) -> bool {
         let round = self.claimed[worker].load(Ordering::Relaxed);
-        (round * self.workers + worker) * self.morsel_tuples < self.rows
+        let (idx, block_end) = self.morsel_at(worker, round);
+        idx < block_end
     }
 
     /// Claim `worker`'s next morsel; `None` once that worker's share of
     /// the range is exhausted.
     pub fn next(&self, worker: usize) -> Option<(usize, usize)> {
         let round = self.claimed[worker].fetch_add(1, Ordering::Relaxed);
-        let start = (round * self.workers + worker) * self.morsel_tuples;
-        (start < self.rows).then(|| (start, (start + self.morsel_tuples).min(self.rows)))
+        let (idx, block_end) = self.morsel_at(worker, round);
+        (idx < block_end).then(|| {
+            let start = idx * self.morsel_tuples;
+            (start, (start + self.morsel_tuples).min(self.rows))
+        })
     }
 
     /// Whether every morsel has been claimed (claimed ≠ completed: a
@@ -149,7 +225,8 @@ impl MorselDispatcher {
     pub fn exhausted(&self) -> bool {
         (0..self.workers).all(|w| {
             let round = self.claimed[w].load(Ordering::Relaxed);
-            (round * self.workers + w) * self.morsel_tuples >= self.rows
+            let (idx, block_end) = self.morsel_at(w, round);
+            idx >= block_end
         })
     }
 
@@ -161,6 +238,21 @@ impl MorselDispatcher {
     /// Workers the range is interleaved across.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Sockets the range is blocked across (1 = flat interleave).
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Row range `[start, end)` of socket `s`'s contiguous block — the
+    /// rows only `s`'s workers will ever touch. Registering these rows'
+    /// columns to socket `s` in the `NumaPlacement` makes every fact
+    /// access local under affinity dispatch.
+    pub fn socket_row_range(&self, socket: usize) -> (usize, usize) {
+        let start = (self.boundaries[socket] * self.morsel_tuples).min(self.rows);
+        let end = (self.boundaries[socket + 1] * self.morsel_tuples).min(self.rows);
+        (start, end)
     }
 }
 
@@ -253,6 +345,91 @@ mod tests {
         while d.next(1).is_some() {}
         assert!(!d.has_morsels(1));
         assert!(d.exhausted());
+    }
+
+    #[test]
+    fn affinity_blocks_are_contiguous_disjoint_and_complete() {
+        // 4 workers on 2 sockets over 100k rows: sockets own the two
+        // halves of the morsel range, each half interleaved by its own
+        // two workers.
+        let d = MorselDispatcher::with_affinity(100_000, 777, 4, 2).unwrap();
+        assert_eq!(d.sockets(), 2);
+        let total = d.total_morsels();
+        let (s0_start, s0_end) = d.socket_row_range(0);
+        let (s1_start, s1_end) = d.socket_row_range(1);
+        assert_eq!(s0_start, 0);
+        assert_eq!(s0_end, s1_start, "blocks tile the range");
+        assert_eq!(s1_end, 100_000);
+        let mut all = Vec::new();
+        for w in (0..4).rev() {
+            let (lo, hi) = if w < 2 {
+                (s0_start, s0_end)
+            } else {
+                (s1_start, s1_end)
+            };
+            while let Some((start, end)) = d.next(w) {
+                assert!(
+                    start >= lo && end <= hi,
+                    "worker {w} strayed off its socket block: {start}..{end}"
+                );
+                all.push((start, end));
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(all.len(), total);
+        let mut expect_start = 0;
+        for (start, end) in all {
+            assert_eq!(start, expect_start);
+            expect_start = end;
+        }
+        assert_eq!(expect_start, 100_000);
+        assert!(d.exhausted());
+    }
+
+    #[test]
+    fn one_socket_affinity_is_exactly_the_flat_interleave() {
+        let flat = MorselDispatcher::new(50_000, 777, 3).unwrap();
+        let aff = MorselDispatcher::with_affinity(50_000, 777, 3, 1).unwrap();
+        for w in 0..3 {
+            loop {
+                let a = flat.next(w);
+                let b = aff.next(w);
+                assert_eq!(a, b, "worker {w} diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_with_uneven_workers_keeps_blocks_proportional() {
+        // 3 workers on 2 sockets: socket 0 holds workers {0, 1}, socket 1
+        // holds {2}; blocks split the morsel range 2:1.
+        let d = MorselDispatcher::with_affinity(90_000, 1_000, 3, 2).unwrap();
+        let (a0, a1) = d.socket_row_range(0);
+        let (b0, b1) = d.socket_row_range(1);
+        assert_eq!((a0, a1), (0, 60_000));
+        assert_eq!((b0, b1), (60_000, 90_000));
+        // Worker 2 alone drains socket 1's block in order.
+        let mut expect = 60_000;
+        while let Some((start, end)) = d.next(2) {
+            assert_eq!(start, expect);
+            expect = end;
+        }
+        assert_eq!(expect, 90_000);
+    }
+
+    #[test]
+    fn affinity_rejects_more_sockets_than_workers() {
+        assert!(matches!(
+            MorselDispatcher::with_affinity(100, 64, 2, 3).unwrap_err(),
+            EngineError::InvalidVectorConfig(_)
+        ));
+        assert!(matches!(
+            MorselDispatcher::with_affinity(100, 64, 2, 0).unwrap_err(),
+            EngineError::InvalidVectorConfig(_)
+        ));
     }
 
     #[test]

@@ -39,7 +39,7 @@ use popt_cost::cycles::{stage_costs_per_input_tuple, CycleParams};
 use popt_cost::estimate::{estimate_counters, PlanGeometry};
 use popt_cost::markov::ChainSpec;
 use popt_cpu::pmu::CounterDelta;
-use popt_cpu::{CpuConfig, SimCpu};
+use popt_cpu::{CpuConfig, NumaPlacement, SimCpu};
 use popt_solver::{estimate_selectivities, CalibrationSnapshot, EstimatorConfig, SampledCounters};
 use popt_storage::Table;
 
@@ -260,6 +260,25 @@ pub trait ProgressiveTarget {
     /// predictions (and with them the reorder decisions fitted against
     /// them) price contended miss rates.
     fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, llc_bytes: u64) -> PlanGeometry;
+
+    /// [`ProgressiveTarget::plan_geometry`] as seen from one socket of a
+    /// NUMA pool: join-probe stages additionally price the fraction of
+    /// their dimension homed on a *remote* socket under `placement`, so
+    /// two sockets fitting the same counters can rank the same stages
+    /// differently — per-socket order divergence. The default ignores
+    /// the topology (correct for streaming targets, whose geometry has
+    /// no probes to price).
+    fn plan_geometry_numa(
+        &self,
+        n_input: u64,
+        cpu: &CpuConfig,
+        llc_bytes: u64,
+        placement: &NumaPlacement,
+        socket: usize,
+    ) -> PlanGeometry {
+        let _ = (placement, socket);
+        self.plan_geometry(n_input, cpu, llc_bytes)
+    }
 
     /// Bytes the target wants resident in the LLC while it runs — the
     /// hot-set footprint a shared-socket pool's capacity partition
@@ -528,6 +547,24 @@ impl ProgressiveTarget for PipelineTarget<'_, '_> {
             .plan_geometry(n_input, cpu, llc_bytes, self.cal.clustering())
     }
 
+    fn plan_geometry_numa(
+        &self,
+        n_input: u64,
+        cpu: &CpuConfig,
+        llc_bytes: u64,
+        placement: &NumaPlacement,
+        socket: usize,
+    ) -> PlanGeometry {
+        self.pipeline.plan_geometry_numa(
+            n_input,
+            cpu,
+            llc_bytes,
+            self.cal.clustering(),
+            placement,
+            socket,
+        )
+    }
+
     fn hot_set_bytes(&self) -> u64 {
         self.pipeline.hot_set_bytes()
     }
@@ -624,6 +661,24 @@ impl ProgressiveTarget for CompiledTarget<'_, '_> {
     fn plan_geometry(&self, n_input: u64, cpu: &CpuConfig, llc_bytes: u64) -> PlanGeometry {
         self.program
             .plan_geometry(n_input, cpu, llc_bytes, self.cal.clustering())
+    }
+
+    fn plan_geometry_numa(
+        &self,
+        n_input: u64,
+        cpu: &CpuConfig,
+        llc_bytes: u64,
+        placement: &NumaPlacement,
+        socket: usize,
+    ) -> PlanGeometry {
+        self.program.plan_geometry_numa(
+            n_input,
+            cpu,
+            llc_bytes,
+            self.cal.clustering(),
+            placement,
+            socket,
+        )
     }
 
     fn hot_set_bytes(&self) -> u64 {

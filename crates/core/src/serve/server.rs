@@ -21,6 +21,12 @@
 //!   [`OrderCache`] by workload signature; a warm hit starts the query
 //!   from the template's last converged order and clustering
 //!   calibration instead of the caller's (textbook) order.
+//! * **Socket placement** — on a multi-socket pool every query is homed
+//!   on *one* socket (greedy least-loaded-by-footprint in submission
+//!   order, ties to the lowest socket — a pure function of the batch)
+//!   and its morsels interleave only across that socket's cores, so a
+//!   query never pays cross-socket coordination and each socket's LLC
+//!   partition sees only the queries actually running there.
 //!
 //! Results are bit-identical to running each query alone on a single
 //! core: every query's qualified count and aggregate sum are integer
@@ -213,6 +219,21 @@ pub struct ServeConfig {
     /// "converged" state would poison later warm starts — with `reopt:
     /// None` the cache is bypassed entirely.
     pub use_order_cache: bool,
+    /// Dynamically repartition each core's LLC ways among the queries
+    /// that core is *still serving*: when a worker drains its share of a
+    /// query (a local completion event), the survivors' footprint-
+    /// proportional sub-shares of the core's batch-boundary way slice
+    /// grow at that worker's next morsel. Events are keyed to the
+    /// worker's **own claim stream** — ordered by its own simulated
+    /// clock, at most one drain per morsel boundary, live set iterated
+    /// in query-id order — never to other workers' completions: reacting
+    /// to a *global* completion would make this core's cycles depend on
+    /// the host thread interleaving, the exact hazard that reverted the
+    /// shared morsel cursor. Shared-LLC pools only (inert on private
+    /// LLCs, where there is no partition to re-divide). Off by default:
+    /// with it off, every core keeps its batch-boundary slice for the
+    /// whole run, the pre-repartitioning behavior bit-for-bit.
+    pub dynamic_repartition: bool,
 }
 
 impl Default for ServeConfig {
@@ -229,6 +250,7 @@ impl Default for ServeConfig {
                 ..Default::default()
             }),
             use_order_cache: true,
+            dynamic_repartition: false,
         }
     }
 }
@@ -421,35 +443,71 @@ impl<'t> QueryServer<'t> {
             warms.push(warm_seed);
         }
 
-        // Socket boundary: every query's rows interleave across all
-        // workers, so each core co-runs the whole batch — its declared
-        // footprint is the batch's aggregate hot set. On a shared-LLC
-        // pool the partition shrinks every core's slice accordingly (a
-        // pure function of the admitted batch, recomputed at this batch
-        // boundary; finer-grained recomputation would make shares depend
-        // on host thread timing — the same hazard that reverted the
-        // shared morsel cursor). Each query's estimator then prices
-        // against its footprint-proportional slice of the core share, so
-        // reoptimization sees what the co-runners actually left it.
+        // Placement: home every query on one socket, greedy least-
+        // loaded-by-footprint in submission order with ties to the
+        // lowest socket — a pure function of the admitted batch. On a
+        // single-socket pool every query lands on socket 0 and the whole
+        // scheme reduces to the flat pre-NUMA server.
+        let sockets = pool.sockets();
         let footprints: Vec<u64> = targets
             .iter()
             .map(crate::progressive::ProgressiveTarget::hot_set_bytes)
             .collect();
-        let total_footprint: u64 = footprints.iter().sum();
-        pool.declare_footprints(&vec![total_footprint; workers]);
-        let core_share = pool.min_effective_llc_bytes();
+        let mut socket_load = vec![0u64; sockets];
+        let mut socket_footprint = vec![0u64; sockets];
+        let homes: Vec<usize> = footprints
+            .iter()
+            .map(|&f| {
+                let s = (0..sockets)
+                    .min_by_key(|&s| (socket_load[s], s))
+                    .expect("a pool has at least one socket");
+                // Even a zero-footprint query occupies morsel slots;
+                // weight it so placement still spreads the batch.
+                socket_load[s] += f.max(1);
+                socket_footprint[s] += f;
+                s
+            })
+            .collect();
+
+        // Socket boundary: a query's rows interleave across its home
+        // socket's cores, so each core co-runs exactly the queries homed
+        // on its socket — its declared footprint is that socket's
+        // aggregate hot set. On a shared-LLC pool the partition shrinks
+        // every core's slice accordingly (a pure function of the
+        // admitted batch, recomputed at this batch boundary; reacting to
+        // *other workers'* completions would make shares depend on host
+        // thread timing — the same hazard that reverted the shared
+        // morsel cursor; the opt-in `dynamic_repartition` re-divides
+        // only within a worker's own claim stream). Each query's
+        // estimator then prices against its footprint-proportional slice
+        // of its home socket's core share, so reoptimization sees what
+        // the co-runners actually left it.
+        let core_footprints: Vec<u64> = (0..workers)
+            .map(|c| socket_footprint[pool.socket_of(c)])
+            .collect();
+        pool.declare_footprints(&core_footprints);
         let shared_socket = pool.llc_mode() == popt_cpu::LlcMode::Shared;
+        let dynamic_repartition = shared_socket && self.config.dynamic_repartition;
         let line_bytes = cpu_cfg.line_bytes();
         let budgets: Vec<u64> = footprints
             .iter()
-            .map(|&f| {
-                if shared_socket && total_footprint > 0 {
+            .zip(&homes)
+            .map(|(&f, &s)| {
+                let core_share = pool.min_effective_llc_bytes_socket(s);
+                let local_total = socket_footprint[s];
+                if shared_socket && local_total > 0 {
                     let slice =
-                        u128::from(core_share) * u128::from(f) / u128::from(total_footprint.max(1));
+                        u128::from(core_share) * u128::from(f) / u128::from(local_total.max(1));
                     (slice as u64).max(line_bytes)
                 } else {
                     core_share
                 }
+            })
+            .collect();
+        let member_range: Vec<(usize, usize)> = (0..sockets)
+            .map(|s| {
+                let members = pool.socket_members(s);
+                (members[0], members.len())
             })
             .collect();
 
@@ -462,19 +520,19 @@ impl<'t> QueryServer<'t> {
             worker_shards.push(shards?);
         }
 
-        // Work division: each query's rows are interleaved across the
-        // workers exactly like the dedicated-pool executor (morsel k →
-        // worker k mod N), so every worker's share of every query is a
-        // pure function of the batch (see the `morsel` module docs for
-        // why a greedy shared cursor would not be). Without reopt the
-        // per-core simulated cycles — and with them the latency figures
-        // — reproduce exactly on any host; with reopt enabled the same
-        // residual, single-morsel-bounded scheduling sensitivity as the
-        // dedicated-pool executor remains (which worker leases a trial
-        // and where an epoch lands follow the cross-worker completion
-        // interleaving; results stay bit-identical regardless).
-        // Dispatcher claims are per-worker atomics, so they live
-        // outside the scheduler lock.
+        // Work division: each query's rows are interleaved across its
+        // home socket's workers exactly like the dedicated-pool executor
+        // (morsel k → member k mod M), so every worker's share of every
+        // query is a pure function of the batch (see the `morsel` module
+        // docs for why a greedy shared cursor would not be). Without
+        // reopt the per-core simulated cycles — and with them the
+        // latency figures — reproduce exactly on any host; with reopt
+        // enabled the same residual, single-morsel-bounded scheduling
+        // sensitivity as the dedicated-pool executor remains (which
+        // worker leases a trial and where an epoch lands follow the
+        // cross-worker completion interleaving; results stay
+        // bit-identical regardless). Dispatcher claims are per-worker
+        // atomics, so they live outside the scheduler lock.
         let mut dispatchers = Vec::with_capacity(targets.len());
         let mut entries = Vec::with_capacity(targets.len());
         let arrivals: Vec<u64> = metas.iter().map(|(_, _, arrival)| *arrival).collect();
@@ -482,13 +540,22 @@ impl<'t> QueryServer<'t> {
             .iter()
             .map(|(_, priority, _)| priority.weight())
             .collect();
-        for (((target, &budget), signature), warm_seed) in
-            targets.iter_mut().zip(&budgets).zip(signatures).zip(warms)
+        for ((((target, &budget), &home), signature), warm_seed) in targets
+            .iter_mut()
+            .zip(&budgets)
+            .zip(&homes)
+            .zip(signatures)
+            .zip(warms)
         {
-            let dispatcher = MorselDispatcher::new(target.rows(), morsel_tuples, workers)?;
-            let total_morsels = dispatcher.total_morsels();
+            let (member_start, members) = member_range[home];
+            let inner = MorselDispatcher::new(target.rows(), morsel_tuples, members)?;
+            let total_morsels = inner.total_morsels();
             let arrival = metas[entries.len()].2;
-            dispatchers.push(dispatcher);
+            dispatchers.push(QueryDispatch {
+                inner,
+                member_start,
+                members,
+            });
             entries.push(QueryEntry {
                 coord: CoordState::new(target, workers, budget),
                 totals: VectorStats::zero(),
@@ -527,6 +594,7 @@ impl<'t> QueryServer<'t> {
                     let dispatchers = &dispatchers;
                     let arrivals = &arrivals;
                     let weights = &weights;
+                    let footprints = &footprints;
                     scope.spawn(move || {
                         serve_worker(
                             w,
@@ -536,6 +604,8 @@ impl<'t> QueryServer<'t> {
                             dispatchers,
                             arrivals,
                             weights,
+                            footprints,
+                            dynamic_repartition,
                             reopt,
                             cpu_cfg,
                         )
@@ -559,7 +629,7 @@ impl<'t> QueryServer<'t> {
         for (entry, (label, priority, arrival)) in st.queries.into_iter().zip(metas) {
             let mut coord = entry.coord;
             coord.abandon_unleased_trial();
-            let final_order = coord.published.clone();
+            let final_order = coord.published_order(0).clone();
             let finish = entry.finish_vt.unwrap_or(arrival);
             let first = entry.first_vt.unwrap_or(arrival);
             queries.push(QueryOutcome {
@@ -676,6 +746,40 @@ fn build_target<'p, 't>(
     }
 }
 
+/// One query's work division over its home socket: the inner dispatcher
+/// spans only the socket's member cores (contiguous, `member_start ..
+/// member_start + members`), and the wrapper maps pool-wide worker ids
+/// onto those local slots. A non-member worker simply has no share of
+/// the query. On a single-socket pool every worker is a member and this
+/// is exactly the flat pool-wide dispatcher.
+struct QueryDispatch {
+    inner: MorselDispatcher,
+    member_start: usize,
+    members: usize,
+}
+
+impl QueryDispatch {
+    /// The local dispatcher slot of pool worker `w`, if it is a member
+    /// of the query's home socket.
+    fn slot(&self, w: usize) -> Option<usize> {
+        (self.member_start..self.member_start + self.members)
+            .contains(&w)
+            .then(|| w - self.member_start)
+    }
+
+    fn has_morsels(&self, w: usize) -> bool {
+        self.slot(w).is_some_and(|s| self.inner.has_morsels(s))
+    }
+
+    fn next(&self, w: usize) -> Option<(usize, usize)> {
+        self.inner.next(self.slot(w)?)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.inner.exhausted()
+    }
+}
+
 /// Per-query serving state behind the coordination lock: the query's
 /// progressive coordination plus its completion accounting. (The work
 /// division itself — dispatchers, arrivals, weights — is immutable or
@@ -746,9 +850,11 @@ fn serve_worker<'a, 'p, 't>(
     core: &mut SimCpu,
     shards: &mut [ServeShard<'p, 't>],
     state: &Mutex<ServerState<'a, 'p, 't>>,
-    dispatchers: &[MorselDispatcher],
+    dispatchers: &[QueryDispatch],
     arrivals: &[u64],
     weights: &[u64],
+    footprints: &[u64],
+    dynamic_repartition: bool,
     reopt: Option<&ProgressiveConfig>,
     cpu_cfg: &CpuConfig,
 ) -> (u64, u64, u64) {
@@ -758,6 +864,14 @@ fn serve_worker<'a, 'p, 't>(
     let mut local_epochs = vec![0u64; shards.len()];
     let mut sched = StrideScheduler::new(shards.len());
     let mut admitted = vec![false; shards.len()];
+    // Dynamic way repartition state: this core's batch-boundary way
+    // slice, sub-divided among the queries this worker is still serving
+    // (`live`). Both the live set and the drain events that shrink it
+    // are pure functions of the worker's own claim stream, so the cycles
+    // this produces never depend on host thread interleaving (see
+    // [`ServeConfig::dynamic_repartition`]).
+    let base_ways = core.hierarchy().llc_ways();
+    let mut live = vec![false; shards.len()];
 
     loop {
         let idle_now = core.idle_cycles() - base_idle;
@@ -769,6 +883,7 @@ fn serve_worker<'a, 'p, 't>(
                 admitted[qid] = true;
                 if dispatchers[qid].has_morsels(w) {
                     sched.admit(qid, weights[qid]);
+                    live[qid] = true;
                 }
             }
         }
@@ -779,8 +894,12 @@ fn serve_worker<'a, 'p, 't>(
                     .expect("an eligible query has a morsel in this worker's share");
                 if !dispatchers[qid].has_morsels(w) {
                     // Share drained: out of this worker's scheduler
-                    // (completion is tracked separately).
+                    // (completion is tracked separately). This is the
+                    // local completion event dynamic repartition keys
+                    // on: at most one query drains per boundary, in the
+                    // worker's own simulated-cycle order.
                     sched.retire(qid);
+                    live[qid] = false;
                 }
                 let mut guard = state.lock().expect("coordination lock");
                 if guard.error.is_some() {
@@ -880,6 +999,20 @@ fn serve_worker<'a, 'p, 't>(
                     BoundaryAction::Keep { epoch } => (false, epoch),
                 };
 
+                if dynamic_repartition {
+                    // Serve this morsel with the query's footprint-
+                    // proportional sub-share of the core's way slice
+                    // among the queries this worker still serves. The
+                    // just-drained query keeps its share for its own
+                    // last morsel (`q == qid`); survivors see the larger
+                    // share from their next claim on. Query-id iteration
+                    // order makes equal-footprint ties deterministic.
+                    let co: Vec<usize> = (0..live.len()).filter(|&q| live[q] || q == qid).collect();
+                    let fps: Vec<u64> = co.iter().map(|&q| footprints[q]).collect();
+                    let shares = popt_cpu::partition_llc_ways(base_ways as u32, &fps);
+                    let mine = co.iter().position(|&q| q == qid).expect("qid is in co");
+                    core.set_llc_ways(shares[mine] as usize);
+                }
                 let stats = shards[qid].run_range(core, start, end);
 
                 // The shared trial/reopt choreography from the
@@ -946,7 +1079,7 @@ fn serve_worker<'a, 'p, 't>(
                 if entry.completed == entry.total_morsels {
                     entry.coord.abandon_unleased_trial();
                     if let Some(cache) = st.cache.as_deref_mut() {
-                        let final_order = entry.coord.published.clone();
+                        let final_order = entry.coord.published_order(0).clone();
                         let calibration = entry.coord.target.calibration_snapshot();
                         if entry.warm_seed.is_some() {
                             cache.record_warm(entry.signature.clone(), final_order, calibration);
@@ -957,6 +1090,11 @@ fn serve_worker<'a, 'p, 't>(
                 }
             }
         }
+    }
+    if dynamic_repartition {
+        // Leave the core at its batch-boundary slice; the next batch's
+        // footprint declaration repartitions it anyway.
+        core.set_llc_ways(base_ways);
     }
     (
         core.cycles() - base_cycles,

@@ -28,6 +28,11 @@ pub struct CycleParams {
     pub mem_random: f64,
     /// Memory stall for a line fetched sequentially (streamed).
     pub mem_sequential: f64,
+    /// Extra stall when the line's home is a *remote* socket (the NUMA
+    /// hop). Random misses pay it in full; sequential streams pay a
+    /// quarter (the prefetcher hides most of the hop on linear scans).
+    /// Mirrors `TimingConfig::memory_remote_extra_cycles`.
+    pub mem_remote_extra: f64,
     /// Latency of a random access served by the LLC (a probe that misses
     /// L1/L2 but finds the relation resident in L3).
     pub llc_hit: f64,
@@ -45,6 +50,7 @@ impl Default for CycleParams {
             mp_penalty: 15.0,
             mem_random: 180.0,
             mem_sequential: 24.0,
+            mem_remote_extra: 90.0,
             llc_hit: 30.0,
             frequency_ghz: 2.6,
         }
@@ -113,6 +119,14 @@ fn column_stall(cg: &CacheGeometry, n: u64, density: f64, params: &CycleParams) 
 /// socket model that is the core's *effective* (contention-shrunken)
 /// share, so a co-runner stealing capacity raises the predicted stall
 /// and can flip the cost-per-tuple ranking that orders the pipeline.
+///
+/// Likewise the probe's `remote_fraction` prices the NUMA hop: the
+/// fraction of the relation homed on another socket pays
+/// [`CycleParams::mem_remote_extra`] on top of every miss that reaches
+/// memory (quartered for co-clustered streams) — so the same dimension
+/// can rank cheap on the socket that owns it and expensive on the other,
+/// which is exactly the per-socket order divergence the progressive
+/// loop discovers at runtime.
 pub fn probe_stall_per_tuple(probe: &crate::estimate::ProbeGeometry, params: &CycleParams) -> f64 {
     let rel = &probe.relation;
     if rel.relation_bytes() <= probe.upper_cache_bytes {
@@ -120,15 +134,20 @@ pub fn probe_stall_per_tuple(probe: &crate::estimate::ProbeGeometry, params: &Cy
     }
     // Random probe: misses the LLC with the thrashing probability of
     // Equation 1 (zero when the relation fits), paying full memory
-    // latency; otherwise it is an LLC hit.
+    // latency — plus the remote surcharge for the off-socket share of
+    // the relation; otherwise it is an LLC hit.
     let miss_p = if rel.relation_bytes() <= rel.cache_bytes() {
         0.0
     } else {
         (1.0 - rel.cache_bytes() / rel.relation_bytes()).max(0.0)
     };
-    let random = miss_p * params.mem_random + (1.0 - miss_p) * params.llc_hit;
-    // Co-clustered probe: one streamed line fetch per B/w probes.
-    let sequential = f64::from(rel.tuple_bytes) / f64::from(rel.line_bytes) * params.mem_sequential;
+    let remote = probe.remote_fraction.clamp(0.0, 1.0);
+    let random = miss_p * (params.mem_random + remote * params.mem_remote_extra)
+        + (1.0 - miss_p) * params.llc_hit;
+    // Co-clustered probe: one streamed line fetch per B/w probes, the
+    // remote share paying the quartered (prefetch-hidden) hop.
+    let sequential = f64::from(rel.tuple_bytes) / f64::from(rel.line_bytes)
+        * (params.mem_sequential + remote * params.mem_remote_extra / 4.0);
     probe.clustering * random + (1.0 - probe.clustering) * sequential
 }
 
@@ -232,6 +251,51 @@ pub fn fleet_occupancy(per_worker_busy_cycles: &[u64], per_worker_idle_cycles: &
     busy as f64 / (wall * per_worker_busy_cycles.len() as u64) as f64
 }
 
+/// Per-socket wall clock of a parallel region: workers are split into
+/// contiguous socket blocks (`socket_of(w) = w * sockets / workers`,
+/// matching `CpuPool::socket_of`) and each socket's wall is its busiest
+/// member. The region's wall clock is the busiest core of the busiest
+/// socket — `max` over this vector — which equals the flat
+/// [`fleet_wall_cycles`]; the per-socket split is the reporting view.
+pub fn fleet_wall_cycles_per_socket(per_worker_cycles: &[u64], sockets: usize) -> Vec<u64> {
+    assert!(sockets >= 1, "at least one socket");
+    let n = per_worker_cycles.len();
+    let mut walls = vec![0u64; sockets];
+    for (w, &cycles) in per_worker_cycles.iter().enumerate() {
+        let s = w * sockets / n;
+        walls[s] = walls[s].max(cycles);
+    }
+    walls
+}
+
+/// Per-socket occupancy of a parallel region, measured against the
+/// *region's* wall clock (the busiest core anywhere): a socket whose
+/// members finish early idles until the busiest socket drains, so its
+/// occupancy reflects cross-socket imbalance, not just its own. A
+/// zero-length region is fully occupied by definition.
+pub fn fleet_occupancy_per_socket(per_worker_cycles: &[u64], sockets: usize) -> Vec<f64> {
+    assert!(sockets >= 1, "at least one socket");
+    let wall = fleet_wall_cycles(per_worker_cycles);
+    let n = per_worker_cycles.len();
+    let mut busy = vec![0u64; sockets];
+    let mut members = vec![0u64; sockets];
+    for (w, &cycles) in per_worker_cycles.iter().enumerate() {
+        let s = w * sockets / n;
+        busy[s] += cycles;
+        members[s] += 1;
+    }
+    busy.iter()
+        .zip(&members)
+        .map(|(&b, &m)| {
+            if wall == 0 || m == 0 {
+                1.0
+            } else {
+                b as f64 / (wall * m) as f64
+            }
+        })
+        .collect()
+}
+
 /// Convenience: cycles for a PEO given per-predicate *selectivities* in
 /// evaluation order.
 pub fn scan_cycles_for_selectivities(
@@ -300,6 +364,7 @@ mod tests {
             },
             upper_cache_bytes: 64.0 * 1024.0,
             clustering: 1.0,
+            remote_fraction: 0.0,
         };
         g.probes = vec![None, Some(thrashing.clone())];
         let p = CycleParams::default();
@@ -341,6 +406,7 @@ mod tests {
                     relation: relation.with_cache_bytes(share_bytes),
                     upper_cache_bytes: 8.0 * 1024.0,
                     clustering: 1.0,
+                    remote_fraction: 0.0,
                 },
                 &p,
             )
@@ -363,6 +429,7 @@ mod tests {
                     relation: relation.with_cache_bytes(share),
                     upper_cache_bytes: 8.0 * 1024.0,
                     clustering: 0.0,
+                    remote_fraction: 0.0,
                 },
                 &p,
             )
@@ -403,6 +470,56 @@ mod tests {
         // Zero-length region: defined as fully occupied.
         assert_eq!(fleet_occupancy(&[], &[]), 1.0);
         assert_eq!(fleet_occupancy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn remote_fraction_raises_probe_stall_and_can_flip_ranking() {
+        use crate::estimate::ProbeGeometry;
+        use crate::join_model::JoinGeometry;
+        let p = CycleParams::default();
+        // A dimension bigger than the share, probed randomly.
+        let probe = |remote: f64| ProbeGeometry {
+            relation: JoinGeometry {
+                relation_tuples: 64 * 1024,
+                tuple_bytes: 4,
+                line_bytes: 64,
+                cache_lines: (128 * 1024) / 64, // 128 KiB share vs 256 KiB dim
+            },
+            upper_cache_bytes: 8.0 * 1024.0,
+            clustering: 1.0,
+            remote_fraction: remote,
+        };
+        let local = probe_stall_per_tuple(&probe(0.0), &p);
+        let remote = probe_stall_per_tuple(&probe(1.0), &p);
+        let half = probe_stall_per_tuple(&probe(0.5), &p);
+        assert!(local < half && half < remote, "{local} {half} {remote}");
+        // The surcharge lands only on the miss share: miss_p * extra.
+        let miss_p = 0.5;
+        assert!((remote - local - miss_p * p.mem_remote_extra).abs() < 1e-9);
+        // Two equally-shaped dims, one local and one remote: the remote
+        // one must rank strictly more expensive — the seed of per-socket
+        // order divergence.
+        assert!(probe_stall_per_tuple(&probe(1.0), &p) > probe_stall_per_tuple(&probe(0.0), &p));
+    }
+
+    #[test]
+    fn per_socket_wall_and_occupancy_split_contiguous_blocks() {
+        // 4 workers on 2 sockets: {0,1} and {2,3}.
+        let cycles = [100u64, 80, 40, 60];
+        let walls = fleet_wall_cycles_per_socket(&cycles, 2);
+        assert_eq!(walls, vec![100, 60]);
+        // Busiest core of the busiest socket == the flat wall clock.
+        assert_eq!(
+            walls.iter().copied().max().unwrap(),
+            fleet_wall_cycles(&cycles)
+        );
+        let occ = fleet_occupancy_per_socket(&cycles, 2);
+        assert!((occ[0] - 180.0 / 200.0).abs() < 1e-12, "{occ:?}");
+        assert!((occ[1] - 100.0 / 200.0).abs() < 1e-12, "{occ:?}");
+        // One socket degenerates to the flat view.
+        assert_eq!(fleet_wall_cycles_per_socket(&cycles, 1), vec![100]);
+        // Zero-length region: defined values.
+        assert_eq!(fleet_occupancy_per_socket(&[0, 0], 2), vec![1.0, 1.0]);
     }
 
     #[test]

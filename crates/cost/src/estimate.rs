@@ -36,15 +36,24 @@ pub struct ProbeGeometry {
     /// (near-sequential). Runs start at the pessimistic `1` and calibrate
     /// the value from measured counters.
     pub clustering: f64,
+    /// Fraction of the probed relation homed on a *remote* socket
+    /// relative to the executing core, in `[0, 1]`. `0` (the single-socket
+    /// default) prices every miss at local latency; a core probing a dim
+    /// pinned to the other socket sees `1`. Derived from the pool's
+    /// `NumaPlacement` — static topology knowledge, so per-socket cost
+    /// estimates stay deterministic.
+    pub remote_fraction: f64,
 }
 
 impl ProbeGeometry {
-    /// A probe with everything unknown assumed worst-case random.
+    /// A probe with everything unknown assumed worst-case random (but
+    /// local — remote pricing is opt-in via the placement).
     pub fn random(relation: JoinGeometry, upper_cache_bytes: f64) -> Self {
         Self {
             relation,
             upper_cache_bytes,
             clustering: 1.0,
+            remote_fraction: 0.0,
         }
     }
 
@@ -317,6 +326,7 @@ mod tests {
             },
             upper_cache_bytes: 64.0 * 1024.0,
             clustering,
+            remote_fraction: 0.0,
         }
     }
 
@@ -370,6 +380,7 @@ mod tests {
             relation: thrashing_probe(1.0).relation.with_cache_bytes(share_bytes),
             upper_cache_bytes: 64.0 * 1024.0,
             clustering: 1.0,
+            remote_fraction: 0.0,
         };
         // Enough probes that both shares sit in Equation 1's thrashing
         // branch (at low probe counts the compulsory branch applies and

@@ -84,6 +84,11 @@ pub struct TimingConfig {
     /// stream is sequential (prefetch/bandwidth bound rather than latency
     /// bound).
     pub memory_sequential_cycles: u64,
+    /// Surcharge for a demand miss served by a *remote* socket's memory
+    /// (the NUMA hop). Charged in full on random misses; sequential
+    /// (bandwidth-bound) streams pay a quarter, mirroring how the
+    /// prefetcher hides most of the extra latency on linear scans.
+    pub memory_remote_extra_cycles: u64,
     /// Core frequency, used to convert cycles to wall-clock milliseconds.
     pub frequency_ghz: f64,
 }
@@ -139,6 +144,7 @@ impl CpuConfig {
                 mispredict_penalty_cycles: 15,
                 memory_random_cycles: 180,
                 memory_sequential_cycles: 24,
+                memory_remote_extra_cycles: 90,
                 frequency_ghz,
             },
             adjacent_line_prefetch: true,
@@ -275,6 +281,7 @@ impl CpuConfig {
                 mispredict_penalty_cycles: 15,
                 memory_random_cycles: 180,
                 memory_sequential_cycles: 24,
+                memory_remote_extra_cycles: 90,
                 frequency_ghz: 2.6,
             },
             adjacent_line_prefetch: true,

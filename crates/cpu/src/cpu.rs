@@ -20,6 +20,7 @@
 use crate::branch::{BranchPredictor, BranchSite};
 use crate::cache::{CacheHierarchy, ServedBy};
 use crate::config::CpuConfig;
+use crate::numa::NumaPlacement;
 use crate::pmu::{Counters, Pmu};
 
 /// Identifier of a memory access stream (typically: one column).
@@ -48,6 +49,15 @@ pub struct SimCpu {
     /// idle time is not attributable to any instruction stream, so it
     /// never contaminates the counter samples the estimator fits.
     idle_cycles: u64,
+    /// The socket this core belongs to (0 on a single-socket pool).
+    socket: usize,
+    /// Address-range → home-socket map shared by the pool. Like the LLC
+    /// way allocation, it is socket state: it survives [`SimCpu::reset`].
+    placement: NumaPlacement,
+    /// Demand misses served by a remote socket's memory. Kept outside
+    /// the [`Counters`] bank: the solver's counter model is
+    /// socket-agnostic and must not see a new dimension.
+    remote_accesses: u64,
 }
 
 impl SimCpu {
@@ -62,6 +72,9 @@ impl SimCpu {
             streams: Vec::new(),
             line_shift: line.trailing_zeros(),
             idle_cycles: 0,
+            socket: 0,
+            placement: NumaPlacement::single(),
+            remote_accesses: 0,
             config,
         }
     }
@@ -162,6 +175,24 @@ impl SimCpu {
                 } else {
                     timing.memory_random_cycles
                 };
+                // NUMA hop: a line homed on another socket pays the
+                // remote surcharge — in full when latency-bound
+                // (random), a quarter when the streamer hides it
+                // (sequential). Prefetch fills below stay unsurcharged:
+                // they already model overlap with execution.
+                if self.placement.sockets() > 1
+                    && self
+                        .placement
+                        .socket_of_addr(line << self.line_shift, 1 << self.line_shift)
+                        != self.socket
+                {
+                    self.remote_accesses += 1;
+                    c.cycles += if sequential {
+                        timing.memory_remote_extra_cycles / 4
+                    } else {
+                        timing.memory_remote_extra_cycles
+                    };
+                }
             }
         }
         if result.prefetch_issued {
@@ -247,14 +278,41 @@ impl SimCpu {
         llc.capacity_bytes * self.hierarchy.llc_ways() as u64 / u64::from(llc.ways)
     }
 
+    /// The socket this core belongs to.
+    pub fn socket(&self) -> usize {
+        self.socket
+    }
+
+    /// Assign this core to `socket` (pool topology construction).
+    pub fn set_socket(&mut self, socket: usize) {
+        self.socket = socket;
+    }
+
+    /// The address-homing map this core prices remote accesses against.
+    pub fn placement(&self) -> &NumaPlacement {
+        &self.placement
+    }
+
+    /// Install the pool's address-homing map on this core.
+    pub fn set_placement(&mut self, placement: NumaPlacement) {
+        self.placement = placement;
+    }
+
+    /// Demand misses served by a remote socket's memory so far.
+    pub fn remote_accesses(&self) -> u64 {
+        self.remote_accesses
+    }
+
     /// Forget all cached lines, predictor state, stream state, counters
-    /// and idle time.
+    /// and idle time. Socket identity and placement survive: they are
+    /// topology, not execution state.
     pub fn reset(&mut self) {
         self.hierarchy.reset();
         self.predictor.reset();
         self.pmu.reset();
         self.streams.clear();
         self.idle_cycles = 0;
+        self.remote_accesses = 0;
     }
 
     /// Forget stream adjacency (e.g. between vectors of a restarted scan)
@@ -395,6 +453,50 @@ mod tests {
         let mut c = cpu();
         c.instr(2_600_000_000); // at CPI 0.5 and 2.6 GHz: 0.5 s = 500 ms
         assert!((c.millis() - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn remote_lines_cost_extra_and_are_counted() {
+        use crate::numa::NumaPlacement;
+        let run = |socket: usize| {
+            let mut c = cpu();
+            let mut p = NumaPlacement::interleaved(2);
+            p.register(0, 1 << 24, 0); // everything homed on socket 0
+            c.set_placement(p);
+            c.set_socket(socket);
+            // Strided (random) misses through the homed region.
+            for i in 0..1000u64 {
+                c.load(0, (i * 17 % 1000) * 64 * 8, 4);
+            }
+            (c.cycles(), c.remote_accesses(), c.counters())
+        };
+        let (local_cycles, local_remote, local_counters) = run(0);
+        let (remote_cycles, remote_remote, remote_counters) = run(1);
+        assert_eq!(local_remote, 0);
+        assert!(remote_remote > 0);
+        assert!(
+            remote_cycles > local_cycles,
+            "remote {remote_cycles} !> local {local_cycles}"
+        );
+        // The surcharge lands only in cycles: every architectural
+        // counter the estimator sees is socket-invariant.
+        assert_eq!(local_counters.l3_misses, remote_counters.l3_misses);
+        assert_eq!(
+            local_counters.memory_accesses,
+            remote_counters.memory_accesses
+        );
+        // Single-socket placement is inert, and reset clears the count
+        // but keeps topology.
+        let mut c = cpu();
+        c.set_socket(1);
+        c.load(0, 0, 4);
+        assert_eq!(c.remote_accesses(), 0, "1-socket placement never remote");
+        c.set_placement(NumaPlacement::interleaved(2));
+        c.load(0, 64 * 1024, 4);
+        c.reset();
+        assert_eq!(c.remote_accesses(), 0);
+        assert_eq!(c.socket(), 1);
+        assert_eq!(c.placement().sockets(), 2);
     }
 
     #[test]

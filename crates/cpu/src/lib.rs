@@ -24,6 +24,9 @@
 //! * a **[`CpuPool`] of independent cores** (each with its own cache
 //!   hierarchy and free-running PMU bank) for morsel-driven parallel
 //!   execution — the parallel region's wall clock is its busiest core.
+//!   The pool can be split into **sockets**, each with its own shared-LLC
+//!   partition, and a [`NumaPlacement`] homes address ranges so that
+//!   remote-socket misses pay a deterministic latency surcharge.
 //!
 //! Everything is deterministic: the same event stream produces the same
 //! counter values on every run, which makes the reproduction testable.
@@ -48,6 +51,7 @@ pub mod branch;
 pub mod cache;
 pub mod config;
 pub mod cpu;
+pub mod numa;
 pub mod pmu;
 pub mod pool;
 
@@ -55,5 +59,6 @@ pub use branch::{BranchPredictor, BranchSite, SaturatingAutomaton};
 pub use cache::{CacheHierarchy, CacheLevel, LevelStats};
 pub use config::{CacheLevelConfig, CpuConfig, PredictorConfig, TimingConfig};
 pub use cpu::SimCpu;
+pub use numa::NumaPlacement;
 pub use pmu::{CounterDelta, Counters, Pmu};
 pub use pool::{partition_llc_ways, CpuPool, LlcMode};

@@ -1,0 +1,147 @@
+//! Socket topology and memory homing: which socket owns a cache line.
+//!
+//! A [`NumaPlacement`] maps simulated address ranges to their *home*
+//! socket. Cores carry their own socket id; a demand miss served by
+//! memory whose home differs from the executing core's socket pays the
+//! remote surcharge (`TimingConfig::memory_remote_extra_cycles`).
+//!
+//! Determinism argument: the placement is immutable while a region
+//! executes and is a pure function of (address, registered regions,
+//! socket count) — never of host thread timing — so per-core simulated
+//! cycles on an N-socket pool reproduce on any machine, exactly like the
+//! LLC way partition. Address ranges not covered by any registered
+//! region default to line-interleaved homing (`line % sockets`), the
+//! OS-default round-robin page placement.
+
+/// One registered home region: `[start, end)` in simulated byte
+/// addresses, owned by `socket`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Region {
+    start: u64,
+    end: u64,
+    socket: usize,
+}
+
+/// Address-range → home-socket map for an N-socket pool.
+///
+/// With `sockets <= 1` every access is local and the placement is inert
+/// — a 1-socket pool is bit-identical to the flat (pre-NUMA) pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaPlacement {
+    sockets: usize,
+    regions: Vec<Region>,
+}
+
+impl Default for NumaPlacement {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl NumaPlacement {
+    /// The single-socket placement: nothing is ever remote.
+    pub fn single() -> Self {
+        Self {
+            sockets: 1,
+            regions: Vec::new(),
+        }
+    }
+
+    /// An N-socket placement with no registered regions: every line is
+    /// homed by interleave (`line % sockets`).
+    pub fn interleaved(sockets: usize) -> Self {
+        assert!(sockets >= 1, "at least one socket");
+        Self {
+            sockets,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Home the byte range `[start, start + bytes)` on `socket`. Later
+    /// registrations win on overlap (they are consulted first), so a
+    /// caller can pin a sub-range out of a larger region.
+    pub fn register(&mut self, start: u64, bytes: u64, socket: usize) {
+        assert!(socket < self.sockets, "socket out of range");
+        self.regions.push(Region {
+            start,
+            end: start + bytes,
+            socket,
+        });
+    }
+
+    /// Home socket of the byte address `addr`: the most recently
+    /// registered covering region, else line-interleaved.
+    pub fn socket_of_addr(&self, addr: u64, line_bytes: u64) -> usize {
+        for r in self.regions.iter().rev() {
+            if addr >= r.start && addr < r.end {
+                return r.socket;
+            }
+        }
+        ((addr / line_bytes) % self.sockets as u64) as usize
+    }
+
+    /// Fraction of the byte range `[start, start + bytes)` homed on a
+    /// socket *other* than `socket` — the Equation-1 remote fraction of a
+    /// probe into that range. Sampled per line, exact for registered
+    /// regions and for the default interleave.
+    pub fn remote_fraction(&self, start: u64, bytes: u64, socket: usize, line_bytes: u64) -> f64 {
+        if self.sockets <= 1 || bytes == 0 {
+            return 0.0;
+        }
+        let first = start / line_bytes;
+        let last = (start + bytes - 1) / line_bytes;
+        let lines = last - first + 1;
+        let mut remote = 0u64;
+        for line in first..=last {
+            if self.socket_of_addr(line * line_bytes, line_bytes) != socket {
+                remote += 1;
+            }
+        }
+        remote as f64 / lines as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_socket_is_never_remote() {
+        let p = NumaPlacement::single();
+        assert_eq!(p.sockets(), 1);
+        assert_eq!(p.socket_of_addr(0, 64), 0);
+        assert_eq!(p.socket_of_addr(123_456, 64), 0);
+        assert_eq!(p.remote_fraction(0, 1 << 20, 0, 64), 0.0);
+    }
+
+    #[test]
+    fn unregistered_lines_interleave() {
+        let p = NumaPlacement::interleaved(2);
+        assert_eq!(p.socket_of_addr(0, 64), 0);
+        assert_eq!(p.socket_of_addr(64, 64), 1);
+        assert_eq!(p.socket_of_addr(128, 64), 0);
+        let f = p.remote_fraction(0, 64 * 1000, 0, 64);
+        assert!((f - 0.5).abs() < 1e-9, "interleave is half remote: {f}");
+    }
+
+    #[test]
+    fn registered_regions_override_interleave_latest_wins() {
+        let mut p = NumaPlacement::interleaved(2);
+        p.register(0, 4096, 1);
+        assert_eq!(p.socket_of_addr(0, 64), 1);
+        assert_eq!(p.socket_of_addr(4095, 64), 1);
+        // Past the region: back to interleave.
+        assert_eq!(p.socket_of_addr(4096, 64), 0);
+        // A later registration of a sub-range wins.
+        p.register(0, 1024, 0);
+        assert_eq!(p.socket_of_addr(0, 64), 0);
+        assert_eq!(p.socket_of_addr(1024, 64), 1);
+        assert_eq!(p.remote_fraction(0, 1024, 0, 64), 0.0);
+        assert_eq!(p.remote_fraction(1024, 1024, 0, 64), 1.0);
+    }
+}

@@ -27,6 +27,7 @@
 
 use crate::config::CpuConfig;
 use crate::cpu::SimCpu;
+use crate::numa::NumaPlacement;
 use crate::pmu::{CounterDelta, Counters};
 
 /// How a pool models the last-level cache across its cores.
@@ -106,11 +107,22 @@ pub fn partition_llc_ways(total_ways: u32, footprints: &[u64]) -> Vec<u32> {
     ways
 }
 
-/// A fixed-size pool of simulated cores sharing (or not) one socket LLC.
+/// A fixed-size pool of simulated cores split into one or more sockets.
+///
+/// With `sockets == 1` (the [`CpuPool::new`] / [`CpuPool::new_shared`] /
+/// [`CpuPool::with_mode`] constructors) the pool is exactly the flat
+/// single-socket pool of earlier revisions: every access is local and
+/// the shared-LLC partition spans all cores. [`CpuPool::with_topology`]
+/// splits the cores into contiguous socket blocks (`socket_of(c) =
+/// c * sockets / cores`): each socket then carries its *own* LLC
+/// partition over its members, and cores pay the remote surcharge for
+/// lines whose [`NumaPlacement`] home differs from their socket.
 #[derive(Debug, Clone)]
 pub struct CpuPool {
     cores: Vec<SimCpu>,
     mode: LlcMode,
+    /// Number of sockets the cores are split across (contiguous blocks).
+    sockets: usize,
     /// Most recently declared per-core hot-set footprints (bytes).
     footprints: Vec<u64>,
 }
@@ -132,17 +144,41 @@ impl CpuPool {
         Self::with_mode(config, cores, LlcMode::Shared)
     }
 
-    /// Build a pool with an explicit [`LlcMode`].
+    /// Build a single-socket pool with an explicit [`LlcMode`].
     ///
     /// # Panics
     /// Panics if `cores` is zero.
     pub fn with_mode(config: CpuConfig, cores: usize, mode: LlcMode) -> Self {
+        Self::with_topology(config, cores, mode, 1)
+    }
+
+    /// Build a pool of `cores` split across `sockets` contiguous socket
+    /// blocks. With more than one socket every core starts on the
+    /// line-interleaved [`NumaPlacement`] (the OS-default round-robin);
+    /// use [`CpuPool::set_placement`] to home specific ranges.
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero or `sockets` is not in `1..=cores`.
+    pub fn with_topology(config: CpuConfig, cores: usize, mode: LlcMode, sockets: usize) -> Self {
         assert!(cores >= 1, "a CPU pool needs at least one core");
-        Self {
+        assert!(
+            (1..=cores).contains(&sockets),
+            "sockets must be in 1..=cores"
+        );
+        let mut pool = Self {
             cores: (0..cores).map(|_| SimCpu::new(config.clone())).collect(),
             mode,
+            sockets,
             footprints: vec![0; cores],
+        };
+        if sockets > 1 {
+            let placement = NumaPlacement::interleaved(sockets);
+            for (c, core) in pool.cores.iter_mut().enumerate() {
+                core.set_socket(c * sockets / cores);
+                core.set_placement(placement.clone());
+            }
         }
+        pool
     }
 
     /// The pool's LLC model.
@@ -150,12 +186,49 @@ impl CpuPool {
         self.mode
     }
 
+    /// Number of sockets.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Socket of core `c`: cores are split into contiguous blocks, so
+    /// `socket_of(c) = c * sockets / cores` (block sizes differ by at
+    /// most one). A pure function of the topology — never of scheduling.
+    pub fn socket_of(&self, core: usize) -> usize {
+        core * self.sockets / self.cores.len()
+    }
+
+    /// Cores belonging to `socket`, in core order.
+    pub fn socket_members(&self, socket: usize) -> Vec<usize> {
+        (0..self.cores.len())
+            .filter(|&c| self.socket_of(c) == socket)
+            .collect()
+    }
+
+    /// Install one [`NumaPlacement`] on every core (the placement is the
+    /// machine's memory map, shared by all cores).
+    ///
+    /// # Panics
+    /// Panics if the placement's socket count differs from the pool's.
+    pub fn set_placement(&mut self, placement: &NumaPlacement) {
+        assert_eq!(
+            placement.sockets(),
+            self.sockets,
+            "placement sockets must match pool sockets"
+        );
+        for core in &mut self.cores {
+            core.set_placement(placement.clone());
+        }
+    }
+
     /// Declare each core's hot-set footprint (bytes of data the work it
-    /// is about to run wants resident in the LLC) and, on a shared
-    /// socket, repartition the capacity accordingly — each core's slice
-    /// is restricted to its share before the region starts, so per-core
-    /// cycles stay a pure function of the declared co-runner set. A
-    /// no-op on a private pool (every core already has the full LLC).
+    /// is about to run wants resident in the LLC) and, in shared mode,
+    /// repartition each *socket's* capacity among its members — each
+    /// core's slice is restricted to its share before the region starts,
+    /// so per-core cycles stay a pure function of the declared co-runner
+    /// set. Sockets partition independently: a core only ever contends
+    /// with its own socket's members. A no-op on a private pool (every
+    /// core already has the full LLC).
     ///
     /// # Panics
     /// Panics if `footprints.len()` differs from the core count.
@@ -166,9 +239,13 @@ impl CpuPool {
             return;
         }
         let total_ways = self.config().llc().ways;
-        let shares = partition_llc_ways(total_ways, footprints);
-        for (core, ways) in self.cores.iter_mut().zip(shares) {
-            core.set_llc_ways(ways as usize);
+        for s in 0..self.sockets {
+            let members = self.socket_members(s);
+            let local: Vec<u64> = members.iter().map(|&c| footprints[c]).collect();
+            let shares = partition_llc_ways(total_ways, &local);
+            for (&c, ways) in members.iter().zip(shares) {
+                self.cores[c].set_llc_ways(ways as usize);
+            }
         }
     }
 
@@ -185,6 +262,16 @@ impl CpuPool {
             .map(SimCpu::llc_effective_bytes)
             .min()
             .expect("a pool has at least one core")
+    }
+
+    /// The smallest LLC slice among `socket`'s members — the capacity a
+    /// per-socket cost estimate prices against.
+    pub fn min_effective_llc_bytes_socket(&self, socket: usize) -> u64 {
+        self.socket_members(socket)
+            .into_iter()
+            .map(|c| self.cores[c].llc_effective_bytes())
+            .min()
+            .expect("every socket has at least one core")
     }
 
     /// Number of cores.
@@ -261,6 +348,22 @@ impl CpuPool {
             return 1.0;
         }
         self.total_cycles() as f64 / (horizon * self.cores.len() as u64) as f64
+    }
+
+    /// Total remote-socket memory accesses across all cores (zero on a
+    /// single-socket pool).
+    pub fn remote_accesses(&self) -> u64 {
+        self.cores.iter().map(SimCpu::remote_accesses).sum()
+    }
+
+    /// Remote accesses as a percentage of all memory-served accesses
+    /// pool-wide (`0.0` when nothing reached memory).
+    pub fn remote_access_pct(&self) -> f64 {
+        let mem = self.counters().0.memory_accesses;
+        if mem == 0 {
+            return 0.0;
+        }
+        self.remote_accesses() as f64 / mem as f64 * 100.0
     }
 
     /// Counter bank summed across all cores.
@@ -416,6 +519,69 @@ mod tests {
         // Re-declaring with a lone occupant re-widens back to the socket.
         shared.declare_footprints(&[1 << 20, 0]);
         assert_eq!(shared.effective_llc_bytes(0), full);
+    }
+
+    #[test]
+    fn topology_splits_cores_into_contiguous_blocks() {
+        let pool = CpuPool::with_topology(CpuConfig::tiny_test(), 4, LlcMode::Shared, 2);
+        assert_eq!(pool.sockets(), 2);
+        assert_eq!(pool.socket_of(0), 0);
+        assert_eq!(pool.socket_of(1), 0);
+        assert_eq!(pool.socket_of(2), 1);
+        assert_eq!(pool.socket_of(3), 1);
+        assert_eq!(pool.socket_members(0), vec![0, 1]);
+        assert_eq!(pool.socket_members(1), vec![2, 3]);
+        // Odd split: block sizes differ by at most one.
+        let odd = CpuPool::with_topology(CpuConfig::tiny_test(), 3, LlcMode::Private, 2);
+        assert_eq!(odd.socket_members(0), vec![0, 1]);
+        assert_eq!(odd.socket_members(1), vec![2]);
+        // Single-socket constructors stay flat and placement-free.
+        let flat = CpuPool::new_shared(CpuConfig::tiny_test(), 4);
+        assert_eq!(flat.sockets(), 1);
+        assert_eq!(flat.cores()[3].placement().sockets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sockets must be in 1..=cores")]
+    fn more_sockets_than_cores_is_rejected() {
+        let _ = CpuPool::with_topology(CpuConfig::tiny_test(), 2, LlcMode::Shared, 3);
+    }
+
+    #[test]
+    fn sockets_partition_llc_independently() {
+        // 4 cores on 2 sockets, shared LLC: socket 0 has two contenders
+        // (half the ways each), socket 1 a lone occupant (full capacity).
+        let cfg = CpuConfig::tiny_test();
+        let full = cfg.llc().capacity_bytes;
+        let mut pool = CpuPool::with_topology(cfg, 4, LlcMode::Shared, 2);
+        pool.declare_footprints(&[1 << 20, 1 << 20, 1 << 20, 0]);
+        assert_eq!(pool.effective_llc_bytes(0), full / 2);
+        assert_eq!(pool.effective_llc_bytes(1), full / 2);
+        assert_eq!(pool.effective_llc_bytes(2), full, "lone on its socket");
+        assert_eq!(pool.min_effective_llc_bytes_socket(0), full / 2);
+        assert_eq!(pool.min_effective_llc_bytes_socket(1), full);
+        assert_eq!(pool.min_effective_llc_bytes(), full / 2);
+    }
+
+    #[test]
+    fn pool_counts_remote_accesses_under_a_pinned_placement() {
+        let cfg = CpuConfig::tiny_test();
+        let mut pool = CpuPool::with_topology(cfg, 2, LlcMode::Private, 2);
+        let mut placement = NumaPlacement::interleaved(2);
+        placement.register(0, 1 << 20, 0); // whole range homed on socket 0
+        pool.set_placement(&placement);
+        // Both cores stride through the socket-0 range: core 0 is local,
+        // core 1 (socket 1) is 100% remote.
+        for c in 0..2 {
+            let core = &mut pool.cores_mut()[c];
+            for i in 0..200u64 {
+                core.load(0, (i * 7 % 200) * 512, 4);
+            }
+        }
+        assert_eq!(pool.cores()[0].remote_accesses(), 0);
+        assert!(pool.cores()[1].remote_accesses() > 0);
+        assert!(pool.remote_access_pct() > 0.0);
+        assert!(pool.cores()[1].cycles() > pool.cores()[0].cycles());
     }
 
     #[test]

@@ -30,6 +30,13 @@ use crate::nelder_mead::{minimize, NelderMeadOptions};
 use crate::start_points::StartPointGenerator;
 
 /// The counters sampled for one interval, as consumed by the estimator.
+///
+/// The window is whatever scope the caller accumulated over; the solver
+/// never mixes scopes itself. On a multi-socket pool each socket fits its
+/// *own* windows — only counters accumulated by that socket's workers,
+/// priced against that socket's geometry (LLC partition and remote
+/// fraction) — so one socket's contention or remote traffic never leaks
+/// into another's selectivity fit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SampledCounters {
     /// Tuples processed in the interval.
@@ -409,6 +416,7 @@ mod tests {
                 },
                 upper_cache_bytes: 64.0 * 1024.0,
                 clustering: 1.0,
+                remote_fraction: 0.0,
             }),
         ];
         // p1 = 0.3, p2 = 0.5.

@@ -229,6 +229,7 @@ fn compiled_templates_warm_across_sliding_literals() {
             ..Default::default()
         }),
         use_order_cache: true,
+        dynamic_repartition: false,
     };
     let spec = |label: &str, lit: i64| {
         let plan = PlanBuilder::scan(&fact)
@@ -309,6 +310,7 @@ fn compiled_specs_honor_the_submitted_order() {
         morsels: MorselConfig::new(1024),
         reopt: None,
         use_order_cache: false,
+        dynamic_repartition: false,
     });
     server.admit(QuerySpec::compiled("q", prog, Priority::Normal, 0));
     let mut pool = CpuPool::new(CpuConfig::tiny_test(), 2);

@@ -9,7 +9,7 @@ use popt::core::predicate::{CompareOp, Predicate};
 use popt::core::progressive::ProgressiveConfig;
 use popt::core::serve::{Priority, QueryServer, QuerySpec, ServeConfig};
 use popt::core::MorselConfig;
-use popt::cpu::{CpuConfig, CpuPool, SimCpu};
+use popt::cpu::{CpuConfig, CpuPool, LlcMode, SimCpu};
 use popt::storage::{AddressSpace, ColumnData, Table};
 use popt_bench::figures::workload::xorshift64;
 
@@ -81,6 +81,7 @@ fn config(reopt: bool) -> ServeConfig {
             ..Default::default()
         }),
         use_order_cache: true,
+        dynamic_repartition: false,
     }
 }
 
@@ -178,6 +179,7 @@ fn high_priority_latency_isolated_from_background_scan() {
             morsels: MorselConfig::new(512),
             reopt: None,
             use_order_cache: false,
+            dynamic_repartition: false,
         });
         server.admit(QuerySpec::scan(
             "fg",
@@ -318,6 +320,7 @@ fn static_runs_bypass_the_order_cache() {
         morsels: MorselConfig::new(1024),
         reopt: None,
         use_order_cache: true,
+        dynamic_repartition: false,
     });
     server.admit(QuerySpec::scan(
         "q",
@@ -421,6 +424,7 @@ fn config_validation_and_empty_batches() {
         morsels: MorselConfig::new(0),
         reopt: None,
         use_order_cache: false,
+        dynamic_repartition: false,
     });
     server.admit(QuerySpec::scan(
         "q",
@@ -608,4 +612,173 @@ fn co_starting_template_mates_stay_cold() {
     }
     // All three completed and published; one template, one entry.
     assert_eq!(server.cache().len(), 1);
+}
+
+/// Fact/dim pair like [`tables`] but with an explicit row count, for
+/// co-runners of controlled length.
+fn tables_n(rows: usize, seed: u64) -> (Table, Table) {
+    let dim_n = (rows / 4).max(16);
+    let mut state = seed | 1;
+    let mut space = AddressSpace::new();
+    let mut fact = Table::new("fact");
+    for c in 0..3 {
+        let data: Vec<i32> = (0..rows)
+            .map(|_| (xorshift64(&mut state) % 1000) as i32)
+            .collect();
+        fact.add_column(format!("val{c}"), ColumnData::I32(data), &mut space);
+    }
+    fact.add_column(
+        "fk",
+        ColumnData::I32(
+            (0..rows)
+                .map(|_| (xorshift64(&mut state) % dim_n as u64) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    let mut dim = Table::new("dim");
+    dim.add_column(
+        "payload",
+        ColumnData::I32(
+            (0..dim_n)
+                .map(|_| (xorshift64(&mut state) % 1000) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    (fact, dim)
+}
+
+/// Regression against the reverted-shared-cursor hazard, for dynamic
+/// LLC repartitioning: every way recomputation is keyed to events in
+/// the worker's *own* claim stream (a query draining locally), never to
+/// global completion state another worker races to update. Two runs of
+/// the same staggered batch on a multi-worker two-socket shared pool
+/// must therefore produce the *entire* report — per-worker busy cycles
+/// and per-query execution cycles included — bit-for-bit, and results
+/// must match solo execution.
+#[test]
+fn dynamic_repartition_cycles_are_host_schedule_independent() {
+    let (fact, dim) = tables(0xD27A);
+    let plan = scan_plan([200, 500, 800]);
+    let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+    let scan_ref = CompiledSelection::compile(&fact, &plan, &[0, 1, 2])
+        .unwrap()
+        .run_range(&mut cpu, 0, ROWS);
+    let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+    let pipe_ref = pipeline(&fact, &dim, 500).run_range(&mut cpu, 0, ROWS);
+
+    let run = || {
+        let mut server = QueryServer::new(ServeConfig {
+            dynamic_repartition: true,
+            reopt: None,
+            ..config(false)
+        });
+        server.admit(QuerySpec::pipeline(
+            "pipe-0",
+            pipeline(&fact, &dim, 500),
+            vec![0, 1],
+            Priority::Normal,
+            0,
+        ));
+        server.admit(QuerySpec::scan(
+            "scan-0",
+            &fact,
+            plan.clone(),
+            vec![0, 1, 2],
+            Priority::Normal,
+            2_000,
+        ));
+        server.admit(QuerySpec::pipeline(
+            "pipe-1",
+            pipeline(&fact, &dim, 500),
+            vec![0, 1],
+            Priority::Low,
+            4_000,
+        ));
+        let mut pool = CpuPool::with_topology(CpuConfig::tiny_test(), 4, LlcMode::Shared, 2);
+        server.run(&mut pool).unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "repartition events must be deterministic in the simulated clock"
+    );
+    for q in &first.queries {
+        let (qualified, sum) = if q.label.starts_with("scan") {
+            (scan_ref.qualified, scan_ref.sum)
+        } else {
+            (pipe_ref.qualified, pipe_ref.sum)
+        };
+        assert_eq!(q.qualified, qualified, "{} diverged", q.label);
+        assert_eq!(q.sum, sum, "{} sum diverged", q.label);
+    }
+}
+
+/// Dynamic repartitioning semantics on one worker: while a co-runner is
+/// live the foreground query runs on a slice of the core's ways (the
+/// pessimistic price of declared contention — never cheaper than
+/// unpartitioned sharing), and the co-runner's *completion event* hands
+/// its ways back, so a short co-runner costs the foreground measurably
+/// less than a long one.
+#[test]
+fn dynamic_repartition_prices_co_runners_and_reclaims_at_completion() {
+    let (fact, dim) = tables(0x10C0);
+    let (short_fact, short_dim) = tables_n(ROWS / 8, 0xC0DE);
+    let (long_fact, long_dim) = tables_n(ROWS, 0xC0DE);
+
+    let mut cpu = SimCpu::new(CpuConfig::tiny_test());
+    let fg_ref = pipeline(&fact, &dim, 500).run_range(&mut cpu, 0, ROWS);
+
+    let fg_exec = |co_fact: &Table, co_dim: &Table, dynamic: bool| {
+        let mut server = QueryServer::new(ServeConfig {
+            dynamic_repartition: dynamic,
+            reopt: None,
+            ..config(false)
+        });
+        server.admit(QuerySpec::pipeline(
+            "fg",
+            pipeline(&fact, &dim, 500),
+            vec![0, 1],
+            Priority::Normal,
+            0,
+        ));
+        server.admit(QuerySpec::pipeline(
+            "co",
+            pipeline(co_fact, co_dim, 500),
+            vec![0, 1],
+            Priority::Normal,
+            0,
+        ));
+        let mut pool = CpuPool::new_shared(CpuConfig::tiny_test(), 1);
+        let report = server.run(&mut pool).unwrap();
+        let fg = report
+            .queries
+            .iter()
+            .find(|q| q.label == "fg")
+            .expect("fg served");
+        assert_eq!(fg.qualified, fg_ref.qualified, "fg diverged");
+        assert_eq!(fg.sum, fg_ref.sum, "fg sum diverged");
+        fg.exec_cycles
+    };
+
+    let long_off = fg_exec(&long_fact, &long_dim, false);
+    let long_on = fg_exec(&long_fact, &long_dim, true);
+    let short_off = fg_exec(&short_fact, &short_dim, false);
+    let short_on = fg_exec(&short_fact, &short_dim, true);
+
+    assert!(
+        long_on > long_off,
+        "a live co-runner must cost the foreground ways: {long_on} <= {long_off}"
+    );
+    assert!(
+        short_on >= short_off,
+        "declared contention is pessimistic, never a speedup: {short_on} < {short_off}"
+    );
+    assert!(
+        short_on < long_on,
+        "the completion event must reclaim the co-runner's ways: \
+         fg vs short co-runner {short_on} >= vs long {long_on}"
+    );
 }

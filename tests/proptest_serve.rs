@@ -105,6 +105,7 @@ proptest! {
                 ..Default::default()
             }),
             use_order_cache: use_cache,
+            dynamic_repartition: false,
         });
         for k in 0..nqueries {
             let lit = 100 + (xorshift64(&mut state) % 800) as i64;
