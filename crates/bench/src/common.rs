@@ -1,12 +1,32 @@
-//! Shared harness utilities: scaling, output formatting, and a small
-//! work-stealing parallel map (figures sweep hundreds of independent
-//! simulator runs).
+//! Shared harness utilities: scaling, the figure reporter (text or
+//! JSON-lines output, config provenance on every banner), trace capture
+//! for `--trace-out`, and a small work-stealing parallel map (figures
+//! sweep hundreds of independent simulator runs).
+//!
+//! # The reporter
+//!
+//! Every figure routes its output through four calls instead of ad-hoc
+//! `println!`s:
+//!
+//! * [`banner`] — figure id + title, stamped with the run's config
+//!   provenance (quick/full, LLC mode, sockets, tracing);
+//! * [`header`] — the column names of the figure's table;
+//! * [`row`] — one data row (zipped against the last [`header`] in JSON
+//!   mode);
+//! * [`note!`] — free-form commentary (`# `-prefixed in text mode).
+//!
+//! With `--json` the same calls emit one JSON object per line
+//! (`{"type":"banner"|"header"|"row"|"note", "figure": ..., ...}`), so a
+//! harness can consume every figure without scraping tab columns. The
+//! two modes carry identical information.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use popt_obs::{chrome_trace, validate_json, MemorySink, TraceRecord, Tracer};
 
 /// Global knobs for a figure run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FigureCtx {
     /// Reduced scale for smoke runs (`--quick`).
     pub quick: bool,
@@ -21,9 +41,28 @@ pub struct FigureCtx {
     /// and remote-socket misses pay the deterministic latency surcharge;
     /// `1` is the flat pre-NUMA pool.
     pub sockets: usize,
+    /// Emit machine-readable JSON lines instead of tab-separated text
+    /// (`--json`).
+    pub json: bool,
+    /// Write a Chrome-trace-event JSON of the figure's traced runs to
+    /// this path (`--trace-out PATH`). Tracing is non-invasive: the
+    /// printed simulated cycles are bit-identical with or without it.
+    pub trace_out: Option<String>,
 }
 
 impl FigureCtx {
+    /// A context with default knobs (full scale, private LLC, one
+    /// socket, text output, no tracing).
+    pub fn plain() -> Self {
+        Self {
+            quick: false,
+            shared_llc: false,
+            sockets: 1,
+            json: false,
+            trace_out: None,
+        }
+    }
+
     /// Pick `full` or `quick` depending on the context.
     pub fn scale(&self, full: usize, quick: usize) -> usize {
         if self.quick {
@@ -32,17 +71,237 @@ impl FigureCtx {
             full
         }
     }
+
+    /// The base config-provenance pairs stamped under every banner.
+    fn provenance(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("mode", if self.quick { "quick" } else { "full" }.into()),
+            (
+                "llc",
+                if self.shared_llc { "shared" } else { "private" }.into(),
+            ),
+            ("sockets", self.sockets.to_string()),
+            (
+                "trace",
+                match &self.trace_out {
+                    Some(path) => path.clone(),
+                    None => "off".into(),
+                },
+            ),
+        ]
+    }
 }
 
-/// Print a figure banner.
-pub fn banner(id: &str, title: &str) {
-    println!("\n### Figure {id}: {title}");
+/// The reporter's shared state: output mode, the figure being printed,
+/// and the column names its last [`header`] declared.
+struct Reporter {
+    json: bool,
+    figure: String,
+    columns: Vec<String>,
 }
 
-/// Print one tab-separated row.
+static REPORTER: Mutex<Reporter> = Mutex::new(Reporter {
+    json: false,
+    figure: String::new(),
+    columns: Vec::new(),
+});
+
+/// Minimal JSON string escaping (the reporter emits only strings it
+/// formatted itself, but labels may carry quotes or backslashes).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Print a figure banner stamped with the run's config provenance, and
+/// reset the reporter's column state for the new figure.
+pub fn banner(ctx: &FigureCtx, id: &str, title: &str) {
+    banner_with(ctx, id, title, &[]);
+}
+
+/// [`banner`] with figure-specific provenance appended (worker counts,
+/// morsel sizing, reoptimization cadence — whatever the figure pins).
+pub fn banner_with(ctx: &FigureCtx, id: &str, title: &str, extras: &[(&str, String)]) {
+    let mut rep = REPORTER.lock().expect("reporter lock");
+    rep.json = ctx.json;
+    rep.figure = id.to_string();
+    rep.columns.clear();
+    let mut pairs = ctx.provenance();
+    for (k, v) in extras {
+        pairs.push((k, v.clone()));
+    }
+    if rep.json {
+        let config: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", esc(k), esc(v)))
+            .collect();
+        println!(
+            "{{\"type\":\"banner\",\"figure\":\"{}\",\"title\":\"{}\",\"config\":{{{}}}}}",
+            esc(id),
+            esc(title),
+            config.join(",")
+        );
+    } else {
+        println!("\n### Figure {id}: {title}");
+        let joined: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("# config: {}", joined.join(" "));
+    }
+}
+
+/// Declare the figure's column names. Subsequent [`row`] calls zip
+/// against these names in JSON mode.
+pub fn header<S: AsRef<str>>(cells: &[S]) {
+    let mut rep = REPORTER.lock().expect("reporter lock");
+    rep.columns = cells.iter().map(|c| c.as_ref().to_string()).collect();
+    if rep.json {
+        let cols: Vec<String> = rep
+            .columns
+            .iter()
+            .map(|c| format!("\"{}\"", esc(c)))
+            .collect();
+        println!(
+            "{{\"type\":\"header\",\"figure\":\"{}\",\"columns\":[{}]}}",
+            esc(&rep.figure),
+            cols.join(",")
+        );
+    } else {
+        let joined: Vec<&str> = cells.iter().map(AsRef::as_ref).collect();
+        println!("{}", joined.join("\t"));
+    }
+}
+
+/// Print one data row: tab-separated in text mode, an object keyed by
+/// the last [`header`]'s column names in JSON mode (positional
+/// `"c<N>"` keys when a figure never declared columns or the widths
+/// disagree — the row is never silently truncated).
 pub fn row<S: AsRef<str>>(cells: &[S]) {
-    let joined: Vec<&str> = cells.iter().map(AsRef::as_ref).collect();
-    println!("{}", joined.join("\t"));
+    let rep = REPORTER.lock().expect("reporter lock");
+    if rep.json {
+        let fields: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let key = rep
+                    .columns
+                    .get(i)
+                    .filter(|_| rep.columns.len() == cells.len())
+                    .cloned()
+                    .unwrap_or_else(|| format!("c{i}"));
+                format!("\"{}\":\"{}\"", esc(&key), esc(c.as_ref()))
+            })
+            .collect();
+        println!(
+            "{{\"type\":\"row\",\"figure\":\"{}\",\"cells\":{{{}}}}}",
+            esc(&rep.figure),
+            fields.join(",")
+        );
+    } else {
+        let joined: Vec<&str> = cells.iter().map(AsRef::as_ref).collect();
+        println!("{}", joined.join("\t"));
+    }
+}
+
+/// Emit one commentary line. Text mode prints it verbatim (figures pass
+/// `# `-prefixed text); JSON mode strips the comment prefix and wraps
+/// the rest in a `note` object. Use via the [`note!`] macro.
+pub fn note_line(text: &str) {
+    let rep = REPORTER.lock().expect("reporter lock");
+    if rep.json {
+        let stripped = text.strip_prefix("# ").unwrap_or(text);
+        println!(
+            "{{\"type\":\"note\",\"figure\":\"{}\",\"text\":\"{}\"}}",
+            esc(&rep.figure),
+            esc(stripped)
+        );
+    } else {
+        println!("{text}");
+    }
+}
+
+/// `println!`-compatible commentary through the reporter: text mode
+/// prints the formatted line, `--json` mode wraps it in a `note` object.
+#[macro_export]
+macro_rules! note {
+    ($($arg:tt)*) => {
+        $crate::common::note_line(&format!($($arg)*))
+    };
+}
+
+/// A figure-level invariant: panics with the failing figure's id in the
+/// message so a multi-figure run points at the culprit.
+pub fn check(cond: bool, msg: &str) {
+    if !cond {
+        let figure = REPORTER.lock().expect("reporter lock").figure.clone();
+        panic!("figure {figure}: {msg}");
+    }
+}
+
+/// Captures a figure's traced runs into memory and writes them out as
+/// one Chrome-trace-event JSON (`--trace-out`). Query ids are handed out
+/// sequentially so every traced run in the figure lands in one file
+/// with distinct `"query"` tags.
+pub struct TraceCapture {
+    tracer: Arc<Tracer>,
+    sink: Arc<MemorySink>,
+    path: String,
+    next_query: AtomicUsize,
+}
+
+impl TraceCapture {
+    /// A capture for `workers` worker lanes when the context asks for
+    /// tracing (`None` otherwise — the figure runs untraced).
+    pub fn from_ctx(ctx: &FigureCtx, workers: usize) -> Option<Self> {
+        ctx.trace_out.as_ref().map(|path| {
+            let sink = Arc::new(MemorySink::new());
+            Self {
+                tracer: Arc::new(Tracer::for_workers(sink.clone(), workers)),
+                sink,
+                path: path.clone(),
+                next_query: AtomicUsize::new(0),
+            }
+        })
+    }
+
+    /// The tracer to hand to traced runs.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The next sequential query id for this capture.
+    pub fn next_query(&self) -> usize {
+        self.next_query.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records captured so far (for in-figure summaries).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.sink.snapshot()
+    }
+
+    /// Export everything captured to the `--trace-out` path as Chrome
+    /// trace-event JSON, validating the emitted text parses.
+    pub fn write(&self) {
+        let records = self.sink.snapshot();
+        let json = chrome_trace(&records);
+        validate_json(&json).expect("chrome trace export is valid JSON");
+        std::fs::write(&self.path, &json).expect("trace output path is writable");
+        note!(
+            "# trace: {} events -> {} ({} bytes)",
+            records.len(),
+            self.path,
+            json.len()
+        );
+    }
 }
 
 /// Format a float with sensible precision for tables.
@@ -145,23 +404,51 @@ mod tests {
 
     #[test]
     fn scale_picks_by_mode() {
-        assert_eq!(
-            FigureCtx {
-                quick: true,
-                shared_llc: false,
-                sockets: 1
-            }
-            .scale(100, 10),
-            10
-        );
-        assert_eq!(
-            FigureCtx {
-                quick: false,
-                shared_llc: false,
-                sockets: 1
-            }
-            .scale(100, 10),
-            100
-        );
+        let mut ctx = FigureCtx::plain();
+        ctx.quick = true;
+        assert_eq!(ctx.scale(100, 10), 10);
+        ctx.quick = false;
+        assert_eq!(ctx.scale(100, 10), 100);
+    }
+
+    #[test]
+    fn provenance_tracks_the_context() {
+        let mut ctx = FigureCtx::plain();
+        ctx.shared_llc = true;
+        ctx.sockets = 2;
+        ctx.trace_out = Some("/tmp/t.json".into());
+        let pairs = ctx.provenance();
+        let get = |k: &str| {
+            pairs
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("mode"), "full");
+        assert_eq!(get("llc"), "shared");
+        assert_eq!(get("sockets"), "2");
+        assert_eq!(get("trace"), "/tmp/t.json");
+    }
+
+    #[test]
+    fn json_escaping_survives_validation() {
+        let escaped = esc("a\"b\\c\nd\te\u{1}");
+        assert!(!escaped.contains('\n'));
+        let quoted = format!("\"{escaped}\"");
+        validate_json(&quoted).expect("escaped string is valid JSON");
+    }
+
+    #[test]
+    fn trace_capture_hands_out_sequential_queries() {
+        let mut ctx = FigureCtx::plain();
+        assert!(TraceCapture::from_ctx(&ctx, 4).is_none());
+        ctx.trace_out = Some("/tmp/unused-trace.json".into());
+        let cap = TraceCapture::from_ctx(&ctx, 4).expect("tracing requested");
+        assert_eq!(cap.next_query(), 0);
+        assert_eq!(cap.next_query(), 1);
+        assert!(cap.tracer().enabled());
+        assert_eq!(cap.tracer().lanes(), 5);
+        assert!(cap.records().is_empty());
     }
 }

@@ -12,19 +12,20 @@ use popt_cpu::{CpuConfig, SimCpu};
 use popt_storage::stats;
 use popt_storage::tpch::{generate_lineitem, TpchConfig};
 
-use crate::common::{banner, fmt, parallel_map, row, FigureCtx};
+use crate::common::{banner, fmt, header, parallel_map, row, FigureCtx};
+use crate::note;
 
 /// Shipdate selectivities in percent (log scale, as in the figure).
 pub const SELECTIVITIES_PCT: &[f64] = &[0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0];
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
-    banner("1", "Best v. Worst plan costs for TPC-H Query 6");
+    banner(ctx, "1", "Best v. Worst plan costs for TPC-H Query 6");
     let rows = ctx.scale(1 << 20, 1 << 17);
     let table = generate_lineitem(&TpchConfig::with_rows(rows));
     let shipdate = table.column("l_shipdate").unwrap();
 
-    row(&["shipdate_sel_pct", "best_ms", "worst_ms", "worst/best"]);
+    header(&["shipdate_sel_pct", "best_ms", "worst_ms", "worst/best"]);
     let mut max_ratio: f64 = 0.0;
     for &pct in SELECTIVITIES_PCT {
         let literal = if pct >= 100.0 {
@@ -48,5 +49,5 @@ pub fn run(ctx: &FigureCtx) {
         max_ratio = max_ratio.max(ratio);
         row(&[fmt(pct), fmt(to_ms(best)), fmt(to_ms(worst)), fmt(ratio)]);
     }
-    println!("# max worst/best ratio: {}", fmt(max_ratio));
+    note!("# max worst/best ratio: {}", fmt(max_ratio));
 }

@@ -9,12 +9,13 @@
 use popt_core::exec::scan::CompiledSelection;
 use popt_cpu::{CpuConfig, SimCpu};
 
-use crate::common::{banner, fmt, parallel_map, row, FigureCtx};
+use crate::common::{banner, fmt, header, parallel_map, row, FigureCtx};
 use crate::figures::workload::{uniform_plan, uniform_table};
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
     banner(
+        ctx,
         "2",
         "Counter overview (single selection, selectivity sweep)",
     );
@@ -44,7 +45,7 @@ pub fn run(ctx: &FigureCtx) {
             *mx = mx.max(v);
         }
     }
-    row(&[
+    header(&[
         "sel_pct",
         "l3_access_pct",
         "branch_taken_pct",

@@ -10,8 +10,9 @@ use popt_core::exec::scan::CompiledSelection;
 use popt_cost::markov::ChainSpec;
 use popt_cpu::{CpuConfig, SimCpu};
 
-use crate::common::{banner, fmt, parallel_map, row, FigureCtx};
+use crate::common::{banner, fmt, header, parallel_map, row, FigureCtx};
 use crate::figures::workload::{uniform_plan, uniform_table};
+use crate::note;
 
 /// The chain configurations of the figure's legend.
 pub fn chains() -> Vec<ChainSpec> {
@@ -29,7 +30,7 @@ pub fn chains() -> Vec<ChainSpec> {
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
-    banner("3", "Markov model state counts vs. measured sample");
+    banner(ctx, "3", "Markov model state counts vs. measured sample");
     let rows = ctx.scale(1 << 19, 1 << 15);
     let table = uniform_table(rows, 1, 0xF1603);
     let specs = chains();
@@ -53,11 +54,11 @@ pub fn run(ctx: &FigureCtx) {
         (1, "(b) not-taken mispredictions, % of branches"),
         (2, "(c) all mispredictions, % of branches"),
     ] {
-        println!("# panel {label}");
-        let mut header = vec!["sel_pct".to_string()];
-        header.extend(specs.iter().map(|s| s.label()));
-        header.push("ivy_sample".into());
-        row(&header);
+        note!("# panel {label}");
+        let mut cols = vec!["sel_pct".to_string()];
+        cols.extend(specs.iter().map(|s| s.label()));
+        cols.push("ivy_sample".into());
+        header(&cols);
         for (s, sample) in sels.iter().zip(&samples) {
             let p = s / 100.0;
             let mut cells = vec![fmt(*s)];

@@ -10,12 +10,17 @@ use popt_cost::branch_costs::estimate_peo_branches;
 use popt_cost::markov::ChainSpec;
 use popt_cpu::{CpuConfig, SimCpu};
 
-use crate::common::{banner, fmt, parallel_map, row, FigureCtx};
+use crate::common::{banner, fmt, header, parallel_map, row, FigureCtx};
 use crate::figures::workload::{uniform_plan, uniform_table};
+use crate::note;
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
-    banner("4", "Two-predicate mispredictions: measured / predicted");
+    banner(
+        ctx,
+        "4",
+        "Two-predicate mispredictions: measured / predicted",
+    );
     let rows = ctx.scale(1 << 18, 1 << 14);
     let table = uniform_table(rows, 2, 0xF1604);
 
@@ -47,7 +52,7 @@ pub fn run(ctx: &FigureCtx) {
         )
     });
 
-    row(&[
+    header(&[
         "sel1",
         "sel2",
         "ratio_not_taken_mp",
@@ -64,5 +69,5 @@ pub fn run(ctx: &FigureCtx) {
             worst = worst.max(r.max(1.0 / r.max(1e-9)));
         }
     }
-    println!("# worst interior all-MP deviation factor: {}", fmt(worst));
+    note!("# worst interior all-MP deviation factor: {}", fmt(worst));
 }

@@ -12,12 +12,13 @@ use popt_cost::markov::ChainSpec;
 use popt_cost::piecewise;
 use popt_cpu::{CpuConfig, SimCpu};
 
-use crate::common::{banner, fmt, parallel_map, row, FigureCtx};
+use crate::common::{banner, fmt, header, parallel_map, row, FigureCtx};
 use crate::figures::workload::{uniform_plan, uniform_table};
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
     banner(
+        ctx,
         "6",
         "Branch counters across microarchitectures vs. estimates",
     );
@@ -32,19 +33,19 @@ pub fn run(ctx: &FigureCtx) {
 
     let sels: Vec<f64> = (0..=20).map(|i| i as f64 * 5.0).collect();
 
-    let mut header = vec!["sel_pct".to_string()];
+    let mut cols = vec!["sel_pct".to_string()];
     for (name, _) in &archs {
-        header.push(format!("{name}_mp"));
-        header.push(format!("{name}_tak_mp"));
-        header.push(format!("{name}_nottak_mp"));
+        cols.push(format!("{name}_mp"));
+        cols.push(format!("{name}_tak_mp"));
+        cols.push(format!("{name}_nottak_mp"));
     }
-    header.extend([
+    cols.extend([
         "est_mp".into(),
         "est_tak_mp".into(),
         "est_nottak_mp".into(),
         "zeuch_mp".into(),
     ]);
-    row(&header);
+    header(&cols);
 
     let measurements = parallel_map(&sels, |&pct| {
         archs

@@ -8,7 +8,8 @@
 
 use popt_solver::bounds::{bnt_bounds, tuple_bounds};
 
-use crate::common::{banner, row, FigureCtx};
+use crate::common::{banner, header, row, FigureCtx};
+use crate::note;
 
 /// The example's true per-column accesses.
 pub const EXAMPLE_ACCESSES: [u64; 4] = [80, 70, 50, 10];
@@ -28,8 +29,8 @@ fn cumulate(values: &[u64]) -> Vec<u64> {
 }
 
 /// Run the figure.
-pub fn run(_ctx: &FigureCtx) {
-    banner("7", "Search space restriction (Section 4.1 example)");
+pub fn run(ctx: &FigureCtx) {
+    banner(ctx, "7", "Search space restriction (Section 4.1 example)");
     let bnt: u64 = EXAMPLE_ACCESSES.iter().sum();
     let tuple = tuple_bounds(4, EXAMPLE_IN, EXAMPLE_OUT);
     let restricted = bnt_bounds(4, EXAMPLE_IN, EXAMPLE_OUT, bnt);
@@ -42,7 +43,7 @@ pub fn run(_ctx: &FigureCtx) {
     let upper_bnt = cumulate(&b_hi);
     let lower_bnt = cumulate(&b_lo);
 
-    row(&[
+    header(&[
         "columns",
         "search_query",
         "upper_tuple_bound",
@@ -60,8 +61,9 @@ pub fn run(_ctx: &FigureCtx) {
             lower_bnt[i].to_string(),
         ]);
     }
-    println!(
+    note!(
         "# per-column BNT bounds: lower {:?}, upper {:?} (paper: [67,50,10,10] / [100,95,66,10])",
-        b_lo, b_hi
+        b_lo,
+        b_hi
     );
 }

@@ -8,16 +8,17 @@
 
 use popt_cost::estimate::{estimate_counters, PlanGeometry};
 
-use crate::common::{banner, fmt, row, FigureCtx};
+use crate::common::{banner, fmt, header, row, FigureCtx};
+use crate::note;
 
 /// Tuples assumed by the figure (matches the paper's 10 M).
 pub const TUPLES: u64 = 10_000_000;
 
 /// Run the figure.
-pub fn run(_ctx: &FigureCtx) {
-    banner("8", "Two-predicate counter predictions (model only)");
+pub fn run(ctx: &FigureCtx) {
+    banner(ctx, "8", "Two-predicate counter predictions (model only)");
     let geom = PlanGeometry::uniform_i32(TUPLES, 2);
-    row(&[
+    header(&[
         "sel1",
         "sel2",
         "bnt",
@@ -45,7 +46,7 @@ pub fn run(_ctx: &FigureCtx) {
     // (20%, 40%).
     let a = estimate_counters(&geom, &[TUPLES as f64 * 0.4, TUPLES as f64 * 0.08]);
     let b = estimate_counters(&geom, &[TUPLES as f64 * 0.2, TUPLES as f64 * 0.08]);
-    println!(
+    note!(
         "# (40%,20%) vs (20%,40%): BNT {} vs {}, MP-not-taken {} vs {} — at least one \
          counter separates the two orders",
         fmt(a.bnt),

@@ -8,11 +8,12 @@
 use popt_solver::bounds::SearchBounds;
 use popt_solver::start_points::StartPointGenerator;
 
-use crate::common::{banner, fmt, row, FigureCtx};
+use crate::common::{banner, fmt, header, row, FigureCtx};
 
 /// Run the figure.
-pub fn run(_ctx: &FigureCtx) {
+pub fn run(ctx: &FigureCtx) {
     banner(
+        ctx,
         "9",
         "Start point selection (2-D example, 25% overall selectivity)",
     );
@@ -22,7 +23,7 @@ pub fn run(_ctx: &FigureCtx) {
     };
     let null = StartPointGenerator::null_hypothesis(2, 2, 100, 25);
     let generator = StartPointGenerator::new(bounds, null);
-    row(&["point", "a1", "a2"]);
+    header(&["point", "a1", "a2"]);
     for (i, p) in generator.take(10).enumerate() {
         row(&[format!("C{}", i + 1), fmt(p[0]), fmt(p[1])]);
     }

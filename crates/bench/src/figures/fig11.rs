@@ -12,11 +12,13 @@ use popt_core::query::QueryBuilder;
 use popt_cpu::{CpuConfig, SimCpu};
 use popt_storage::tpch::{generate_lineitem, TpchConfig};
 
-use crate::common::{banner, fmt, parallel_map, row, subsample, FigureCtx};
+use crate::common::{banner, fmt, header, parallel_map, row, subsample, FigureCtx};
+use crate::note;
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
     banner(
+        ctx,
         "11",
         "TPC-H common case: 120 Q6 PEOs, baseline vs. progressive",
     );
@@ -52,7 +54,7 @@ pub fn run(ctx: &FigureCtx) {
 
     let mut sorted = results;
     sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    row(&["permutation_rank", "baseline_ms", "optimized_ms", "peo"]);
+    header(&["permutation_rank", "baseline_ms", "optimized_ms", "peo"]);
     for (rank, (peo, base, prog)) in sorted.iter().enumerate() {
         row(&[rank.to_string(), fmt(*base), fmt(*prog), format!("{peo:?}")]);
     }
@@ -61,7 +63,7 @@ pub fn run(ctx: &FigureCtx) {
     let avg_base: f64 = sorted.iter().map(|r| r.1).sum::<f64>() / sorted.len() as f64;
     let worst_prog = sorted.iter().map(|r| r.2).fold(0.0f64, f64::max);
     let avg_prog: f64 = sorted.iter().map(|r| r.2).sum::<f64>() / sorted.len() as f64;
-    println!(
+    note!(
         "# baseline best/avg/worst: {}/{}/{} ms; progressive avg/worst: {}/{} ms",
         fmt(best_base),
         fmt(avg_base),
@@ -69,7 +71,7 @@ pub fn run(ctx: &FigureCtx) {
         fmt(avg_prog),
         fmt(worst_prog)
     );
-    println!(
+    note!(
         "# improvement: avg {}x, worst-case {}x",
         fmt(avg_base / avg_prog),
         fmt(worst_base / worst_prog)

@@ -13,7 +13,8 @@ use popt_cpu::{CpuConfig, SimCpu};
 use popt_storage::stats;
 use popt_storage::tpch::{generate_lineitem, TpchConfig};
 
-use crate::common::{banner, fmt, parallel_map, row, subsample, FigureCtx};
+use crate::common::{banner, fmt, header, parallel_map, row, subsample, FigureCtx};
+use crate::note;
 
 /// Shipdate selectivities in percent (log scale).
 pub const SELECTIVITIES_PCT: &[f64] = &[0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0];
@@ -43,7 +44,7 @@ pub fn q6_with_shipdate_selectivity(table: &popt_storage::Table, pct: f64) -> Se
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
-    banner("12", "Q6 with varying shipdate selectivity");
+    banner(ctx, "12", "Q6 with varying shipdate selectivity");
     let rows = ctx.scale(1 << 20, 1 << 17);
     let vector_tuples = ctx.scale(4_096, 2_048);
     // Baselines are cheap enough to run for every PEO (their min/max are
@@ -57,7 +58,7 @@ pub fn run(ctx: &FigureCtx) {
         max_vectors: None,
     };
 
-    row(&[
+    header(&[
         "shipdate_sel_pct",
         "min_base_ms",
         "max_base_ms",
@@ -106,5 +107,5 @@ pub fn run(ctx: &FigureCtx) {
             fmt(avgs[2]),
         ]);
     }
-    println!("# expectation: avg_reop10 tracks min_base in the 0.1–10% band");
+    note!("# expectation: avg_reop10 tracks min_base in the 0.1–10% band");
 }

@@ -13,7 +13,8 @@ use popt_cpu::{CpuConfig, SimCpu};
 use popt_storage::distribution::Layout;
 use popt_storage::tpch::{generate_lineitem, TpchConfig};
 
-use crate::common::{banner, fmt, parallel_map, row, subsample, FigureCtx};
+use crate::common::{banner, fmt, header, parallel_map, row, subsample, FigureCtx};
+use crate::note;
 
 /// The reoptimization intervals of the figure.
 pub const REOP_INTERVALS: &[usize] = &[10, 75, 200];
@@ -24,7 +25,11 @@ type PeoRun = (f64, Vec<f64>);
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
-    banner("13", "Q6 on sorted / clustered / random shipdate layouts");
+    banner(
+        ctx,
+        "13",
+        "Q6 on sorted / clustered / random shipdate layouts",
+    );
     let rows = ctx.scale(1 << 20, 1 << 17);
     let vector_tuples = ctx.scale(4_096, 2_048);
     let peo_sample = ctx.scale(40, 12);
@@ -42,7 +47,7 @@ pub fn run(ctx: &FigureCtx) {
     };
 
     for (label, layout) in layouts {
-        println!("# panel {label}");
+        note!("# panel {label}");
         let table = generate_lineitem(&TpchConfig::with_rows(rows).shipdate_layout(layout));
         let runs: Vec<(f64, Vec<f64>)> = parallel_map(&peos, |peo| {
             let mut cpu = SimCpu::new(CpuConfig::xeon_e5_2630_v2());
@@ -66,7 +71,7 @@ pub fn run(ctx: &FigureCtx) {
         });
         let mut sorted = runs;
         sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        row(&[
+        header(&[
             "permutation_rank",
             "baseline_ms",
             "reop10_ms",
@@ -85,7 +90,7 @@ pub fn run(ctx: &FigureCtx) {
         let avg = |f: &dyn Fn(&PeoRun) -> f64| -> f64 {
             sorted.iter().map(f).sum::<f64>() / sorted.len() as f64
         };
-        println!(
+        note!(
             "# avg baseline {} ms; avg reop10 {} ms; avg reop75 {} ms; avg reop200 {} ms",
             fmt(avg(&|r| r.0)),
             fmt(avg(&|r| r.1[0])),

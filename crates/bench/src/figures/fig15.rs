@@ -16,8 +16,9 @@ use popt_cost::join_model::JoinGeometry;
 use popt_cpu::{CacheLevelConfig, CpuConfig, SimCpu};
 use popt_storage::{AddressSpace, ColumnData, Table};
 
-use crate::common::{banner, fmt, parallel_map, row, FigureCtx};
+use crate::common::{banner, fmt, header, parallel_map, row, FigureCtx};
 use crate::figures::workload::DOMAIN;
+use crate::note;
 
 /// A hierarchy scaled so that *both* dimension tables exceed the LLC
 /// (in the paper, `orders` and `part` both dwarf the 15 MiB L3 at
@@ -89,10 +90,14 @@ fn tables(rows: usize, seed: u64) -> (Table, Table, Table) {
 
 /// Run the figure.
 pub fn run(ctx: &FigureCtx) {
-    banner("15", "Foreign-key join order: orders-first vs. part-first");
+    banner(
+        ctx,
+        "15",
+        "Foreign-key join order: orders-first vs. part-first",
+    );
     let rows = ctx.scale(1 << 21, 1 << 17);
     let (fact, orders, part) = tables(rows, 0xF1615);
-    println!("# frontend: PlanBuilder -> optimizer passes -> CompiledProgram");
+    note!("# frontend: PlanBuilder -> optimizer passes -> CompiledProgram");
 
     let sels: Vec<f64> = (2..=10).map(|i| i as f64 / 10.0).collect();
     let results = parallel_map(&sels, |&sel| {
@@ -154,7 +159,7 @@ pub fn run(ctx: &FigureCtx) {
         (sel, o_ms, p_ms, prog.millis, o_miss, p_miss, flipped)
     });
 
-    row(&[
+    header(&[
         "join_sel_pct",
         "orders_first_ms",
         "part_first_ms",
@@ -178,7 +183,7 @@ pub fn run(ctx: &FigureCtx) {
             flipped.to_string(),
         ]);
     }
-    println!("# orders-first faster at every selectivity: {orders_always_faster}");
+    note!("# orders-first faster at every selectivity: {orders_always_faster}");
 
     // The detector's view (Section 5.6): probe each dimension for one
     // sample and ask which join should go first.
@@ -210,7 +215,7 @@ pub fn run(ctx: &FigureCtx) {
         probe(&part, "l_partkey", "p_retailprice", "part"),
     ];
     let order = recommend_join_order(&obs);
-    println!(
+    note!(
         "# detector recommends joining {} first (patterns: orders={:?}, part={:?})",
         obs[order[0]].name,
         obs[0].pattern(),
@@ -255,9 +260,9 @@ fn convergence_sweep(fact: &Table, orders: &Table, part: &Table) {
     let best_ms = static_ms(true); // orders-first (co-clustered) wins
     let worst_ms = static_ms(false); // the textbook part-first order
 
-    println!("\n# convergence sweep at 50% join selectivity: where does the");
-    println!("# reop_interval x vector-size convergence cost cross the static gap?");
-    row(&[
+    note!("\n# convergence sweep at 50% join selectivity: where does the");
+    note!("# reop_interval x vector-size convergence cost cross the static gap?");
+    header(&[
         "reop_interval",
         "vector_tuples",
         "progressive_ms",
@@ -300,7 +305,7 @@ fn convergence_sweep(fact: &Table, orders: &Table, part: &Table) {
             (prog_ms < worst_ms).to_string(),
         ]);
     }
-    println!(
+    note!(
         "# expectation: short intervals and small vectors converge early enough to \
          beat the worst static order at modest overhead over the best; very long \
          intervals on few vectors approach the worst order's time"

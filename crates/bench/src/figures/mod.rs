@@ -17,14 +17,17 @@ pub mod fig15;
 pub mod fig16;
 pub mod scale;
 pub mod serve;
+pub mod trace;
 pub mod workload;
 
 use crate::common::FigureCtx;
 
 /// All figure ids in paper order, plus the beyond-the-paper parallel
-/// scaling study (`scale`) and the multi-query serving study (`serve`).
+/// scaling study (`scale`), the multi-query serving study (`serve`),
+/// and the observability demonstration (`trace`).
 pub const ALL: &[&str] = &[
     "1", "2", "3", "4", "6", "7", "8", "9", "11", "12", "13", "14", "15", "16", "scale", "serve",
+    "trace",
 ];
 
 /// Dispatch a figure by id; returns false for unknown ids (the CLI turns
@@ -47,6 +50,7 @@ pub fn run(id: &str, ctx: &FigureCtx) -> bool {
         "16" => fig16::run(ctx),
         "scale" => scale::run(ctx),
         "serve" => serve::run(ctx),
+        "trace" => trace::run(ctx),
         _ => return false,
     }
     true
@@ -61,11 +65,8 @@ mod tests {
         // `run` must refuse ids it does not know (the CLI exits non-zero
         // and prints `ALL` when it sees `false`), and every advertised
         // id must be unique and non-empty.
-        let ctx = FigureCtx {
-            quick: true,
-            shared_llc: false,
-            sockets: 1,
-        };
+        let mut ctx = FigureCtx::plain();
+        ctx.quick = true;
         assert!(!run("not-a-figure", &ctx));
         assert!(!run("", &ctx));
         assert!(!run("Serve", &ctx), "ids are case-sensitive");

@@ -19,21 +19,51 @@
 //! trial morsels (leased to exactly one core).
 
 use popt_core::exec::program::CompiledProgram;
-use popt_core::parallel::{run_parallel_program, MorselConfig, MorselDispatcher, ParallelReport};
+use popt_core::parallel::{
+    run_parallel_program, run_parallel_program_traced, MorselConfig, MorselDispatcher,
+    ParallelReport,
+};
 use popt_core::plan::{Expr, PlanBuilder};
 use popt_core::progressive::{run_progressive_program, ProgressiveConfig, VectorConfig};
 use popt_cost::cycles::fleet_occupancy_per_socket;
 use popt_cpu::{CpuPool, LlcMode, NumaPlacement, SimCpu};
 
-use crate::common::{banner, fmt, row, FigureCtx};
+use crate::common::{banner, fmt, header, row, FigureCtx, TraceCapture};
 use crate::figures::fig15::scaled_cpu;
 use crate::figures::workload::{
     fig14_mem_tables, mem_tables_with_dim, numa_banded_tables, numa_two_dim_tables, star_program,
     star_schema, DOMAIN,
 };
+use crate::note;
 
 /// Worker counts of the sweep.
 pub const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// Run a parallel program, captured into the figure's trace when
+/// `--trace-out` asked for one. Tracing is non-invasive, so every
+/// assertion downstream of this helper holds identically either way.
+fn run_pool(
+    program: &mut CompiledProgram<'_>,
+    initial_order: &[usize],
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+    trace: Option<&TraceCapture>,
+) -> ParallelReport {
+    match trace {
+        Some(capture) => run_parallel_program_traced(
+            program,
+            initial_order,
+            morsels,
+            pool,
+            reopt,
+            capture.tracer(),
+            capture.next_query(),
+        ),
+        None => run_parallel_program(program, initial_order, morsels, pool, reopt),
+    }
+    .expect("parallel run")
+}
 
 struct SweepPoint {
     workers: usize,
@@ -52,6 +82,7 @@ fn sweep<'t>(
     build: &dyn Fn() -> CompiledProgram<'t>,
     initial_order: &[usize],
     hot_bytes_per_tuple: usize,
+    trace: Option<&TraceCapture>,
 ) -> Vec<SweepPoint> {
     let rows = build().rows();
     let morsels = MorselConfig::cache_friendly(&scaled_cpu(), hot_bytes_per_tuple);
@@ -90,14 +121,14 @@ fn sweep<'t>(
         .map(|&workers| {
             let mut program = build();
             let mut pool = CpuPool::new(scaled_cpu(), workers);
-            let report = run_parallel_program(
+            let report = run_pool(
                 &mut program,
                 initial_order,
                 morsels,
                 &mut pool,
                 Some(&config),
-            )
-            .expect("parallel progressive runs");
+                trace,
+            );
             if workers == 1 {
                 one_worker_wall = report.wall_cycles;
             }
@@ -138,7 +169,7 @@ fn print_sweep(label: &str, points: &[SweepPoint]) {
         "{label}: 4-worker speedup {:.2} < 2.5",
         four.speedup
     );
-    println!(
+    note!(
         "# {label}: 4-worker speedup {} (>= 2.5: {}), converged to serial order: {}",
         fmt(four.speedup),
         four.speedup >= 2.5,
@@ -161,7 +192,13 @@ struct ContentionSweep {
 /// dim that fits the socket but not a contended share thrashes only in
 /// shared mode; a dim small enough for the worst share never notices the
 /// partition.
-fn contention_sweep(label: &str, rows: usize, dim_rows: usize, seed: u64) -> ContentionSweep {
+fn contention_sweep(
+    label: &str,
+    rows: usize,
+    dim_rows: usize,
+    seed: u64,
+    trace: Option<&TraceCapture>,
+) -> ContentionSweep {
     let (fact, dim) = mem_tables_with_dim(rows, dim_rows, seed);
     let build = || {
         PlanBuilder::scan(&fact)
@@ -201,8 +238,7 @@ fn contention_sweep(label: &str, rows: usize, dim_rows: usize, seed: u64) -> Con
             // and without trial scheduling the interleaved placement
             // makes per-core cycles — and with them every column below —
             // exactly reproducible on any host.
-            let report = run_parallel_program(&mut program, &[0, 1], morsels, &mut pool, None)
-                .expect("parallel baseline runs");
+            let report = run_pool(&mut program, &[0, 1], morsels, &mut pool, None, trace);
             if workers == 1 {
                 one_worker_wall = report.wall_cycles;
             }
@@ -232,11 +268,12 @@ fn contention_sweep(label: &str, rows: usize, dim_rows: usize, seed: u64) -> Con
 /// speedup survives the socket and where it breaks.
 fn run_shared(ctx: &FigureCtx) {
     banner(
+        ctx,
         "scale",
         "Shared-LLC socket: capacity contention vs near-linear scaling",
     );
     let rows = ctx.scale(1 << 20, 1 << 18);
-    row(&[
+    header(&[
         "workload",
         "llc_mode",
         "workers",
@@ -246,11 +283,12 @@ fn run_shared(ctx: &FigureCtx) {
         "speedup_vs_1w",
         "bit_identical",
     ]);
+    let capture = TraceCapture::from_ctx(ctx, *WORKER_COUNTS.last().expect("sweep counts"));
     // Dimensions sized against the scaled CPU's 128 KiB socket LLC:
     // 24 Ki tuples (96 KiB) fit the socket but thrash a 4-worker share;
     // 2 Ki tuples (8 KiB) fit even the 8-worker share.
-    let thrash = contention_sweep("llc-thrash", rows, 24 * 1024, 0x5CA1E);
-    let resident = contention_sweep("llc-resident", rows, 2 * 1024, 0x0D1);
+    let thrash = contention_sweep("llc-thrash", rows, 24 * 1024, 0x5CA1E, capture.as_ref());
+    let resident = contention_sweep("llc-resident", rows, 2 * 1024, 0x0D1, capture.as_ref());
 
     assert!(
         thrash.exact && resident.exact,
@@ -258,13 +296,13 @@ fn run_shared(ctx: &FigureCtx) {
     );
     let slowdown = |s: &ContentionSweep| (s.wall_4w[1] as f64 / s.wall_4w[0] as f64 - 1.0) * 100.0;
     let (thrash_pct, resident_pct) = (slowdown(&thrash), slowdown(&resident));
-    println!(
+    note!(
         "# llc-thrash: shared-socket 4-worker slowdown {}% vs private, speedup {} -> {}",
         fmt(thrash_pct),
         fmt(thrash.speedup_4w[0]),
         fmt(thrash.speedup_4w[1]),
     );
-    println!(
+    note!(
         "# llc-resident: shared-socket 4-worker slowdown {}% vs private, speedup {} -> {}",
         fmt(resident_pct),
         fmt(resident.speedup_4w[0]),
@@ -292,13 +330,16 @@ fn run_shared(ctx: &FigureCtx) {
         "cache-resident workload must not pay for a partition it fits \
          (got {resident_pct:.2}%)"
     );
-    println!(
+    note!(
         "# expectation: the partition leaves each of N cores 1/N of the socket; a \
          probed dimension that fits the socket but not the share turns LLC hits \
          into memory misses and sub-linear speedup, while a share-resident \
          working set keeps the private model's near-linear scaling — and results \
          are bit-identical in both modes at every worker count"
     );
+    if let Some(capture) = &capture {
+        capture.write();
+    }
 }
 
 /// One printed row of the NUMA study: per-socket occupancy and accepted
@@ -350,12 +391,14 @@ fn numa_row(
 fn run_numa(ctx: &FigureCtx) {
     let sockets = ctx.sockets;
     banner(
+        ctx,
         "scale",
         "NUMA pool: affinity-pinned placement vs interleave, per-socket order divergence",
     );
     let rows = ctx.scale(1 << 20, 1 << 18);
     let workers = 4.max(sockets);
-    row(&[
+    let capture = TraceCapture::from_ctx(ctx, workers);
+    header(&[
         "experiment",
         "placement",
         "workers",
@@ -412,8 +455,14 @@ fn run_numa(ctx: &FigureCtx) {
         if let Some(p) = placement {
             pool.set_placement(p);
         }
-        let report = run_parallel_program(&mut program, &[0, 1], morsels, &mut pool, None)
-            .expect("parallel baseline runs");
+        let report = run_pool(
+            &mut program,
+            &[0, 1],
+            morsels,
+            &mut pool,
+            None,
+            capture.as_ref(),
+        );
         let exact = report.qualified == expect.qualified && report.sum == expect.sum;
         numa_row("affinity", label, &report, sockets, exact);
         assert!(
@@ -426,7 +475,7 @@ fn run_numa(ctx: &FigureCtx) {
     let pin = run_placement("pinned", Some(&pinned));
 
     let margin = (interleave.wall_cycles as f64 / pin.wall_cycles as f64 - 1.0) * 100.0;
-    println!(
+    note!(
         "# affinity: pinned placement beats interleave by {}% wall clock \
          (remote accesses {}% -> {}%)",
         fmt(margin),
@@ -489,12 +538,17 @@ fn run_numa(ctx: &FigureCtx) {
     let mut program_b = build_b();
     let mut pool = CpuPool::with_topology(scaled_cpu(), workers, LlcMode::Private, sockets);
     pool.set_placement(&homes);
-    let report_b =
-        run_parallel_program(&mut program_b, &[0, 1], morsels_b, &mut pool, Some(&config))
-            .expect("parallel progressive runs");
+    let report_b = run_pool(
+        &mut program_b,
+        &[0, 1],
+        morsels_b,
+        &mut pool,
+        Some(&config),
+        capture.as_ref(),
+    );
     let exact_b = report_b.qualified == expect_b.qualified && report_b.sum == expect_b.sum;
     numa_row("divergence", "dim-homed", &report_b, sockets, exact_b);
-    println!(
+    note!(
         "# divergence: per-socket accepted orders {}",
         report_b
             .socket_orders
@@ -516,7 +570,7 @@ fn run_numa(ctx: &FigureCtx) {
         "socket 1 must converge to probing its local dim_b first"
     );
 
-    println!(
+    note!(
         "# expectation: pinning morsel bands and their dimension slices to the \
          claiming socket removes the remote-access surcharge the interleaved \
          default pays (the same addresses are touched either way — only the \
@@ -525,6 +579,9 @@ fn run_numa(ctx: &FigureCtx) {
          each probing its local dimension first — results bit-identical to the \
          single-core executor throughout"
     );
+    if let Some(capture) = &capture {
+        capture.write();
+    }
 }
 
 /// Run the figure.
@@ -538,6 +595,7 @@ pub fn run(ctx: &FigureCtx) {
         return;
     }
     banner(
+        ctx,
         "scale",
         "Morsel-driven parallel scaling with shared progressive reoptimization",
     );
@@ -546,7 +604,7 @@ pub fn run(ctx: &FigureCtx) {
     // speedup column measures coordination overhead, not scaling.
     let rows = ctx.scale(1 << 21, 1 << 18);
 
-    row(&[
+    header(&[
         "workload",
         "workers",
         "wall_ms",
@@ -568,8 +626,12 @@ pub fn run(ctx: &FigureCtx) {
             .compile()
             .expect("plan lowers to a two-stage program")
     };
+    let capture = TraceCapture::from_ctx(ctx, *WORKER_COUNTS.last().expect("sweep counts"));
     // Hot bytes per tuple: fk + val + dimension probe, 4 B each.
-    print_sweep("fig14-mem", &sweep(&build_fig14, &[1, 0], 12));
+    print_sweep(
+        "fig14-mem",
+        &sweep(&build_fig14, &[1, 0], 12, capture.as_ref()),
+    );
 
     // Workload B: the 3-join star schema, started fully reversed (random
     // part and supplier joins first, then the co-clustered customer
@@ -577,9 +639,12 @@ pub fn run(ctx: &FigureCtx) {
     let star = star_schema(rows, 0x57A12);
     let build_star = || star_program(&star, Some(0.5), [0.5, 0.5, 0.5]);
     // Hot bytes per tuple: val + 3 FKs + 3 probes + agg, 4 B each.
-    print_sweep("star-3join", &sweep(&build_star, &[3, 2, 1, 0], 32));
+    print_sweep(
+        "star-3join",
+        &sweep(&build_star, &[3, 2, 1, 0], 32, capture.as_ref()),
+    );
 
-    println!(
+    note!(
         "# expectation: near-linear speedup (morsel dispatch is barrier-free; the \
          optimizer runs once per interval on one core), identical results at every \
          worker count, and the pool converging to the serial loop's final order — \
@@ -587,4 +652,7 @@ pub fn run(ctx: &FigureCtx) {
          occasionally resolve into a different near-optimal order (the locality \
          ranking itself, co-clustered join ahead of random joins, always holds)"
     );
+    if let Some(capture) = &capture {
+        capture.write();
+    }
 }

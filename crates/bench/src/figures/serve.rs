@@ -31,11 +31,14 @@ use popt_cost::cycles::fleet_occupancy_per_socket;
 use popt_cpu::{CpuConfig, CpuPool, LlcMode, SimCpu};
 use popt_storage::Table;
 
-use crate::common::{banner, fmt, row, FigureCtx};
+use popt_obs::MetricsRegistry;
+
+use crate::common::{banner, fmt, header, row, FigureCtx, TraceCapture};
 use crate::figures::fig15::scaled_cpu;
 use crate::figures::workload::{
     fig14_mem_tables, mem_tables_with_dim, uniform_plan, uniform_table, xorshift64, DOMAIN,
 };
+use crate::note;
 
 /// Worker counts of the closed-loop sweep.
 pub const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
@@ -213,8 +216,40 @@ fn run_batch_with(
     server.run(&mut pool).expect("serve batch runs")
 }
 
+/// `--trace-out`: one extra traced closed-loop batch (4 workers) whose
+/// decision stream becomes the figure's Chrome-trace export — admission,
+/// socket homing, cache lookups/records, morsel claims, reopt rounds and
+/// trial verdicts, all stamped with simulated cycles. Tracing is
+/// non-invasive, so the traced batch passes the same exact-results check
+/// every untraced experiment passes.
+fn trace_export(ctx: &FigureCtx, mix: &Mix, refs: &[(u64, i64); 3], shared: bool) {
+    let Some(capture) = TraceCapture::from_ctx(ctx, 4) else {
+        return;
+    };
+    let mut server = QueryServer::new(config());
+    server.set_tracer(capture.tracer().clone());
+    for spec in closed_loop_batch(mix) {
+        server.admit(spec);
+    }
+    let mut pool = make_pool(4, shared);
+    let report = server.run(&mut pool).expect("traced serve batch runs");
+    mix.assert_exact(&report.queries, refs);
+    let mut reg = MetricsRegistry::new();
+    report.record_metrics(&mut reg);
+    server.cache().record_metrics(&mut reg);
+    note!(
+        "# traced batch: queries={} warm_starts={} cache hits={} misses={} evictions={}",
+        reg.counter("serve.queries"),
+        reg.counter("serve.warm_starts"),
+        reg.counter("cache.hits"),
+        reg.counter("cache.misses"),
+        reg.counter("cache.evictions"),
+    );
+    capture.write();
+}
+
 fn throughput_sweep(mix: &Mix, refs: &[(u64, i64); 3], shared: bool) -> (f64, f64) {
-    row(&[
+    header(&[
         "sweep",
         "workers",
         "queries",
@@ -289,7 +324,7 @@ fn open_loop_latency(mix: &Mix, refs: &[(u64, i64); 3], n: usize) {
     );
     mix.assert_exact(&report.queries, refs);
 
-    row(&[
+    header(&[
         "priority",
         "n",
         "latency_p50_ms",
@@ -318,7 +353,7 @@ fn open_loop_latency(mix: &Mix, refs: &[(u64, i64); 3], n: usize) {
             fmt(queue_mean / (serve_cpu().timing.frequency_ghz * 1e6)),
         ]);
     }
-    println!(
+    note!(
         "# open loop at ~80% load, one template across classes: stride weights \
          (16/4/1) should order the classes' queueing delays high <= normal <= low"
     );
@@ -367,7 +402,7 @@ fn warm_vs_cold<'t>(mix: &'t Mix, refs: &[(u64, i64); 3], shared: bool) {
         "second batch must hit the order cache"
     );
 
-    row(&[
+    header(&[
         "template",
         "cold_cost_ms",
         "warm_cost_ms",
@@ -461,14 +496,14 @@ fn warm_vs_cold<'t>(mix: &'t Mix, refs: &[(u64, i64); 3], shared: bool) {
         }
     }
     if shared {
-        println!(
+        note!(
             "# note: on the shared socket each core holds a slice of ONE LLC, so \
              the negative overheads the private model produced (N private LLCs \
              beating the solo reference) disappear — overhead is convergence cost \
              plus real capacity contention, both >= 0"
         );
     } else {
-        println!(
+        note!(
             "# note: overhead is vs a solo single-core run under the optimal order; \
              served morsels run on 4 cores with private caches (4x the aggregate \
              LLC), so a probe-heavy template pays almost no capacity cost and can \
@@ -503,7 +538,7 @@ fn isolation(ctx: &FigureCtx) -> [f64; 2] {
             .expect("plan lowers")
     }
 
-    row(&[
+    header(&[
         "experiment",
         "llc_mode",
         "hp_solo_ms",
@@ -554,6 +589,7 @@ fn isolation(ctx: &FigureCtx) -> [f64; 2] {
 fn run_numa(ctx: &FigureCtx) {
     let sockets = ctx.sockets;
     banner(
+        ctx,
         "serve",
         "Multi-query serving across sockets: footprint placement and dynamic repartition",
     );
@@ -564,7 +600,7 @@ fn run_numa(ctx: &FigureCtx) {
     );
     let refs = mix.solo_refs();
 
-    row(&[
+    header(&[
         "sweep",
         "workers",
         "sockets",
@@ -611,7 +647,7 @@ fn run_numa(ctx: &FigureCtx) {
             exact.to_string(),
         ]);
     }
-    println!(
+    note!(
         "# serve ({sockets} sockets): throughput {} -> {} qps across the worker sweep",
         fmt(at_min),
         fmt(at_max),
@@ -661,7 +697,7 @@ fn run_numa(ctx: &FigureCtx) {
         solo(&bg_short_fact, &bg_short_dim, rows / 8),
     ];
 
-    row(&[
+    header(&[
         "experiment",
         "co_runner",
         "dynamic_repartition",
@@ -735,7 +771,7 @@ fn run_numa(ctx: &FigureCtx) {
         }
     }
     let reclaim = (fg_exec[0][1] as f64 / fg_exec[1][1] as f64 - 1.0) * 100.0;
-    println!(
+    note!(
         "# repartition: with per-query way slicing on, a short co-runner's \
          completion hands its ways back early — the foreground pipeline runs {}% \
          cheaper than against a long co-runner that holds its slice to the end",
@@ -759,7 +795,7 @@ fn run_numa(ctx: &FigureCtx) {
         );
     }
 
-    println!(
+    note!(
         "# expectation: footprint placement keeps every query on one socket (its \
          budget a slice of that socket's partition), throughput keeps scaling as \
          workers spread over sockets, and per-query way slicing — recomputed \
@@ -767,6 +803,7 @@ fn run_numa(ctx: &FigureCtx) {
          co-runners live and hands a finished query's ways back to the \
          survivors — results bit-identical to solo execution throughout"
     );
+    trace_export(ctx, &mix, &refs, false);
 }
 
 /// The `--shared-llc` variant: the serving experiments on one socket,
@@ -774,6 +811,7 @@ fn run_numa(ctx: &FigureCtx) {
 /// removes the private model's negative warm overheads.
 fn run_shared(ctx: &FigureCtx) {
     banner(
+        ctx,
         "serve",
         "Multi-query serving on a shared-LLC socket: contention vs isolation",
     );
@@ -785,7 +823,7 @@ fn run_shared(ctx: &FigureCtx) {
     let refs = mix.solo_refs();
 
     let (at_1w, at_4w) = throughput_sweep(&mix, &refs, true);
-    println!(
+    note!(
         "# serve (shared socket): 4-worker throughput {} qps vs 1-worker {} qps \
          ({:.2}x; contention makes this sub-linear where the private model scaled \
          near-linearly)",
@@ -799,7 +837,7 @@ fn run_shared(ctx: &FigureCtx) {
     );
 
     let inflation = isolation(ctx);
-    println!(
+    note!(
         "# isolation: probe-heavy low-priority co-runner inflates high-priority \
          latency {}% on the shared socket vs {}% private — the stride bound \
          (6.03%) only survives while the LLC is not a shared resource",
@@ -820,13 +858,14 @@ fn run_shared(ctx: &FigureCtx) {
     );
 
     warm_vs_cold(&mix, &refs, true);
-    println!(
+    note!(
         "# expectation: one socket's capacity is a shared resource — throughput \
          scales sub-linearly for LLC-hungry templates, a probe-heavy co-runner \
          breaks the scheduler's isolation bound by evicting the foreground \
          query's hot set, warm overheads stay non-negative, and every query's \
          result remains bit-identical to solo execution"
     );
+    trace_export(ctx, &mix, &refs, true);
 }
 
 /// Run the figure.
@@ -840,6 +879,7 @@ pub fn run(ctx: &FigureCtx) {
         return;
     }
     banner(
+        ctx,
         "serve",
         "Multi-query serving: admission, priority scheduling, cross-query order reuse",
     );
@@ -855,7 +895,7 @@ pub fn run(ctx: &FigureCtx) {
         at_4w >= 2.0 * at_1w,
         "4-worker throughput {at_4w:.2} qps < 2x 1-worker {at_1w:.2} qps"
     );
-    println!(
+    note!(
         "# serve: 4-worker throughput {} qps vs 1-worker {} qps (>= 2x 1-worker: {})",
         fmt(at_4w),
         fmt(at_1w),
@@ -865,11 +905,12 @@ pub fn run(ctx: &FigureCtx) {
     open_loop_latency(&mix, &refs, ctx.scale(30, 12));
     warm_vs_cold(&mix, &refs, false);
 
-    println!(
+    note!(
         "# expectation: throughput scales with workers (stride scheduling keeps \
          every class served, morsel claims stay barrier-free), per-priority \
          latency separates by weight under load, warm templates start at the \
          converged order/calibration and skip the convergence overhead cold \
          starts pay — with every query's result bit-identical to solo execution"
     );
+    trace_export(ctx, &mix, &refs, false);
 }

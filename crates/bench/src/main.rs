@@ -10,11 +10,16 @@ use popt_bench::common::FigureCtx;
 use popt_bench::figures;
 
 fn print_usage() {
-    eprintln!("usage: figures <id...|all|help> [--quick] [--shared-llc] [--sockets N]");
+    eprintln!(
+        "usage: figures <id...|all|help> [--quick] [--shared-llc] [--sockets N] \
+         [--json] [--trace-out PATH]"
+    );
     eprintln!("figure ids: {}", figures::ALL.join(", "));
-    eprintln!("  --quick       reduced scale for smoke runs");
-    eprintln!("  --shared-llc  single-socket mode: co-running work contends for one LLC");
-    eprintln!("  --sockets N   split the pool into N sockets (parallel/serving figures)");
+    eprintln!("  --quick           reduced scale for smoke runs");
+    eprintln!("  --shared-llc      single-socket mode: co-running work contends for one LLC");
+    eprintln!("  --sockets N       split the pool into N sockets (parallel/serving figures)");
+    eprintln!("  --json            machine-readable JSON lines instead of tab columns");
+    eprintln!("  --trace-out PATH  write a Chrome-trace JSON of the traced figures' decisions");
 }
 
 fn main() {
@@ -22,12 +27,15 @@ fn main() {
     let mut quick = false;
     let mut shared_llc = false;
     let mut sockets = 1usize;
+    let mut json = false;
+    let mut trace_out: Option<String> = None;
     let mut ids: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
             "--shared-llc" => shared_llc = true,
+            "--json" => json = true,
             "--sockets" => {
                 // A socket count of 0 (or garbage) must fail loudly for
                 // the same reason an unknown flag does.
@@ -35,6 +43,16 @@ fn main() {
                     Some(Ok(n)) if n >= 1 => n,
                     _ => {
                         eprintln!("error: --sockets needs a count >= 1");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--trace-out" => {
+                trace_out = match iter.next() {
+                    Some(path) if !path.is_empty() && !path.starts_with('-') => Some(path.clone()),
+                    _ => {
+                        eprintln!("error: --trace-out needs a file path");
                         print_usage();
                         std::process::exit(2);
                     }
@@ -55,6 +73,8 @@ fn main() {
         quick,
         shared_llc,
         sockets,
+        json,
+        trace_out,
     };
 
     // `figures help` is a successful, explicit request for usage (exit 0);

@@ -70,8 +70,9 @@ pub use error::EngineError;
 pub use exec::pipeline::{FilterOp, Pipeline};
 pub use exec::program::{CompiledProgram, CompiledStage};
 pub use parallel::{
-    run_parallel_pipeline, run_parallel_program, run_parallel_scan, run_parallel_target,
-    MorselConfig, MorselDispatcher, ParallelReport, ShardableTarget, TargetShard,
+    run_parallel_pipeline, run_parallel_program, run_parallel_program_traced, run_parallel_scan,
+    run_parallel_scan_traced, run_parallel_target, run_parallel_target_traced, MorselConfig,
+    MorselDispatcher, ParallelReport, ShardableTarget, TargetShard,
 };
 pub use plan::{Expr, LogicalNode, LogicalPlan, PassRegistry, Peo, PlanBuilder, SelectionPlan};
 pub use predicate::{CompareOp, Predicate};
@@ -81,6 +82,6 @@ pub use progressive::{
 };
 pub use query::{QueryBuilder, QueryReport, RunMode};
 pub use serve::{
-    OrderCache, Priority, QueryServer, QuerySpec, ServeConfig, ServeReport, StrideScheduler,
-    WorkloadSignature,
+    CacheStats, OrderCache, Priority, QueryServer, QuerySpec, ServeConfig, ServeReport,
+    StrideScheduler, WarmRecordOutcome, WorkloadSignature,
 };

@@ -34,12 +34,13 @@
 //! serving layer (`crate::serve`) drives many concurrently — one per
 //! admitted query — multiplexed over the same pool.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use popt_cost::cycles::{fleet_speedup, fleet_wall_cycles};
 use popt_cost::estimate::PlanGeometry;
 use popt_cpu::pmu::CounterDelta;
-use popt_cpu::{CpuConfig, CpuPool, NumaPlacement, SimCpu};
+use popt_cpu::{CpuConfig, CpuPool, LlcMode, NumaPlacement, SimCpu};
+use popt_obs::{MetricsRegistry, TraceEvent, Tracer};
 use popt_solver::{estimate_selectivities, EstimateResult, SampledCounters};
 
 use crate::error::EngineError;
@@ -99,6 +100,36 @@ impl ParallelReport {
     /// Wall-clock speedup over a reference single-worker run.
     pub fn speedup_over(&self, reference_wall_cycles: u64) -> f64 {
         fleet_speedup(reference_wall_cycles, &self.per_worker_cycles)
+    }
+
+    /// Feed the run's aggregates into a metrics registry (post-hoc; the
+    /// registry never sits on the simulated-cost path).
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.inc("parallel.runs", 1);
+        reg.inc("parallel.morsels", self.morsels as u64);
+        reg.inc("parallel.estimates", self.estimates as u64);
+        reg.inc("parallel.optimizer_cycles", self.optimizer_cycles);
+        reg.inc("parallel.switches", self.switches.len() as u64);
+        reg.inc(
+            "parallel.switches_reverted",
+            self.switches.iter().filter(|s| s.reverted).count() as u64,
+        );
+        reg.inc("parallel.cycles", self.total_cycles);
+        reg.inc("parallel.llc_misses", self.counters.l3_misses);
+        reg.inc("parallel.memory_accesses", self.counters.memory_accesses);
+        reg.set_gauge("parallel.remote_access_pct", self.remote_access_pct);
+        reg.set_gauge(
+            "parallel.occupancy",
+            if self.wall_cycles == 0 {
+                0.0
+            } else {
+                self.total_cycles as f64 / (self.wall_cycles as f64 * self.workers as f64)
+            },
+        );
+        reg.observe("parallel.wall_cycles", self.wall_cycles);
+        for &c in &self.per_worker_cycles {
+            reg.observe("parallel.worker_cycles", c);
+        }
     }
 }
 
@@ -219,6 +250,10 @@ pub(crate) struct CoordState<'a, T> {
     /// estimator round).
     pub(crate) optimizer_cycles: Vec<u64>,
     pub(crate) morsels_done: usize,
+    /// Decision tracing: the sink hangs outside the simulated-cost path,
+    /// so an attached tracer never changes a cycle count. `None` (or a
+    /// disabled tracer) reduces every emission to one branch.
+    trace: Option<(Arc<Tracer>, usize)>,
 }
 
 impl<'a, T: ShardableTarget> CoordState<'a, T> {
@@ -259,7 +294,15 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
             estimates: 0,
             optimizer_cycles: vec![0; workers],
             morsels_done: 0,
+            trace: None,
         }
+    }
+
+    /// Attach a tracer: decision events emitted from this state's locked
+    /// steps are stamped on the calling worker's lane and tagged with
+    /// `query`.
+    pub(crate) fn set_trace(&mut self, tracer: Arc<Tracer>, query: usize) {
+        self.trace = Some((tracer, query));
     }
 
     /// The accepted order on `socket`.
@@ -313,6 +356,14 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
                 if let Some(trial) = sc.trial.as_mut() {
                     trial.prev_cpt = own_cpt;
                 }
+            }
+            let baseline_cpt = sc.trial.as_ref().map_or(0.0, |t| t.prev_cpt);
+            if let Some((tracer, query)) = &self.trace {
+                tracer.emit(w, *query, || TraceEvent::TrialLease {
+                    socket: s,
+                    order: order.clone(),
+                    baseline_cpt,
+                });
             }
             BoundaryAction::Trial(order)
         } else if local_epoch != sc.epoch {
@@ -393,8 +444,16 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         let sc = &mut self.sockets[s];
         if regressed {
             let round = sc.reopt_round;
-            sc.rejected.push((trial.order, round));
             self.switches[trial.switch_idx].reverted = true;
+            if let Some((tracer, query)) = &self.trace {
+                tracer.emit(w, *query, || TraceEvent::TrialRevert {
+                    socket: s,
+                    order: trial.order.clone(),
+                    baseline_cpt: trial.prev_cpt,
+                    trial_cpt: cpt,
+                });
+            }
+            sc.rejected.push((trial.order, round));
             let published = sc.published.clone();
             self.target.set_order(&published)?;
         } else {
@@ -405,6 +464,21 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
             sc.morsels_since_reopt = 0;
             sc.epoch_cycles = stats.counters.cycles;
             sc.epoch_tuples = stats.tuples;
+            if let Some((tracer, query)) = &self.trace {
+                tracer.emit(w, *query, || TraceEvent::TrialAccept {
+                    socket: s,
+                    order: sc.published.clone(),
+                    baseline_cpt: trial.prev_cpt,
+                    trial_cpt: cpt,
+                    epoch: sc.epoch,
+                });
+                tracer.emit(w, *query, || TraceEvent::OrderPublish {
+                    socket: s,
+                    order: sc.published.clone(),
+                    epoch: sc.epoch,
+                    warm_seed: false,
+                });
+            }
             // The socket's windows and epoch reference sampled the
             // superseded order; the trial morsel is the new epoch's
             // first observation. Other sockets' windows are untouched.
@@ -486,6 +560,17 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         }
         self.target.calibrate(geom, merged, &estimate.survivors);
         let proposed = self.target.propose_order(geom, &estimate.selectivities);
+        let differs = proposed != self.sockets[s].published;
+        if let Some((tracer, query)) = &self.trace {
+            let round = self.sockets[s].reopt_round;
+            tracer.emit(w, *query, || TraceEvent::ReoptRound {
+                socket: s,
+                round,
+                selectivities: estimate.selectivities.clone(),
+                fit_error: estimate.objective,
+                proposed: differs.then(|| proposed.clone()),
+            });
+        }
         if self.sockets[s]
             .rejected
             .iter()
@@ -493,7 +578,7 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         {
             return;
         }
-        if proposed != self.sockets[s].published {
+        if differs {
             self.schedule_trial(s, proposed, false);
         }
     }
@@ -603,6 +688,18 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         for sc in &mut self.sockets {
             sc.published = order.to_vec();
             sc.epoch += 1;
+        }
+        if let Some((tracer, query)) = &self.trace {
+            for (s, sc) in self.sockets.iter().enumerate() {
+                tracer.emit(tracer.coordinator_lane(), *query, || {
+                    TraceEvent::OrderPublish {
+                        socket: s,
+                        order: sc.published.clone(),
+                        epoch: sc.epoch,
+                        warm_seed: true,
+                    }
+                });
+            }
         }
         if let Some(snapshot) = calibration {
             self.target.restore_calibration(snapshot);
@@ -732,6 +829,24 @@ pub fn run_parallel_scan(
     run_parallel_target(&mut target, morsels, pool, reopt)
 }
 
+/// [`run_parallel_scan`] with the run's decisions traced into `tracer`.
+/// Tracing is non-invasive: the report is bit-identical to the untraced
+/// run's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_scan_traced(
+    table: &Table,
+    plan: &SelectionPlan,
+    initial_peo: &[usize],
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+    tracer: &Arc<Tracer>,
+    query: usize,
+) -> Result<ParallelReport, EngineError> {
+    let mut target = ScanTarget::new(table, plan, initial_peo)?;
+    run_parallel_target_traced(&mut target, morsels, pool, reopt, tracer, query)
+}
+
 /// Execute a filter pipeline with morsel-driven parallelism, optionally
 /// with shared progressive operator reordering. The pipeline is left in
 /// the final accepted order. The parallel generalization of
@@ -746,6 +861,23 @@ pub fn run_parallel_pipeline(
     pipeline.reorder(initial_order)?;
     let mut target = PipelineTarget::new(pipeline);
     run_parallel_target(&mut target, morsels, pool, reopt)
+}
+
+/// [`run_parallel_pipeline`] with the run's decisions traced into
+/// `tracer`. Tracing is non-invasive: the report is bit-identical to the
+/// untraced run's.
+pub fn run_parallel_pipeline_traced(
+    pipeline: &mut Pipeline<'_>,
+    initial_order: &[usize],
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+    tracer: &Arc<Tracer>,
+    query: usize,
+) -> Result<ParallelReport, EngineError> {
+    pipeline.reorder(initial_order)?;
+    let mut target = PipelineTarget::new(pipeline);
+    run_parallel_target_traced(&mut target, morsels, pool, reopt, tracer, query)
 }
 
 /// Execute a compiled program with morsel-driven parallelism, optionally
@@ -764,12 +896,60 @@ pub fn run_parallel_program(
     run_parallel_target(&mut target, morsels, pool, reopt)
 }
 
+/// [`run_parallel_program`] with the run's decisions traced into
+/// `tracer`. Tracing is non-invasive: the report is bit-identical to the
+/// untraced run's.
+pub fn run_parallel_program_traced(
+    program: &mut crate::exec::program::CompiledProgram<'_>,
+    initial_order: &[usize],
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+    tracer: &Arc<Tracer>,
+    query: usize,
+) -> Result<ParallelReport, EngineError> {
+    program.reorder(initial_order)?;
+    let mut target = crate::progressive::CompiledTarget::new(program);
+    run_parallel_target_traced(&mut target, morsels, pool, reopt, tracer, query)
+}
+
 /// Drive any range-shardable progressive target across the pool.
 pub fn run_parallel_target<T>(
     target: &mut T,
     morsels: MorselConfig,
     pool: &mut CpuPool,
     reopt: Option<&ProgressiveConfig>,
+) -> Result<ParallelReport, EngineError>
+where
+    T: ShardableTarget + Send,
+{
+    run_parallel_target_inner(target, morsels, pool, reopt, None)
+}
+
+/// [`run_parallel_target`] with every decision traced into `tracer`,
+/// tagged with `query`. The tracer's sink hangs outside the
+/// simulated-cost path, so the returned report is bit-identical to the
+/// untraced run's.
+pub fn run_parallel_target_traced<T>(
+    target: &mut T,
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+    tracer: &Arc<Tracer>,
+    query: usize,
+) -> Result<ParallelReport, EngineError>
+where
+    T: ShardableTarget + Send,
+{
+    run_parallel_target_inner(target, morsels, pool, reopt, Some((tracer, query)))
+}
+
+fn run_parallel_target_inner<T>(
+    target: &mut T,
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+    trace: Option<(&Arc<Tracer>, usize)>,
 ) -> Result<ParallelReport, EngineError>
 where
     T: ShardableTarget + Send,
@@ -803,15 +983,32 @@ where
     let socket_of: Vec<usize> = (0..workers).map(|w| pool.socket_of(w)).collect();
     let placement = pool.cores()[0].placement().clone();
 
+    if let Some((tracer, query)) = trace {
+        let mode = match pool.llc_mode() {
+            LlcMode::Shared => "shared",
+            LlcMode::Private => "private",
+        };
+        let shares = llc_shares.clone();
+        tracer.emit(tracer.coordinator_lane(), query, || {
+            TraceEvent::LlcRepartition {
+                scope: "batch",
+                mode,
+                shares,
+            }
+        });
+    }
+
     let mut shards = Vec::with_capacity(workers);
     for _ in 0..workers {
         shards.push(target.shard()?);
     }
 
-    let state = Mutex::new(SharedState {
-        coord: CoordState::with_topology(target, socket_of, llc_shares, placement),
-        error: None,
-    });
+    let worker_socket = socket_of.clone();
+    let mut coord = CoordState::with_topology(target, socket_of, llc_shares, placement);
+    if let Some((tracer, query)) = trace {
+        coord.set_trace(Arc::clone(tracer), query);
+    }
+    let state = Mutex::new(SharedState { coord, error: None });
 
     // Per-worker totals merge after the join in worker order, so the
     // result assembly is deterministic regardless of thread scheduling
@@ -828,8 +1025,11 @@ where
                 let dispatcher = &dispatcher;
                 let state = &state;
                 let cpu_cfg = &cpu_cfg;
+                let socket = worker_socket[w];
                 scope.spawn(move || {
-                    worker_loop(w, core, &mut shard, dispatcher, state, reopt, cpu_cfg)
+                    worker_loop(
+                        w, socket, core, &mut shard, dispatcher, state, reopt, cpu_cfg, trace,
+                    )
                 })
             })
             .collect();
@@ -862,6 +1062,17 @@ where
         .target
         .set_order(&socket_orders[0])
         .expect("published order was accepted before");
+    if let Some((tracer, query)) = trace {
+        let morsels = st.coord.morsels_done;
+        tracer.emit_at(tracer.coordinator_lane(), query, wall_cycles, || {
+            TraceEvent::Complete {
+                qualified: total.qualified,
+                sum: total.sum,
+                morsels,
+                wall_cycles,
+            }
+        });
+    }
     Ok(ParallelReport {
         qualified: total.qualified,
         sum: total.sum,
@@ -891,14 +1102,17 @@ where
 /// lock — `estimate_in_flight` (and, for trial fits, the still-leased
 /// trial itself) keeps concurrent rounds exclusive — so one worker's
 /// optimizer round never stalls the rest of the pool in host time.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<T, S>(
     w: usize,
+    socket: usize,
     core: &mut SimCpu,
     shard: &mut S,
     dispatcher: &MorselDispatcher,
     state: &Mutex<SharedState<'_, T>>,
     reopt: Option<&ProgressiveConfig>,
     cpu_cfg: &CpuConfig,
+    trace: Option<(&Arc<Tracer>, usize)>,
 ) -> (VectorStats, u64)
 where
     T: ShardableTarget,
@@ -907,6 +1121,11 @@ where
     let cycles_before = core.counters().cycles;
     let mut total = VectorStats::zero();
     let mut local_epoch = 0u64;
+    // This worker's simulated wall position: execution cycles plus the
+    // optimizer cycles its own estimator rounds charged. Pure function
+    // of the simulation — the tracer's lane clock follows it, so stamps
+    // never depend on host time.
+    let mut opt_total = 0u64;
     while let Some((start, end)) = dispatcher.next(w) {
         // Boundary sync: adopt the published order, or lease a pending
         // trial so the candidate runs on exactly this core.
@@ -936,26 +1155,42 @@ where
             BoundaryAction::Keep { epoch } => MorselMode::Normal { epoch },
         };
 
+        let start_pos = (core.counters().cycles - cycles_before) + opt_total;
         let stats = shard.run_range(core, start, end);
         total.accumulate(&stats);
+
+        if let Some((tracer, query)) = trace {
+            // Publish this lane's wall position at the morsel boundary so
+            // the decision events the locked round below emits (accept /
+            // revert / reopt) stamp at the morsel's end.
+            tracer.set_clock(w, (core.counters().cycles - cycles_before) + opt_total);
+            tracer.emit(w, query, || TraceEvent::MorselClaim {
+                socket,
+                start_row: start,
+                rows: end - start,
+                start_cycles: start_pos,
+                cycles: stats.counters.cycles,
+                trial: matches!(mode, MorselMode::Trial),
+                epoch: local_epoch,
+            });
+        }
 
         let outcome = match mode {
             MorselMode::Trial => {
                 let cfg = reopt.expect("trials are only scheduled when reopt is on");
-                trial_round(state, w, &stats, cfg, cpu_cfg).and_then(
-                    |((published, epoch), _opt)| {
-                        // Adopt whatever order the resolution left
-                        // published (the trial order if accepted, the
-                        // incumbent if not). Optimizer cycles are read
-                        // from the state's per-worker totals at the end.
-                        shard.set_order(&published)?;
-                        local_epoch = epoch;
-                        Ok(())
-                    },
-                )
+                trial_round(state, w, &stats, cfg, cpu_cfg).and_then(|((published, epoch), opt)| {
+                    // Adopt whatever order the resolution left
+                    // published (the trial order if accepted, the
+                    // incumbent if not). Optimizer cycles are read
+                    // from the state's per-worker totals at the end.
+                    opt_total += opt;
+                    shard.set_order(&published)?;
+                    local_epoch = epoch;
+                    Ok(())
+                })
             }
             MorselMode::Normal { epoch } => {
-                let _opt = normal_round(
+                opt_total += normal_round(
                     state,
                     w,
                     epoch,

@@ -214,12 +214,57 @@ pub struct CacheEntry {
 /// is dropped (see [`OrderCache::with_stale_after`]).
 pub const STALE_AFTER_DEFAULT: u32 = 3;
 
+/// What [`OrderCache::record_warm`] observed about a warm completion —
+/// the cache's lifecycle decisions, as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmRecordOutcome {
+    /// The completion converged away from the template's current order.
+    pub diverged: bool,
+    /// The divergence streak reached the staleness bound: entry dropped.
+    pub evicted: bool,
+}
+
+/// Cumulative lifecycle counters for an [`OrderCache`]: every lookup,
+/// record, divergence, eviction, and streak reset since construction.
+/// Feed them into a metrics registry with [`OrderCache::record_metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Warm-start lookups that found a usable entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or a malformed entry).
+    pub misses: u64,
+    /// Cold completions recorded.
+    pub cold_records: u64,
+    /// Warm completions recorded.
+    pub warm_records: u64,
+    /// Warm completions that diverged from the template's current order.
+    pub divergences: u64,
+    /// Entries evicted by a divergence streak reaching the bound.
+    pub evictions: u64,
+    /// Cold records that discarded a non-zero divergence streak — the
+    /// formerly silent reset-on-cold, now counted.
+    pub cold_streak_resets: u64,
+}
+
+impl CacheStats {
+    /// Warm-hit rate over all lookups (0.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// The cross-query order/calibration cache a [`crate::serve::QueryServer`]
 /// carries between runs.
 #[derive(Debug)]
 pub struct OrderCache {
     entries: HashMap<WorkloadSignature, CacheEntry>,
     stale_after: u32,
+    stats: CacheStats,
 }
 
 impl Default for OrderCache {
@@ -241,6 +286,7 @@ impl OrderCache {
         Self {
             entries: HashMap::new(),
             stale_after: stale_after.max(1),
+            stats: CacheStats::default(),
         }
     }
 
@@ -254,29 +300,67 @@ impl OrderCache {
         self.entries.is_empty()
     }
 
+    /// Cumulative lifecycle counters since construction.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Feed the cache's lifecycle counters and current occupancy into a
+    /// metrics registry.
+    pub fn record_metrics(&self, reg: &mut popt_obs::MetricsRegistry) {
+        let s = &self.stats;
+        reg.inc("cache.hits", s.hits);
+        reg.inc("cache.misses", s.misses);
+        reg.inc("cache.cold_records", s.cold_records);
+        reg.inc("cache.warm_records", s.warm_records);
+        reg.inc("cache.divergences", s.divergences);
+        reg.inc("cache.evictions", s.evictions);
+        reg.inc("cache.cold_streak_resets", s.cold_streak_resets);
+        reg.set_gauge("cache.hit_rate", s.hit_rate());
+        reg.set_gauge("cache.entries", self.entries.len() as f64);
+        let max_streak = self
+            .entries
+            .values()
+            .map(|e| e.diverged_streak)
+            .max()
+            .unwrap_or(0);
+        reg.set_gauge("cache.max_diverged_streak", max_streak as f64);
+    }
+
     /// Warm-start lookup: the entry for `signature`, if one exists whose
     /// order still fits a plan of `signature.stages()` stages (a
     /// malformed entry degrades to a cold start instead of erroring).
     /// Counts a hit.
     pub fn lookup(&mut self, signature: &WorkloadSignature) -> Option<CacheEntry> {
-        let entry = self.entries.get_mut(signature)?;
-        if !crate::plan::is_valid_peo(&entry.order, signature.stages()) {
-            return None;
+        let found = self.entries.get_mut(signature).and_then(|entry| {
+            if !crate::plan::is_valid_peo(&entry.order, signature.stages()) {
+                return None;
+            }
+            entry.hits += 1;
+            Some(entry.clone())
+        });
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
         }
-        entry.hits += 1;
-        Some(entry.clone())
+        found
     }
 
     /// Record a *cold-started* query's converged order (and calibration)
     /// under its signature, creating or refreshing the template entry. A
     /// cold convergence is fresh knowledge, so any divergence streak the
-    /// template had accumulated resets.
+    /// template had accumulated resets — observably: the returned value
+    /// is the streak that was discarded (0 for a fresh or clean entry),
+    /// and a non-zero discard counts in
+    /// [`CacheStats::cold_streak_resets`].
     pub fn record(
         &mut self,
         signature: WorkloadSignature,
         order: Peo,
         calibration: Option<CalibrationSnapshot>,
-    ) {
+    ) -> u32 {
+        self.stats.cold_records += 1;
         let entry = self.entries.entry(signature).or_insert(CacheEntry {
             order: Vec::new(),
             calibration: None,
@@ -284,10 +368,15 @@ impl OrderCache {
             updates: 0,
             diverged_streak: 0,
         });
+        let discarded_streak = entry.diverged_streak;
         entry.order = order;
         entry.calibration = calibration;
         entry.updates += 1;
         entry.diverged_streak = 0;
+        if discarded_streak > 0 {
+            self.stats.cold_streak_resets += 1;
+        }
+        discarded_streak
     }
 
     /// Record a *warm-started* query's completion, converged to `order`.
@@ -300,31 +389,47 @@ impl OrderCache {
     /// confirms the current order refreshes the entry; one that was
     /// re-reordered away from it counts against the template, and the
     /// configured number of **consecutive** divergent warm runs evicts
-    /// it — the next instance starts cold and re-learns. Returns `true`
-    /// when the entry was evicted.
+    /// it — the next instance starts cold and re-learns. The returned
+    /// [`WarmRecordOutcome`] says what the cache decided.
     pub fn record_warm(
         &mut self,
         signature: WorkloadSignature,
         order: Peo,
         calibration: Option<CalibrationSnapshot>,
-    ) -> bool {
+    ) -> WarmRecordOutcome {
+        self.stats.warm_records += 1;
         let Some(entry) = self.entries.get_mut(&signature) else {
             // The entry vanished between seeding and completion (e.g. a
             // concurrent eviction): the converged order is still the
             // latest knowledge, and it starts a fresh streak history.
-            self.record(signature, order, calibration);
-            return false;
+            let entry = self.entries.entry(signature).or_insert(CacheEntry {
+                order: Vec::new(),
+                calibration: None,
+                hits: 0,
+                updates: 0,
+                diverged_streak: 0,
+            });
+            entry.order = order;
+            entry.calibration = calibration;
+            entry.updates += 1;
+            entry.diverged_streak = 0;
+            return WarmRecordOutcome::default();
         };
         if order == entry.order {
             entry.calibration = calibration;
             entry.updates += 1;
             entry.diverged_streak = 0;
-            return false;
+            return WarmRecordOutcome::default();
         }
+        self.stats.divergences += 1;
         entry.diverged_streak += 1;
         if entry.diverged_streak >= self.stale_after {
             self.entries.remove(&signature);
-            return true;
+            self.stats.evictions += 1;
+            return WarmRecordOutcome {
+                diverged: true,
+                evicted: true,
+            };
         }
         // Keep the streak but refresh the payload: if the data merely
         // moved to a *new* stable order, the next warm run converges
@@ -332,7 +437,10 @@ impl OrderCache {
         entry.order = order;
         entry.calibration = calibration;
         entry.updates += 1;
-        false
+        WarmRecordOutcome {
+            diverged: true,
+            evicted: false,
+        }
     }
 }
 
@@ -473,14 +581,19 @@ mod tests {
         // Two flip-flopping warm completions (each diverging from the
         // entry's then-current order): entry survives, payload tracks
         // the latest converged order.
-        assert!(!cache.record_warm(sig.clone(), vec![1, 0], None));
+        let outcome = cache.record_warm(sig.clone(), vec![1, 0], None);
+        assert!(outcome.diverged && !outcome.evicted);
         assert_eq!(cache.lookup(&sig).unwrap().order, vec![1, 0]);
-        assert!(!cache.record_warm(sig.clone(), vec![0, 1], None));
+        assert!(!cache.record_warm(sig.clone(), vec![0, 1], None).evicted);
         assert_eq!(cache.lookup(&sig).unwrap().diverged_streak, 2);
         // Third consecutive divergence: evicted, next lookup is cold.
-        assert!(cache.record_warm(sig.clone(), vec![1, 0], None));
+        let outcome = cache.record_warm(sig.clone(), vec![1, 0], None);
+        assert!(outcome.diverged && outcome.evicted);
         assert!(cache.lookup(&sig).is_none(), "stale template must drop");
         assert!(cache.is_empty());
+        assert_eq!(cache.stats().divergences, 3);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().warm_records, 3);
     }
 
     #[test]
@@ -489,21 +602,26 @@ mod tests {
         let sig = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
         let mut cache = OrderCache::with_stale_after(2);
         cache.record(sig.clone(), vec![0, 1], None);
-        assert!(!cache.record_warm(sig.clone(), vec![1, 0], None));
+        assert!(cache.record_warm(sig.clone(), vec![1, 0], None).diverged);
         assert_eq!(cache.lookup(&sig).unwrap().diverged_streak, 1);
         // The next warm run confirms the entry's (updated) order: the
         // streak is not consecutive any more and resets, so the template
         // stays alive indefinitely.
-        assert!(!cache.record_warm(sig.clone(), vec![1, 0], None));
+        assert!(!cache.record_warm(sig.clone(), vec![1, 0], None).diverged);
         assert_eq!(cache.lookup(&sig).unwrap().diverged_streak, 0);
-        assert!(!cache.record_warm(sig.clone(), vec![0, 1], None));
+        assert!(!cache.record_warm(sig.clone(), vec![0, 1], None).evicted);
         assert!(
             cache.lookup(&sig).is_some(),
             "a single divergence after a reset must not evict"
         );
-        // A cold re-record also clears the streak.
-        cache.record(sig.clone(), vec![0, 1], None);
+        // A cold re-record also clears the streak — and says so: the
+        // discarded streak comes back instead of silently vanishing.
+        assert_eq!(cache.record(sig.clone(), vec![0, 1], None), 1);
         assert_eq!(cache.lookup(&sig).unwrap().diverged_streak, 0);
+        assert_eq!(cache.stats().cold_streak_resets, 1);
+        // A cold record over a clean entry discards nothing.
+        assert_eq!(cache.record(sig.clone(), vec![0, 1], None), 0);
+        assert_eq!(cache.stats().cold_streak_resets, 1);
     }
 
     #[test]
@@ -519,11 +637,30 @@ mod tests {
         let mut cache = OrderCache::with_stale_after(3);
         cache.record(sig.clone(), vec![0, 1], None);
         for _ in 0..5 {
-            assert!(!cache.record_warm(sig.clone(), vec![1, 0], None));
+            assert!(!cache.record_warm(sig.clone(), vec![1, 0], None).evicted);
         }
         let entry = cache.lookup(&sig).expect("stable template survives");
         assert_eq!(entry.order, vec![1, 0]);
         assert_eq!(entry.diverged_streak, 0, "agreement clears the streak");
+    }
+
+    #[test]
+    fn stats_track_lookups_and_render_into_the_registry() {
+        let t = table();
+        let sig = WorkloadSignature::of_scan(&t, &plan(10)).unwrap();
+        let mut cache = OrderCache::new();
+        assert!(cache.lookup(&sig).is_none());
+        cache.record(sig.clone(), vec![1, 0], None);
+        assert!(cache.lookup(&sig).is_some());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+        let mut reg = popt_obs::MetricsRegistry::new();
+        cache.record_metrics(&mut reg);
+        assert_eq!(reg.counter("cache.hits"), 1);
+        assert_eq!(reg.counter("cache.cold_records"), 1);
+        assert_eq!(reg.gauge("cache.entries"), Some(1.0));
+        assert_eq!(reg.gauge("cache.hit_rate"), Some(0.5));
     }
 
     #[test]

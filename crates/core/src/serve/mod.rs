@@ -64,7 +64,9 @@ pub mod scheduler;
 pub mod server;
 mod target;
 
-pub use cache::{CacheEntry, OrderCache, StageSignature, WorkloadSignature};
+pub use cache::{
+    CacheEntry, CacheStats, OrderCache, StageSignature, WarmRecordOutcome, WorkloadSignature,
+};
 pub use scheduler::StrideScheduler;
 pub use server::{
     Priority, QueryKind, QueryOutcome, QueryServer, QuerySpec, ServeConfig, ServeReport,

@@ -34,10 +34,11 @@
 //! interleaving, the priorities, nor mid-query order switches can change
 //! them.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use popt_cost::cycles::{fleet_occupancy, fleet_wall_cycles_interleaved};
 use popt_cpu::{CpuConfig, CpuPool, SimCpu};
+use popt_obs::{MetricsRegistry, TraceEvent, Tracer};
 use popt_storage::Table;
 
 use crate::error::EngineError;
@@ -348,6 +349,40 @@ impl ServeReport {
         let idx = ((latencies.len() - 1) as f64 * fraction.clamp(0.0, 1.0)).round() as usize;
         Some(latencies[idx])
     }
+
+    /// Fold the batch outcome into a metrics registry: batch counters
+    /// (`serve.*`), occupancy/throughput gauges, and latency/queueing
+    /// histograms both pooled and split per priority class.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.inc("serve.batches", 1);
+        reg.inc("serve.queries", self.queries.len() as u64);
+        reg.inc("serve.wall_cycles", self.wall_cycles);
+        reg.inc("serve.busy_cycles", self.busy_cycles);
+        reg.inc("serve.idle_cycles", self.idle_cycles);
+        reg.set_gauge("serve.occupancy", self.occupancy);
+        reg.set_gauge("serve.throughput_qps", self.throughput_qps());
+        for q in &self.queries {
+            reg.inc("serve.morsels", q.morsels as u64);
+            reg.inc("serve.switches", q.switches.len() as u64);
+            reg.inc(
+                "serve.switches_reverted",
+                q.switches.iter().filter(|s| s.reverted).count() as u64,
+            );
+            reg.inc("serve.estimates", q.estimates as u64);
+            reg.inc("serve.optimizer_cycles", q.optimizer_cycles);
+            if q.warm_start {
+                reg.inc("serve.warm_starts", 1);
+            }
+            reg.observe("serve.latency_cycles", q.latency_cycles);
+            reg.observe("serve.queue_cycles", q.queue_cycles);
+            let by_class = match q.priority {
+                Priority::Low => "serve.latency_cycles.low",
+                Priority::Normal => "serve.latency_cycles.normal",
+                Priority::High => "serve.latency_cycles.high",
+            };
+            reg.observe(by_class, q.latency_cycles);
+        }
+    }
 }
 
 /// The multi-query serving layer. Holds the submitted batch and the
@@ -358,6 +393,7 @@ pub struct QueryServer<'t> {
     specs: Vec<QuerySpec<'t>>,
     cache: OrderCache,
     config: ServeConfig,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<'t> QueryServer<'t> {
@@ -367,7 +403,23 @@ impl<'t> QueryServer<'t> {
             specs: Vec::new(),
             cache: OrderCache::new(),
             config,
+            tracer: None,
         }
+    }
+
+    /// Attach a tracer: subsequent [`QueryServer::run`] batches emit the
+    /// full decision/event stream (admission, socket homing, cache
+    /// consultation, morsel claims, reopt rounds, trial leases, order
+    /// publications, completion) into the tracer's sink. Tracing is
+    /// non-invasive — simulated cycles, results, and accepted orders are
+    /// bit-identical with the tracer attached, detached, or disabled.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detach the tracer (runs stop emitting).
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
     }
 
     /// Queue a query for the next [`QueryServer::run`].
@@ -420,6 +472,10 @@ impl<'t> QueryServer<'t> {
         // order" cache would just replay whatever order the first
         // instance happened to start with — bypass it entirely.
         let cache_on = self.config.use_order_cache && reopt.is_some();
+        // One branch decides observability for the whole batch: with no
+        // tracer (or a disabled sink) every emission below is a single
+        // `if` on a `None`/false and no event payload is ever built.
+        let trace: Option<&Arc<Tracer>> = self.tracer.as_ref().filter(|t| t.enabled());
 
         let metas: Vec<(String, Priority, u64)> = self
             .specs
@@ -511,6 +567,36 @@ impl<'t> QueryServer<'t> {
             })
             .collect();
 
+        // Admission-time decisions, stamped on the coordinator lane at
+        // each query's arrival position: what arrived, where the cache
+        // left it, where it was homed, and how the batch divided the LLC.
+        if let Some(tracer) = trace {
+            let lane = tracer.coordinator_lane();
+            for (qid, (label, priority, arrival)) in metas.iter().enumerate() {
+                tracer.emit_at(lane, qid, *arrival, || TraceEvent::Admit {
+                    label: label.clone(),
+                    priority: priority.label(),
+                    arrival_cycles: *arrival,
+                });
+                if cache_on {
+                    tracer.emit_at(lane, qid, *arrival, || TraceEvent::CacheLookup {
+                        hit: warms[qid].is_some(),
+                        mid_run: false,
+                        order: warms[qid].clone(),
+                    });
+                }
+                tracer.emit_at(lane, qid, *arrival, || TraceEvent::SocketHome {
+                    socket: homes[qid],
+                    footprint_bytes: footprints[qid],
+                });
+            }
+            tracer.emit_at(lane, 0, 0, || TraceEvent::LlcRepartition {
+                scope: "batch",
+                mode: if shared_socket { "shared" } else { "private" },
+                shares: budgets.clone(),
+            });
+        }
+
         // Per-(worker, query) shards, minted before the mutable borrows
         // below: each worker re-chains its own executors independently.
         let mut worker_shards: Vec<Vec<ServeShard<'_, 't>>> = Vec::with_capacity(workers);
@@ -556,8 +642,15 @@ impl<'t> QueryServer<'t> {
                 member_start,
                 members,
             });
+            let mut coord = CoordState::new(target, workers, budget);
+            if let Some(tracer) = trace {
+                // The query's own coordination protocol (trial leasing,
+                // reopt rounds, epoch publication) emits through the same
+                // tracer under its query id.
+                coord.set_trace(Arc::clone(tracer), entries.len());
+            }
             entries.push(QueryEntry {
-                coord: CoordState::new(target, workers, budget),
+                coord,
                 totals: VectorStats::zero(),
                 exec_cycles: 0,
                 first_vt: None,
@@ -581,6 +674,7 @@ impl<'t> QueryServer<'t> {
             },
         });
 
+        let worker_socket: Vec<usize> = (0..workers).map(|c| pool.socket_of(c)).collect();
         let mut worker_clocks: Vec<(u64, u64, u64)> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = pool
@@ -595,9 +689,11 @@ impl<'t> QueryServer<'t> {
                     let arrivals = &arrivals;
                     let weights = &weights;
                     let footprints = &footprints;
+                    let socket = worker_socket[w];
                     scope.spawn(move || {
                         serve_worker(
                             w,
+                            socket,
                             core,
                             &mut shards,
                             state,
@@ -608,6 +704,7 @@ impl<'t> QueryServer<'t> {
                             dynamic_repartition,
                             reopt,
                             cpu_cfg,
+                            trace,
                         )
                     })
                 })
@@ -847,6 +944,7 @@ enum Step {
 #[allow(clippy::too_many_arguments)]
 fn serve_worker<'a, 'p, 't>(
     w: usize,
+    socket: usize,
     core: &mut SimCpu,
     shards: &mut [ServeShard<'p, 't>],
     state: &Mutex<ServerState<'a, 'p, 't>>,
@@ -857,6 +955,7 @@ fn serve_worker<'a, 'p, 't>(
     dynamic_repartition: bool,
     reopt: Option<&ProgressiveConfig>,
     cpu_cfg: &CpuConfig,
+    trace: Option<&Arc<Tracer>>,
 ) -> (u64, u64, u64) {
     let base_cycles = core.cycles();
     let base_idle = core.idle_cycles();
@@ -926,7 +1025,15 @@ fn serve_worker<'a, 'p, 't>(
                     entry.seed_checked = true;
                     if entry.warm_seed.is_none() && entry.arrival > 0 {
                         if let Some(cache) = st.cache.as_deref_mut() {
-                            if let Some(hit) = cache.lookup(&entry.signature) {
+                            let hit = cache.lookup(&entry.signature);
+                            if let Some(tracer) = trace {
+                                tracer.emit_at(w, qid, now, || TraceEvent::CacheLookup {
+                                    hit: hit.is_some(),
+                                    mid_run: true,
+                                    order: hit.as_ref().map(|h| h.order.clone()),
+                                });
+                            }
+                            if let Some(hit) = hit {
                                 if entry.coord.reseed(&hit.order, hit.calibration.as_ref()) {
                                     entry.warm_seed = Some(hit.order);
                                 }
@@ -1012,8 +1119,37 @@ fn serve_worker<'a, 'p, 't>(
                     let shares = popt_cpu::partition_llc_ways(base_ways as u32, &fps);
                     let mine = co.iter().position(|&q| q == qid).expect("qid is in co");
                     core.set_llc_ways(shares[mine] as usize);
+                    if let Some(tracer) = trace {
+                        tracer.emit_at(w, qid, now, || TraceEvent::LlcRepartition {
+                            scope: "worker",
+                            mode: "shared",
+                            shares: shares.iter().map(|&s| u64::from(s)).collect(),
+                        });
+                    }
                 }
+                let start_pos =
+                    (core.cycles() - base_cycles) + (core.idle_cycles() - base_idle) + opt_cycles;
                 let stats = shards[qid].run_range(core, start, end);
+                if let Some(tracer) = trace {
+                    // Publish this worker's wall position so the locked
+                    // round below stamps its decisions at the morsel's
+                    // end, then log the claim itself.
+                    tracer.set_clock(
+                        w,
+                        (core.cycles() - base_cycles)
+                            + (core.idle_cycles() - base_idle)
+                            + opt_cycles,
+                    );
+                    tracer.emit(w, qid, || TraceEvent::MorselClaim {
+                        socket,
+                        start_row: start,
+                        rows: end - start,
+                        start_cycles: start_pos,
+                        cycles: stats.counters.cycles,
+                        trial: is_trial,
+                        epoch,
+                    });
+                }
 
                 // The shared trial/reopt choreography from the
                 // coordinator, with the estimator cycles it charged to
@@ -1078,13 +1214,47 @@ fn serve_worker<'a, 'p, 't>(
                 // warm instance feeds the staleness accounting instead.
                 if entry.completed == entry.total_morsels {
                     entry.coord.abandon_unleased_trial();
+                    if let Some(tracer) = trace {
+                        tracer.emit_at(w, qid, vt, || TraceEvent::Complete {
+                            qualified: entry.totals.qualified,
+                            sum: entry.totals.sum,
+                            morsels: entry.completed,
+                            wall_cycles: vt,
+                        });
+                    }
                     if let Some(cache) = st.cache.as_deref_mut() {
                         let final_order = entry.coord.published_order(0).clone();
                         let calibration = entry.coord.target.calibration_snapshot();
                         if entry.warm_seed.is_some() {
-                            cache.record_warm(entry.signature.clone(), final_order, calibration);
+                            let outcome = cache.record_warm(
+                                entry.signature.clone(),
+                                final_order.clone(),
+                                calibration,
+                            );
+                            if let Some(tracer) = trace {
+                                tracer.emit_at(w, qid, vt, || TraceEvent::CacheRecord {
+                                    warm: true,
+                                    order: final_order,
+                                    diverged: outcome.diverged,
+                                    evicted: outcome.evicted,
+                                    streak_reset: false,
+                                });
+                            }
                         } else {
-                            cache.record(entry.signature.clone(), final_order, calibration);
+                            let discarded_streak = cache.record(
+                                entry.signature.clone(),
+                                final_order.clone(),
+                                calibration,
+                            );
+                            if let Some(tracer) = trace {
+                                tracer.emit_at(w, qid, vt, || TraceEvent::CacheRecord {
+                                    warm: false,
+                                    order: final_order,
+                                    diverged: false,
+                                    evicted: false,
+                                    streak_reset: discarded_streak > 0,
+                                });
+                            }
                         }
                     }
                 }

@@ -1,0 +1,413 @@
+//! Chrome-trace-event JSON export (viewable in Perfetto / chrome://tracing)
+//! and a dependency-free JSON validator for smokes and tests.
+//!
+//! Morsel claims become `"X"` (complete) events — `ts` is the morsel's
+//! start position, `dur` its simulated cost, `tid` the worker lane, `pid`
+//! the socket — so Perfetto renders per-core timelines in simulated
+//! cycles. Decisions become `"i"` (instant) events at their stamp. All
+//! serialization is hand-rolled: no serde exists in this workspace.
+
+use crate::event::{Arg, TraceRecord};
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on f64 never prints exponents for ordinary magnitudes and
+        // always round-trips; guard the exotic ones.
+        if s.contains('e') || s.contains('E') {
+            format!("{v:.6}")
+        } else {
+            s
+        }
+    } else {
+        // JSON has no NaN/Infinity; encode as null.
+        "null".to_string()
+    }
+}
+
+fn arg_json(arg: &Arg) -> String {
+    match arg {
+        Arg::U(v) => format!("{v}"),
+        Arg::I(v) => format!("{v}"),
+        Arg::F(v) => fmt_f64(*v),
+        Arg::B(v) => format!("{v}"),
+        Arg::S(v) => format!("\"{}\"", escape_json(v)),
+        Arg::Order(v) => {
+            let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", items.join(","))
+        }
+        Arg::Shares(v) => {
+            let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", items.join(","))
+        }
+        Arg::Fs(v) => {
+            let items: Vec<String> = v.iter().map(|x| fmt_f64(*x)).collect();
+            format!("[{}]", items.join(","))
+        }
+    }
+}
+
+/// One record as a Chrome trace event object.
+pub fn event_json(record: &TraceRecord) -> String {
+    use crate::event::TraceEvent;
+    let mut args: Vec<String> = vec![
+        format!("\"query\":{}", record.query),
+        format!("\"ordinal\":{}", record.stamp.ordinal),
+    ];
+    for (k, v) in record.event.args() {
+        args.push(format!("\"{}\":{}", k, arg_json(&v)));
+    }
+    let args = args.join(",");
+    let name = record.event.kind();
+    match &record.event {
+        TraceEvent::MorselClaim {
+            socket,
+            start_cycles,
+            cycles,
+            ..
+        } => format!(
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{start_cycles},\"dur\":{cycles},\"pid\":{socket},\"tid\":{lane},\"args\":{{{args}}}}}",
+            lane = record.stamp.lane,
+        ),
+        _ => format!(
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{lane},\"args\":{{{args}}}}}",
+            ts = record.stamp.cycles,
+            lane = record.stamp.lane,
+        ),
+    }
+}
+
+/// A full Chrome trace document over the given records. Records are
+/// sorted by `(query, cycles, lane, ordinal)` first, so the document is
+/// deterministic even when the in-memory sink collected events in
+/// host-interleaving order.
+pub fn chrome_trace(records: &[TraceRecord]) -> String {
+    let mut sorted: Vec<&TraceRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| (r.query, r.stamp.cycles, r.stamp.lane, r.stamp.ordinal));
+    let events: Vec<String> = sorted.iter().map(|r| event_json(r)).collect();
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+/// Validate that `text` is a single well-formed JSON value (recursive
+/// descent; no external parser exists in this workspace). Returns the
+/// number of bytes consumed on success.
+pub fn validate_json(text: &str) -> Result<usize, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(pos)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') | Some(b'\\') | Some(b'/') | Some(b'b') | Some(b'f')
+                    | Some(b'n') | Some(b'r') | Some(b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {}", *pos));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+                skip_ws(b, pos);
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Stamp, TraceEvent};
+
+    fn morsel_record() -> TraceRecord {
+        TraceRecord {
+            query: 1,
+            stamp: Stamp {
+                lane: 2,
+                cycles: 500,
+                ordinal: 3,
+            },
+            event: TraceEvent::MorselClaim {
+                socket: 1,
+                start_row: 1024,
+                rows: 1024,
+                start_cycles: 400,
+                cycles: 100,
+                trial: true,
+                epoch: 2,
+            },
+        }
+    }
+
+    fn decision_record() -> TraceRecord {
+        TraceRecord {
+            query: 0,
+            stamp: Stamp {
+                lane: 0,
+                cycles: 42,
+                ordinal: 0,
+            },
+            event: TraceEvent::TrialAccept {
+                socket: 0,
+                order: vec![1, 0],
+                baseline_cpt: 3.5,
+                trial_cpt: 2.25,
+                epoch: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn morsels_are_complete_events_with_socket_pid() {
+        let json = event_json(&morsel_record());
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":400"));
+        assert!(json.contains("\"dur\":100"));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"trial\":true"));
+        validate_json(&json).expect("morsel event is valid JSON");
+    }
+
+    #[test]
+    fn decisions_are_instant_events_at_their_stamp() {
+        let json = event_json(&decision_record());
+        assert!(json.contains("\"name\":\"trial_accept\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":42"));
+        assert!(json.contains("\"order\":[1,0]"));
+        assert!(json.contains("\"baseline_cpt\":3.5"));
+        validate_json(&json).expect("decision event is valid JSON");
+    }
+
+    #[test]
+    fn chrome_trace_sorts_and_validates() {
+        let doc = chrome_trace(&[morsel_record(), decision_record()]);
+        validate_json(&doc).expect("document is valid JSON");
+        let accept = doc.find("trial_accept").unwrap();
+        let morsel = doc.find("\"name\":\"morsel\"").unwrap();
+        assert!(accept < morsel, "query 0 sorts before query 1");
+        validate_json(&chrome_trace(&[])).expect("empty document is valid");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_bytes() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        let rec = TraceRecord {
+            query: 0,
+            stamp: Stamp {
+                lane: 0,
+                cycles: 0,
+                ordinal: 0,
+            },
+            event: TraceEvent::Admit {
+                label: "scan \"hot\"\n".to_string(),
+                priority: "high",
+                arrival_cycles: 0,
+            },
+        };
+        validate_json(&event_json(&rec)).expect("escaped label stays valid");
+    }
+
+    #[test]
+    fn validator_accepts_json_and_rejects_non_json() {
+        for good in [
+            "null",
+            "true",
+            "-12.5e3",
+            "\"s\"",
+            "[]",
+            "[1,2,[3]]",
+            "{\"a\":{\"b\":[null,false]}}",
+            "  { \"x\" : 1 }  ",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01x",
+            "nul",
+            "{} {}",
+            "1.",
+            "[1 2]",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted bad JSON: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(0.25), "0.25");
+        validate_json(&fmt_f64(1e300)).expect("large floats encode as valid JSON numbers");
+    }
+}

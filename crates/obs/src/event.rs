@@ -1,0 +1,468 @@
+//! The event taxonomy: everything the engine decides, as data.
+//!
+//! Events carry *plan indices* (operator orders are `Vec<usize>`
+//! permutations) and raw counts — never references into engine state —
+//! so the crate stays dependency-free and a trace outlives the run that
+//! produced it.
+
+/// Deterministic position of an event: the emitting lane (worker index,
+/// or the coordinator lane), the lane's simulated-cycle clock at
+/// emission, and a per-lane ordinal. Host time never appears — two runs
+/// of the same deterministic configuration stamp identical values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp {
+    /// Emitting lane: worker index, or the tracer's coordinator lane.
+    pub lane: usize,
+    /// The lane's simulated wall-clock position (cycles) at emission.
+    pub cycles: u64,
+    /// Per-lane emission counter (0, 1, 2, … within the lane).
+    pub ordinal: u64,
+}
+
+/// One traced event: which query it belongs to, where it happened, and
+/// what happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Query index within the run (0 for single-query executions).
+    pub query: usize,
+    /// Deterministic position of the event.
+    pub stamp: Stamp,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// A single argument value, for uniform export (JSON / decision log).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Unsigned count.
+    U(u64),
+    /// Signed count.
+    I(i64),
+    /// Ratio or measured rate.
+    F(f64),
+    /// Flag.
+    B(bool),
+    /// Free-form label.
+    S(String),
+    /// An operator order (plan indices).
+    Order(Vec<usize>),
+    /// Per-socket/per-query share vector.
+    Shares(Vec<u64>),
+    /// Fitted per-stage values (e.g. selectivities).
+    Fs(Vec<f64>),
+}
+
+/// The progressive engine's decision taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A query entered the batch.
+    Admit {
+        /// The spec's label.
+        label: String,
+        /// Priority class label.
+        priority: &'static str,
+        /// Arrival time in simulated cycles.
+        arrival_cycles: u64,
+    },
+    /// The query was homed on one socket.
+    SocketHome {
+        /// Home socket.
+        socket: usize,
+        /// The query's declared hot-set footprint.
+        footprint_bytes: u64,
+    },
+    /// The order cache was consulted for the query's signature.
+    CacheLookup {
+        /// Whether a template entry was found (and valid).
+        hit: bool,
+        /// `false` at admission, `true` for the mid-run second chance of
+        /// an open-loop later arrival.
+        mid_run: bool,
+        /// The cached order on a hit.
+        order: Option<Vec<usize>>,
+    },
+    /// A finished query published its converged state to the cache.
+    CacheRecord {
+        /// Whether the instance had been warm-started.
+        warm: bool,
+        /// The converged order recorded.
+        order: Vec<usize>,
+        /// Warm completion diverging from the template's current order.
+        diverged: bool,
+        /// The divergence streak reached the staleness bound: evicted.
+        evicted: bool,
+        /// A cold record discarded a non-zero divergence streak — the
+        /// formerly silent reset, now observable.
+        streak_reset: bool,
+    },
+    /// A worker claimed and executed one morsel.
+    MorselClaim {
+        /// Physical socket of the claiming worker.
+        socket: usize,
+        /// First row of the morsel.
+        start_row: usize,
+        /// Rows in the morsel.
+        rows: usize,
+        /// Worker wall-clock position when execution began.
+        start_cycles: u64,
+        /// Simulated cycles the morsel cost.
+        cycles: u64,
+        /// Whether the morsel ran under a leased trial order.
+        trial: bool,
+        /// Epoch the morsel ran under (the lease epoch for trials).
+        epoch: u64,
+    },
+    /// A reoptimization round closed: the estimator fitted the fused
+    /// per-worker windows.
+    ReoptRound {
+        /// Coordination socket the round served.
+        socket: usize,
+        /// Round number on that socket.
+        round: usize,
+        /// Fitted per-stage selectivities, in evaluation order.
+        selectivities: Vec<f64>,
+        /// Final estimator objective (0 = counters matched exactly).
+        fit_error: f64,
+        /// The proposed order when it differed from the published one
+        /// (`None`: the incumbent order was confirmed).
+        proposed: Option<Vec<usize>>,
+    },
+    /// A candidate order was leased to exactly one worker.
+    TrialLease {
+        /// Coordination socket of the trial.
+        socket: usize,
+        /// The candidate order.
+        order: Vec<usize>,
+        /// Cycles-per-tuple the trial must not regress from.
+        baseline_cpt: f64,
+    },
+    /// A trial beat (or matched) the incumbent: accepted and published.
+    TrialAccept {
+        /// Coordination socket of the trial.
+        socket: usize,
+        /// The accepted order.
+        order: Vec<usize>,
+        /// The incumbent's cycles-per-tuple reference.
+        baseline_cpt: f64,
+        /// The trial morsel's measured cycles-per-tuple.
+        trial_cpt: f64,
+        /// The epoch the acceptance published.
+        epoch: u64,
+    },
+    /// A trial regressed past tolerance: reverted into rejection memory.
+    TrialRevert {
+        /// Coordination socket of the trial.
+        socket: usize,
+        /// The rejected order.
+        order: Vec<usize>,
+        /// The incumbent's cycles-per-tuple reference.
+        baseline_cpt: f64,
+        /// The trial morsel's measured cycles-per-tuple.
+        trial_cpt: f64,
+    },
+    /// An order became the published one (acceptance or warm reseed).
+    OrderPublish {
+        /// Coordination socket publishing.
+        socket: usize,
+        /// The published order.
+        order: Vec<usize>,
+        /// The epoch it published under.
+        epoch: u64,
+        /// `true` when the publication is a cache warm-seed, not a
+        /// measured acceptance.
+        warm_seed: bool,
+    },
+    /// LLC capacity was (re)divided among co-running work.
+    LlcRepartition {
+        /// `"batch"` for the batch-boundary declaration, `"worker"` for
+        /// a worker-local dynamic repartition at a drain event.
+        scope: &'static str,
+        /// `"private"` or `"shared"`.
+        mode: &'static str,
+        /// Effective shares after the partition: bytes per socket for
+        /// batch scope, ways per co-running query for worker scope.
+        shares: Vec<u64>,
+    },
+    /// The query (or run) completed.
+    Complete {
+        /// Qualifying tuples.
+        qualified: u64,
+        /// Aggregate sum.
+        sum: i64,
+        /// Morsels executed.
+        morsels: usize,
+        /// Wall-clock position at completion.
+        wall_cycles: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case name of the event kind (the Chrome-trace event
+    /// name; what CI smokes grep for).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Admit { .. } => "admit",
+            TraceEvent::SocketHome { .. } => "socket_home",
+            TraceEvent::CacheLookup { .. } => "cache_lookup",
+            TraceEvent::CacheRecord { .. } => "cache_record",
+            TraceEvent::MorselClaim { .. } => "morsel",
+            TraceEvent::ReoptRound { .. } => "reopt_round",
+            TraceEvent::TrialLease { .. } => "trial_lease",
+            TraceEvent::TrialAccept { .. } => "trial_accept",
+            TraceEvent::TrialRevert { .. } => "trial_revert",
+            TraceEvent::OrderPublish { .. } => "order_publish",
+            TraceEvent::LlcRepartition { .. } => "llc_repartition",
+            TraceEvent::Complete { .. } => "complete",
+        }
+    }
+
+    /// Whether the event marks a *decision* (vs. raw execution): what
+    /// the explain log renders.
+    pub fn is_decision(&self) -> bool {
+        !matches!(self, TraceEvent::MorselClaim { .. })
+    }
+
+    /// The event's arguments as uniform key/value pairs, for exporters.
+    pub fn args(&self) -> Vec<(&'static str, Arg)> {
+        match self {
+            TraceEvent::Admit {
+                label,
+                priority,
+                arrival_cycles,
+            } => vec![
+                ("label", Arg::S(label.clone())),
+                ("priority", Arg::S((*priority).to_string())),
+                ("arrival_cycles", Arg::U(*arrival_cycles)),
+            ],
+            TraceEvent::SocketHome {
+                socket,
+                footprint_bytes,
+            } => vec![
+                ("socket", Arg::U(*socket as u64)),
+                ("footprint_bytes", Arg::U(*footprint_bytes)),
+            ],
+            TraceEvent::CacheLookup {
+                hit,
+                mid_run,
+                order,
+            } => {
+                let mut args = vec![("hit", Arg::B(*hit)), ("mid_run", Arg::B(*mid_run))];
+                if let Some(order) = order {
+                    args.push(("order", Arg::Order(order.clone())));
+                }
+                args
+            }
+            TraceEvent::CacheRecord {
+                warm,
+                order,
+                diverged,
+                evicted,
+                streak_reset,
+            } => vec![
+                ("warm", Arg::B(*warm)),
+                ("order", Arg::Order(order.clone())),
+                ("diverged", Arg::B(*diverged)),
+                ("evicted", Arg::B(*evicted)),
+                ("streak_reset", Arg::B(*streak_reset)),
+            ],
+            TraceEvent::MorselClaim {
+                socket,
+                start_row,
+                rows,
+                start_cycles,
+                cycles,
+                trial,
+                epoch,
+            } => vec![
+                ("socket", Arg::U(*socket as u64)),
+                ("start_row", Arg::U(*start_row as u64)),
+                ("rows", Arg::U(*rows as u64)),
+                ("start_cycles", Arg::U(*start_cycles)),
+                ("cycles", Arg::U(*cycles)),
+                ("trial", Arg::B(*trial)),
+                ("epoch", Arg::U(*epoch)),
+            ],
+            TraceEvent::ReoptRound {
+                socket,
+                round,
+                selectivities,
+                fit_error,
+                proposed,
+            } => {
+                let mut args = vec![
+                    ("socket", Arg::U(*socket as u64)),
+                    ("round", Arg::U(*round as u64)),
+                    ("selectivities", Arg::Fs(selectivities.clone())),
+                    ("fit_error", Arg::F(*fit_error)),
+                ];
+                if let Some(proposed) = proposed {
+                    args.push(("proposed", Arg::Order(proposed.clone())));
+                }
+                args
+            }
+            TraceEvent::TrialLease {
+                socket,
+                order,
+                baseline_cpt,
+            } => vec![
+                ("socket", Arg::U(*socket as u64)),
+                ("order", Arg::Order(order.clone())),
+                ("baseline_cpt", Arg::F(*baseline_cpt)),
+            ],
+            TraceEvent::TrialAccept {
+                socket,
+                order,
+                baseline_cpt,
+                trial_cpt,
+                epoch,
+            } => vec![
+                ("socket", Arg::U(*socket as u64)),
+                ("order", Arg::Order(order.clone())),
+                ("baseline_cpt", Arg::F(*baseline_cpt)),
+                ("trial_cpt", Arg::F(*trial_cpt)),
+                ("epoch", Arg::U(*epoch)),
+            ],
+            TraceEvent::TrialRevert {
+                socket,
+                order,
+                baseline_cpt,
+                trial_cpt,
+            } => vec![
+                ("socket", Arg::U(*socket as u64)),
+                ("order", Arg::Order(order.clone())),
+                ("baseline_cpt", Arg::F(*baseline_cpt)),
+                ("trial_cpt", Arg::F(*trial_cpt)),
+            ],
+            TraceEvent::OrderPublish {
+                socket,
+                order,
+                epoch,
+                warm_seed,
+            } => vec![
+                ("socket", Arg::U(*socket as u64)),
+                ("order", Arg::Order(order.clone())),
+                ("epoch", Arg::U(*epoch)),
+                ("warm_seed", Arg::B(*warm_seed)),
+            ],
+            TraceEvent::LlcRepartition {
+                scope,
+                mode,
+                shares,
+            } => vec![
+                ("scope", Arg::S((*scope).to_string())),
+                ("mode", Arg::S((*mode).to_string())),
+                ("shares", Arg::Shares(shares.clone())),
+            ],
+            TraceEvent::Complete {
+                qualified,
+                sum,
+                morsels,
+                wall_cycles,
+            } => vec![
+                ("qualified", Arg::U(*qualified)),
+                ("sum", Arg::I(*sum)),
+                ("morsels", Arg::U(*morsels as u64)),
+                ("wall_cycles", Arg::U(*wall_cycles)),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique_and_snake_case() {
+        let events = [
+            TraceEvent::Admit {
+                label: "q".into(),
+                priority: "high",
+                arrival_cycles: 0,
+            },
+            TraceEvent::SocketHome {
+                socket: 0,
+                footprint_bytes: 0,
+            },
+            TraceEvent::CacheLookup {
+                hit: false,
+                mid_run: false,
+                order: None,
+            },
+            TraceEvent::CacheRecord {
+                warm: false,
+                order: vec![0],
+                diverged: false,
+                evicted: false,
+                streak_reset: false,
+            },
+            TraceEvent::MorselClaim {
+                socket: 0,
+                start_row: 0,
+                rows: 1,
+                start_cycles: 0,
+                cycles: 1,
+                trial: false,
+                epoch: 0,
+            },
+            TraceEvent::ReoptRound {
+                socket: 0,
+                round: 1,
+                selectivities: vec![0.5],
+                fit_error: 0.0,
+                proposed: None,
+            },
+            TraceEvent::TrialLease {
+                socket: 0,
+                order: vec![0],
+                baseline_cpt: 1.0,
+            },
+            TraceEvent::TrialAccept {
+                socket: 0,
+                order: vec![0],
+                baseline_cpt: 1.0,
+                trial_cpt: 0.9,
+                epoch: 1,
+            },
+            TraceEvent::TrialRevert {
+                socket: 0,
+                order: vec![0],
+                baseline_cpt: 1.0,
+                trial_cpt: 1.5,
+            },
+            TraceEvent::OrderPublish {
+                socket: 0,
+                order: vec![0],
+                epoch: 1,
+                warm_seed: false,
+            },
+            TraceEvent::LlcRepartition {
+                scope: "batch",
+                mode: "shared",
+                shares: vec![1],
+            },
+            TraceEvent::Complete {
+                qualified: 0,
+                sum: 0,
+                morsels: 0,
+                wall_cycles: 0,
+            },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in &events {
+            let kind = e.kind();
+            assert!(seen.insert(kind), "duplicate kind {kind}");
+            assert!(
+                kind.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{kind} is not snake_case"
+            );
+            assert!(!e.args().is_empty(), "{kind} must carry arguments");
+        }
+        assert!(
+            events
+                .iter()
+                .all(|e| e.is_decision() != matches!(e, TraceEvent::MorselClaim { .. })),
+            "only morsel claims are non-decisions"
+        );
+    }
+}

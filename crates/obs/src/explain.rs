@@ -1,0 +1,153 @@
+//! The human-readable progressive decision log: *why* each order was
+//! accepted, in deterministic stamp order.
+//!
+//! Each decision renders as one line:
+//!
+//! ```text
+//! [q0 w2 @ 12345 #17] trial_accept socket=0 order=[1,0] baseline_cpt=3.50 trial_cpt=2.25 epoch=1
+//! ```
+//!
+//! `q` is the query, `w` the emitting lane (worker), `@` the simulated
+//! cycle, `#` the lane ordinal. Morsel claims are execution, not
+//! decisions, and are omitted — the log reads as the engine's reasoning.
+
+use crate::event::{Arg, TraceRecord};
+
+fn arg_text(arg: &Arg) -> String {
+    match arg {
+        Arg::U(v) => format!("{v}"),
+        Arg::I(v) => format!("{v}"),
+        Arg::F(v) => format!("{v:.2}"),
+        Arg::B(v) => format!("{v}"),
+        Arg::S(v) => v.clone(),
+        Arg::Order(v) => {
+            let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", items.join(","))
+        }
+        Arg::Shares(v) => {
+            let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", items.join(","))
+        }
+        Arg::Fs(v) => {
+            let items: Vec<String> = v.iter().map(|x| format!("{x:.3}")).collect();
+            format!("[{}]", items.join(","))
+        }
+    }
+}
+
+/// Render one decision record as a log line.
+pub fn decision_line(record: &TraceRecord) -> String {
+    let args: Vec<String> = record
+        .event
+        .args()
+        .into_iter()
+        .map(|(k, v)| format!("{k}={}", arg_text(&v)))
+        .collect();
+    format!(
+        "[q{} w{} @ {} #{}] {} {}",
+        record.query,
+        record.stamp.lane,
+        record.stamp.cycles,
+        record.stamp.ordinal,
+        record.event.kind(),
+        args.join(" ")
+    )
+}
+
+/// The full decision log over `records`: decisions only (morsel claims
+/// dropped), sorted by `(query, cycles, lane, ordinal)` so output is
+/// deterministic regardless of sink collection order.
+pub fn decision_log(records: &[TraceRecord]) -> String {
+    let mut decisions: Vec<&TraceRecord> =
+        records.iter().filter(|r| r.event.is_decision()).collect();
+    decisions.sort_by_key(|r| (r.query, r.stamp.cycles, r.stamp.lane, r.stamp.ordinal));
+    let mut out = String::new();
+    for record in decisions {
+        out.push_str(&decision_line(record));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Stamp, TraceEvent};
+
+    fn rec(query: usize, cycles: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            query,
+            stamp: Stamp {
+                lane: 1,
+                cycles,
+                ordinal: 0,
+            },
+            event,
+        }
+    }
+
+    #[test]
+    fn log_renders_decisions_in_stamp_order_and_drops_morsels() {
+        let records = vec![
+            rec(
+                0,
+                900,
+                TraceEvent::TrialAccept {
+                    socket: 0,
+                    order: vec![1, 0],
+                    baseline_cpt: 3.5,
+                    trial_cpt: 2.25,
+                    epoch: 1,
+                },
+            ),
+            rec(
+                0,
+                100,
+                TraceEvent::TrialLease {
+                    socket: 0,
+                    order: vec![1, 0],
+                    baseline_cpt: 3.5,
+                },
+            ),
+            rec(
+                0,
+                500,
+                TraceEvent::MorselClaim {
+                    socket: 0,
+                    start_row: 0,
+                    rows: 1024,
+                    start_cycles: 400,
+                    cycles: 100,
+                    trial: true,
+                    epoch: 1,
+                },
+            ),
+        ];
+        let log = decision_log(&records);
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2, "morsel claims are not decisions");
+        assert!(lines[0].starts_with("[q0 w1 @ 100 #0] trial_lease"));
+        assert!(lines[1].starts_with("[q0 w1 @ 900 #0] trial_accept"));
+        assert!(lines[1].contains("order=[1,0]"));
+        assert!(lines[1].contains("baseline_cpt=3.50"));
+        assert!(lines[1].contains("trial_cpt=2.25"));
+    }
+
+    #[test]
+    fn selectivity_vectors_render_compactly() {
+        let line = decision_line(&rec(
+            2,
+            64,
+            TraceEvent::ReoptRound {
+                socket: 1,
+                round: 3,
+                selectivities: vec![0.25, 0.5],
+                fit_error: 0.0,
+                proposed: Some(vec![1, 0]),
+            },
+        ));
+        assert!(line.contains("reopt_round"));
+        assert!(line.contains("selectivities=[0.250,0.500]"));
+        assert!(line.contains("proposed=[1,0]"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! The registry is a post-hoc aggregation surface: reports feed it after
+//! a run (`record_metrics` on `ParallelReport`/`ServeReport`), figures
+//! render it, and tests assert against snapshots. Nothing in here sits
+//! on the simulated-cost path. Keys are ordered (`BTreeMap`) so rendered
+//! output is deterministic.
+
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket `i`; one overflow bucket catches everything above the last
+/// bound. Buckets are fixed at construction — observation is O(log n)
+/// and a snapshot is a plain copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram over the given inclusive upper bounds (must be
+    /// strictly increasing and non-empty), plus an overflow bucket.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = bounds.len() + 1;
+        Self {
+            bounds,
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// A power-of-two histogram: bounds 1, 2, 4, … 2^(buckets-1). Good
+    /// default for cycle and miss counts spanning orders of magnitude.
+    pub fn pow2(buckets: usize) -> Self {
+        assert!((1..=63).contains(&buckets), "pow2 buckets must be 1..=63");
+        Self::new((0..buckets as u32).map(|i| 1u64 << i).collect())
+    }
+
+    /// Record one value.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of observed values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The bucket bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0.0..=1.0);
+    /// `None` when empty. Values past the last bound report `u64::MAX`
+    /// (the overflow bucket has no upper edge).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Named counters, gauges, and histograms, snapshotable at any point.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (created at 0).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record `value` into histogram `name`, creating it with
+    /// `Histogram::pow2(40)` if absent.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::pow2(40))
+            .observe(value);
+    }
+
+    /// Record into a histogram created (if absent) with explicit bounds.
+    pub fn observe_with(&mut self, name: &str, bounds: &[u64], value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds.to_vec()))
+            .observe(value);
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name, if observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// A point-in-time copy of the registry.
+    pub fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    /// Merge another registry into this one: counters add, gauges take
+    /// the other's value, histograms with identical bounds merge
+    /// bucket-wise (mismatched bounds take the other's histogram).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) if mine.bounds == h.bounds => {
+                    for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
+                        *a += b;
+                    }
+                    mine.count += h.count;
+                    mine.sum = mine.sum.saturating_add(h.sum);
+                }
+                _ => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Deterministic plain-text rendering: counters, gauges, then
+    /// histogram summaries (count/mean/p50/p99), sorted by name.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} = {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge {k} = {v:.4}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let p50 = h.quantile(0.5).unwrap_or(0);
+            let p99 = h.quantile(0.99).unwrap_or(0);
+            out.push_str(&format!(
+                "hist {k}: count={} mean={:.1} p50<={} p99<={}\n",
+                h.count(),
+                h.mean(),
+                p50,
+                p99
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_values_on_inclusive_upper_edges() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        h.observe(0);
+        h.observe(10); // inclusive: lands in bucket 0
+        h.observe(11);
+        h.observe(100);
+        h.observe(1000);
+        h.observe(1001); // overflow bucket
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 10 + 11 + 100 + 1000 + 1001);
+    }
+
+    #[test]
+    fn pow2_histogram_spans_orders_of_magnitude() {
+        let mut h = Histogram::pow2(8); // bounds 1,2,4,...,128
+        assert_eq!(h.bounds(), &[1, 2, 4, 8, 16, 32, 64, 128]);
+        h.observe(1);
+        h.observe(3);
+        h.observe(128);
+        h.observe(129);
+        assert_eq!(h.counts(), &[1, 0, 1, 0, 0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let mut h = Histogram::new(vec![1, 2, 4, 8]);
+        for v in [1, 1, 2, 3, 5, 9] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.75), Some(8)); // rank 5 of 6 → value 5, in (4,8]
+        assert_eq!(h.quantile(1.0), Some(u64::MAX)); // 9 overflows the last bound
+        assert_eq!(Histogram::pow2(4).quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_bounds_are_rejected() {
+        Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn registry_counters_gauges_and_render_are_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.inc("b.count", 2);
+        r.inc("a.count", 1);
+        r.inc("a.count", 1);
+        r.set_gauge("occupancy", 0.5);
+        r.observe("cycles", 100);
+        assert_eq!(r.counter("a.count"), 2);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("occupancy"), Some(0.5));
+        assert_eq!(r.histogram("cycles").unwrap().count(), 1);
+        let rendered = r.render();
+        let a = rendered.find("a.count").unwrap();
+        let b = rendered.find("b.count").unwrap();
+        assert!(a < b, "render sorts by name");
+        assert_eq!(rendered, r.snapshot().render());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::new();
+        a.inc("n", 1);
+        a.observe_with("lat", &[10, 100], 5);
+        let mut b = MetricsRegistry::new();
+        b.inc("n", 2);
+        b.set_gauge("g", 1.0);
+        b.observe_with("lat", &[10, 100], 50);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.gauge("g"), Some(1.0));
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.counts(), &[1, 1, 0]);
+    }
+}

@@ -13,6 +13,10 @@
 //!   model, join cache-miss model, unified cycle estimates);
 //! * [`solver`] — search-space restriction, start-point selection and the
 //!   bounded Nelder–Mead selectivity estimator;
+//! * [`obs`] — non-invasive observability: deterministic structured
+//!   traces stamped in simulated cycles, a metrics registry, and the
+//!   Chrome-trace / decision-log exporters (tracing on or off is
+//!   bit-identical — see the README's "Observability" section);
 //! * [`core`] — the vectorized execution engine and the progressive
 //!   optimizer itself, unified across executors: the multi-selection
 //!   scan and mixed selection/join-filter pipelines share one §4.4 loop
@@ -39,5 +43,6 @@
 pub use popt_core as core;
 pub use popt_cost as cost;
 pub use popt_cpu as cpu;
+pub use popt_obs as obs;
 pub use popt_solver as solver;
 pub use popt_storage as storage;

@@ -1,0 +1,305 @@
+//! Property: tracing is *non-invasive* — attaching a tracer to a
+//! parallel run changes nothing the simulator measures.
+//!
+//! For random mixed pipelines, across sockets × workers × LLC mode ×
+//! reopt on/off:
+//!
+//! * results are always identical between the traced and untraced run
+//!   of the same configuration;
+//! * whenever the untraced run itself is cycle-deterministic — reopt
+//!   off (any worker count), or reopt on with one worker — the whole
+//!   [`ParallelReport`] matches bit-for-bit: accepted orders,
+//!   per-worker cycles and counters included. (With trials on a
+//!   multi-worker pool, *which* rounds run is host-interleaving-elastic
+//!   by design — two untraced runs may already publish different
+//!   near-optimal orders — so full-report equality is exactly as strong
+//!   a claim as repeated untraced runs support, the same contract
+//!   `proptest_numa` pins for the NUMA layer.)
+//! * the trace itself is complete: one `morsel` claim event per morsel
+//!   the report counts, exactly one `complete` event, every stamp's
+//!   lane within the tracer's lane count, and the Chrome-trace export
+//!   of the captured records parses.
+//!
+//! Case count is the vendored proptest default (256), pinnable via the
+//! upstream-compatible `PROPTEST_CASES` environment variable.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use popt::core::exec::pipeline::{FilterOp, Pipeline};
+use popt::core::parallel::{
+    run_parallel_pipeline, run_parallel_pipeline_traced, MorselConfig, ParallelReport,
+};
+use popt::core::predicate::CompareOp;
+use popt::core::progressive::ProgressiveConfig;
+use popt::cpu::{CpuConfig, CpuPool, LlcMode};
+use popt::obs::{chrome_trace, validate_json, MemorySink, TraceRecord, Tracer};
+use popt::storage::{AddressSpace, ColumnData, Table};
+use popt_bench::figures::workload::xorshift64;
+
+const ROWS: usize = 2_048;
+
+/// Fact with value columns and a random FK into a dimension sized to
+/// exercise the tiny test hierarchy's LLC.
+fn tables(seed: u64) -> (Table, Table) {
+    let dim_n = ROWS / 2;
+    let mut state = seed | 1;
+    let mut space = AddressSpace::new();
+    let mut fact = Table::new("fact");
+    for c in 0..3 {
+        let data: Vec<i32> = (0..ROWS)
+            .map(|_| (xorshift64(&mut state) % 1000) as i32)
+            .collect();
+        fact.add_column(format!("val{c}"), ColumnData::I32(data), &mut space);
+    }
+    fact.add_column(
+        "fk",
+        ColumnData::I32(
+            (0..ROWS)
+                .map(|_| (xorshift64(&mut state) % dim_n as u64) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    let mut dim = Table::new("dim");
+    dim.add_column(
+        "payload",
+        ColumnData::I32(
+            (0..dim_n)
+                .map(|_| (xorshift64(&mut state) % 1000) as i32)
+                .collect(),
+        ),
+        &mut space,
+    );
+    (fact, dim)
+}
+
+/// Random mixed pipeline: bit `k` of `kinds` picks select vs. join for
+/// stage `k`.
+fn build<'t>(fact: &'t Table, dim: &'t Table, stages: usize, kinds: u64, lit: i64) -> Pipeline<'t> {
+    let mut ops = Vec::new();
+    for k in 0..stages {
+        let op = if (kinds >> k) & 1 == 1 {
+            FilterOp::join_filter(
+                fact,
+                "fk",
+                dim,
+                "payload",
+                CompareOp::Lt,
+                lit,
+                k as u32,
+                100,
+            )
+            .expect("join compiles")
+        } else {
+            FilterOp::select(fact, &format!("val{k}"), CompareOp::Lt, lit, k as u32, 0)
+                .expect("select compiles")
+        };
+        ops.push(op);
+    }
+    Pipeline::new(ops, fact.rows())
+        .expect("pipeline")
+        .with_aggregate(fact, "val0")
+        .expect("aggregate")
+}
+
+struct Run {
+    report: ParallelReport,
+    records: Vec<TraceRecord>,
+    lanes: usize,
+}
+
+/// One (sockets, mode, workers, reopt) configuration, traced or not.
+#[allow(clippy::too_many_arguments)]
+fn run_config(
+    fact: &Table,
+    dim: &Table,
+    stages: usize,
+    kinds: u64,
+    lit: i64,
+    sockets: usize,
+    mode: LlcMode,
+    workers: usize,
+    morsel_tuples: usize,
+    reopt: Option<&ProgressiveConfig>,
+    traced: bool,
+) -> Run {
+    let order: Vec<usize> = (0..stages).collect();
+    let mut pipeline = build(fact, dim, stages, kinds, lit);
+    let mut pool = CpuPool::with_topology(CpuConfig::tiny_test(), workers, mode, sockets);
+    if traced {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Arc::new(Tracer::for_workers(sink.clone(), workers));
+        let report = run_parallel_pipeline_traced(
+            &mut pipeline,
+            &order,
+            MorselConfig::new(morsel_tuples),
+            &mut pool,
+            reopt,
+            &tracer,
+            7,
+        )
+        .expect("traced run succeeds");
+        Run {
+            report,
+            records: sink.take(),
+            lanes: tracer.lanes(),
+        }
+    } else {
+        let report = run_parallel_pipeline(
+            &mut pipeline,
+            &order,
+            MorselConfig::new(morsel_tuples),
+            &mut pool,
+            reopt,
+        )
+        .expect("untraced run succeeds");
+        Run {
+            report,
+            records: Vec::new(),
+            lanes: 0,
+        }
+    }
+}
+
+proptest! {
+    /// The tracer never moves anything the simulator measures, and what
+    /// it captures is complete and well-formed.
+    #[test]
+    fn tracing_is_non_invasive(
+        stages in 2usize..4,
+        kinds in any::<u64>(),
+        lit in 100i64..900,
+        seed in any::<u64>(),
+        workers in 1usize..9,
+        morsel_tuples in 128usize..1500,
+    ) {
+        let (fact, dim) = tables(seed);
+        let config = ProgressiveConfig { reop_interval: 2, ..Default::default() };
+        for sockets in [1usize, 2] {
+            if sockets > workers {
+                continue;
+            }
+            for mode in [LlcMode::Private, LlcMode::Shared] {
+                for progressive in [false, true] {
+                    let reopt = progressive.then_some(&config);
+                    let plain = run_config(
+                        &fact, &dim, stages, kinds, lit,
+                        sockets, mode, workers, morsel_tuples, reopt, false,
+                    );
+                    let traced = run_config(
+                        &fact, &dim, stages, kinds, lit,
+                        sockets, mode, workers, morsel_tuples, reopt, true,
+                    );
+
+                    // Results: identical always.
+                    prop_assert_eq!(
+                        traced.report.qualified, plain.report.qualified,
+                        "sockets={} mode={:?} workers={} progressive={}",
+                        sockets, mode, workers, progressive
+                    );
+                    prop_assert_eq!(traced.report.sum, plain.report.sum);
+                    prop_assert_eq!(
+                        traced.report.socket_orders.len(),
+                        plain.report.socket_orders.len()
+                    );
+
+                    // Full-report bit-identity — accepted orders,
+                    // per-worker cycles, counters — wherever the
+                    // untraced run itself is cycle-deterministic. (With
+                    // reopt on a multi-worker pool, *which* rounds run
+                    // is host-interleaving-elastic by design, so two
+                    // untraced runs may already publish different
+                    // near-optimal orders; tracing can only be held to
+                    // the determinism the engine itself provides.)
+                    if !progressive || workers == 1 {
+                        prop_assert_eq!(
+                            &traced.report.final_order,
+                            &plain.report.final_order
+                        );
+                        prop_assert_eq!(
+                            &traced.report.socket_orders,
+                            &plain.report.socket_orders
+                        );
+                        prop_assert_eq!(
+                            &traced.report, &plain.report,
+                            "sockets={} mode={:?} workers={} progressive={}",
+                            sockets, mode, workers, progressive
+                        );
+                    }
+
+                    // Trace completeness: one claim event per morsel,
+                    // exactly one completion, every lane in range, all
+                    // tagged with the query id we passed.
+                    let morsel_events = traced
+                        .records
+                        .iter()
+                        .filter(|r| r.event.kind() == "morsel")
+                        .count();
+                    prop_assert_eq!(morsel_events, traced.report.morsels);
+                    let completions = traced
+                        .records
+                        .iter()
+                        .filter(|r| r.event.kind() == "complete")
+                        .count();
+                    prop_assert_eq!(completions, 1);
+                    prop_assert!(traced
+                        .records
+                        .iter()
+                        .all(|r| r.stamp.lane < traced.lanes && r.query == 7));
+
+                    // The Chrome-trace export of exactly these records
+                    // must parse.
+                    let json = chrome_trace(&traced.records);
+                    prop_assert!(validate_json(&json).is_ok());
+                }
+            }
+        }
+    }
+
+    /// A disabled tracer (the default, hot-path-off configuration)
+    /// behaves exactly like no tracer: nothing is recorded, and the
+    /// report still matches the untraced run bit-for-bit when the run
+    /// is cycle-deterministic.
+    #[test]
+    fn disabled_tracer_records_nothing(
+        stages in 2usize..4,
+        kinds in any::<u64>(),
+        lit in 100i64..900,
+        seed in any::<u64>(),
+        workers in 1usize..5,
+        morsel_tuples in 128usize..1500,
+    ) {
+        let (fact, dim) = tables(seed);
+        let order: Vec<usize> = (0..stages).collect();
+
+        let mut plain_pipeline = build(&fact, &dim, stages, kinds, lit);
+        let mut plain_pool = CpuPool::new(CpuConfig::tiny_test(), workers);
+        let plain = run_parallel_pipeline(
+            &mut plain_pipeline,
+            &order,
+            MorselConfig::new(morsel_tuples),
+            &mut plain_pool,
+            None,
+        )
+        .expect("untraced run succeeds");
+
+        let tracer = Arc::new(Tracer::disabled());
+        let mut traced_pipeline = build(&fact, &dim, stages, kinds, lit);
+        let mut traced_pool = CpuPool::new(CpuConfig::tiny_test(), workers);
+        let traced = run_parallel_pipeline_traced(
+            &mut traced_pipeline,
+            &order,
+            MorselConfig::new(morsel_tuples),
+            &mut traced_pool,
+            None,
+            &tracer,
+            0,
+        )
+        .expect("disabled-tracer run succeeds");
+
+        prop_assert_eq!(&traced, &plain);
+        prop_assert!(!tracer.enabled());
+    }
+}
