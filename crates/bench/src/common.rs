@@ -93,18 +93,107 @@ impl FigureCtx {
 }
 
 /// The reporter's shared state: output mode, the figure being printed,
-/// and the column names its last [`header`] declared.
+/// the column names its last [`header`] declared, and the benchmark
+/// metrics recorded since the last [`take_metrics`].
 struct Reporter {
     json: bool,
     figure: String,
     columns: Vec<String>,
+    metrics: Vec<BenchMetric>,
 }
 
 static REPORTER: Mutex<Reporter> = Mutex::new(Reporter {
     json: false,
     figure: String::new(),
     columns: Vec::new(),
+    metrics: Vec::new(),
 });
+
+/// One recorded benchmark metric: the measured value plus the relative
+/// tolerance the regression gate ([`crate::regress`]) compares it under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMetric {
+    /// Snapshot key (stable across runs — the gate joins on it).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Relative tolerance: a replay whose value lands outside
+    /// `baseline * (1 ± tol)` fails the gate.
+    pub tol: f64,
+}
+
+/// Default relative tolerance for [`bench_metric`]: tight enough that a
+/// 20% cycle regression on a deterministic metric always trips the gate.
+pub const DEFAULT_METRIC_TOL: f64 = 0.10;
+
+/// Record a benchmark metric at the [`DEFAULT_METRIC_TOL`]. Use only for
+/// values that are a pure function of the simulation (serial or
+/// 1-worker cycle counts, qualified/sum results, morsel counts).
+pub fn bench_metric(name: &str, value: f64) {
+    bench_metric_tol(name, value, DEFAULT_METRIC_TOL);
+}
+
+/// Record a benchmark metric with an explicit relative tolerance. Values
+/// that are host-elastic by design (multi-worker walls, latency
+/// percentiles under reoptimization) need a loose tolerance; last write
+/// wins when a figure re-records a name.
+pub fn bench_metric_tol(name: &str, value: f64, tol: f64) {
+    assert!(
+        value.is_finite() && tol.is_finite() && tol >= 0.0,
+        "bench metric {name}: non-finite value {value} or bad tolerance {tol}"
+    );
+    let mut rep = REPORTER.lock().expect("reporter lock");
+    if let Some(m) = rep.metrics.iter_mut().find(|m| m.name == name) {
+        m.value = value;
+        m.tol = tol;
+    } else {
+        rep.metrics.push(BenchMetric {
+            name: name.to_string(),
+            value,
+            tol,
+        });
+    }
+}
+
+/// Drain the metrics recorded since the last call (insertion order).
+pub fn take_metrics() -> Vec<BenchMetric> {
+    std::mem::take(&mut REPORTER.lock().expect("reporter lock").metrics)
+}
+
+/// A finite `f64` as a JSON number (Rust's shortest-roundtrip `Display`
+/// never emits exponents or non-finite tokens for finite values).
+fn json_num(x: f64) -> String {
+    format!("{x}")
+}
+
+/// The canonical `BENCH_<figure>.json` snapshot document: figure id, the
+/// scale mode it was measured under, and every metric with its value and
+/// tolerance, in recording order.
+pub fn snapshot_json(figure: &str, mode: &str, metrics: &[BenchMetric]) -> String {
+    let fields: Vec<String> = metrics
+        .iter()
+        .map(|m| {
+            format!(
+                "\"{}\":{{\"value\":{},\"tol\":{}}}",
+                esc(&m.name),
+                json_num(m.value),
+                json_num(m.tol)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"figure\":\"{}\",\"mode\":\"{}\",\"metrics\":{{{}}}}}\n",
+        esc(figure),
+        esc(mode),
+        fields.join(",")
+    )
+}
+
+/// The snapshot as one `--json` reporter line (`"type":"snapshot"`).
+pub fn snapshot_line(figure: &str, mode: &str, metrics: &[BenchMetric]) -> String {
+    let doc = snapshot_json(figure, mode, metrics);
+    format!("{{\"type\":\"snapshot\",{}", &doc.trim_end()[1..])
+}
 
 /// Minimal JSON string escaping (the reporter emits only strings it
 /// formatted itself, but labels may carry quotes or backslashes).
@@ -137,6 +226,7 @@ pub fn banner_with(ctx: &FigureCtx, id: &str, title: &str, extras: &[(&str, Stri
     rep.json = ctx.json;
     rep.figure = id.to_string();
     rep.columns.clear();
+    rep.metrics.clear();
     let mut pairs = ctx.provenance();
     for (k, v) in extras {
         pairs.push((k, v.clone()));
@@ -437,6 +527,50 @@ mod tests {
         assert!(!escaped.contains('\n'));
         let quoted = format!("\"{escaped}\"");
         validate_json(&quoted).expect("escaped string is valid JSON");
+    }
+
+    #[test]
+    fn bench_metrics_drain_in_order_and_last_write_wins() {
+        take_metrics(); // isolate from other tests sharing the reporter
+        bench_metric("a", 1.0);
+        bench_metric_tol("b", 2.0, 0.5);
+        bench_metric_tol("a", 3.0, 0.2); // re-record replaces in place
+        let metrics = take_metrics();
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].name, "a");
+        assert_eq!(metrics[0].value, 3.0);
+        assert_eq!(metrics[0].tol, 0.2);
+        assert_eq!(metrics[1].name, "b");
+        assert_eq!(metrics[1].tol, 0.5);
+        assert!(take_metrics().is_empty(), "drained");
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_carries_every_metric() {
+        let metrics = vec![
+            BenchMetric {
+                name: "wall_ms".into(),
+                value: 12.5,
+                tol: 0.1,
+            },
+            BenchMetric {
+                name: "odd\"name".into(),
+                value: 3.0,
+                tol: 0.35,
+            },
+        ];
+        let doc = snapshot_json("scale", "quick", &metrics);
+        validate_json(doc.trim_end()).expect("snapshot is valid JSON");
+        assert!(doc.contains("\"figure\":\"scale\""));
+        assert!(doc.contains("\"mode\":\"quick\""));
+        assert!(doc.contains("\"wall_ms\":{\"value\":12.5,\"tol\":0.1}"));
+        assert!(
+            doc.ends_with('\n'),
+            "committed baselines end with a newline"
+        );
+        let line = snapshot_line("scale", "quick", &metrics);
+        validate_json(&line).expect("snapshot line is valid JSON");
+        assert!(line.starts_with("{\"type\":\"snapshot\","));
     }
 
     #[test]

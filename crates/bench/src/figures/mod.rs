@@ -1,6 +1,7 @@
 //! One module per figure of the paper. See each module's docs for what
 //! the corresponding figure shows and which paper section it comes from.
 
+pub mod drift;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;
@@ -24,10 +25,11 @@ use crate::common::FigureCtx;
 
 /// All figure ids in paper order, plus the beyond-the-paper parallel
 /// scaling study (`scale`), the multi-query serving study (`serve`),
-/// and the observability demonstration (`trace`).
+/// the observability demonstration (`trace`), and the model-drift /
+/// profiler study (`drift`).
 pub const ALL: &[&str] = &[
     "1", "2", "3", "4", "6", "7", "8", "9", "11", "12", "13", "14", "15", "16", "scale", "serve",
-    "trace",
+    "trace", "drift",
 ];
 
 /// Dispatch a figure by id; returns false for unknown ids (the CLI turns
@@ -51,6 +53,7 @@ pub fn run(id: &str, ctx: &FigureCtx) -> bool {
         "scale" => scale::run(ctx),
         "serve" => serve::run(ctx),
         "trace" => trace::run(ctx),
+        "drift" => drift::run(ctx),
         _ => return false,
     }
     true

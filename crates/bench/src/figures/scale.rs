@@ -28,7 +28,9 @@ use popt_core::progressive::{run_progressive_program, ProgressiveConfig, VectorC
 use popt_cost::cycles::fleet_occupancy_per_socket;
 use popt_cpu::{CpuPool, LlcMode, NumaPlacement, SimCpu};
 
-use crate::common::{banner, fmt, header, row, FigureCtx, TraceCapture};
+use crate::common::{
+    banner, bench_metric, bench_metric_tol, fmt, header, row, FigureCtx, TraceCapture,
+};
 use crate::figures::fig15::scaled_cpu;
 use crate::figures::workload::{
     fig14_mem_tables, mem_tables_with_dim, numa_banded_tables, numa_two_dim_tables, star_program,
@@ -160,6 +162,16 @@ fn print_sweep(label: &str, points: &[SweepPoint]) {
         .iter()
         .find(|p| p.workers == 4)
         .expect("sweep includes 4 workers");
+    let one = points
+        .iter()
+        .find(|p| p.workers == 1)
+        .expect("sweep includes 1 worker");
+    // Regression-gate metrics: the 1-worker wall is a pure function of
+    // the simulation (the bit-identity invariant covers workers == 1
+    // even under reoptimization) — tight default tolerance; multi-worker
+    // speedup is host-elastic under reoptimization — loose tolerance.
+    bench_metric(&format!("{label}.wall_ms_1w"), one.wall_ms);
+    bench_metric_tol(&format!("{label}.speedup_4w"), four.speedup, 0.35);
     assert!(
         points.iter().all(|p| p.exact),
         "{label}: parallel result must be bit-identical to the single-core executor"

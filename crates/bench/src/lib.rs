@@ -12,3 +12,4 @@
 
 pub mod common;
 pub mod figures;
+pub mod regress;

@@ -1,18 +1,21 @@
 //! CLI entry point: regenerate the paper's figures.
 //!
 //! ```text
-//! figures all            # every figure, full scale
-//! figures 12 13          # selected figures
-//! figures all --quick    # smoke-test scale
+//! figures all                    # every figure, full scale
+//! figures 12 13                  # selected figures
+//! figures all --quick            # smoke-test scale
+//! figures regress --quick        # replay + diff against committed baselines
+//! figures regress --quick --bless  # re-record the baselines
 //! ```
 
-use popt_bench::common::FigureCtx;
+use popt_bench::common::{snapshot_json, snapshot_line, take_metrics, FigureCtx};
 use popt_bench::figures;
+use popt_bench::regress;
 
 fn print_usage() {
     eprintln!(
-        "usage: figures <id...|all|help> [--quick] [--shared-llc] [--sockets N] \
-         [--json] [--trace-out PATH]"
+        "usage: figures <id...|all|regress|help> [--quick] [--shared-llc] [--sockets N] \
+         [--json] [--trace-out PATH] [--bless]"
     );
     eprintln!("figure ids: {}", figures::ALL.join(", "));
     eprintln!("  --quick           reduced scale for smoke runs");
@@ -20,6 +23,136 @@ fn print_usage() {
     eprintln!("  --sockets N       split the pool into N sockets (parallel/serving figures)");
     eprintln!("  --json            machine-readable JSON lines instead of tab columns");
     eprintln!("  --trace-out PATH  write a Chrome-trace JSON of the traced figures' decisions");
+    eprintln!(
+        "  regress [id...]   replay figures (default: scale serve) and fail if any \
+         recorded metric drifts past its committed baseline tolerance"
+    );
+    eprintln!("  --bless           with regress: rewrite the committed baselines instead");
+}
+
+/// The `regress` subcommand: replay each figure, drain its recorded
+/// metrics, and compare (or `--bless`) against the committed baseline.
+/// Exit codes: 2 for setup errors (missing/invalid/mode-mismatched
+/// baseline, bad inflate), 1 for an out-of-tolerance metric, 0 clean.
+fn run_regress(ctx: &FigureCtx, ids: &[&str], bless: bool) -> ! {
+    let ids: Vec<&str> = if ids.is_empty() {
+        vec!["scale", "serve"]
+    } else {
+        ids.to_vec()
+    };
+    let mode = if ctx.quick { "quick" } else { "full" };
+    // CI's self-test knob: multiply every replayed value to prove the
+    // gate trips on a synthetic regression.
+    let inflate = match std::env::var("POPT_REGRESS_INFLATE") {
+        Ok(v) => match v.parse::<f64>() {
+            Ok(x) if x.is_finite() && x > 0.0 => x,
+            _ => {
+                eprintln!("error: POPT_REGRESS_INFLATE={v:?} is not a positive number");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => 1.0,
+    };
+
+    // Load every baseline *before* replaying anything: a missing file
+    // must fail fast, not after minutes of simulation.
+    let mut baselines = Vec::new();
+    if !bless {
+        for id in &ids {
+            let path = regress::baseline_path(id);
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!(
+                        "error: no committed baseline for figure {id:?} at {} ({e}); \
+                         record one with `figures regress --bless {id}`",
+                        path.display()
+                    );
+                    std::process::exit(2);
+                }
+            };
+            let baseline = match regress::parse_baseline(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: baseline {} does not parse: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            if baseline.mode != mode {
+                eprintln!(
+                    "error: baseline {} was recorded in {:?} mode but this replay is \
+                     {mode:?}; rerun with the matching scale flag or re-bless",
+                    path.display(),
+                    baseline.mode
+                );
+                std::process::exit(2);
+            }
+            baselines.push(baseline);
+        }
+    }
+
+    let mut failed = false;
+    for (k, id) in ids.iter().enumerate() {
+        if !figures::run(id, ctx) {
+            eprintln!(
+                "unknown figure id {id:?}; known: {}",
+                figures::ALL.join(", ")
+            );
+            std::process::exit(2);
+        }
+        let metrics = take_metrics();
+        if metrics.is_empty() {
+            eprintln!("error: figure {id:?} records no metrics — nothing to gate");
+            std::process::exit(2);
+        }
+        if bless {
+            let path = regress::baseline_path(id);
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).expect("baselines directory is creatable");
+            }
+            std::fs::write(&path, snapshot_json(id, mode, &metrics))
+                .expect("baseline path is writable");
+            println!(
+                "regress {id}: blessed {} metrics -> {}",
+                metrics.len(),
+                path.display()
+            );
+            continue;
+        }
+        let (deltas, new) = regress::compare(&baselines[k], &metrics, inflate);
+        let mut figure_failed = false;
+        for d in &deltas {
+            let verdict = if d.pass { "ok" } else { "FAIL" };
+            let current = match d.current {
+                Some(v) => format!("{v:.6}"),
+                None => "missing".into(),
+            };
+            println!(
+                "regress {id}: {} baseline={:.6} current={current} delta={:+.2}% tol={:.0}% {verdict}",
+                d.name,
+                d.baseline,
+                d.rel_delta * 100.0,
+                d.tol * 100.0,
+            );
+            figure_failed |= !d.pass;
+        }
+        for name in &new {
+            println!("regress {id}: {name} is new (not in the baseline) — consider --bless");
+        }
+        println!(
+            "regress {id}: {} ({} metrics, {} new)",
+            if figure_failed { "FAIL" } else { "PASS" },
+            deltas.len(),
+            new.len()
+        );
+        failed |= figure_failed;
+    }
+    if failed {
+        eprintln!("regress: FAIL — at least one metric drifted past its baseline tolerance");
+        std::process::exit(1);
+    }
+    println!("regress: all replayed metrics within baseline tolerance");
+    std::process::exit(0);
 }
 
 fn main() {
@@ -28,6 +161,7 @@ fn main() {
     let mut shared_llc = false;
     let mut sockets = 1usize;
     let mut json = false;
+    let mut bless = false;
     let mut trace_out: Option<String> = None;
     let mut ids: Vec<&str> = Vec::new();
     let mut iter = args.iter();
@@ -36,6 +170,7 @@ fn main() {
             "--quick" | "-q" => quick = true,
             "--shared-llc" => shared_llc = true,
             "--json" => json = true,
+            "--bless" => bless = true,
             "--sockets" => {
                 // A socket count of 0 (or garbage) must fail loudly for
                 // the same reason an unknown flag does.
@@ -90,6 +225,15 @@ fn main() {
         std::process::exit(2);
     }
 
+    if ids[0] == "regress" {
+        run_regress(&ctx, &ids[1..], bless);
+    }
+    if bless {
+        eprintln!("error: --bless only applies to the regress subcommand");
+        print_usage();
+        std::process::exit(2);
+    }
+
     let selected: Vec<&str> = if ids.contains(&"all") {
         figures::ALL.to_vec()
     } else {
@@ -105,6 +249,16 @@ fn main() {
                 figures::ALL.join(", ")
             );
             std::process::exit(2);
+        }
+        // In --json mode every figure's recorded metrics close its output
+        // as one "snapshot" line — the same document `regress --bless`
+        // commits, so a harness can diff without the subcommand.
+        let metrics = take_metrics();
+        if ctx.json && !metrics.is_empty() {
+            println!(
+                "{}",
+                snapshot_line(id, if ctx.quick { "quick" } else { "full" }, &metrics)
+            );
         }
         eprintln!("# figure {id} done in {:.1}s", t0.elapsed().as_secs_f64());
     }

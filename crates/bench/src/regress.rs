@@ -1,0 +1,461 @@
+//! Perf-baseline regression gate: replay figures, diff their metric
+//! snapshots against committed baselines.
+//!
+//! Figures record named metrics through [`crate::common::bench_metric`]
+//! while they print their tables; `figures regress` replays the selected
+//! figures, drains those metrics, and compares each against the
+//! committed `bench/baselines/BENCH_<figure>.json` snapshot. A metric
+//! fails when its replayed value lands outside `baseline * (1 ± tol)`,
+//! where `tol` is the per-metric relative tolerance the baseline
+//! recorded (tight for deterministic cycle counts, loose for
+//! host-elastic multi-worker walls).
+//!
+//! Exit codes mirror the CLI's conventions: a missing or mode-mismatched
+//! baseline is a *setup* error (exit 2 — the gate cannot run), an
+//! out-of-tolerance metric is a *regression* (exit 1). `--bless`
+//! rewrites the baselines from the replay instead of comparing. The
+//! `POPT_REGRESS_INFLATE` environment variable multiplies every replayed
+//! value before comparison — CI sets it to `1.2` to prove the gate
+//! catches a synthetic 20% cycle regression.
+//!
+//! Baselines are parsed by a dependency-free recursive-descent JSON
+//! reader (the workspace vendors no serde); documents are validated with
+//! the pinned [`popt_obs::validate_json`] grammar first, so the reader
+//! only ever walks well-formed text.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use popt_obs::validate_json;
+
+use crate::common::BenchMetric;
+
+/// A parsed `BENCH_<figure>.json` baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Figure id the snapshot was recorded from.
+    pub figure: String,
+    /// Scale mode (`quick` or `full`) the values were measured under —
+    /// compared against the replay's mode, never across modes.
+    pub mode: String,
+    /// Metrics in document order.
+    pub metrics: Vec<BenchMetric>,
+}
+
+/// One metric's comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Snapshot key.
+    pub name: String,
+    /// Committed value.
+    pub baseline: f64,
+    /// Replayed value (after any `POPT_REGRESS_INFLATE`), `None` when
+    /// the replay no longer records the metric.
+    pub current: Option<f64>,
+    /// Relative tolerance from the baseline.
+    pub tol: f64,
+    /// Signed relative delta `(current - baseline) / |baseline|`.
+    pub rel_delta: f64,
+    /// Within tolerance?
+    pub pass: bool,
+}
+
+const EPS: f64 = 1e-12;
+
+/// The committed baselines directory (`bench/baselines/` at the repo
+/// root, resolved relative to this crate so the gate works from any
+/// working directory).
+pub fn baselines_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench/baselines")
+}
+
+/// The committed baseline path of one figure.
+pub fn baseline_path(id: &str) -> PathBuf {
+    baselines_dir().join(format!("BENCH_{id}.json"))
+}
+
+/// Compare a replay's metrics against the baseline. Every baseline
+/// metric must be present and within its tolerance; metrics the replay
+/// recorded but the baseline never saw are returned separately (they are
+/// advice to re-bless, not a failure — a new metric cannot regress).
+pub fn compare(
+    baseline: &Baseline,
+    current: &[BenchMetric],
+    inflate: f64,
+) -> (Vec<MetricDelta>, Vec<String>) {
+    let deltas: Vec<MetricDelta> = baseline
+        .metrics
+        .iter()
+        .map(|b| {
+            let cur = current
+                .iter()
+                .find(|c| c.name == b.name)
+                .map(|c| c.value * inflate);
+            let rel_delta = match cur {
+                Some(v) => (v - b.value) / b.value.abs().max(EPS),
+                None => f64::INFINITY,
+            };
+            MetricDelta {
+                name: b.name.clone(),
+                baseline: b.value,
+                current: cur,
+                tol: b.tol,
+                rel_delta,
+                pass: cur.is_some() && rel_delta.abs() <= b.tol,
+            }
+        })
+        .collect();
+    let known: BTreeSet<&str> = baseline.metrics.iter().map(|m| m.name.as_str()).collect();
+    let new = current
+        .iter()
+        .filter(|c| !known.contains(c.name.as_str()))
+        .map(|c| c.name.clone())
+        .collect();
+    (deltas, new)
+}
+
+// --- minimal JSON reader -------------------------------------------------
+
+/// The JSON subset the baseline schema uses, as a tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of document".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogates never appear in our own output;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().ok_or("unexpected end of string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+/// Parse one baseline document. Validates with the pinned JSON grammar
+/// first, then extracts the `{figure, mode, metrics}` schema; any
+/// missing or mistyped field is an error (a hand-edited baseline must
+/// fail loudly, not compare garbage).
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    validate_json(text.trim_end()).map_err(|e| format!("invalid JSON: {e}"))?;
+    let mut reader = Reader::new(text);
+    let doc = reader.value()?;
+    let figure = doc
+        .get("figure")
+        .and_then(Json::as_str)
+        .ok_or("missing \"figure\"")?
+        .to_string();
+    let mode = doc
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or("missing \"mode\"")?
+        .to_string();
+    let Some(Json::Obj(fields)) = doc.get("metrics") else {
+        return Err("missing \"metrics\" object".into());
+    };
+    let mut metrics = Vec::with_capacity(fields.len());
+    for (name, entry) in fields {
+        let value = entry
+            .get("value")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("metric {name:?}: missing \"value\""))?;
+        let tol = entry
+            .get("tol")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("metric {name:?}: missing \"tol\""))?;
+        metrics.push(BenchMetric {
+            name: name.clone(),
+            value,
+            tol,
+        });
+    }
+    Ok(Baseline {
+        figure,
+        mode,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::snapshot_json;
+
+    fn metric(name: &str, value: f64, tol: f64) -> BenchMetric {
+        BenchMetric {
+            name: name.into(),
+            value,
+            tol,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_parser() {
+        let metrics = vec![
+            metric("wall_ms", 12.5, 0.1),
+            metric("speedup", 3.25, 0.35),
+            metric("weird \"name\"\n", -0.001953125, 0.0),
+        ];
+        let doc = snapshot_json("scale", "quick", &metrics);
+        let parsed = parse_baseline(&doc).expect("own snapshots parse");
+        assert_eq!(parsed.figure, "scale");
+        assert_eq!(parsed.mode, "quick");
+        assert_eq!(parsed.metrics, metrics, "values survive bit-exactly");
+    }
+
+    #[test]
+    fn malformed_baselines_fail_loudly() {
+        assert!(parse_baseline("{").is_err());
+        assert!(parse_baseline("[]").is_err(), "wrong shape");
+        assert!(
+            parse_baseline("{\"figure\":\"x\"}").is_err(),
+            "missing mode"
+        );
+        assert!(
+            parse_baseline("{\"figure\":\"x\",\"mode\":\"quick\",\"metrics\":{\"m\":{}}}").is_err(),
+            "metric without value/tol"
+        );
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance_and_fails_outside() {
+        let base = Baseline {
+            figure: "scale".into(),
+            mode: "quick".into(),
+            metrics: vec![metric("a", 100.0, 0.10), metric("b", 50.0, 0.35)],
+        };
+        let current = vec![metric("a", 105.0, 0.10), metric("b", 60.0, 0.35)];
+        let (deltas, new) = compare(&base, &current, 1.0);
+        assert!(deltas.iter().all(|d| d.pass), "{deltas:?}");
+        assert!(new.is_empty());
+
+        // a drifts 12% — past its 10% tolerance.
+        let current = vec![metric("a", 112.0, 0.10), metric("b", 50.0, 0.35)];
+        let (deltas, _) = compare(&base, &current, 1.0);
+        assert!(!deltas[0].pass);
+        assert!((deltas[0].rel_delta - 0.12).abs() < 1e-12);
+        assert!(deltas[1].pass);
+    }
+
+    #[test]
+    fn synthetic_inflation_trips_tight_metrics() {
+        let base = Baseline {
+            figure: "scale".into(),
+            mode: "quick".into(),
+            metrics: vec![metric("tight", 100.0, 0.10), metric("loose", 100.0, 0.35)],
+        };
+        let current = vec![metric("tight", 100.0, 0.10), metric("loose", 100.0, 0.35)];
+        let (deltas, _) = compare(&base, &current, 1.2);
+        assert!(!deltas[0].pass, "20% inflation must trip a 10% tolerance");
+        assert!(deltas[1].pass, "a 35% tolerance absorbs it by design");
+    }
+
+    #[test]
+    fn missing_and_new_metrics_are_told_apart() {
+        let base = Baseline {
+            figure: "serve".into(),
+            mode: "quick".into(),
+            metrics: vec![metric("gone", 1.0, 0.1)],
+        };
+        let current = vec![metric("fresh", 2.0, 0.1)];
+        let (deltas, new) = compare(&base, &current, 1.0);
+        assert!(!deltas[0].pass, "a vanished metric is a failure");
+        assert_eq!(deltas[0].current, None);
+        assert_eq!(new, vec!["fresh".to_string()], "new metrics are advice");
+    }
+
+    #[test]
+    fn baseline_paths_land_in_the_committed_directory() {
+        let p = baseline_path("scale");
+        assert!(p.ends_with("bench/baselines/BENCH_scale.json"), "{p:?}");
+    }
+}

@@ -58,6 +58,7 @@
 
 pub mod error;
 pub mod exec;
+pub mod observe;
 pub mod parallel;
 pub mod plan;
 pub mod predicate;
@@ -69,15 +70,19 @@ pub mod sortedness;
 pub use error::EngineError;
 pub use exec::pipeline::{FilterOp, Pipeline};
 pub use exec::program::{CompiledProgram, CompiledStage};
+pub use observe::ExecObservers;
 pub use parallel::{
-    run_parallel_pipeline, run_parallel_program, run_parallel_program_traced, run_parallel_scan,
-    run_parallel_scan_traced, run_parallel_target, run_parallel_target_traced, MorselConfig,
-    MorselDispatcher, ParallelReport, ShardableTarget, TargetShard,
+    run_parallel_pipeline, run_parallel_pipeline_observed, run_parallel_program,
+    run_parallel_program_observed, run_parallel_program_traced, run_parallel_scan,
+    run_parallel_scan_traced, run_parallel_target, run_parallel_target_observed,
+    run_parallel_target_traced, MorselConfig, MorselDispatcher, ParallelReport, ShardableTarget,
+    TargetShard,
 };
 pub use plan::{Expr, LogicalNode, LogicalPlan, PassRegistry, Peo, PlanBuilder, SelectionPlan};
 pub use predicate::{CompareOp, Predicate};
 pub use progressive::{
     run_baseline, run_progressive, run_progressive_pipeline, run_progressive_program,
+    run_progressive_program_observed, run_progressive_target, run_progressive_target_observed,
     CompiledTarget, ProgressiveConfig, ProgressiveReport, ProgressiveTarget, VectorConfig,
 };
 pub use query::{QueryBuilder, QueryReport, RunMode};

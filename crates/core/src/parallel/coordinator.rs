@@ -40,12 +40,13 @@ use popt_cost::cycles::{fleet_speedup, fleet_wall_cycles};
 use popt_cost::estimate::PlanGeometry;
 use popt_cpu::pmu::CounterDelta;
 use popt_cpu::{CpuConfig, CpuPool, LlcMode, NumaPlacement, SimCpu};
-use popt_obs::{MetricsRegistry, TraceEvent, Tracer};
+use popt_obs::{DriftObservatory, MetricsRegistry, TraceEvent, Tracer};
 use popt_solver::{estimate_selectivities, EstimateResult, SampledCounters};
 
 use crate::error::EngineError;
 use crate::exec::pipeline::Pipeline;
 use crate::exec::scan::VectorStats;
+use crate::observe::{front_stage_key, morsel_stage_parts, record_fit_drift, ExecObservers};
 use crate::plan::{Peo, SelectionPlan};
 use popt_storage::Table;
 
@@ -200,6 +201,12 @@ struct SocketCoord {
     /// capacity, so the proposals it produces reflect what a co-runner
     /// left the query.
     llc_share_bytes: u64,
+    /// Observed cycles of the window snapshot an in-flight estimator fit
+    /// was taken over, captured in [`CoordState::begin_reoptimize`]
+    /// before the windows are zeroed — the drift observatory's observed
+    /// side for the round's cycles-per-tuple residual. Valid while
+    /// `estimate_in_flight`.
+    fit_window_cycles: u64,
 }
 
 impl SocketCoord {
@@ -216,6 +223,7 @@ impl SocketCoord {
             epoch_tuples: 0,
             estimate_in_flight: false,
             llc_share_bytes,
+            fit_window_cycles: 0,
         }
     }
 }
@@ -254,6 +262,14 @@ pub(crate) struct CoordState<'a, T> {
     /// so an attached tracer never changes a cycle count. `None` (or a
     /// disabled tracer) reduces every emission to one branch.
     trace: Option<(Arc<Tracer>, usize)>,
+    /// Model-drift observatory: every estimator fit's predicted-vs-
+    /// observed residuals land here, keyed by the literal-free key of
+    /// the front stage of the order the sample ran under. Same
+    /// non-invasive contract as the tracer.
+    drift: Option<Arc<DriftObservatory>>,
+    /// Literal-free per-stage keys of the master target (plan-indexed),
+    /// cached at construction for drift attribution.
+    stage_keys: Vec<u64>,
 }
 
 impl<'a, T: ShardableTarget> CoordState<'a, T> {
@@ -280,6 +296,7 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         placement: NumaPlacement,
     ) -> Self {
         let published = target.order();
+        let stage_keys = target.stage_keys();
         let workers = socket_of.len();
         Self {
             target,
@@ -295,6 +312,8 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
             optimizer_cycles: vec![0; workers],
             morsels_done: 0,
             trace: None,
+            drift: None,
+            stage_keys,
         }
     }
 
@@ -303,6 +322,12 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
     /// `query`.
     pub(crate) fn set_trace(&mut self, tracer: Arc<Tracer>, query: usize) {
         self.trace = Some((tracer, query));
+    }
+
+    /// Attach a drift observatory: every fit this state closes records
+    /// its predicted-vs-observed residuals there.
+    pub(crate) fn set_drift(&mut self, drift: Arc<DriftObservatory>) {
+        self.drift = Some(drift);
     }
 
     /// The accepted order on `socket`.
@@ -432,6 +457,19 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
                 .order
                 .clone();
             self.target.set_order(&trial_order)?;
+            if let Some(drift) = &self.drift {
+                // The trial morsel is a one-morsel window under the
+                // trial order; its fit residual scores the model at a
+                // stage position the accepted order may never expose.
+                record_fit_drift(
+                    drift,
+                    front_stage_key(&self.stage_keys, &trial_order),
+                    &geom,
+                    &sampled,
+                    &estimate.survivors,
+                    stats.cycles_per_tuple(),
+                );
+            }
             self.target.calibrate(&geom, &sampled, &estimate.survivors);
         }
         let trial = self.sockets[s]
@@ -558,6 +596,21 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
         if self.target.set_order(&self.sockets[s].published).is_err() {
             return;
         }
+        if let Some(drift) = &self.drift {
+            let observed_cpt = if merged.n_input > 0 {
+                self.sockets[s].fit_window_cycles as f64 / merged.n_input as f64
+            } else {
+                0.0
+            };
+            record_fit_drift(
+                drift,
+                front_stage_key(&self.stage_keys, &self.sockets[s].published),
+                geom,
+                merged,
+                &estimate.survivors,
+                observed_cpt,
+            );
+        }
         self.target.calibrate(geom, merged, &estimate.survivors);
         let proposed = self.target.propose_order(geom, &estimate.selectivities);
         let differs = proposed != self.sockets[s].published;
@@ -633,6 +686,15 @@ impl<'a, T: ShardableTarget> CoordState<'a, T> {
             .map(|(_, window)| window.sampled_counters())
             .collect();
         let merged = SampledCounters::merged(&samples)?;
+        // The observed side of the round's cycles-per-tuple residual,
+        // captured before the windows are zeroed below.
+        self.sockets[s].fit_window_cycles = self
+            .windows
+            .iter()
+            .enumerate()
+            .filter(|(wi, _)| self.socket_of[*wi] == s)
+            .map(|(_, window)| window.counters.cycles)
+            .sum();
         // The geometry must describe the order the windows sampled.
         self.target.set_order(&self.sockets[s].published).ok()?;
         let geom = self.geometry(s, merged.n_input, cpu_cfg);
@@ -863,6 +925,22 @@ pub fn run_parallel_pipeline(
     run_parallel_target(&mut target, morsels, pool, reopt)
 }
 
+/// [`run_parallel_pipeline`] with observers attached (see
+/// [`ExecObservers`]); every observer is non-invasive — the report is
+/// bit-identical to the unobserved run's.
+pub fn run_parallel_pipeline_observed(
+    pipeline: &mut Pipeline<'_>,
+    initial_order: &[usize],
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+    obs: &ExecObservers,
+) -> Result<ParallelReport, EngineError> {
+    pipeline.reorder(initial_order)?;
+    let mut target = PipelineTarget::new(pipeline);
+    run_parallel_target_inner(&mut target, morsels, pool, reopt, obs)
+}
+
 /// [`run_parallel_pipeline`] with the run's decisions traced into
 /// `tracer`. Tracing is non-invasive: the report is bit-identical to the
 /// untraced run's.
@@ -913,6 +991,22 @@ pub fn run_parallel_program_traced(
     run_parallel_target_traced(&mut target, morsels, pool, reopt, tracer, query)
 }
 
+/// [`run_parallel_program`] with observers attached (see
+/// [`ExecObservers`]); every observer is non-invasive — the report is
+/// bit-identical to the unobserved run's.
+pub fn run_parallel_program_observed(
+    program: &mut crate::exec::program::CompiledProgram<'_>,
+    initial_order: &[usize],
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+    obs: &ExecObservers,
+) -> Result<ParallelReport, EngineError> {
+    program.reorder(initial_order)?;
+    let mut target = crate::progressive::CompiledTarget::new(program);
+    run_parallel_target_inner(&mut target, morsels, pool, reopt, obs)
+}
+
 /// Drive any range-shardable progressive target across the pool.
 pub fn run_parallel_target<T>(
     target: &mut T,
@@ -923,7 +1017,7 @@ pub fn run_parallel_target<T>(
 where
     T: ShardableTarget + Send,
 {
-    run_parallel_target_inner(target, morsels, pool, reopt, None)
+    run_parallel_target_inner(target, morsels, pool, reopt, &ExecObservers::none())
 }
 
 /// [`run_parallel_target`] with every decision traced into `tracer`,
@@ -941,7 +1035,27 @@ pub fn run_parallel_target_traced<T>(
 where
     T: ShardableTarget + Send,
 {
-    run_parallel_target_inner(target, morsels, pool, reopt, Some((tracer, query)))
+    let obs = ExecObservers::none().with_trace(Arc::clone(tracer), query);
+    run_parallel_target_inner(target, morsels, pool, reopt, &obs)
+}
+
+/// [`run_parallel_target`] with any combination of observers attached:
+/// tracer, per-stage cycle profiler, model-drift observatory. All
+/// non-invasive — the report is bit-identical to the unobserved run's,
+/// and the profiler's attributed cycles sum bit-exactly to the pool's
+/// per-worker wall cycles (stage + optimizer lanes per worker equal that
+/// worker's entry in `per_worker_cycles`; idle pads to the fleet wall).
+pub fn run_parallel_target_observed<T>(
+    target: &mut T,
+    morsels: MorselConfig,
+    pool: &mut CpuPool,
+    reopt: Option<&ProgressiveConfig>,
+    obs: &ExecObservers,
+) -> Result<ParallelReport, EngineError>
+where
+    T: ShardableTarget + Send,
+{
+    run_parallel_target_inner(target, morsels, pool, reopt, obs)
 }
 
 fn run_parallel_target_inner<T>(
@@ -949,7 +1063,7 @@ fn run_parallel_target_inner<T>(
     morsels: MorselConfig,
     pool: &mut CpuPool,
     reopt: Option<&ProgressiveConfig>,
-    trace: Option<(&Arc<Tracer>, usize)>,
+    obs: &ExecObservers,
 ) -> Result<ParallelReport, EngineError>
 where
     T: ShardableTarget + Send,
@@ -983,13 +1097,13 @@ where
     let socket_of: Vec<usize> = (0..workers).map(|w| pool.socket_of(w)).collect();
     let placement = pool.cores()[0].placement().clone();
 
-    if let Some((tracer, query)) = trace {
+    if let Some((tracer, query)) = &obs.trace {
         let mode = match pool.llc_mode() {
             LlcMode::Shared => "shared",
             LlcMode::Private => "private",
         };
         let shares = llc_shares.clone();
-        tracer.emit(tracer.coordinator_lane(), query, || {
+        tracer.emit(tracer.coordinator_lane(), *query, || {
             TraceEvent::LlcRepartition {
                 scope: "batch",
                 mode,
@@ -1003,10 +1117,19 @@ where
         shards.push(target.shard()?);
     }
 
+    // Observation-only inputs the workers need outside the lock: the
+    // initial order every shard starts under and the plan-indexed
+    // profiling weights (order-independent by construction).
+    let initial_order = target.order();
+    let plan_weights = target.stage_profile_weights();
+
     let worker_socket = socket_of.clone();
     let mut coord = CoordState::with_topology(target, socket_of, llc_shares, placement);
-    if let Some((tracer, query)) = trace {
-        coord.set_trace(Arc::clone(tracer), query);
+    if let Some((tracer, query)) = &obs.trace {
+        coord.set_trace(Arc::clone(tracer), *query);
+    }
+    if let Some(drift) = &obs.drift {
+        coord.set_drift(Arc::clone(drift));
     }
     let state = Mutex::new(SharedState { coord, error: None });
 
@@ -1026,9 +1149,21 @@ where
                 let state = &state;
                 let cpu_cfg = &cpu_cfg;
                 let socket = worker_socket[w];
+                let initial_order = &initial_order;
+                let plan_weights = &plan_weights;
                 scope.spawn(move || {
                     worker_loop(
-                        w, socket, core, &mut shard, dispatcher, state, reopt, cpu_cfg, trace,
+                        w,
+                        socket,
+                        core,
+                        &mut shard,
+                        dispatcher,
+                        state,
+                        reopt,
+                        cpu_cfg,
+                        obs,
+                        initial_order,
+                        plan_weights,
                     )
                 })
             })
@@ -1054,6 +1189,11 @@ where
         .map(|((_, exec_cycles), opt_cycles)| exec_cycles + opt_cycles)
         .collect();
     let wall_cycles = fleet_wall_cycles(&per_worker_cycles);
+    if let Some(prof) = &obs.profiler {
+        // Per-worker busy cycles are final; the profiler fills the idle
+        // lanes up to the fleet wall and seals the conservation law.
+        prof.finish(&per_worker_cycles);
+    }
     let socket_orders = st.coord.socket_orders();
     // Leave the master target in socket 0's accepted order: callers read
     // one final order off the target, and socket 0 is the deterministic
@@ -1062,9 +1202,9 @@ where
         .target
         .set_order(&socket_orders[0])
         .expect("published order was accepted before");
-    if let Some((tracer, query)) = trace {
+    if let Some((tracer, query)) = &obs.trace {
         let morsels = st.coord.morsels_done;
-        tracer.emit_at(tracer.coordinator_lane(), query, wall_cycles, || {
+        tracer.emit_at(tracer.coordinator_lane(), *query, wall_cycles, || {
             TraceEvent::Complete {
                 qualified: total.qualified,
                 sum: total.sum,
@@ -1112,7 +1252,9 @@ fn worker_loop<T, S>(
     state: &Mutex<SharedState<'_, T>>,
     reopt: Option<&ProgressiveConfig>,
     cpu_cfg: &CpuConfig,
-    trace: Option<(&Arc<Tracer>, usize)>,
+    obs: &ExecObservers,
+    initial_order: &[usize],
+    plan_weights: &[f64],
 ) -> (VectorStats, u64)
 where
     T: ShardableTarget,
@@ -1126,6 +1268,10 @@ where
     // of the simulation — the tracer's lane clock follows it, so stamps
     // never depend on host time.
     let mut opt_total = 0u64;
+    // The order the shard is currently chained under, mirrored locally
+    // for profiler attribution (shards expose no order accessor, and the
+    // coordinator's view can move between this worker's boundaries).
+    let mut cur_order = initial_order.to_vec();
     while let Some((start, end)) = dispatcher.next(w) {
         // Boundary sync: adopt the published order, or lease a pending
         // trial so the candidate runs on exactly this core.
@@ -1142,6 +1288,7 @@ where
                     state.lock().expect("coordinator lock").error = Some(err);
                     break;
                 }
+                cur_order = order;
                 MorselMode::Trial
             }
             BoundaryAction::Adopt { order, epoch } => {
@@ -1149,6 +1296,7 @@ where
                     state.lock().expect("coordinator lock").error = Some(err);
                     break;
                 }
+                cur_order = order;
                 local_epoch = epoch;
                 MorselMode::Normal { epoch }
             }
@@ -1159,7 +1307,13 @@ where
         let stats = shard.run_range(core, start, end);
         total.accumulate(&stats);
 
-        if let Some((tracer, query)) = trace {
+        if let Some(prof) = &obs.profiler {
+            let parts = morsel_stage_parts(&cur_order, plan_weights, &stats);
+            prof.record_morsel(w, socket, start_pos, &parts);
+        }
+
+        if let Some((tracer, query)) = &obs.trace {
+            let query = *query;
             // Publish this lane's wall position at the morsel boundary so
             // the decision events the locked round below emits (accept /
             // revert / reopt) stamp at the morsel's end.
@@ -1175,6 +1329,9 @@ where
             });
         }
 
+        // The lane position an optimizer round this boundary runs at:
+        // the morsel's end (execution so far plus prior optimizer time).
+        let round_pos = (core.counters().cycles - cycles_before) + opt_total;
         let outcome = match mode {
             MorselMode::Trial => {
                 let cfg = reopt.expect("trials are only scheduled when reopt is on");
@@ -1183,14 +1340,18 @@ where
                     // published (the trial order if accepted, the
                     // incumbent if not). Optimizer cycles are read
                     // from the state's per-worker totals at the end.
+                    if let Some(prof) = &obs.profiler {
+                        prof.record_optimizer(w, socket, round_pos, opt);
+                    }
                     opt_total += opt;
                     shard.set_order(&published)?;
+                    cur_order = published;
                     local_epoch = epoch;
                     Ok(())
                 })
             }
             MorselMode::Normal { epoch } => {
-                opt_total += normal_round(
+                let opt = normal_round(
                     state,
                     w,
                     epoch,
@@ -1199,6 +1360,10 @@ where
                     cpu_cfg,
                     !dispatcher.exhausted(),
                 );
+                if let Some(prof) = &obs.profiler {
+                    prof.record_optimizer(w, socket, round_pos, opt);
+                }
+                opt_total += opt;
                 Ok(())
             }
         };

@@ -69,8 +69,9 @@ pub mod coordinator;
 pub mod morsel;
 
 pub use coordinator::{
-    run_parallel_pipeline, run_parallel_pipeline_traced, run_parallel_program,
-    run_parallel_program_traced, run_parallel_scan, run_parallel_scan_traced, run_parallel_target,
+    run_parallel_pipeline, run_parallel_pipeline_observed, run_parallel_pipeline_traced,
+    run_parallel_program, run_parallel_program_observed, run_parallel_program_traced,
+    run_parallel_scan, run_parallel_scan_traced, run_parallel_target, run_parallel_target_observed,
     run_parallel_target_traced, ParallelReport,
 };
 pub use morsel::{MorselConfig, MorselDispatcher};

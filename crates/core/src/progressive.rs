@@ -47,6 +47,7 @@ use crate::error::EngineError;
 use crate::exec::pipeline::Pipeline;
 use crate::exec::program::CompiledProgram;
 use crate::exec::scan::{CompiledSelection, VectorStats};
+use crate::observe::{front_stage_key, morsel_stage_parts, record_fit_drift, ExecObservers};
 use crate::plan::{order_by_cost_per_tuple, order_by_selectivity, Peo, SelectionPlan};
 
 /// Streaming footprint one scanned column claims in the last-level
@@ -55,6 +56,12 @@ use crate::plan::{order_by_cost_per_tuple, order_by_selectivity, Peo, SelectionP
 /// (a few dozen lines of read-ahead) ever competes for capacity — unlike
 /// a probed dimension, which wants to stay resident in full.
 pub const STREAM_HOT_BYTES_PER_COLUMN: u64 = 4 * 1024;
+
+/// Extra profiling weight a join-probe stage carries on top of its
+/// instruction charge, standing in for its per-tuple memory stalls (an
+/// LLC-hit latency's worth — attribution weighting only, never a cost
+/// the simulation charges).
+pub(crate) const PROFILE_PROBE_WEIGHT: f64 = 30.0;
 
 /// Configuration of the progressive optimizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -334,6 +341,23 @@ pub trait ProgressiveTarget {
     fn restore_calibration(&mut self, snapshot: &CalibrationSnapshot) {
         let _ = snapshot;
     }
+
+    /// Literal-free per-stage keys, *plan*-indexed, for drift
+    /// attribution: structurally identical queries map to the same keys
+    /// regardless of their literals, so residual series aggregate across
+    /// a workload template. The default keys by plan index.
+    fn stage_keys(&self) -> Vec<u64> {
+        (0..self.order().len() as u64).collect()
+    }
+
+    /// Intrinsic per-evaluation profiling weight of each stage,
+    /// *plan*-indexed: the relative cost of pushing one tuple through
+    /// the stage, used by the cycle profiler to split a morsel's
+    /// measured cycles across its stages. Only ratios matter. The
+    /// default weighs stages uniformly.
+    fn stage_profile_weights(&self) -> Vec<f64> {
+        vec![1.0; self.order().len()]
+    }
 }
 
 /// The multi-selection scan as a progressive target: switching orders
@@ -610,6 +634,23 @@ impl ProgressiveTarget for PipelineTarget<'_, '_> {
         }
         self.cal.restore(snapshot);
     }
+
+    fn stage_profile_weights(&self) -> Vec<f64> {
+        // `stage_instructions` is evaluation-ordered; map it back to plan
+        // indices and surcharge join probes for their memory stalls.
+        let order = self.pipeline.order();
+        let instr = self.pipeline.stage_instructions();
+        let mut weights = vec![1.0; order.len()];
+        for (k, &j) in order.iter().enumerate() {
+            let probe = if self.pipeline.op(j).is_join() {
+                PROFILE_PROBE_WEIGHT
+            } else {
+                0.0
+            };
+            weights[j] = instr.get(k).copied().unwrap_or(1.0) + probe;
+        }
+        weights
+    }
 }
 
 /// A [`CompiledProgram`] as a progressive target — the frontend's
@@ -727,6 +768,25 @@ impl ProgressiveTarget for CompiledTarget<'_, '_> {
         }
         self.cal.restore(snapshot);
     }
+
+    fn stage_keys(&self) -> Vec<u64> {
+        self.program.stage_keys()
+    }
+
+    fn stage_profile_weights(&self) -> Vec<f64> {
+        let order = self.program.order();
+        let instr = self.program.stage_instructions();
+        let mut weights = vec![1.0; order.len()];
+        for (k, &j) in order.iter().enumerate() {
+            let probe = if self.program.stage(j).is_join() {
+                PROFILE_PROBE_WEIGHT
+            } else {
+                0.0
+            };
+            weights[j] = instr.get(k).copied().unwrap_or(1.0) + probe;
+        }
+        weights
+    }
 }
 
 /// Execute `plan` starting from `initial_peo` with progressive
@@ -773,9 +833,29 @@ pub fn run_progressive_program(
     cpu: &mut SimCpu,
     config: &ProgressiveConfig,
 ) -> Result<ProgressiveReport, EngineError> {
+    run_progressive_program_observed(
+        program,
+        initial_order,
+        vectors,
+        cpu,
+        config,
+        &ExecObservers::none(),
+    )
+}
+
+/// [`run_progressive_program`] with observers attached (see
+/// [`run_progressive_target_observed`] for the observation contract).
+pub fn run_progressive_program_observed(
+    program: &mut CompiledProgram<'_>,
+    initial_order: &[usize],
+    vectors: VectorConfig,
+    cpu: &mut SimCpu,
+    config: &ProgressiveConfig,
+    obs: &ExecObservers,
+) -> Result<ProgressiveReport, EngineError> {
     program.reorder(initial_order)?;
     let mut target = CompiledTarget::new(program);
-    run_progressive_target(&mut target, vectors, cpu, config)
+    run_progressive_target_observed(&mut target, vectors, cpu, config, obs)
 }
 
 /// The §4.4 loop over any [`ProgressiveTarget`]: sample counters per
@@ -787,6 +867,22 @@ pub fn run_progressive_target<T: ProgressiveTarget>(
     vectors: VectorConfig,
     cpu: &mut SimCpu,
     config: &ProgressiveConfig,
+) -> Result<ProgressiveReport, EngineError> {
+    run_progressive_target_observed(target, vectors, cpu, config, &ExecObservers::none())
+}
+
+/// [`run_progressive_target`] with observers attached: the profiler
+/// receives every vector's cycles (attributed across the stages of the
+/// order it ran under, worker 0 / socket 0, zero idle) and every
+/// estimator charge; the drift observatory receives every fit's
+/// predicted-vs-observed residuals. Observation is non-invasive — the
+/// report is bit-identical with and without observers.
+pub fn run_progressive_target_observed<T: ProgressiveTarget>(
+    target: &mut T,
+    vectors: VectorConfig,
+    cpu: &mut SimCpu,
+    config: &ProgressiveConfig,
+    obs: &ExecObservers,
 ) -> Result<ProgressiveReport, EngineError> {
     if config.reop_interval == 0 {
         return Err(EngineError::InvalidVectorConfig("reop_interval = 0".into()));
@@ -813,9 +909,22 @@ pub fn run_progressive_target<T: ProgressiveTarget>(
     // Cycles-per-tuple of the most recent vector, for end-of-scan trial
     // resolution.
     let mut last_cpt = 0.0f64;
+    // Observation-only state: literal-free keys and profiling weights
+    // (plan-indexed, order-independent), and the profiler's timeline
+    // position (executed + optimizer cycles so far).
+    let stage_keys = target.stage_keys();
+    let plan_weights = target.stage_profile_weights();
+    let mut prof_pos = 0u64;
 
     for (v_idx, &(start, end)) in ranges.iter().enumerate() {
         let stats = target.run_range(cpu, start, end);
+        if let Some(prof) = &obs.profiler {
+            // `order()` still names the order this vector ran under —
+            // switches happen below, after the measurements are taken.
+            let parts = morsel_stage_parts(&target.order(), &plan_weights, &stats);
+            prof.record_morsel(0, 0, prof_pos, &parts);
+        }
+        prof_pos += stats.counters.cycles;
         per_vector.push(stats.counters.cycles);
         last_cpt = stats.cycles_per_tuple();
 
@@ -838,7 +947,24 @@ pub fn run_progressive_target<T: ProgressiveTarget>(
                 let geom = target.plan_geometry(sampled.n_input, &cpu_cfg, llc_bytes);
                 let estimate = estimate_selectivities(&geom, &sampled, &config.estimator);
                 estimates += 1;
-                optimizer_cycles += estimate.evaluations as u64 * config.cycles_per_estimator_eval;
+                let spent = estimate.evaluations as u64 * config.cycles_per_estimator_eval;
+                optimizer_cycles += spent;
+                if let Some(prof) = &obs.profiler {
+                    prof.record_optimizer(0, 0, prof_pos, spent);
+                }
+                prof_pos += spent;
+                if let Some(drift) = &obs.drift {
+                    // The trial order that produced the sample is still
+                    // in effect here (a revert happens below).
+                    record_fit_drift(
+                        drift,
+                        front_stage_key(&stage_keys, &target.order()),
+                        &geom,
+                        &sampled,
+                        &estimate.survivors,
+                        stats.cycles_per_tuple(),
+                    );
+                }
                 target.calibrate(&geom, &sampled, &estimate.survivors);
                 vector_estimate = Some((geom, estimate));
             }
@@ -926,12 +1052,28 @@ pub fn run_progressive_target<T: ProgressiveTarget>(
                 let geom = target.plan_geometry(sampled.n_input, &cpu_cfg, llc_bytes);
                 let estimate = estimate_selectivities(&geom, &sampled, &config.estimator);
                 estimates += 1;
-                optimizer_cycles += estimate.evaluations as u64 * config.cycles_per_estimator_eval;
+                let spent = estimate.evaluations as u64 * config.cycles_per_estimator_eval;
+                optimizer_cycles += spent;
+                if let Some(prof) = &obs.profiler {
+                    prof.record_optimizer(0, 0, prof_pos, spent);
+                }
+                prof_pos += spent;
                 // A reverted trial leaves the sample describing the trial
                 // order while `geom` describes the reinstated one —
-                // calibrating against that mismatch would corrupt a
-                // settled clustering belief.
+                // calibrating (or scoring drift) against that mismatch
+                // would corrupt a settled belief with a residual the
+                // model never produced.
                 if !sample_is_stale {
+                    if let Some(drift) = &obs.drift {
+                        record_fit_drift(
+                            drift,
+                            front_stage_key(&stage_keys, &target.order()),
+                            &geom,
+                            &sampled,
+                            &estimate.survivors,
+                            stats.cycles_per_tuple(),
+                        );
+                    }
                     target.calibrate(&geom, &sampled, &estimate.survivors);
                 }
                 (geom, estimate)
@@ -967,6 +1109,13 @@ pub fn run_progressive_target<T: ProgressiveTarget>(
             target.set_order(&old)?;
             switches[switch_idx].reverted = true;
         }
+    }
+
+    if let Some(prof) = &obs.profiler {
+        // One lane, no co-runners: wall == busy, idle == 0. `prof_pos`
+        // accumulated exactly executed + optimizer cycles, so the
+        // conservation law holds bit-exactly.
+        prof.finish(&[prof_pos]);
     }
 
     let freq = cpu.config().timing.frequency_ghz;

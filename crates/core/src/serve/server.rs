@@ -38,7 +38,7 @@ use std::sync::{Arc, Mutex};
 
 use popt_cost::cycles::{fleet_occupancy, fleet_wall_cycles_interleaved};
 use popt_cpu::{CpuConfig, CpuPool, SimCpu};
-use popt_obs::{MetricsRegistry, TraceEvent, Tracer};
+use popt_obs::{DriftObservatory, MetricsRegistry, TraceEvent, Tracer};
 use popt_storage::Table;
 
 use crate::error::EngineError;
@@ -394,6 +394,7 @@ pub struct QueryServer<'t> {
     cache: OrderCache,
     config: ServeConfig,
     tracer: Option<Arc<Tracer>>,
+    drift: Option<Arc<DriftObservatory>>,
 }
 
 impl<'t> QueryServer<'t> {
@@ -404,6 +405,7 @@ impl<'t> QueryServer<'t> {
             cache: OrderCache::new(),
             config,
             tracer: None,
+            drift: None,
         }
     }
 
@@ -420,6 +422,14 @@ impl<'t> QueryServer<'t> {
     /// Detach the tracer (runs stop emitting).
     pub fn clear_tracer(&mut self) {
         self.tracer = None;
+    }
+
+    /// Attach a model-drift observatory: every query's reopt-round and
+    /// trial fits record their predicted-vs-observed residuals there,
+    /// keyed by literal-free stage key (so repeated templates aggregate
+    /// into shared series). Non-invasive, like the tracer.
+    pub fn set_drift(&mut self, drift: Arc<DriftObservatory>) {
+        self.drift = Some(drift);
     }
 
     /// Queue a query for the next [`QueryServer::run`].
@@ -648,6 +658,9 @@ impl<'t> QueryServer<'t> {
                 // reopt rounds, epoch publication) emits through the same
                 // tracer under its query id.
                 coord.set_trace(Arc::clone(tracer), entries.len());
+            }
+            if let Some(drift) = &self.drift {
+                coord.set_drift(Arc::clone(drift));
             }
             entries.push(QueryEntry {
                 coord,

@@ -190,6 +190,25 @@ pub fn scan_millis(geom: &PlanGeometry, survivors: &[f64], params: &CycleParams)
     scan_cycles(geom, survivors, params) / (params.frequency_ghz * 1e6)
 }
 
+/// Estimated cycles for the whole plan under the survivor hypothesis:
+/// [`scan_cycles`] (instructions, mispredictions, streamed column reads)
+/// *plus* the join-probe stalls the scan model deliberately omits — each
+/// probe stage pays [`probe_stall_per_tuple`] for every tuple reaching
+/// it. This is the model side of the drift observatory's
+/// cycles-per-tuple residual: divide by `geom.n_input` and compare
+/// against a measured window's cycles per tuple.
+pub fn plan_cycles(geom: &PlanGeometry, survivors: &[f64], params: &CycleParams) -> f64 {
+    let mut cycles = scan_cycles(geom, survivors, params);
+    let mut reaching = geom.n_input as f64;
+    for (j, &s) in survivors.iter().enumerate() {
+        if let Some(probe) = geom.probe(j) {
+            cycles += reaching * probe_stall_per_tuple(probe, params);
+        }
+        reaching = s.max(0.0);
+    }
+    cycles
+}
+
 /// Wall-clock cycles of a parallel region: the busiest worker bounds the
 /// region's end (morsel-driven execution has no other barrier). Defined
 /// for degenerate inputs: an empty worker list (or a pool that recorded
@@ -520,6 +539,42 @@ mod tests {
         assert_eq!(fleet_wall_cycles_per_socket(&cycles, 1), vec![100]);
         // Zero-length region: defined values.
         assert_eq!(fleet_occupancy_per_socket(&[0, 0], 2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn plan_cycles_adds_probe_stalls_on_reaching_tuples() {
+        use crate::estimate::ProbeGeometry;
+        use crate::join_model::JoinGeometry;
+        let p = CycleParams::default();
+        let mut g = PlanGeometry::uniform_i32(1 << 20, 2);
+        let survivors = [(1u64 << 19) as f64, (1u64 << 18) as f64];
+        // No probes: identical to the scan model.
+        assert_eq!(
+            plan_cycles(&g, &survivors, &p),
+            scan_cycles(&g, &survivors, &p)
+        );
+        // A thrashing probe at stage 1 charges its stall once per tuple
+        // *reaching* stage 1 — the survivors of stage 0.
+        let probe = ProbeGeometry {
+            relation: JoinGeometry {
+                relation_tuples: 500_000,
+                tuple_bytes: 4,
+                line_bytes: 64,
+                cache_lines: 1024 * 1024 / 64,
+            },
+            upper_cache_bytes: 64.0 * 1024.0,
+            clustering: 1.0,
+            remote_fraction: 0.0,
+        };
+        let stall = probe_stall_per_tuple(&probe, &p);
+        g.probes = vec![None, Some(probe)];
+        let with_probe = plan_cycles(&g, &survivors, &p);
+        let expected = scan_cycles(&g, &survivors, &p) + survivors[0] * stall;
+        assert!(
+            (with_probe - expected).abs() < 1e-6,
+            "{with_probe} {expected}"
+        );
+        assert!(with_probe > scan_cycles(&g, &survivors, &p));
     }
 
     #[test]

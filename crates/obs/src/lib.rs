@@ -29,18 +29,28 @@
 //! * [`chrome`] — Chrome-trace-event JSON export (Perfetto per-core
 //!   timelines) plus a dependency-free JSON validator;
 //! * [`explain`] — the human-readable progressive decision log: *why*
-//!   each order was accepted.
+//!   each order was accepted;
+//! * [`drift`] — the model-drift observatory: predicted-vs-observed
+//!   residuals per literal-free stage key, with windowed error
+//!   statistics (how good is the model the decisions trust?);
+//! * [`profile`] — the per-stage cycle profiler: attributed
+//!   stage/optimizer/idle lanes under a bit-exact conservation law,
+//!   exported as Chrome duration slices and a text flame summary.
 
 pub mod chrome;
+pub mod drift;
 pub mod event;
 pub mod explain;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod tracer;
 
 pub use chrome::{chrome_trace, validate_json};
+pub use drift::{DriftObservatory, DriftStats};
 pub use event::{Arg, Stamp, TraceEvent, TraceRecord};
 pub use explain::{decision_line, decision_log};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use profile::{apportion, ProfLane, ProfSlice, Profiler};
 pub use sink::{MemorySink, NullSink, StreamSink, TraceSink};
 pub use tracer::Tracer;

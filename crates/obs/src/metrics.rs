@@ -100,6 +100,46 @@ impl Histogram {
         }
         Some(u64::MAX)
     }
+
+    /// Quantile `q` (0.0..=1.0) with linear interpolation inside the
+    /// containing bucket; `None` when empty. The fractional rank
+    /// `q × count` is located in the cumulative distribution, and the
+    /// value interpolates between the bucket's lower edge (the previous
+    /// bound; 0 for the first bucket) and its upper bound. A rank
+    /// landing in the overflow bucket reports the last bound (the
+    /// overflow bucket has no upper edge to interpolate toward) — use
+    /// [`Histogram::quantile`] when the `u64::MAX` sentinel is wanted
+    /// instead.
+    pub fn quantile_interpolated(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cum;
+            cum += c;
+            if (cum as f64) >= target {
+                let hi = match self.bounds.get(i) {
+                    Some(&b) => b as f64,
+                    // Overflow bucket: unbounded above, report the edge.
+                    None => return Some(*self.bounds.last().expect("non-empty bounds") as f64),
+                };
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                let frac = ((target - before as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + frac * (hi - lo));
+            }
+        }
+        Some(*self.bounds.last().expect("non-empty bounds") as f64)
+    }
 }
 
 /// Named counters, gauges, and histograms, snapshotable at any point.
@@ -156,6 +196,17 @@ impl MetricsRegistry {
     /// Histogram by name, if observed.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Interpolated `(p50, p95, p99)` of histogram `name`, if observed —
+    /// the latency-SLO triple baseline snapshots record.
+    pub fn percentiles(&self, name: &str) -> Option<(f64, f64, f64)> {
+        let h = self.histograms.get(name)?;
+        Some((
+            h.quantile_interpolated(0.50)?,
+            h.quantile_interpolated(0.95)?,
+            h.quantile_interpolated(0.99)?,
+        ))
     }
 
     /// A point-in-time copy of the registry.
@@ -260,6 +311,59 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn non_monotone_bounds_are_rejected() {
         Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn interpolated_quantiles_blend_within_buckets() {
+        let mut h = Histogram::new(vec![1, 2, 4, 8]);
+        for v in [1, 1, 2, 3, 5, 9] {
+            h.observe(v);
+        }
+        // Counts per bucket: [2, 1, 1, 1, 1(overflow)], total 6.
+        // target(0.25) = 1.5 sits 3/4 through bucket 0 (edges 0..1).
+        assert!((h.quantile_interpolated(0.25).unwrap() - 0.75).abs() < 1e-12);
+        // target(0.5) = 3 lands exactly on bucket 1's cumulative edge:
+        // interpolation reaches its upper bound, matching `quantile`.
+        assert!((h.quantile_interpolated(0.5).unwrap() - 2.0).abs() < 1e-12);
+        // target(0.75) = 4.5 is halfway through bucket (4, 8].
+        assert!((h.quantile_interpolated(0.75).unwrap() - 6.0).abs() < 1e-12);
+        // q = 0 rides the lower edge of the first non-empty bucket.
+        assert_eq!(h.quantile_interpolated(0.0), Some(0.0));
+        // The overflow bucket has no upper edge: report the last bound
+        // (where `quantile` reports the u64::MAX sentinel instead).
+        assert_eq!(h.quantile_interpolated(1.0), Some(8.0));
+        assert_eq!(Histogram::pow2(4).quantile_interpolated(0.5), None);
+    }
+
+    #[test]
+    fn interpolated_quantiles_handle_boundary_and_sparse_buckets() {
+        // A single value: every quantile collapses into its bucket.
+        let mut h = Histogram::new(vec![10, 100]);
+        h.observe(50);
+        // Bucket (10, 100] with one observation: target = q for q>0.
+        assert!((h.quantile_interpolated(1.0).unwrap() - 100.0).abs() < 1e-12);
+        assert!((h.quantile_interpolated(0.5).unwrap() - 55.0).abs() < 1e-12);
+        // Empty buckets between observations are skipped, not averaged.
+        let mut h = Histogram::new(vec![1, 2, 4, 8]);
+        h.observe(1);
+        h.observe(8);
+        // target(0.5) = 1 lands exactly on bucket 0's edge → bound 1.
+        assert!((h.quantile_interpolated(0.5).unwrap() - 1.0).abs() < 1e-12);
+        // target(0.75) = 1.5 is halfway through bucket (4, 8].
+        assert!((h.quantile_interpolated(0.75).unwrap() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_percentiles_expose_the_slo_triple() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.percentiles("lat"), None);
+        for v in 1..=100u64 {
+            r.observe_with("lat", &[25, 50, 75, 100], v);
+        }
+        let (p50, p95, p99) = r.percentiles("lat").unwrap();
+        assert!((p50 - 50.0).abs() < 1e-12, "{p50}");
+        assert!((p95 - 95.0).abs() < 1e-12, "{p95}");
+        assert!((p99 - 99.0).abs() < 1e-12, "{p99}");
     }
 
     #[test]

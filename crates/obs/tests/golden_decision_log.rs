@@ -1,0 +1,290 @@
+//! Golden-file test for the `explain` decision-log renderer.
+//!
+//! The decision log is grep-surface: CI smokes, the `trace` figure, and
+//! humans diffing two runs all rely on its exact shape. This test pins,
+//! against a committed golden file:
+//!
+//! * the sort key `(query, cycles, lane, ordinal)` — records are fed in
+//!   deliberately scrambled, cross-query order, with same-cycle ties
+//!   that only the lane and then the ordinal break;
+//! * that morsel claims (execution, not decisions) are dropped;
+//! * one rendered line per decision kind, including optional-argument
+//!   omission (`reopt_round` without a proposal, `cache_lookup` miss
+//!   without an order) and every `Arg` shape — unsigned, signed
+//!   (negative), fixed-point floats, bools, orders, shares, and
+//!   selectivity vectors;
+//! * the *escaping contract*: free-form labels render **verbatim** —
+//!   spaces, quotes, backslashes, and non-ASCII pass through unescaped,
+//!   because the log is for human eyes, not for parsing. Anything that
+//!   needs quoting belongs in the Chrome-trace export, which escapes.
+//!
+//! If a renderer change is intentional, regenerate with the command in
+//! the assertion message and review the diff like any golden update.
+
+use popt_obs::{decision_log, Stamp, TraceEvent, TraceRecord};
+
+fn rec(query: usize, lane: usize, cycles: u64, ordinal: u64, event: TraceEvent) -> TraceRecord {
+    TraceRecord {
+        query,
+        stamp: Stamp {
+            lane,
+            cycles,
+            ordinal,
+        },
+        event,
+    }
+}
+
+/// Every decision kind, two queries, scrambled input order, same-cycle
+/// lane and ordinal ties, and one morsel claim that must not render.
+fn fixture() -> Vec<TraceRecord> {
+    vec![
+        // q1 first in input: the log must still sort q0's block first.
+        rec(
+            1,
+            2,
+            9_000,
+            1,
+            TraceEvent::Complete {
+                qualified: 7,
+                sum: 42,
+                morsels: 3,
+                wall_cycles: 9_000,
+            },
+        ),
+        // Execution, not a decision: must be dropped.
+        rec(
+            0,
+            1,
+            250,
+            9,
+            TraceEvent::MorselClaim {
+                socket: 0,
+                start_row: 0,
+                rows: 1_024,
+                start_cycles: 150,
+                cycles: 100,
+                trial: false,
+                epoch: 0,
+            },
+        ),
+        rec(
+            0,
+            1,
+            900,
+            3,
+            TraceEvent::TrialAccept {
+                socket: 0,
+                order: vec![2, 0, 1],
+                baseline_cpt: 3.5,
+                trial_cpt: 2.25,
+                epoch: 1,
+            },
+        ),
+        // Verbatim-label pin: spaces, quotes, a backslash, non-ASCII.
+        rec(
+            1,
+            0,
+            5,
+            0,
+            TraceEvent::Admit {
+                label: "probe \"fast\\path\" θ".to_string(),
+                priority: "low",
+                arrival_cycles: 5,
+            },
+        ),
+        // Same cycles (100) and lane (1) as the reopt round below:
+        // only the ordinal orders these two.
+        rec(
+            0,
+            1,
+            100,
+            1,
+            TraceEvent::TrialLease {
+                socket: 0,
+                order: vec![1, 0, 2],
+                baseline_cpt: 3.5,
+            },
+        ),
+        rec(
+            0,
+            1,
+            100,
+            0,
+            TraceEvent::ReoptRound {
+                socket: 0,
+                round: 1,
+                selectivities: vec![0.25, 0.5],
+                fit_error: 0.25,
+                proposed: Some(vec![1, 0, 2]),
+            },
+        ),
+        rec(
+            0,
+            0,
+            0,
+            0,
+            TraceEvent::Admit {
+                label: "lineup \"mem\"".to_string(),
+                priority: "high",
+                arrival_cycles: 0,
+            },
+        ),
+        rec(
+            0,
+            0,
+            0,
+            1,
+            TraceEvent::SocketHome {
+                socket: 0,
+                footprint_bytes: 1 << 20,
+            },
+        ),
+        // Miss: the optional order argument must be omitted entirely.
+        rec(
+            0,
+            0,
+            0,
+            2,
+            TraceEvent::CacheLookup {
+                hit: false,
+                mid_run: false,
+                order: None,
+            },
+        ),
+        rec(
+            0,
+            0,
+            50,
+            3,
+            TraceEvent::LlcRepartition {
+                scope: "batch",
+                mode: "shared",
+                shares: vec![12, 4],
+            },
+        ),
+        rec(
+            0,
+            1,
+            400,
+            2,
+            TraceEvent::TrialRevert {
+                socket: 0,
+                order: vec![1, 0, 2],
+                baseline_cpt: 3.5,
+                trial_cpt: 4.75,
+            },
+        ),
+        // Same cycles (100) as the two lane-1 records above but lane 0:
+        // the lane breaks the tie before the ordinal does.
+        rec(
+            0,
+            0,
+            100,
+            4,
+            TraceEvent::OrderPublish {
+                socket: 0,
+                order: vec![0, 1, 2],
+                epoch: 0,
+                warm_seed: true,
+            },
+        ),
+        rec(
+            0,
+            0,
+            1_000,
+            5,
+            TraceEvent::CacheRecord {
+                warm: true,
+                order: vec![2, 0, 1],
+                diverged: false,
+                evicted: false,
+                streak_reset: false,
+            },
+        ),
+        // Negative sum: pins signed-argument rendering.
+        rec(
+            0,
+            0,
+            1_200,
+            6,
+            TraceEvent::Complete {
+                qualified: 512,
+                sum: -3_072,
+                morsels: 16,
+                wall_cycles: 1_200,
+            },
+        ),
+        // Confirmed incumbent: `proposed` must be omitted.
+        rec(
+            1,
+            1,
+            30,
+            0,
+            TraceEvent::ReoptRound {
+                socket: 1,
+                round: 2,
+                selectivities: vec![1.0 / 3.0, 2.0 / 3.0, 1.0],
+                fit_error: 0.01,
+                proposed: None,
+            },
+        ),
+        rec(
+            1,
+            2,
+            40,
+            0,
+            TraceEvent::CacheLookup {
+                hit: true,
+                mid_run: true,
+                order: Some(vec![2, 0, 1]),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn decision_log_matches_golden() {
+    let rendered = decision_log(&fixture());
+    if std::env::var_os("POPT_BLESS").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/decision_log.golden");
+        std::fs::write(path, &rendered).expect("golden path is writable");
+        return;
+    }
+    let golden = include_str!("decision_log.golden");
+    assert_eq!(
+        rendered, golden,
+        "decision log drifted from tests/decision_log.golden; if the change \
+         is intentional, regenerate with `POPT_BLESS=1 cargo test -p popt-obs \
+         --test golden_decision_log` and review the diff"
+    );
+}
+
+#[test]
+fn golden_has_no_morsel_lines_and_covers_every_decision_kind() {
+    // Belt and braces on the golden itself: were the fixture or the file
+    // edited carelessly, this catches a silently shrunk contract.
+    let golden = include_str!("decision_log.golden");
+    assert!(
+        !golden.contains(" morsel "),
+        "morsel claims are not decisions"
+    );
+    for kind in [
+        "admit",
+        "socket_home",
+        "cache_lookup",
+        "cache_record",
+        "reopt_round",
+        "trial_lease",
+        "trial_accept",
+        "trial_revert",
+        "order_publish",
+        "llc_repartition",
+        "complete",
+    ] {
+        assert!(
+            golden.contains(&format!("] {kind} ")),
+            "golden lost coverage of decision kind {kind:?}"
+        );
+    }
+}

@@ -1,5 +1,7 @@
-//! Property: tracing is *non-invasive* — attaching a tracer to a
-//! parallel run changes nothing the simulator measures.
+//! Property: observation is *non-invasive* — attaching a tracer or the
+//! per-stage cycle profiler to a parallel run changes nothing the
+//! simulator measures, and what the profiler attributes is conserved
+//! bit-exactly.
 //!
 //! For random mixed pipelines, across sockets × workers × LLC mode ×
 //! reopt on/off:
@@ -18,7 +20,11 @@
 //! * the trace itself is complete: one `morsel` claim event per morsel
 //!   the report counts, exactly one `complete` event, every stamp's
 //!   lane within the tracer's lane count, and the Chrome-trace export
-//!   of the captured records parses.
+//!   of the captured records parses;
+//! * the profiler obeys its conservation law: per worker, stage +
+//!   optimizer lanes equal that worker's reported cycles, adding idle
+//!   reaches the pool wall clock, and the attributed total equals
+//!   `wall × workers` — all bit-exact, on every configuration.
 //!
 //! Case count is the vendored proptest default (256), pinnable via the
 //! upstream-compatible `PROPTEST_CASES` environment variable.
@@ -29,12 +35,14 @@ use proptest::prelude::*;
 
 use popt::core::exec::pipeline::{FilterOp, Pipeline};
 use popt::core::parallel::{
-    run_parallel_pipeline, run_parallel_pipeline_traced, MorselConfig, ParallelReport,
+    run_parallel_pipeline, run_parallel_pipeline_observed, run_parallel_pipeline_traced,
+    MorselConfig, ParallelReport,
 };
 use popt::core::predicate::CompareOp;
 use popt::core::progressive::ProgressiveConfig;
+use popt::core::ExecObservers;
 use popt::cpu::{CpuConfig, CpuPool, LlcMode};
-use popt::obs::{chrome_trace, validate_json, MemorySink, TraceRecord, Tracer};
+use popt::obs::{chrome_trace, validate_json, MemorySink, Profiler, TraceRecord, Tracer};
 use popt::storage::{AddressSpace, ColumnData, Table};
 use popt_bench::figures::workload::xorshift64;
 
@@ -301,5 +309,106 @@ proptest! {
 
         prop_assert_eq!(&traced, &plain);
         prop_assert!(!tracer.enabled());
+    }
+
+    /// The per-stage cycle profiler is non-invasive and conservative:
+    /// attaching it never moves a result, full-report bit-identity holds
+    /// exactly where the engine itself is cycle-deterministic, and every
+    /// attributed cycle is accounted for bit-exactly — per worker,
+    /// stage + optimizer lanes equal the reported cycles, adding idle
+    /// reaches the pool wall clock, and the pool-wide attributed total
+    /// is `wall × workers`.
+    #[test]
+    fn profiler_conserves_and_is_non_invasive(
+        stages in 2usize..4,
+        kinds in any::<u64>(),
+        lit in 100i64..900,
+        seed in any::<u64>(),
+        workers in 1usize..9,
+        morsel_tuples in 128usize..1500,
+    ) {
+        let (fact, dim) = tables(seed);
+        let config = ProgressiveConfig { reop_interval: 2, ..Default::default() };
+        let order: Vec<usize> = (0..stages).collect();
+        for sockets in [1usize, 2] {
+            if sockets > workers {
+                continue;
+            }
+            for mode in [LlcMode::Private, LlcMode::Shared] {
+                for progressive in [false, true] {
+                    let reopt = progressive.then_some(&config);
+                    let plain = run_config(
+                        &fact, &dim, stages, kinds, lit,
+                        sockets, mode, workers, morsel_tuples, reopt, false,
+                    );
+
+                    let profiler = Arc::new(Profiler::new(workers));
+                    let obs = ExecObservers::none().with_profiler(Arc::clone(&profiler));
+                    let mut pipeline = build(&fact, &dim, stages, kinds, lit);
+                    let mut pool =
+                        CpuPool::with_topology(CpuConfig::tiny_test(), workers, mode, sockets);
+                    let report = run_parallel_pipeline_observed(
+                        &mut pipeline,
+                        &order,
+                        MorselConfig::new(morsel_tuples),
+                        &mut pool,
+                        reopt,
+                        &obs,
+                    )
+                    .expect("profiled run succeeds");
+
+                    // Results: identical always.
+                    prop_assert_eq!(
+                        report.qualified, plain.report.qualified,
+                        "sockets={} mode={:?} workers={} progressive={}",
+                        sockets, mode, workers, progressive
+                    );
+                    prop_assert_eq!(report.sum, plain.report.sum);
+
+                    // Full-report bit-identity wherever the engine itself
+                    // is cycle-deterministic (same contract as tracing).
+                    if !progressive || workers == 1 {
+                        prop_assert_eq!(
+                            &report, &plain.report,
+                            "sockets={} mode={:?} workers={} progressive={}",
+                            sockets, mode, workers, progressive
+                        );
+                    }
+
+                    // Conservation, bit-exact against this run's report.
+                    prop_assert!(profiler.finished());
+                    prop_assert!(
+                        profiler.conserves(),
+                        "sockets={} mode={:?} workers={} progressive={}",
+                        sockets, mode, workers, progressive
+                    );
+                    prop_assert_eq!(profiler.wall_cycles(), report.wall_cycles);
+                    for w in 0..workers {
+                        let (stage, opt, idle) = profiler.worker_lanes(w);
+                        prop_assert_eq!(stage + opt, report.per_worker_cycles[w]);
+                        prop_assert_eq!(stage + opt + idle, report.wall_cycles);
+                    }
+                    prop_assert_eq!(
+                        profiler.total_attributed(),
+                        report.wall_cycles * workers as u64
+                    );
+
+                    // Attribution lands only on stages the pipeline has,
+                    // and the stage totals plus every optimizer lane
+                    // re-add to the pool's busy cycles.
+                    let totals = profiler.stage_totals();
+                    prop_assert!(totals.keys().all(|&s| s < stages));
+                    let opt_total: u64 =
+                        (0..workers).map(|w| profiler.worker_lanes(w).1).sum();
+                    prop_assert_eq!(
+                        totals.values().sum::<u64>() + opt_total,
+                        report.per_worker_cycles.iter().sum::<u64>()
+                    );
+
+                    // The profiler's own Chrome-trace export must parse.
+                    prop_assert!(validate_json(&profiler.chrome_trace()).is_ok());
+                }
+            }
+        }
     }
 }
