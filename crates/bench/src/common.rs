@@ -48,6 +48,10 @@ pub struct FigureCtx {
     /// this path (`--trace-out PATH`). Tracing is non-invasive: the
     /// printed simulated cycles are bit-identical with or without it.
     pub trace_out: Option<String>,
+    /// Append each figure's host wall-time to its reporter output
+    /// (`--time`): a trailing note in text mode, a `note` object in
+    /// JSON mode. Purely additive — no simulated number changes.
+    pub time: bool,
 }
 
 impl FigureCtx {
@@ -60,6 +64,7 @@ impl FigureCtx {
             sockets: 1,
             json: false,
             trace_out: None,
+            time: false,
         }
     }
 

@@ -18,6 +18,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod scale;
 pub mod serve;
+pub mod simspeed;
 pub mod trace;
 pub mod workload;
 
@@ -25,11 +26,12 @@ use crate::common::FigureCtx;
 
 /// All figure ids in paper order, plus the beyond-the-paper parallel
 /// scaling study (`scale`), the multi-query serving study (`serve`),
-/// the observability demonstration (`trace`), and the model-drift /
-/// profiler study (`drift`).
+/// the observability demonstration (`trace`), the model-drift /
+/// profiler study (`drift`), and the host-side simulator-throughput
+/// study (`simspeed`).
 pub const ALL: &[&str] = &[
     "1", "2", "3", "4", "6", "7", "8", "9", "11", "12", "13", "14", "15", "16", "scale", "serve",
-    "trace", "drift",
+    "trace", "drift", "simspeed",
 ];
 
 /// Dispatch a figure by id; returns false for unknown ids (the CLI turns
@@ -52,6 +54,7 @@ pub fn run(id: &str, ctx: &FigureCtx) -> bool {
         "16" => fig16::run(ctx),
         "scale" => scale::run(ctx),
         "serve" => serve::run(ctx),
+        "simspeed" => simspeed::run(ctx),
         "trace" => trace::run(ctx),
         "drift" => drift::run(ctx),
         _ => return false,

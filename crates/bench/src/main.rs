@@ -24,7 +24,7 @@ fn print_usage() {
     eprintln!("  --json            machine-readable JSON lines instead of tab columns");
     eprintln!("  --trace-out PATH  write a Chrome-trace JSON of the traced figures' decisions");
     eprintln!(
-        "  regress [id...]   replay figures (default: scale serve) and fail if any \
+        "  regress [id...]   replay figures (default: scale serve simspeed) and fail if any \
          recorded metric drifts past its committed baseline tolerance"
     );
     eprintln!("  --bless           with regress: rewrite the committed baselines instead");
@@ -36,7 +36,7 @@ fn print_usage() {
 /// baseline, bad inflate), 1 for an out-of-tolerance metric, 0 clean.
 fn run_regress(ctx: &FigureCtx, ids: &[&str], bless: bool) -> ! {
     let ids: Vec<&str> = if ids.is_empty() {
-        vec!["scale", "serve"]
+        vec!["scale", "serve", "simspeed"]
     } else {
         ids.to_vec()
     };
@@ -163,11 +163,13 @@ fn main() {
     let mut json = false;
     let mut bless = false;
     let mut trace_out: Option<String> = None;
+    let mut time = false;
     let mut ids: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
+            "--time" => time = true,
             "--shared-llc" => shared_llc = true,
             "--json" => json = true,
             "--bless" => bless = true,
@@ -210,6 +212,7 @@ fn main() {
         sockets,
         json,
         trace_out,
+        time,
     };
 
     // `figures help` is a successful, explicit request for usage (exit 0);
@@ -253,6 +256,12 @@ fn main() {
         // In --json mode every figure's recorded metrics close its output
         // as one "snapshot" line — the same document `regress --bless`
         // commits, so a harness can diff without the subcommand.
+        if ctx.time {
+            popt_bench::note!(
+                "# figure {id}: host wall {:.2}s",
+                t0.elapsed().as_secs_f64()
+            );
+        }
         let metrics = take_metrics();
         if ctx.json && !metrics.is_empty() {
             println!(

@@ -176,6 +176,8 @@ pub struct CompiledProgram<'t> {
     extra_hot_columns: usize,
     rows: usize,
     costs: InstrCosts,
+    /// When set, `run_range` uses the scalar per-event oracle path.
+    scalar_oracle: bool,
 }
 
 impl std::fmt::Debug for CompiledProgram<'_> {
@@ -301,6 +303,7 @@ impl<'t> CompiledProgram<'t> {
             extra_hot_columns,
             rows: fact.rows(),
             costs: InstrCosts::default(),
+            scalar_oracle: false,
         })
     }
 
@@ -343,9 +346,168 @@ impl<'t> CompiledProgram<'t> {
         Ok(())
     }
 
+    /// Force every subsequent [`CompiledProgram::run_range`] call through
+    /// the scalar per-event oracle instead of the batched fast path. A
+    /// test/verification hook: the two paths are bit-identical (pinned by
+    /// `tests/proptest_fastpath.rs`), so flipping this must never change
+    /// results — only host speed.
+    pub fn set_scalar_oracle(&mut self, on: bool) {
+        self.scalar_oracle = on;
+    }
+
     /// Execute rows `start..end`; measurement semantics identical to the
-    /// scan and pipeline executors.
+    /// scan and pipeline executors. Dispatches to the batched fast path
+    /// (register-held stream states, bulk PMU flush per call) unless the
+    /// scalar oracle was requested or the program shape exceeds the fixed
+    /// scratch.
     pub fn run_range(&self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats {
+        assert!(start <= end && end <= self.rows, "row range out of bounds");
+        const MAX_STAGES: usize = 12;
+        const MAX_SLOTS: usize = 32;
+        if self.scalar_oracle || self.order.len() > MAX_STAGES || self.agg.len() > MAX_STAGES {
+            return self.run_range_scalar(cpu, start, end);
+        }
+        // Deduplicate streams into slots: stages sharing a column must
+        // share one adjacency state, exactly like `SimCpu::load` does
+        // through its per-stream table.
+        fn slot_for(
+            slot_streams: &mut [usize],
+            n_slots: &mut usize,
+            stream: usize,
+        ) -> Option<usize> {
+            for (k, &s) in slot_streams.iter().enumerate().take(*n_slots) {
+                if s == stream {
+                    return Some(k);
+                }
+            }
+            if *n_slots == slot_streams.len() {
+                return None;
+            }
+            slot_streams[*n_slots] = stream;
+            *n_slots += 1;
+            Some(*n_slots - 1)
+        }
+        let mut slot_streams = [usize::MAX; MAX_SLOTS];
+        let mut n_slots = 0usize;
+        let mut stage_slot = [0usize; MAX_STAGES];
+        let mut probe_slot = [0usize; MAX_STAGES];
+        let mut agg_slot = [0usize; MAX_STAGES];
+        for (k, &j) in self.order.iter().enumerate() {
+            let s = &self.stages[j];
+            match slot_for(&mut slot_streams, &mut n_slots, s.stream) {
+                Some(t) => stage_slot[k] = t,
+                None => return self.run_range_scalar(cpu, start, end),
+            }
+            if let Some(p) = &s.probe {
+                match slot_for(&mut slot_streams, &mut n_slots, p.dim_stream) {
+                    Some(t) => probe_slot[k] = t,
+                    None => return self.run_range_scalar(cpu, start, end),
+                }
+            }
+        }
+        for (k, a) in self.agg.iter().enumerate() {
+            match slot_for(&mut slot_streams, &mut n_slots, a.stream) {
+                Some(t) => agg_slot[k] = t,
+                None => return self.run_range_scalar(cpu, start, end),
+            }
+        }
+        let before = cpu.counters();
+        let mut qualified = 0u64;
+        let mut sum = 0i64;
+        {
+            let mut batch = cpu.batch();
+            let mut slots = [0u64; MAX_SLOTS];
+            for t in 0..n_slots {
+                slots[t] = batch.stream_state(slot_streams[t]);
+            }
+            // Hot counters live in plain locals (registers) and flush in
+            // bulk after the row loop; the simulated state machines
+            // (predictor table, caches, stream adjacency) still advance
+            // per event, in exact program order.
+            let mut instrs = 0u64;
+            let mut hits = 0u64;
+            let mut branches = 0u64;
+            let mut taken_n = 0u64;
+            let mut mp_taken = 0u64;
+            let mut mp_not_taken = 0u64;
+            let mut hist = batch.history();
+            for i in start..end {
+                instrs += self.costs.loop_overhead;
+                let mut pass = true;
+                for (k, &j) in self.order.iter().enumerate() {
+                    let stg = &self.stages[j];
+                    let t = stage_slot[k];
+                    let mut llpo = slots[t];
+                    hits += batch.load_quiet(&mut llpo, stg.base + (i as u64) * 4, 4);
+                    slots[t] = llpo;
+                    let ok = match &stg.probe {
+                        None => {
+                            instrs += self.costs.per_eval + stg.extra_instructions;
+                            stg.op.eval(i64::from(stg.values[i]), stg.literal)
+                        }
+                        Some(p) => {
+                            let key = stg.values[i] as usize;
+                            debug_assert!(key < p.dim_values.len(), "dangling foreign key");
+                            let tp = probe_slot[k];
+                            let mut pl = slots[tp];
+                            hits += batch.load_quiet(&mut pl, p.dim_base + (key as u64) * 4, 4);
+                            slots[tp] = pl;
+                            instrs += self.costs.per_eval + stg.extra_instructions;
+                            stg.op.eval(i64::from(p.dim_values[key]), stg.literal)
+                        }
+                    };
+                    let tk = u64::from(!ok);
+                    let w = batch.branch_hist(&mut hist, stg.site, !ok);
+                    branches += 1;
+                    taken_n += tk;
+                    mp_taken += w & tk;
+                    mp_not_taken += w & (1 - tk);
+                    if !ok {
+                        pass = false;
+                        break;
+                    }
+                }
+                if pass {
+                    qualified += 1;
+                    let mut product = 1i64;
+                    for (k, a) in self.agg.iter().enumerate() {
+                        let t = agg_slot[k];
+                        let mut llpo = slots[t];
+                        hits += batch.load_quiet(&mut llpo, a.base + (i as u64) * 4, 4);
+                        slots[t] = llpo;
+                        instrs += self.costs.per_agg_column;
+                        product *= i64::from(a.values[i]);
+                    }
+                    if !self.agg.is_empty() {
+                        sum += product;
+                    }
+                }
+                let w = batch.branch_hist(&mut hist, LOOP_BRANCH_SITE, true);
+                branches += 1;
+                taken_n += 1;
+                mp_taken += w;
+            }
+            batch.set_history(hist);
+            batch.instr(instrs);
+            batch.add_element_hits(hits);
+            batch.add_branch_block(branches, taken_n, mp_taken, mp_not_taken);
+            for t in 0..n_slots {
+                batch.set_stream_state(slot_streams[t], slots[t]);
+            }
+        }
+        let after = cpu.counters();
+        VectorStats {
+            tuples: (end - start) as u64,
+            qualified,
+            sum,
+            counters: after.since(&before),
+        }
+    }
+
+    /// The scalar per-event oracle: one `SimCpu` call per simulated
+    /// event. This is the reference semantics the batched
+    /// [`CompiledProgram::run_range`] is proptest-pinned against.
+    pub fn run_range_scalar(&self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats {
         assert!(start <= end && end <= self.rows, "row range out of bounds");
         let before = cpu.counters();
         let mut qualified = 0u64;

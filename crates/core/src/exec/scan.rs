@@ -77,6 +77,8 @@ pub struct CompiledSelection<'t> {
     peo: Peo,
     rows: usize,
     pub(crate) costs: InstrCosts,
+    /// When set, `run_range` uses the scalar per-event oracle path.
+    scalar_oracle: bool,
 }
 
 /// Measurements of one executed vector (or any row range).
@@ -214,6 +216,7 @@ impl<'t> CompiledSelection<'t> {
             peo: peo.to_vec(),
             rows: table.rows(),
             costs,
+            scalar_oracle: false,
         })
     }
 
@@ -256,9 +259,168 @@ impl<'t> CompiledSelection<'t> {
         }
     }
 
+    /// Force every subsequent [`CompiledSelection::run_range`] call
+    /// through the scalar per-event oracle instead of the batched fast
+    /// path. Test/verification hook; the paths are bit-identical.
+    pub fn set_scalar_oracle(&mut self, on: bool) {
+        self.scalar_oracle = on;
+    }
+
     /// Execute rows `start..end` against `cpu`, returning measurements for
-    /// exactly that range.
+    /// exactly that range. Dispatches to the batched fast path
+    /// (register-held stream states, bulk PMU flush per call) unless the
+    /// scalar oracle was requested or the shape exceeds the fixed scratch.
     pub fn run_range(&self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats {
+        assert!(start <= end && end <= self.rows, "row range out of bounds");
+        const MAX_PREDS: usize = 12;
+        const MAX_SLOTS: usize = 24;
+        if self.scalar_oracle || self.preds.len() > MAX_PREDS || self.agg.len() > MAX_PREDS {
+            return self.run_range_scalar(cpu, start, end);
+        }
+        fn slot_for(
+            slot_streams: &mut [usize],
+            n_slots: &mut usize,
+            stream: usize,
+        ) -> Option<usize> {
+            for (k, &s) in slot_streams.iter().enumerate().take(*n_slots) {
+                if s == stream {
+                    return Some(k);
+                }
+            }
+            if *n_slots == slot_streams.len() {
+                return None;
+            }
+            slot_streams[*n_slots] = stream;
+            *n_slots += 1;
+            Some(*n_slots - 1)
+        }
+        let mut slot_streams = [usize::MAX; MAX_SLOTS];
+        let mut n_slots = 0usize;
+        let mut pred_slot = [0usize; MAX_PREDS];
+        let mut agg_slot = [0usize; MAX_PREDS];
+        for (k, p) in self.preds.iter().enumerate() {
+            match slot_for(&mut slot_streams, &mut n_slots, p.stream) {
+                Some(t) => pred_slot[k] = t,
+                None => return self.run_range_scalar(cpu, start, end),
+            }
+        }
+        for (k, a) in self.agg.iter().enumerate() {
+            match slot_for(&mut slot_streams, &mut n_slots, a.stream) {
+                Some(t) => agg_slot[k] = t,
+                None => return self.run_range_scalar(cpu, start, end),
+            }
+        }
+        let before = cpu.counters();
+        let mut qualified = 0u64;
+        let mut sum = 0i64;
+        let costs = self.costs;
+        {
+            let mut batch = cpu.batch();
+            let mut slots = [0u64; MAX_SLOTS];
+            for t in 0..n_slots {
+                slots[t] = batch.stream_state(slot_streams[t]);
+            }
+            // Hot counters in plain locals, flushed in bulk after the row
+            // loop (see the pipeline executor for the same structure).
+            let mut instrs = 0u64;
+            let mut hits = 0u64;
+            let mut branches = 0u64;
+            let mut taken_n = 0u64;
+            let mut mp_taken = 0u64;
+            let mut mp_not_taken = 0u64;
+            let mut hist = batch.history();
+            if self.preds.len() == 1 && self.agg.is_empty() {
+                // Single-predicate count scan: every simulated load in the
+                // morsel belongs to the one predicate stream, so the
+                // sequential touches are accounted in bulk (closed form
+                // for clean spans) and the row loop carries only the
+                // predicate evaluation and the two branch events. Loads
+                // and branches drive disjoint simulated state machines,
+                // so hoisting the loads preserves bit-identity; the
+                // branch sequence itself stays in exact row order.
+                let p = &self.preds[0];
+                let n = (end - start) as u64;
+                let mut llpo = slots[pred_slot[0]];
+                hits += batch.load_elements_seq(&mut llpo, p.base + (start as u64) * 4, 4, n);
+                slots[pred_slot[0]] = llpo;
+                for i in start..end {
+                    let ok = p.op.eval(i64::from(p.values[i]), p.literal);
+                    let tk = u64::from(!ok);
+                    let w = batch.branch_hist(&mut hist, p.site, !ok);
+                    taken_n += tk;
+                    mp_taken += w & tk;
+                    mp_not_taken += w & (1 - tk);
+                    qualified += 1 - tk;
+                    let wl = batch.branch_hist(&mut hist, LOOP_BRANCH_SITE, true);
+                    mp_taken += wl;
+                }
+                instrs += (costs.loop_overhead + costs.per_eval + p.extra_instructions) * n;
+                branches += 2 * n;
+                taken_n += n;
+            } else {
+                for i in start..end {
+                    instrs += costs.loop_overhead;
+                    let mut pass = true;
+                    for (k, p) in self.preds.iter().enumerate() {
+                        let t = pred_slot[k];
+                        let mut llpo = slots[t];
+                        hits += batch.load_quiet(&mut llpo, p.base + (i as u64) * 4, 4);
+                        slots[t] = llpo;
+                        instrs += costs.per_eval + p.extra_instructions;
+                        let ok = p.op.eval(i64::from(p.values[i]), p.literal);
+                        let tk = u64::from(!ok);
+                        let w = batch.branch_hist(&mut hist, p.site, !ok);
+                        branches += 1;
+                        taken_n += tk;
+                        mp_taken += w & tk;
+                        mp_not_taken += w & (1 - tk);
+                        if !ok {
+                            pass = false;
+                            break;
+                        }
+                    }
+                    if pass {
+                        qualified += 1;
+                        let mut product = 1i64;
+                        for (k, a) in self.agg.iter().enumerate() {
+                            let t = agg_slot[k];
+                            let mut llpo = slots[t];
+                            hits += batch.load_quiet(&mut llpo, a.base + (i as u64) * 4, 4);
+                            slots[t] = llpo;
+                            instrs += costs.per_agg_column;
+                            product *= i64::from(a.values[i]);
+                        }
+                        if !self.agg.is_empty() {
+                            sum += product;
+                        }
+                    }
+                    let w = batch.branch_hist(&mut hist, LOOP_BRANCH_SITE, true);
+                    branches += 1;
+                    taken_n += 1;
+                    mp_taken += w;
+                }
+            }
+            batch.set_history(hist);
+            batch.instr(instrs);
+            batch.add_element_hits(hits);
+            batch.add_branch_block(branches, taken_n, mp_taken, mp_not_taken);
+            for t in 0..n_slots {
+                batch.set_stream_state(slot_streams[t], slots[t]);
+            }
+        }
+        let after = cpu.counters();
+        VectorStats {
+            tuples: (end - start) as u64,
+            qualified,
+            sum,
+            counters: after.since(&before),
+        }
+    }
+
+    /// The scalar per-event oracle: one `SimCpu` call per simulated
+    /// event — the reference semantics the batched
+    /// [`CompiledSelection::run_range`] is proptest-pinned against.
+    pub fn run_range_scalar(&self, cpu: &mut SimCpu, start: usize, end: usize) -> VectorStats {
         assert!(start <= end && end <= self.rows, "row range out of bounds");
         let before = cpu.counters();
         let mut qualified = 0u64;

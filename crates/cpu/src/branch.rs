@@ -116,28 +116,61 @@ impl BranchPredictor {
         }
     }
 
-    #[inline]
-    fn index(&self, site: BranchSite) -> usize {
-        // Fibonacci hashing spreads sites; history XOR folds in the path.
-        let h = site.0.wrapping_mul(0x9E37_79B1) ^ (self.history & self.history_mask);
-        (h & self.mask) as usize
-    }
-
     /// Predict and update for one dynamic branch; returns the outcome
     /// classification used by the PMU.
     #[inline]
     pub fn execute(&mut self, site: BranchSite, taken: bool) -> Prediction {
-        let idx = self.index(site);
-        let automaton = &mut self.table[idx];
-        let predicted = automaton.predict();
-        automaton.update(taken);
-        if self.history_mask != 0 {
-            self.history = ((self.history << 1) | u32::from(taken)) & self.history_mask;
-        }
         Prediction {
             taken,
-            correct: predicted == taken,
+            correct: self.execute_fast(site, taken),
         }
+    }
+
+    /// Branch-free form of [`BranchPredictor::execute`], returning only
+    /// whether the prediction was correct. Outcomes are data-dependent in
+    /// query loops, so the automaton transition and counter
+    /// classification are computed arithmetically — no host branch ever
+    /// depends on `taken`. Semantics are identical to the branchy form:
+    /// the saturating increments reduce to the same state, and with
+    /// `history_bits == 0` the mask keeps the history register pinned at
+    /// its initial zero.
+    #[inline(always)]
+    pub fn execute_fast(&mut self, site: BranchSite, taken: bool) -> bool {
+        let mut h = self.history;
+        let correct = self.execute_hist(&mut h, site, taken);
+        self.history = h;
+        correct
+    }
+
+    /// [`BranchPredictor::execute_fast`] against a caller-held history
+    /// register. Each branch's table index depends on the history written
+    /// by the previous branch, so an executor loop that keeps the
+    /// register in a local (via [`BranchPredictor::history`] /
+    /// [`BranchPredictor::set_history`]) turns that serial dependence
+    /// into register arithmetic instead of a store-to-load chain.
+    #[inline(always)]
+    pub fn execute_hist(&mut self, history: &mut u32, site: BranchSite, taken: bool) -> bool {
+        let h = site.0.wrapping_mul(0x9E37_79B1) ^ (*history & self.history_mask);
+        let a = &mut self.table[(h & self.mask) as usize];
+        let predicted = a.state >= a.not_taken_states;
+        let inc = (taken & (a.state + 1 < a.states)) as u8;
+        let dec = (!taken & (a.state > 0)) as u8;
+        a.state = a.state + inc - dec;
+        *history = ((*history << 1) | u32::from(taken)) & self.history_mask;
+        predicted == taken
+    }
+
+    /// Current global history register (for register-resident loops).
+    #[inline]
+    pub fn history(&self) -> u32 {
+        self.history
+    }
+
+    /// Write back a history register obtained from
+    /// [`BranchPredictor::history`].
+    #[inline]
+    pub fn set_history(&mut self, history: u32) {
+        self.history = history;
     }
 
     /// Reset all automata and the history register to their initial state.

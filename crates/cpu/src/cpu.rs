@@ -27,22 +27,22 @@ use crate::pmu::{Counters, Pmu};
 pub type StreamId = usize;
 
 #[derive(Debug, Clone, Copy, Default)]
-struct StreamState {
+pub(crate) struct StreamState {
     /// Line number of the most recent access, plus one (0 = no access yet),
     /// so that the default state never aliases line 0.
-    last_line_plus_one: u64,
+    pub(crate) last_line_plus_one: u64,
 }
 
 /// The simulated CPU. See the [module documentation](self) for the event
 /// model and [`CpuConfig`] for the microarchitectural parameters.
 #[derive(Debug, Clone)]
 pub struct SimCpu {
-    config: CpuConfig,
-    hierarchy: CacheHierarchy,
-    predictor: BranchPredictor,
-    pmu: Pmu,
-    streams: Vec<StreamState>,
-    line_shift: u32,
+    pub(crate) config: CpuConfig,
+    pub(crate) hierarchy: CacheHierarchy,
+    pub(crate) predictor: BranchPredictor,
+    pub(crate) pmu: Pmu,
+    pub(crate) streams: Vec<StreamState>,
+    pub(crate) line_shift: u32,
     /// Cycles this core sat idle waiting for admissible work (a serving
     /// scheduler with no runnable query advances the core's wall-clock
     /// position without executing anything). Kept outside the PMU bank:
@@ -50,14 +50,14 @@ pub struct SimCpu {
     /// never contaminates the counter samples the estimator fits.
     idle_cycles: u64,
     /// The socket this core belongs to (0 on a single-socket pool).
-    socket: usize,
+    pub(crate) socket: usize,
     /// Address-range → home-socket map shared by the pool. Like the LLC
     /// way allocation, it is socket state: it survives [`SimCpu::reset`].
-    placement: NumaPlacement,
+    pub(crate) placement: NumaPlacement,
     /// Demand misses served by a remote socket's memory. Kept outside
     /// the [`Counters`] bank: the solver's counter model is
     /// socket-agnostic and must not see a new dimension.
-    remote_accesses: u64,
+    pub(crate) remote_accesses: u64,
 }
 
 impl SimCpu {
@@ -133,6 +133,28 @@ impl SimCpu {
     #[inline]
     pub fn store(&mut self, stream: StreamId, addr: u64, bytes: u32) {
         self.load(stream, addr, bytes);
+    }
+
+    /// Load an arbitrarily long byte span at `addr` on `stream`,
+    /// accounted strictly line by line. This is the **scalar oracle** the
+    /// batched [`crate::batch::BatchCpu::load_span`] is proptest-pinned
+    /// against.
+    pub fn load_span(&mut self, stream: StreamId, addr: u64, bytes: u64) {
+        assert!(bytes >= 1, "empty span");
+        let first_line = addr >> self.line_shift;
+        let last_line = (addr + bytes - 1) >> self.line_shift;
+        for line in first_line..=last_line {
+            self.touch_line(stream, line);
+        }
+    }
+
+    /// Open a batched accounting scope: events issued through the
+    /// returned [`crate::batch::BatchCpu`] accumulate PMU counters and
+    /// remote-access counts locally and flush in bulk when the guard
+    /// drops. While the guard lives, the borrow checker guarantees no
+    /// mid-batch reads of this core's counters.
+    pub fn batch(&mut self) -> crate::batch::BatchCpu<'_> {
+        crate::batch::BatchCpu::new(self)
     }
 
     #[inline]

@@ -47,6 +47,7 @@
 //! assert!(cpu.cycles() > 0);
 //! ```
 
+pub mod batch;
 pub mod branch;
 pub mod cache;
 pub mod config;
@@ -55,10 +56,11 @@ pub mod numa;
 pub mod pmu;
 pub mod pool;
 
+pub use batch::BatchCpu;
 pub use branch::{BranchPredictor, BranchSite, SaturatingAutomaton};
 pub use cache::{CacheHierarchy, CacheLevel, LevelStats};
 pub use config::{CacheLevelConfig, CpuConfig, PredictorConfig, TimingConfig};
 pub use cpu::SimCpu;
-pub use numa::NumaPlacement;
+pub use numa::{HomeSegment, NumaPlacement};
 pub use pmu::{CounterDelta, Counters, Pmu};
 pub use pool::{partition_llc_ways, CpuPool, LlcMode};

@@ -22,6 +22,18 @@ struct Region {
     socket: usize,
 }
 
+/// A maximal contiguous byte range homed on one socket (see
+/// [`NumaPlacement::segment_of`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomeSegment {
+    /// Inclusive start byte address.
+    pub start: u64,
+    /// Exclusive end byte address.
+    pub end: u64,
+    /// Home socket of every line in the range.
+    pub socket: usize,
+}
+
 /// Address-range → home-socket map for an N-socket pool.
 ///
 /// With `sockets <= 1` every access is local and the placement is inert
@@ -83,6 +95,66 @@ impl NumaPlacement {
             }
         }
         ((addr / line_bytes) % self.sockets as u64) as usize
+    }
+
+    /// The maximal contiguous byte range around `addr` that is homed on a
+    /// single socket — the granularity at which the batched fast path
+    /// prices remote surcharges (one segment lookup per contiguous
+    /// home-range instead of one region scan per line).
+    ///
+    /// Invariant (pinned by tests): for every line-aligned address in the
+    /// returned `[start, end)`, [`NumaPlacement::socket_of_addr`] equals
+    /// the returned socket. A registered-region winner is clipped by any
+    /// later-registered (higher-precedence) overlapping region; an
+    /// interleaved address yields a single-line segment (homing alternates
+    /// per line).
+    pub fn segment_of(&self, addr: u64, line_bytes: u64) -> HomeSegment {
+        let mut winner = None;
+        for (i, r) in self.regions.iter().enumerate().rev() {
+            if addr >= r.start && addr < r.end {
+                winner = Some((i, *r));
+                break;
+            }
+        }
+        match winner {
+            Some((i, r)) => {
+                let mut start = r.start;
+                let mut end = r.end;
+                // Later registrations override on overlap: clip the
+                // segment so no higher-precedence region intrudes.
+                for later in &self.regions[i + 1..] {
+                    if later.start > addr {
+                        end = end.min(later.start);
+                    } else if later.end <= addr {
+                        start = start.max(later.end);
+                    }
+                    // A later region containing `addr` is impossible:
+                    // `i` was the last containing region.
+                }
+                HomeSegment {
+                    start,
+                    end,
+                    socket: r.socket,
+                }
+            }
+            None => {
+                let line = addr / line_bytes;
+                let start = line * line_bytes;
+                let mut end = start + line_bytes;
+                // A region starting inside this line would change the
+                // homing of later addresses in it.
+                for r in &self.regions {
+                    if r.start > addr && r.start < end {
+                        end = r.start;
+                    }
+                }
+                HomeSegment {
+                    start,
+                    end,
+                    socket: (line % self.sockets as u64) as usize,
+                }
+            }
+        }
     }
 
     /// Fraction of the byte range `[start, start + bytes)` homed on a
